@@ -1,0 +1,98 @@
+"""Shared benchmark fixtures.
+
+Each benchmark regenerates one figure (or claim) of the paper: it runs the
+workload, writes the series the figure plots to ``benchmarks/output/``, and
+asserts the *shape* of the result (who wins, what moves, what is rejected).
+Expensive campaign results are session-cached so related figures (7, 9, 11
+share the LDM/LDL1 low-band campaign) reuse one run.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import numpy as np
+import pytest
+
+from repro import FaseConfig, MeasurementCampaign, MicroOp, campaign_low_band
+from repro.core import CarrierDetector
+from repro.system import build_environment, corei7_desktop, turionx2_laptop
+
+OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
+
+
+@pytest.fixture(scope="session")
+def output_dir():
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    return OUTPUT_DIR
+
+
+def write_series(output_dir, name, header, rows):
+    """Write one figure's regenerated series as an aligned text table."""
+    path = output_dir / f"{name}.txt"
+    lines = [header]
+    lines.extend(rows)
+    path.write_text("\n".join(lines) + "\n")
+    return path
+
+
+@pytest.fixture(scope="session")
+def i7():
+    return corei7_desktop(rng=np.random.default_rng(0))
+
+
+@pytest.fixture(scope="session")
+def i7_hf():
+    """The i7 with an environment spanning the DRAM clock band."""
+    return corei7_desktop(
+        environment=build_environment(340e6, rng=np.random.default_rng(0)),
+        rng=np.random.default_rng(0),
+    )
+
+
+@pytest.fixture(scope="session")
+def turion():
+    return turionx2_laptop(rng=np.random.default_rng(2))
+
+
+@pytest.fixture(scope="session")
+def i7_ldm_result(i7):
+    campaign = MeasurementCampaign(i7, campaign_low_band(), rng=np.random.default_rng(1))
+    return campaign.run(MicroOp.LDM, MicroOp.LDL1, label="LDM/LDL1")
+
+
+@pytest.fixture(scope="session")
+def i7_ldl2_result(i7):
+    campaign = MeasurementCampaign(i7, campaign_low_band(), rng=np.random.default_rng(1))
+    return campaign.run(MicroOp.LDL2, MicroOp.LDL1, label="LDL2/LDL1")
+
+
+@pytest.fixture(scope="session")
+def i7_null_result(i7):
+    campaign = MeasurementCampaign(i7, campaign_low_band(), rng=np.random.default_rng(1))
+    return campaign.run(MicroOp.LDL1, MicroOp.LDL1, label="LDL1/LDL1")
+
+
+@pytest.fixture(scope="session")
+def i7_ldm_detections(i7_ldm_result):
+    return CarrierDetector().detect(i7_ldm_result)
+
+
+@pytest.fixture(scope="session")
+def i7_ldl2_detections(i7_ldl2_result):
+    return CarrierDetector().detect(i7_ldl2_result)
+
+
+@pytest.fixture(scope="session")
+def dram_clock_config():
+    """The Figure 15/16 measurement window around the 333 MHz DRAM clock."""
+    return FaseConfig(
+        span_low=329e6, span_high=336e6, fres=2e3, falt1=180e3, f_delta=10e3,
+        name="DRAM clock window",
+    )
+
+
+@pytest.fixture(scope="session")
+def dram_clock_result(i7_hf, dram_clock_config):
+    campaign = MeasurementCampaign(i7_hf, dram_clock_config, rng=np.random.default_rng(1))
+    return campaign.run(MicroOp.LDM, MicroOp.LDL1, label="LDM/LDL1")

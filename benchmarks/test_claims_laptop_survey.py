@@ -1,0 +1,56 @@
+"""Section 4.4 claim: on every tested system FASE finds the same signal
+families — regulator carriers and the refresh comb (the DRAM clock is
+covered by the campaign-3 benches).
+"""
+
+import numpy as np
+
+from conftest import write_series
+from repro import FaseConfig, MeasurementCampaign, MicroOp
+from repro.core import CarrierDetector, group_harmonics
+from repro.system import ALL_PRESETS, MemoryRefreshEmitter, SwitchingRegulator, build_environment
+
+
+def run_survey():
+    results = {}
+    for name in sorted(ALL_PRESETS):
+        machine = ALL_PRESETS[name](
+            environment=build_environment(2e6, kind="quiet"), rng=np.random.default_rng(0)
+        )
+        config = FaseConfig(span_low=0.0, span_high=2e6, fres=100.0, name="survey window")
+        campaign = MeasurementCampaign(machine, config, rng=np.random.default_rng(1))
+        result = campaign.run(MicroOp.LDM, MicroOp.LDL1, label="LDM/LDL1")
+        detections = CarrierDetector().detect(result)
+        results[name] = (machine, result, detections, group_harmonics(detections))
+    return results
+
+
+def test_claims_laptop_survey(benchmark, output_dir):
+    results = benchmark.pedantic(run_survey, rounds=1, iterations=1)
+    header = f"{'system':<20}{'sets':>6}  fundamentals_kHz"
+    rows = []
+    for name, (machine, result, detections, sets) in results.items():
+        fundamentals = ", ".join(f"{s.fundamental / 1e3:.1f}" for s in sets)
+        rows.append(f"{name:<20}{len(sets):>6}  {fundamentals}")
+    write_series(output_dir, "claims_laptop_survey", header, rows)
+
+    for name, (machine, result, detections, sets) in results.items():
+        frequencies = np.array([d.frequency for d in detections])
+        assert frequencies.size > 0, name
+        activity = result.measurements[0].activity
+        # a modulated regulator harmonic is found
+        regulator_found = any(
+            np.min(np.abs(frequencies - harmonic)) < 2e3
+            for emitter in machine.emitters
+            if isinstance(emitter, SwitchingRegulator) and emitter.is_modulated_by(activity)
+            for harmonic in emitter.carrier_frequencies(up_to=2e6)
+        )
+        assert regulator_found, name
+        # the refresh comb is found
+        refresh = next(e for e in machine.emitters if isinstance(e, MemoryRefreshEmitter))
+        comb = refresh.refresh_frequency * refresh.n_ranks
+        refresh_found = any(
+            np.min(np.abs(frequencies - k * comb)) < 2e3
+            for k in range(1, int(2e6 // comb))
+        )
+        assert refresh_found, name

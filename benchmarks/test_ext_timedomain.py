@@ -1,0 +1,51 @@
+"""Extension bench: FASE end-to-end through the time-domain capture path.
+
+Two independent physics implementations — analytic line rendering vs
+sampled waveforms + Welch estimation — must hand the unchanged FASE
+pipeline the same carriers.
+"""
+
+import numpy as np
+
+from conftest import write_series
+from repro import FaseConfig, MeasurementCampaign, MicroOp
+from repro.core import CarrierDetector
+from repro.system import build_environment, corei7_desktop
+from repro.system.timedomain import TimeDomainCampaign
+
+
+def test_ext_timedomain_cross_validation(benchmark, output_dir):
+    machine = corei7_desktop(
+        environment=build_environment(4e6, rng=np.random.default_rng(0)),
+        rng=np.random.default_rng(0),
+    )
+    config = FaseConfig(
+        span_low=200e3, span_high=700e3, fres=50.0,
+        falt1=43.3e3, f_delta=0.5e3, name="TD window",
+    )
+
+    def run_both():
+        td_campaign = TimeDomainCampaign(
+            machine, config, duration=0.4, rng=np.random.default_rng(1)
+        )
+        td = CarrierDetector().detect(td_campaign.run(MicroOp.LDM, MicroOp.LDL1, label="LDM/LDL1"))
+        an_campaign = MeasurementCampaign(machine, config, rng=np.random.default_rng(1))
+        an = CarrierDetector().detect(an_campaign.run(MicroOp.LDM, MicroOp.LDL1, label="LDM/LDL1"))
+        return td, an
+
+    td, analytic = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    header = f"{'path':<10} carriers_kHz"
+    rows = [
+        f"{'analytic':<10} " + ", ".join(f"{d.frequency / 1e3:.1f}" for d in analytic),
+        f"{'waveform':<10} " + ", ".join(f"{d.frequency / 1e3:.1f}" for d in td),
+    ]
+    write_series(output_dir, "ext_timedomain_crosscheck", header, rows)
+
+    td_freqs = np.array([d.frequency for d in td])
+    # every core carrier of this window is found by BOTH paths
+    for expected in (315e3, 450e3, 512e3):
+        assert any(abs(d.frequency - expected) < 1e3 for d in analytic), expected
+        assert np.min(np.abs(td_freqs - expected)) < 1e3, expected
+    # and neither path invents the core regulator
+    for detection in list(td) + list(analytic):
+        assert abs(detection.frequency - 333e3) > 2e3

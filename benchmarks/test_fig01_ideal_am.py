@@ -1,0 +1,54 @@
+"""Figure 1: a sinusoidal carrier modulated by a sinusoidal signal.
+
+The spectrum must show the carrier at fc and two side-bands at fc ± falt —
+the textbook AM spectrum FASE's side-band hunt is built on.
+"""
+
+import numpy as np
+
+from conftest import write_series
+from repro.spectrum.grid import FrequencyGrid
+from repro.spectrum.welch import trace_from_iq
+
+FS = 2e6
+FC = 300e3
+FALT = 43.3e3
+
+
+def synthesize():
+    t = np.arange(int(0.2 * FS)) / FS
+    envelope = 1.0 + 0.5 * np.cos(2 * np.pi * FALT * t)
+    iq = envelope * np.exp(2j * np.pi * FC * t)
+    grid = FrequencyGrid(150e3, 450e3, 200.0)
+    return trace_from_iq(iq, FS, grid)
+
+
+def test_fig01_ideal_am(benchmark, output_dir):
+    trace = benchmark.pedantic(synthesize, rounds=1, iterations=1)
+    grid = trace.grid
+
+    def peak_near(f, halfwidth=2e3):
+        lo, hi = grid.slice_indices(f - halfwidth, f + halfwidth)
+        idx = lo + int(np.argmax(trace.power_mw[lo:hi]))
+        # band power around the peak avoids FFT scalloping of off-bin tones
+        return grid.frequency_at(idx), float(trace.power_mw[lo:hi].sum())
+
+    carrier_f, carrier_p = peak_near(FC)
+    upper_f, upper_p = peak_near(FC + FALT)
+    lower_f, lower_p = peak_near(FC - FALT)
+
+    rows = [
+        f"{'line':<12}{'frequency_kHz':>15}{'relative_dB':>13}",
+        f"{'carrier':<12}{carrier_f / 1e3:>15.2f}{0.0:>13.1f}",
+        f"{'upper_sb':<12}{upper_f / 1e3:>15.2f}{10 * np.log10(upper_p / carrier_p):>13.1f}",
+        f"{'lower_sb':<12}{lower_f / 1e3:>15.2f}{10 * np.log10(lower_p / carrier_p):>13.1f}",
+    ]
+    write_series(output_dir, "fig01_ideal_am", rows[0], rows[1:])
+
+    # Shape: side-bands exactly at fc ± falt, symmetric, below the carrier.
+    assert abs(carrier_f - FC) < 500.0
+    assert abs(upper_f - (FC + FALT)) < 500.0
+    assert abs(lower_f - (FC - FALT)) < 500.0
+    assert abs(upper_p - lower_p) / upper_p < 0.2
+    # m = 0.5 -> each side-band is (m/2)^2 = -12 dB below the carrier
+    np.testing.assert_allclose(10 * np.log10(upper_p / carrier_p), -12.0, atol=1.5)

@@ -1,0 +1,56 @@
+"""Figure 3: a non-ideal (spread) carrier modulated by an ideal signal.
+
+"Even though falt is perfectly stable, the side-bands at fc - falt and
+fc + falt will 'inherit' the instability of fc." — the side-band humps must
+have the same width as the carrier hump.
+"""
+
+import numpy as np
+
+from conftest import write_series
+from repro.signals.modulation import am_sideband_lines
+from repro.signals.oscillator import RCOscillator
+from repro.spectrum.grid import FrequencyGrid
+
+FC = 300e3
+FALT = 43.3e3
+
+
+def render():
+    osc = RCOscillator(FC, fractional_sigma=4e-3)  # sigma = 1.2 kHz
+    grid = FrequencyGrid(200e3, 400e3, 100.0)
+    shape = osc.lineshape(1)
+    power = np.zeros(grid.n_bins)
+    for line in am_sideband_lines(1.0, 0.4, FALT, n_harmonics=1):
+        power += shape.render(grid.frequencies, FC + line.offset, line.power)
+    return grid, power, osc.sigma
+
+
+def hump_width(grid, power, center, halfspan=10e3):
+    """RMS width of the spectral hump around a center frequency."""
+    lo, hi = grid.slice_indices(center - halfspan, center + halfspan)
+    f = grid.frequencies[lo:hi]
+    p = power[lo:hi]
+    mean = np.sum(f * p) / np.sum(p)
+    return float(np.sqrt(np.sum(p * (f - mean) ** 2) / np.sum(p)))
+
+
+def test_fig03_nonideal_carrier(benchmark, output_dir):
+    grid, power, sigma = benchmark.pedantic(render, rounds=1, iterations=1)
+    carrier_width = hump_width(grid, power, FC)
+    upper_width = hump_width(grid, power, FC + FALT)
+    lower_width = hump_width(grid, power, FC - FALT)
+
+    header = f"{'hump':<10}{'center_kHz':>12}{'rms_width_Hz':>14}"
+    rows = [
+        f"{'carrier':<10}{FC / 1e3:>12.1f}{carrier_width:>14.1f}",
+        f"{'upper_sb':<10}{(FC + FALT) / 1e3:>12.1f}{upper_width:>14.1f}",
+        f"{'lower_sb':<10}{(FC - FALT) / 1e3:>12.1f}{lower_width:>14.1f}",
+    ]
+    write_series(output_dir, "fig03_nonideal_carrier", header, rows)
+
+    # Shape: the carrier's spread equals the oscillator sigma, and both
+    # side-bands inherit it.
+    np.testing.assert_allclose(carrier_width, sigma, rtol=0.1)
+    np.testing.assert_allclose(upper_width, carrier_width, rtol=0.1)
+    np.testing.assert_allclose(lower_width, carrier_width, rtol=0.1)

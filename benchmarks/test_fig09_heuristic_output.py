@@ -1,0 +1,48 @@
+"""Figure 9: the heuristic function's output for the ±1st harmonics around
+two carriers (the Figure 7 refresh-comb carrier and the Figure 12 core-
+regulator carrier).
+
+The output must spike at frequency offset 0 from each carrier and stay
+flat (≈1, i.e. log ≈ 0) away from it.
+"""
+
+import numpy as np
+
+from conftest import write_series
+from repro.core import HeuristicScorer
+
+
+def heuristic_curves(result, carrier, span=10e3):
+    scorer = HeuristicScorer()
+    grid = result.grid
+    plus = scorer.harmonic_score(result.traces, result.falts, 1)
+    minus = scorer.harmonic_score(result.traces, result.falts, -1)
+    lo, hi = grid.slice_indices(carrier - span, carrier + span)
+    offsets = grid.frequencies[lo:hi] - carrier
+    return offsets, plus[lo:hi], minus[lo:hi]
+
+
+def test_fig09_heuristic_output(benchmark, output_dir, i7_ldm_result, i7_ldl2_result):
+    offsets_a, plus_a, minus_a = benchmark.pedantic(
+        lambda: heuristic_curves(i7_ldm_result, 1024e3), rounds=1, iterations=1
+    )
+    offsets_b, plus_b, minus_b = heuristic_curves(i7_ldl2_result, 333e3)
+
+    header = f"{'offset_kHz':>11}{'refresh_F+1':>12}{'refresh_F-1':>12}{'coreReg_F+1':>12}{'coreReg_F-1':>12}"
+    rows = []
+    for i in range(0, len(offsets_a), 4):
+        j = min(i, len(offsets_b) - 1)
+        rows.append(
+            f"{offsets_a[i] / 1e3:>11.2f}{plus_a[i]:>12.2f}{minus_a[i]:>12.2f}"
+            f"{plus_b[j]:>12.2f}{minus_b[j]:>12.2f}"
+        )
+    write_series(output_dir, "fig09_heuristic_output", header, rows)
+
+    for offsets, plus, minus in ((offsets_a, plus_a, minus_a), (offsets_b, plus_b, minus_b)):
+        center = int(np.argmin(np.abs(offsets)))
+        window = slice(max(center - 10, 0), center + 11)
+        peak = max(plus[window].max(), minus[window].max())
+        off_carrier = np.concatenate((plus[: center - 50], plus[center + 50 :]))
+        # spike at the carrier, flat (near 1) elsewhere
+        assert peak > 5.0
+        assert np.median(off_carrier) < 2.0

@@ -1,0 +1,36 @@
+"""Figure 10: the FASE measurement-parameter table (the paper's one table).
+
+    Frequency Range    fres     falt1      f_delta
+    0 to 4 MHz         50 Hz    43.3 kHz   0.5 kHz
+    0 to 120 MHz       500 Hz   43.3 kHz   5.0 kHz
+    0 to 1200 MHz      500 Hz   1800 kHz   100 kHz
+"""
+
+from conftest import write_series
+from repro.core import PAPER_CAMPAIGNS
+
+
+def build_table():
+    rows = []
+    for name in ("low", "mid", "high"):
+        cfg = PAPER_CAMPAIGNS[name]()
+        rows.append(
+            (name, cfg.span_low, cfg.span_high, cfg.fres, cfg.falt1, cfg.f_delta, cfg.n_points())
+        )
+    return rows
+
+
+def test_fig10_campaign_parameters(benchmark, output_dir):
+    rows = benchmark.pedantic(build_table, rounds=1, iterations=1)
+    header = f"{'band':<6}{'range_MHz':>12}{'fres_Hz':>9}{'falt1_kHz':>11}{'fdelta_kHz':>12}{'points':>9}"
+    formatted = [
+        f"{name:<6}{f'{lo / 1e6:g}-{hi / 1e6:g}':>12}{fres:>9.0f}{falt1 / 1e3:>11.1f}"
+        f"{fdelta / 1e3:>12.1f}{points:>9}"
+        for name, lo, hi, fres, falt1, fdelta, points in rows
+    ]
+    write_series(output_dir, "fig10_campaign_params", header, formatted)
+
+    by_name = {r[0]: r[1:] for r in rows}
+    assert by_name["low"] == (0.0, 4e6, 50.0, 43.3e3, 0.5e3, 80000)
+    assert by_name["mid"] == (0.0, 120e6, 500.0, 43.3e3, 5e3, 240000)
+    assert by_name["high"] == (0.0, 1200e6, 500.0, 1800e3, 100e3, 2400000)

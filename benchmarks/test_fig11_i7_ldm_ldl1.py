@@ -1,0 +1,53 @@
+"""Figure 11: FASE results for the Intel Core i7 desktop, LDM/LDL1.
+
+The paper's headline figure: over 0-4 MHz the memory pair exposes three
+harmonic sets — the DRAM DIMM regulator (315 kHz comb), the memory-
+controller regulator (its own comb), and the memory-refresh comb (512 kHz
+multiples) — while the core regulator's visible humps go unreported.
+"""
+
+import numpy as np
+
+from conftest import write_series
+from repro.core import CarrierDetector, group_harmonics
+
+
+def detect(result):
+    detections = CarrierDetector().detect(result)
+    return detections, group_harmonics(detections)
+
+
+def test_fig11_i7_ldm_ldl1(benchmark, output_dir, i7_ldm_result):
+    detections, sets = benchmark.pedantic(
+        lambda: detect(i7_ldm_result), rounds=1, iterations=1
+    )
+    header = f"{'set_kHz':>9}{'order':>7}{'freq_kHz':>10}{'dBm':>9}{'depth':>7}{'evidence':>10}"
+    rows = []
+    for harmonic_set in sets:
+        for order, carrier in harmonic_set.members:
+            rows.append(
+                f"{harmonic_set.fundamental / 1e3:>9.1f}{order:>7}"
+                f"{carrier.frequency / 1e3:>10.1f}{carrier.magnitude_dbm:>9.1f}"
+                f"{carrier.modulation_depth:>7.2f}{carrier.combined_score:>10.1f}"
+            )
+    write_series(output_dir, "fig11_i7_ldm_ldl1", header, rows)
+
+    fundamentals = sorted(s.fundamental for s in sets)
+    # Shape: exactly the paper's three signal families.
+    assert len(sets) == 3
+    assert abs(fundamentals[0] - 225e3) < 2e3  # memory-controller regulator
+    assert abs(fundamentals[1] - 315e3) < 2e3  # DRAM DIMM regulator
+    assert abs(fundamentals[2] - 512e3) < 2e3  # memory refresh comb
+
+    # The refresh set has the most (similar-strength) harmonics: tiny duty.
+    refresh = max(sets, key=lambda s: len(s.members))
+    assert abs(refresh.fundamental - 512e3) < 2e3
+    assert len(refresh.members) >= 4
+
+    # The regulator fundamentals out-power the refresh comb (as in Fig. 11).
+    regulator = min(sets, key=lambda s: abs(s.fundamental - 315e3))
+    assert regulator.strongest_dbm > refresh.strongest_dbm
+
+    # The core regulator (333 kHz) is NOT among the detections.
+    for detection in detections:
+        assert abs(detection.frequency - 333e3) > 2e3

@@ -1,0 +1,56 @@
+"""Figure 12: the core-regulator carrier and its side-bands under on-chip
+(LDL2/LDL1) alternation.
+
+Gaussian-looking humps; side-band peaks shift by f_delta with falt; one
+side may be obscured without harming carrier identification.
+"""
+
+import numpy as np
+
+from conftest import write_series
+
+FC = 333e3
+
+
+def sideband_tracks(result):
+    grid = result.grid
+    tracks = {+1: [], -1: []}
+    for measurement in result.measurements:
+        for side in (+1, -1):
+            target = FC + side * measurement.falt
+            lo, hi = grid.slice_indices(target - 2e3, target + 2e3)
+            idx = lo + int(np.argmax(measurement.trace.power_mw[lo:hi]))
+            tracks[side].append(
+                (measurement.falt, grid.frequency_at(idx), float(measurement.trace.dbm[idx]))
+            )
+    return tracks
+
+
+def test_fig12_core_regulator_sidebands(benchmark, output_dir, i7_ldl2_result):
+    tracks = benchmark.pedantic(lambda: sideband_tracks(i7_ldl2_result), rounds=1, iterations=1)
+    header = f"{'falt_kHz':>9}{'left_kHz':>10}{'left_dBm':>10}{'right_kHz':>11}{'right_dBm':>11}"
+    rows = []
+    for (falt, lf, ldbm), (_, rf, rdbm) in zip(tracks[-1], tracks[+1]):
+        rows.append(f"{falt / 1e3:>9.2f}{lf / 1e3:>10.2f}{ldbm:>10.1f}{rf / 1e3:>11.2f}{rdbm:>11.1f}")
+    write_series(output_dir, "fig12_core_regulator", header, rows)
+
+    # Shape: at least one side tracks fc ± falt through all five falts.
+    def tracking_count(side):
+        return sum(
+            1 for falt, f, _ in tracks[side] if abs(f - (FC + side * falt)) < 400.0
+        )
+
+    assert max(tracking_count(+1), tracking_count(-1)) >= 4
+
+    # The carrier hump itself is Gaussian-ish: monotone decay off-peak.
+    grid = i7_ldl2_result.grid
+    trace = i7_ldl2_result.measurements[0].trace
+    center = grid.index_of(FC)
+    lo = center - 40
+    window = trace.power_mw[lo : center + 41]
+    peak_offset = int(np.argmax(window))
+    assert abs(peak_offset - 40) <= 5
+    smoothed = np.convolve(window, np.ones(7) / 7, mode="valid")
+    peak_s = int(np.argmax(smoothed))
+    assert smoothed[peak_s] > 4 * smoothed[0]
+    assert smoothed[peak_s] > 4 * smoothed[-1]

@@ -1,0 +1,35 @@
+"""Figure 13: FASE results for the Intel Core i7 desktop, LDL2/LDL1.
+
+"Only one type of carrier was found to be modulated in this case — the
+signal that corresponds to the switching regulator for the CPU cores."
+"""
+
+from conftest import write_series
+from repro.core import CarrierDetector, group_harmonics
+
+
+def detect(result):
+    detections = CarrierDetector().detect(result)
+    return detections, group_harmonics(detections)
+
+
+def test_fig13_i7_ldl2_ldl1(benchmark, output_dir, i7_ldl2_result):
+    detections, sets = benchmark.pedantic(
+        lambda: detect(i7_ldl2_result), rounds=1, iterations=1
+    )
+    header = f"{'set_kHz':>9}{'order':>7}{'freq_kHz':>10}{'dBm':>9}{'depth':>7}"
+    rows = [
+        f"{s.fundamental / 1e3:>9.1f}{order:>7}{c.frequency / 1e3:>10.1f}"
+        f"{c.magnitude_dbm:>9.1f}{c.modulation_depth:>7.2f}"
+        for s in sets
+        for order, c in s.members
+    ]
+    write_series(output_dir, "fig13_i7_ldl2_ldl1", header, rows)
+
+    # Shape: exactly one set, at the core regulator's 333 kHz.
+    assert len(sets) == 1
+    assert abs(sets[0].fundamental - 333e3) < 3e3
+    # And none of the memory-side signals appear.
+    for detection in detections:
+        for memory_fc in (225e3, 315e3, 512e3, 1024e3):
+            assert abs(detection.frequency - memory_fc) > 3e3

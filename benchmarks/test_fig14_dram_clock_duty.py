@@ -1,0 +1,53 @@
+"""Figure 14: the DRAM clock spectrum at 0% vs 100% memory activity.
+
+The spread-spectrum pedestal spans 332-333 MHz with edge horns; the 100%
+(LDM/LDM) trace sits ~9-10 dB above the 0% (LDL1/LDL1) one.
+"""
+
+import numpy as np
+
+from conftest import write_series
+from repro import MeasurementCampaign
+from repro.uarch.isa import MicroOp, activity_levels
+
+
+def capture_both(machine, config, rng_seed=1):
+    campaign = MeasurementCampaign(machine, config, rng=np.random.default_rng(rng_seed))
+    idle = campaign.capture_steady(activity_levels(MicroOp.LDL1), label="LDL1/LDL1 (0%)")
+    busy = campaign.capture_steady(activity_levels(MicroOp.LDM), label="LDM/LDM (100%)")
+    return idle, busy
+
+
+def test_fig14_dram_clock_duty(benchmark, output_dir, i7_hf, dram_clock_config):
+    idle, busy = benchmark.pedantic(
+        lambda: capture_both(i7_hf, dram_clock_config), rounds=1, iterations=1
+    )
+    grid = idle.grid
+    rows = []
+    for i in range(0, grid.n_bins, 20):
+        rows.append(
+            f"{grid.frequency_at(i) / 1e6:>10.3f} {idle.dbm[i]:>9.1f} {busy.dbm[i]:>9.1f}"
+        )
+    write_series(
+        output_dir, "fig14_dram_clock_duty", f"{'freq_MHz':>10} {'idle_dBm':>9} {'busy_dBm':>9}", rows
+    )
+
+    def band_dbm(trace, f, halfwidth=30e3):
+        lo, hi = grid.slice_indices(f - halfwidth, f + halfwidth)
+        return 10 * np.log10(np.mean(trace.power_mw[lo:hi]))
+
+    # Shape 1: the pedestal occupies 332-333 MHz, above the out-of-band floor.
+    assert band_dbm(busy, 332.5e6) > band_dbm(busy, 330e6) + 5.0
+    assert band_dbm(busy, 334.5e6) < band_dbm(busy, 332.5e6) - 5.0
+
+    # Shape 2: edge horns exceed the mid-band level.
+    assert band_dbm(busy, 332.02e6, 15e3) > band_dbm(busy, 332.5e6) + 3.0
+    assert band_dbm(busy, 332.98e6, 15e3) > band_dbm(busy, 332.5e6) + 3.0
+
+    # Shape 3: 100% activity lifts the clock emission by roughly 9-10 dB
+    # over 0%. Measured at the horn, where the clock dominates the floor
+    # (mid-pedestal the idle trace is floor-limited, compressing the delta).
+    delta = band_dbm(busy, 332.98e6, 15e3) - band_dbm(idle, 332.98e6, 15e3)
+    assert 6.0 < delta < 13.0
+    # mid-pedestal the busy trace still clearly exceeds the idle one
+    assert band_dbm(busy, 332.5e6) > band_dbm(idle, 332.5e6) + 2.0

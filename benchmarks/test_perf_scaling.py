@@ -1,0 +1,65 @@
+"""Performance benchmarks: campaign capture and scoring at paper scale.
+
+These use real repeated timing (not single-shot pedantic runs) so
+pytest-benchmark's statistics are meaningful. The paper's low band is
+80,000 bins x 5 falts; the mid band is 240,000 bins.
+"""
+
+import numpy as np
+import pytest
+
+from repro import FaseConfig, MeasurementCampaign, MicroOp, campaign_low_band
+from repro.core import CarrierDetector, HeuristicScorer
+from repro.system import build_environment, corei7_desktop
+
+
+@pytest.fixture(scope="module")
+def machine():
+    return corei7_desktop(rng=np.random.default_rng(0))
+
+
+@pytest.fixture(scope="module")
+def low_band_result(machine):
+    campaign = MeasurementCampaign(machine, campaign_low_band(), rng=np.random.default_rng(1))
+    return campaign.run(MicroOp.LDM, MicroOp.LDL1, label="LDM/LDL1")
+
+
+def test_perf_low_band_campaign(benchmark, machine):
+    """Five falts x four averages over 80,000 bins."""
+
+    def run():
+        campaign = MeasurementCampaign(
+            machine, campaign_low_band(), rng=np.random.default_rng(1)
+        )
+        return campaign.run(MicroOp.LDM, MicroOp.LDL1, label="LDM/LDL1")
+
+    result = benchmark(run)
+    assert result.grid.n_bins == 80000
+
+
+def test_perf_heuristic_scoring(benchmark, low_band_result):
+    """All ten falt harmonics of Eq. 1/2 over the full grid."""
+    scorer = HeuristicScorer()
+    scores = benchmark(lambda: scorer.all_scores(low_band_result))
+    assert len(scores) == 10
+
+
+def test_perf_detection(benchmark, low_band_result):
+    detections = benchmark(lambda: CarrierDetector().detect(low_band_result))
+    assert len(detections) >= 10
+
+
+def test_perf_mid_band_capture(benchmark):
+    """One 240,000-bin capture of the paper's 0-120 MHz campaign."""
+    machine = corei7_desktop(
+        environment=build_environment(120e6, rng=np.random.default_rng(0)),
+        rng=np.random.default_rng(0),
+    )
+    config = FaseConfig(
+        span_low=0.0, span_high=120e6, fres=500.0, falt1=43.3e3, f_delta=5e3,
+        name="mid band",
+    )
+    campaign = MeasurementCampaign(machine, config, rng=np.random.default_rng(1))
+
+    trace = benchmark(lambda: campaign.capture_steady({"dram_bus": 0.5}, label="steady"))
+    assert trace.grid.n_bins == 240000

@@ -1,0 +1,37 @@
+"""The complete Section 4 workflow in one call.
+
+``investigate()`` chains everything the paper's evaluation does per
+machine: the two-pair FASE campaign, harmonic grouping, activity
+fingerprinting, near-field localization of every source, and the
+steady-activity response probe that distinguishes mechanisms (regulators
+strengthen with load; memory refresh weakens).
+
+Run:  python examples/full_investigation.py
+"""
+
+import numpy as np
+
+from repro.analysis import investigate
+from repro.system import build_environment, corei7_desktop
+
+
+def main():
+    machine = corei7_desktop(
+        environment=build_environment(4e6, rng=np.random.default_rng(0)),
+        rng=np.random.default_rng(0),
+    )
+    print(f"Investigating: {machine.name}\n")
+    investigation = investigate(machine, rng=np.random.default_rng(1))
+
+    print(investigation.report.to_text())
+    print()
+    print(investigation.to_text())
+    print()
+    print("Compare with the paper's Section 4: the regulator carriers localize")
+    print("to their supplies and strengthen with load; the 512 kHz comb")
+    print("localizes to the DIMMs and WEAKENS with memory activity — the clue")
+    print("that identified it as memory refresh.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+"""Causation workflow: from detected carrier to physical component.
+
+Reproduces Section 4's source-identification process:
+
+1. run FASE to find the activity-modulated carriers,
+2. scan a near-field probe over the board to localize each carrier,
+3. sweep steady activity levels to identify the modulation mechanism
+   (regulators strengthen with load; refresh *weakens* — the paper's
+   key clue that the 512 kHz comb was refresh, not a clock).
+
+Run:  python examples/locate_leaky_components.py
+"""
+
+import numpy as np
+
+from repro import MicroOp, corei7_desktop, run_fase
+from repro.analysis import localize_carrier, modulation_depth_sweep
+from repro.spectrum.grid import FrequencyGrid
+from repro.system import build_environment
+from repro.system.domains import DRAM_POWER, MEMORY_UTILIZATION
+from repro.uarch.activity import AlternationActivity
+from repro.uarch.isa import activity_levels
+
+
+def main():
+    machine = corei7_desktop(rng=np.random.default_rng(0))
+    report = run_fase(machine, pairs=((MicroOp.LDM, MicroOp.LDL1),), rng=np.random.default_rng(1))
+
+    print("Step 1 - FASE detections (LDM/LDL1):")
+    for harmonic_set in report.sets_for("LDM/LDL1"):
+        print("  ", harmonic_set.describe())
+
+    print("\nStep 2 - near-field localization of each set's fundamental:")
+    steady_memory = AlternationActivity.constant(
+        activity_levels(MicroOp.LDM), label="steady memory traffic"
+    )
+    idle = AlternationActivity.constant(activity_levels(MicroOp.LDL1), label="idle")
+    for harmonic_set in report.sets_for("LDM/LDL1"):
+        # probe the refresh comb while idle (it is strongest then!)
+        activity = idle if abs(harmonic_set.fundamental - 512e3) < 5e3 else steady_memory
+        result = localize_carrier(machine, harmonic_set.fundamental, activity)
+        print("  ", result.describe())
+
+    print("\nStep 3 - modulation mechanism via steady activity sweeps:")
+    quiet = corei7_desktop(environment=build_environment(4e6, kind="quiet"),
+                           rng=np.random.default_rng(0))
+    regulator_sweep = modulation_depth_sweep(
+        quiet, DRAM_POWER, 315e3, FrequencyGrid(250e3, 400e3, 50.0)
+    )
+    refresh_sweep = modulation_depth_sweep(
+        quiet, MEMORY_UTILIZATION, 512e3, FrequencyGrid(450e3, 600e3, 50.0)
+    )
+    print(f"  {'activity':>9} {'315k regulator':>15} {'512k refresh':>14}")
+    for regulator, refresh in zip(regulator_sweep, refresh_sweep):
+        print(
+            f"  {regulator.level:>9.2f} {regulator.carrier_dbm:>13.1f}dB {refresh.carrier_dbm:>12.1f}dB"
+        )
+    print("\n  -> the regulator carrier strengthens with load (PWM duty rises);")
+    print("     the refresh carrier WEAKENS (accesses disrupt refresh timing),")
+    print("     the inverted response that identified the mechanism in Sec. 4.2.")
+
+
+if __name__ == "__main__":
+    main()

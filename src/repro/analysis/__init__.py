@@ -1,0 +1,67 @@
+"""Post-FASE analyses: localization, modulation depth, validation, FM check.
+
+These implement the causation workflow of Section 4 (near-field probing to
+find the component emitting each carrier; confirming modulation behaviour
+with targeted activity sweeps) and the paper's manual validation of
+Section 1 (inspecting strong rejected signals to confirm they really do
+not respond to activity).
+"""
+
+from .localization import NearFieldProbe, localize_carrier, LocalizationResult
+from .modulation_depth import (
+    modulation_depth_sweep,
+    sideband_to_carrier_db,
+    DepthMeasurement,
+)
+from .validation import (
+    validate_rejections,
+    strong_rejected_signals,
+    RejectionCheck,
+)
+from .fm_detect import spectrogram_frequency_track, is_frequency_modulated
+from .attack import (
+    AttackResult,
+    attack_carrier,
+    demodulate_am,
+    decode_bits,
+    emit_modulated_carrier,
+    square_and_multiply_activity,
+)
+from .leakage import LeakageEstimate, estimate_leakage, rank_leaks
+from .investigate import (
+    Investigation,
+    SourceFinding,
+    investigate,
+    STRENGTHENS,
+    WEAKENS,
+    FLAT,
+)
+
+__all__ = [
+    "NearFieldProbe",
+    "localize_carrier",
+    "LocalizationResult",
+    "modulation_depth_sweep",
+    "sideband_to_carrier_db",
+    "DepthMeasurement",
+    "validate_rejections",
+    "strong_rejected_signals",
+    "RejectionCheck",
+    "spectrogram_frequency_track",
+    "is_frequency_modulated",
+    "AttackResult",
+    "attack_carrier",
+    "demodulate_am",
+    "decode_bits",
+    "emit_modulated_carrier",
+    "square_and_multiply_activity",
+    "LeakageEstimate",
+    "estimate_leakage",
+    "rank_leaks",
+    "Investigation",
+    "SourceFinding",
+    "investigate",
+    "STRENGTHENS",
+    "WEAKENS",
+    "FLAT",
+]

@@ -1,0 +1,144 @@
+"""The full Section 4 causation workflow as one call.
+
+After FASE reports carriers, the paper identifies each source in three
+manual steps: "We first identified the source of each signal using
+short-range probes ... Then we examined data sheets ... Finally we
+performed additional micro-benchmark experiments to identify the
+modulation source." :func:`investigate` automates the reproduction's
+equivalents:
+
+1. run FASE for the memory and on-chip pairs (detection + grouping +
+   activity-fingerprint classification),
+2. near-field-localize each harmonic set's strongest member,
+3. sweep steady activity in the fingerprinted domain to get the response
+   *direction* (regulators strengthen with load; refresh weakens — the
+   Section 4.2 clue),
+4. assemble everything into per-source findings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.config import campaign_low_band
+from ..core.pipeline import run_fase
+from ..errors import DetectionError
+from ..rng import ensure_rng
+from ..spectrum.grid import FrequencyGrid
+from ..system.domains import CORE, DRAM_POWER, MEMORY_UTILIZATION
+from ..uarch.activity import AlternationActivity
+from ..uarch.isa import MicroOp, activity_levels
+from .localization import localize_carrier
+from .modulation_depth import modulation_depth_sweep
+
+#: Response directions.
+STRENGTHENS = "strengthens with activity"
+WEAKENS = "weakens with activity"
+FLAT = "no clear response"
+
+
+@dataclass(frozen=True)
+class SourceFinding:
+    """Everything the workflow learned about one emanation source."""
+
+    fundamental: float
+    fingerprint: str
+    mechanism: str
+    location: tuple
+    component: str
+    response: str
+
+    def describe(self):
+        return (
+            f"{self.fundamental / 1e3:.1f} kHz [{self.fingerprint}] likely "
+            f"{self.mechanism}; localized to {self.component} at "
+            f"({self.location[0]:.0f}, {self.location[1]:.0f}) cm; "
+            f"carrier {self.response}"
+        )
+
+
+@dataclass
+class Investigation:
+    """The FASE report plus per-source findings."""
+
+    report: object
+    findings: list = field(default_factory=list)
+
+    def finding_near(self, frequency, rel_tol=0.02):
+        for finding in self.findings:
+            if abs(finding.fundamental - frequency) <= rel_tol * frequency:
+                return finding
+        raise DetectionError(f"no finding near {frequency:.6g} Hz")
+
+    def to_text(self):
+        lines = ["investigation findings:"]
+        lines.extend(f"  {finding.describe()}" for finding in self.findings)
+        return "\n".join(lines)
+
+
+def _probe_activity(fingerprint):
+    """A steady activity that keeps the fingerprinted domain busy."""
+    if fingerprint == "memory-side":
+        return AlternationActivity.constant(activity_levels(MicroOp.LDM), label="memory busy")
+    return AlternationActivity.constant(activity_levels(MicroOp.LDL2), label="on-chip busy")
+
+
+def _response_domain(source):
+    if source.mechanism == "memory refresh":
+        return MEMORY_UTILIZATION
+    if source.fingerprint == "memory-side":
+        return DRAM_POWER
+    return CORE
+
+
+def _response_direction(machine, source, span_fraction=0.25):
+    """Sign of the carrier's steady-activity response (Section 4 clue).
+
+    Probed at the set's lowest-order member: a PWM carrier's *higher*
+    harmonics sit on different slopes of the sinc envelope and can respond
+    to duty with either sign (or not at all, near a sinc null), while the
+    fundamental's response is monotone over a regulator's duty range.
+    """
+    _, lowest = min(source.harmonic_set.members, key=lambda m: m[0])
+    center = lowest.frequency
+    halfspan = max(center * span_fraction, 60e3)
+    grid = FrequencyGrid(max(center - halfspan, 0.0), center + halfspan, 50.0)
+    sweep = modulation_depth_sweep(
+        machine, _response_domain(source), center, grid, levels=(0.0, 0.5, 1.0)
+    )
+    first, last = sweep[0].carrier_power_mw, sweep[-1].carrier_power_mw
+    if last > 1.6 * first:
+        return STRENGTHENS
+    if first > 1.6 * last:
+        return WEAKENS
+    return FLAT
+
+
+def investigate(machine, config=None, rng=None, probe_refresh_when_idle=True):
+    """Run the complete find-and-explain workflow on a machine."""
+    rng = ensure_rng(rng)
+    config = config or campaign_low_band()
+    report = run_fase(machine, config=config, rng=rng)
+    investigation = Investigation(report=report)
+    for source in report.sources:
+        harmonic_set = source.harmonic_set
+        _, strongest = max(harmonic_set.members, key=lambda m: m[1].magnitude_dbm)
+        # refresh carriers are strongest when the memory is idle (§4.2), so
+        # probe them under idle; everything else under load
+        if probe_refresh_when_idle and source.mechanism == "memory refresh":
+            probe = AlternationActivity.constant(activity_levels(MicroOp.LDL1), label="idle")
+        else:
+            probe = _probe_activity(source.fingerprint)
+        localization = localize_carrier(machine, strongest.frequency, probe)
+        response = _response_direction(machine, source)
+        investigation.findings.append(
+            SourceFinding(
+                fundamental=harmonic_set.fundamental,
+                fingerprint=source.fingerprint,
+                mechanism=source.mechanism,
+                location=localization.best_position,
+                component=localization.source_name,
+                response=response,
+            )
+        )
+    return investigation

@@ -1,0 +1,178 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``scan``      run FASE on a preset machine and print the report
+* ``survey``    run the LDM/LDL1 scan on every preset machine
+* ``localize``  near-field-localize a carrier on a preset machine
+* ``record``    run a campaign and save the raw spectra to a .npz file
+* ``analyze``   detect carriers in a previously recorded campaign
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from . import io as campaign_io
+from .core import (
+    CarrierDetector,
+    FaseConfig,
+    MeasurementCampaign,
+    group_harmonics,
+    run_fase,
+)
+from .system import ALL_PRESETS
+from .uarch.activity import AlternationActivity
+from .uarch.isa import MicroOp, activity_levels
+
+
+def _add_machine_argument(parser):
+    parser.add_argument(
+        "--machine",
+        choices=sorted(ALL_PRESETS),
+        default="corei7_desktop",
+        help="preset system model to scan",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="root random seed")
+
+
+def _build_machine(args):
+    return ALL_PRESETS[args.machine](rng=np.random.default_rng(args.seed))
+
+
+def _parse_span(args):
+    return FaseConfig(
+        span_low=args.span_low,
+        span_high=args.span_high,
+        fres=args.fres,
+        falt1=args.falt1,
+        f_delta=args.f_delta,
+        name="cli campaign",
+    )
+
+
+def _add_campaign_arguments(parser):
+    parser.add_argument("--span-low", type=float, default=0.0)
+    parser.add_argument("--span-high", type=float, default=4e6)
+    parser.add_argument("--fres", type=float, default=50.0)
+    parser.add_argument("--falt1", type=float, default=43.3e3)
+    parser.add_argument("--f-delta", type=float, default=0.5e3)
+
+
+def _parse_ops(text):
+    try:
+        x, y = text.split("/")
+        return MicroOp(x.strip().upper()), MicroOp(y.strip().upper())
+    except (ValueError, KeyError) as exc:
+        raise SystemExit(f"invalid activity pair {text!r}; use e.g. LDM/LDL1") from exc
+
+
+def cmd_scan(args):
+    machine = _build_machine(args)
+    config = _parse_span(args)
+    kwargs = {"config": config, "rng": np.random.default_rng(args.seed + 1)}
+    if args.pair:
+        kwargs["pairs"] = (_parse_ops(args.pair),)
+    report = run_fase(machine, **kwargs)
+    print(report.to_text())
+    return 0
+
+
+def cmd_survey(args):
+    for name in sorted(ALL_PRESETS):
+        machine = ALL_PRESETS[name](rng=np.random.default_rng(args.seed))
+        config = FaseConfig(span_low=0.0, span_high=2e6, fres=100.0, name="survey")
+        campaign = MeasurementCampaign(machine, config, rng=np.random.default_rng(args.seed + 1))
+        result = campaign.run(MicroOp.LDM, MicroOp.LDL1, label="LDM/LDL1")
+        sets = group_harmonics(CarrierDetector().detect(result))
+        print(f"{machine.name}: {len(sets)} harmonic sets")
+        for harmonic_set in sets:
+            print(f"  {harmonic_set.describe()}")
+    return 0
+
+
+def cmd_localize(args):
+    from .analysis.localization import localize_carrier
+
+    machine = _build_machine(args)
+    activity = AlternationActivity.constant(
+        activity_levels(MicroOp.LDM if args.memory else MicroOp.LDL2),
+        label="steady probe activity",
+    )
+    result = localize_carrier(machine, args.frequency, activity)
+    print(result.describe())
+    return 0
+
+
+def cmd_record(args):
+    machine = _build_machine(args)
+    config = _parse_span(args)
+    campaign = MeasurementCampaign(machine, config, rng=np.random.default_rng(args.seed + 1))
+    op_x, op_y = _parse_ops(args.pair)
+    result = campaign.run(op_x, op_y, label=args.pair)
+    campaign_io.save_campaign(result, args.output)
+    print(f"recorded {len(result.measurements)} spectra to {args.output}")
+    return 0
+
+
+def cmd_analyze(args):
+    result = campaign_io.load_campaign(args.input)
+    detections = CarrierDetector().detect(result)
+    print(f"{result.machine_name} / {result.activity_label}: {len(detections)} carriers")
+    for harmonic_set in group_harmonics(detections):
+        print(f"  set {harmonic_set.describe()}")
+        for order, detection in harmonic_set.members:
+            print(f"    [{order:>2}] {detection.describe()}")
+    return 0
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="FASE (ISCA 2015) reproduction: find amplitude-modulated side-channel emanations",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    scan = sub.add_parser("scan", help="run FASE on a preset machine")
+    _add_machine_argument(scan)
+    _add_campaign_arguments(scan)
+    scan.add_argument("--pair", default=None, help="activity pair, e.g. LDM/LDL1")
+    scan.set_defaults(handler=cmd_scan)
+
+    survey = sub.add_parser("survey", help="scan every preset machine")
+    survey.add_argument("--seed", type=int, default=0)
+    survey.set_defaults(handler=cmd_survey)
+
+    localize = sub.add_parser("localize", help="near-field localize a carrier")
+    _add_machine_argument(localize)
+    localize.add_argument("frequency", type=float, help="carrier frequency in Hz")
+    localize.add_argument(
+        "--memory", action="store_true", help="probe under memory (vs on-chip) activity"
+    )
+    localize.set_defaults(handler=cmd_localize)
+
+    record = sub.add_parser("record", help="run a campaign and save the spectra")
+    _add_machine_argument(record)
+    _add_campaign_arguments(record)
+    record.add_argument("--pair", default="LDM/LDL1")
+    record.add_argument("output", help="output .npz path")
+    record.set_defaults(handler=cmd_record)
+
+    analyze = sub.add_parser("analyze", help="detect carriers in a recording")
+    analyze.add_argument("input", help="input .npz path")
+    analyze.set_defaults(handler=cmd_analyze)
+
+    return parser
+
+
+def main(argv=None):
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,85 @@
+"""FASE core: campaign protocol, heuristic, detection, classification.
+
+The paper's primary contribution, implemented from Section 2:
+
+* :class:`FaseConfig` / the Figure 10 campaign presets,
+* :class:`MeasurementCampaign` (five falts, averaged captures),
+* :class:`HeuristicScorer` (Equations 1-2),
+* :class:`CarrierDetector` (automated peak detection on the scores),
+* :func:`group_harmonics` and :func:`classify_sources` (Section 4's
+  causation workflow),
+* :func:`run_fase` tying everything together.
+"""
+
+from .config import (
+    FaseConfig,
+    DEFAULT_HARMONICS,
+    campaign_low_band,
+    campaign_mid_band,
+    campaign_high_band,
+    PAPER_CAMPAIGNS,
+)
+from .campaign import MeasurementCampaign, CampaignResult, CampaignMeasurement
+from .heuristic import HeuristicScorer, DEFAULT_POWER_FLOOR
+from .detect import CarrierDetector, CarrierDetection
+from .harmonics import HarmonicSet, group_harmonics
+from .classify import (
+    ClassifiedSource,
+    classify_sources,
+    MEMORY_SIDE,
+    CORE_SIDE,
+    SHARED,
+    UNKNOWN,
+    SWITCHING_REGULATOR,
+    MEMORY_REFRESH,
+    CLOCK,
+    UNIDENTIFIED,
+)
+from .report import FaseReport, ActivityReport
+from .pipeline import run_fase, pair_label
+from .fmfase import (
+    FmFaseScanner,
+    FmDetection,
+    SweptHump,
+    FM_CARRIER,
+    AM_CARRIER,
+    STATIC_SIGNAL,
+)
+
+__all__ = [
+    "FaseConfig",
+    "DEFAULT_HARMONICS",
+    "campaign_low_band",
+    "campaign_mid_band",
+    "campaign_high_band",
+    "PAPER_CAMPAIGNS",
+    "MeasurementCampaign",
+    "CampaignResult",
+    "CampaignMeasurement",
+    "HeuristicScorer",
+    "DEFAULT_POWER_FLOOR",
+    "CarrierDetector",
+    "CarrierDetection",
+    "HarmonicSet",
+    "group_harmonics",
+    "ClassifiedSource",
+    "classify_sources",
+    "MEMORY_SIDE",
+    "CORE_SIDE",
+    "SHARED",
+    "UNKNOWN",
+    "SWITCHING_REGULATOR",
+    "MEMORY_REFRESH",
+    "CLOCK",
+    "UNIDENTIFIED",
+    "FaseReport",
+    "ActivityReport",
+    "run_fase",
+    "pair_label",
+    "FmFaseScanner",
+    "FmDetection",
+    "SweptHump",
+    "FM_CARRIER",
+    "AM_CARRIER",
+    "STATIC_SIGNAL",
+]

@@ -1,0 +1,134 @@
+"""Measurement campaigns: run the micro-benchmark, capture the spectra.
+
+One campaign (Section 2.3): for each alternation frequency
+``falt_i = falt1 + i * f_delta``, calibrate the X/Y micro-benchmark to that
+frequency, let the system run it, and record the averaged spectrum
+``SP_i``. The result bundles the traces with the *achieved* alternation
+frequencies (integer loop counts quantize falt slightly; the heuristic uses
+the real values, as the experimenters would after reading them off the
+spectrum).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import CampaignError
+from ..rng import child_rng, ensure_rng
+from ..spectrum.analyzer import SpectrumAnalyzer
+from ..uarch.activity import AlternationActivity
+from ..uarch.microbench import AlternationMicrobenchmark
+from ..uarch.timing import LatencyModel
+from .config import FaseConfig
+
+
+@dataclass(frozen=True)
+class CampaignMeasurement:
+    """One captured spectrum: the achieved falt, activity, and trace."""
+
+    falt: float
+    activity: AlternationActivity
+    trace: object  # SpectrumTrace
+
+
+@dataclass
+class CampaignResult:
+    """All measurements of one campaign for one X/Y activity pair."""
+
+    config: FaseConfig
+    machine_name: str
+    activity_label: str
+    measurements: list = field(default_factory=list)
+
+    @property
+    def traces(self):
+        return [m.trace for m in self.measurements]
+
+    @property
+    def falts(self):
+        return [m.falt for m in self.measurements]
+
+    @property
+    def grid(self):
+        if not self.measurements:
+            raise CampaignError("campaign result has no measurements")
+        return self.measurements[0].trace.grid
+
+    def validate(self):
+        """Sanity-check internal consistency (shared grid, distinct falts)."""
+        if len(self.measurements) < 2:
+            raise CampaignError("campaign needs at least two measurements")
+        grid = self.grid
+        for measurement in self.measurements:
+            if measurement.trace.grid != grid:
+                raise CampaignError("campaign traces are on different grids")
+        falts = sorted(self.falts)
+        for a, b in zip(falts, falts[1:]):
+            if b - a < 2 * grid.resolution:
+                raise CampaignError(
+                    "achieved alternation frequencies are closer than two bins; "
+                    "increase f_delta or decrease fres"
+                )
+        return self
+
+
+class MeasurementCampaign:
+    """Drives a system model through one FASE campaign."""
+
+    def __init__(self, machine, config, latency_model=None, rng=None):
+        self.machine = machine
+        self.config = config
+        self.latency_model = latency_model or LatencyModel()
+        self.rng = ensure_rng(rng)
+
+    def _analyzer(self):
+        return SpectrumAnalyzer(
+            n_averages=self.config.n_averages, rng=child_rng(self.rng, "analyzer")
+        )
+
+    def run(self, op_x, op_y, label=None):
+        """Calibrate and measure at every alternation frequency.
+
+        ``op_x``/``op_y`` are :class:`~repro.uarch.isa.MicroOp` values (the
+        paper's notation LDM/LDL1 is ``MicroOp.LDM, MicroOp.LDL1``).
+        """
+        activities = []
+        for falt in self.config.falts():
+            bench = AlternationMicrobenchmark.calibrated(
+                op_x, op_y, falt, latency_model=self.latency_model
+            )
+            activities.append(bench.activity(label=label))
+        return self.run_with_activities(activities, label=label)
+
+    def run_with_activities(self, activities, label=None):
+        """Measure a pre-built activity per alternation frequency.
+
+        Accepts arbitrary :class:`AlternationActivity` objects — used by
+        tests to plant precisely controlled modulation, and by the
+        steady-state captures of Figure 14 (constant activities carry no
+        side-bands but still produce valid traces).
+        """
+        if len(activities) < 2:
+            raise CampaignError("need at least two activities (one per falt)")
+        analyzer = self._analyzer()
+        grid = self.config.grid()
+        result = CampaignResult(
+            config=self.config,
+            machine_name=self.machine.name,
+            activity_label=label or activities[0].label or "activity",
+        )
+        for activity in activities:
+            scene = self.machine.scene(activity)
+            trace = analyzer.capture(
+                scene, grid, label=f"{result.activity_label} falt={activity.falt:.6g}Hz"
+            )
+            result.measurements.append(
+                CampaignMeasurement(falt=activity.falt, activity=activity, trace=trace)
+            )
+        return result.validate()
+
+    def capture_steady(self, levels, label="steady"):
+        """One averaged capture of a constant workload (e.g. Figure 14)."""
+        activity = AlternationActivity.constant(levels, label=label)
+        analyzer = self._analyzer()
+        return analyzer.capture(self.machine.scene(activity), self.config.grid(), label=label)

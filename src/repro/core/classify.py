@@ -1,0 +1,138 @@
+"""Source classification from cross-activity evidence (Section 4 workflow).
+
+"FASE results for different X/Y pairings usually provide a strong
+indication of which aspect of the system modulates a given carrier signal"
+— a carrier modulated by LDM/LDL1 but not by LDL2/LDL1 is memory-side; one
+modulated by on-chip alternation only is core-side. On top of that
+activity fingerprint, frequency-range and line-shape heuristics (mirroring
+the paper's data-sheet reasoning) suggest the physical mechanism:
+
+* 100-200 kHz, crystal-sharp, anti-correlated with activity → memory refresh
+* 150-600 kHz, Gaussian lines, strong even harmonics → switching regulator
+* tens of MHz and up, band-shaped → (spread-spectrum) clock
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import DetectionError
+
+#: Activity-fingerprint classes.
+MEMORY_SIDE = "memory-side"
+CORE_SIDE = "core-side"
+SHARED = "shared"
+UNKNOWN = "unknown"
+
+#: Mechanism hypotheses.
+SWITCHING_REGULATOR = "switching regulator"
+MEMORY_REFRESH = "memory refresh"
+CLOCK = "clock"
+UNIDENTIFIED = "unidentified"
+
+
+@dataclass(frozen=True)
+class ClassifiedSource:
+    """One harmonic set with its activity fingerprint and mechanism guess."""
+
+    harmonic_set: object
+    fingerprint: str
+    mechanism: str
+    modulating_labels: tuple
+
+    def describe(self):
+        labels = ", ".join(self.modulating_labels) or "none"
+        return (
+            f"{self.harmonic_set.describe()} -> {self.fingerprint}, "
+            f"likely {self.mechanism} (modulated by: {labels})"
+        )
+
+
+def _set_matches(harmonic_set, other_set, rel_tol=0.02):
+    """Whether two harmonic sets describe the same source.
+
+    True when their fundamentals are near-equal or near-integer multiples
+    (the same comb grouped at a different lowest observed member).
+    """
+    a, b = sorted((harmonic_set.fundamental, other_set.fundamental))
+    ratio = b / a
+    order = round(ratio)
+    return order >= 1 and abs(ratio - order) <= rel_tol * order
+
+
+def classify_sources(
+    sets_by_activity,
+    memory_labels=("LDM/LDL1",),
+    onchip_labels=("LDL2/LDL1",),
+):
+    """Fuse per-activity harmonic sets into classified sources.
+
+    ``sets_by_activity`` maps an activity label (e.g. ``"LDM/LDL1"``) to
+    the list of :class:`~repro.core.harmonics.HarmonicSet` detected with
+    that pair. Returns one :class:`ClassifiedSource` per distinct source.
+    """
+    if not sets_by_activity:
+        raise DetectionError("need at least one activity's detections")
+    sources = []
+    consumed = [set() for _ in sets_by_activity]
+    labels = list(sets_by_activity)
+    for i, label in enumerate(labels):
+        for j, harmonic_set in enumerate(sets_by_activity[label]):
+            if j in consumed[i]:
+                continue
+            modulating = [label]
+            for k in range(i + 1, len(labels)):
+                other_label = labels[k]
+                for m, other_set in enumerate(sets_by_activity[other_label]):
+                    if m in consumed[k]:
+                        continue
+                    if _set_matches(harmonic_set, other_set):
+                        consumed[k].add(m)
+                        modulating.append(other_label)
+                        break
+            fingerprint = _fingerprint(modulating, memory_labels, onchip_labels)
+            mechanism = _mechanism(harmonic_set)
+            sources.append(
+                ClassifiedSource(
+                    harmonic_set=harmonic_set,
+                    fingerprint=fingerprint,
+                    mechanism=mechanism,
+                    modulating_labels=tuple(modulating),
+                )
+            )
+    sources.sort(key=lambda s: s.harmonic_set.fundamental)
+    return sources
+
+
+def _fingerprint(modulating, memory_labels, onchip_labels):
+    by_memory = any(label in memory_labels for label in modulating)
+    by_onchip = any(label in onchip_labels for label in modulating)
+    if by_memory and by_onchip:
+        return SHARED
+    if by_memory:
+        return MEMORY_SIDE
+    if by_onchip:
+        return CORE_SIDE
+    return UNKNOWN
+
+
+def _mechanism(harmonic_set):
+    """Frequency/structure heuristics for the physical mechanism."""
+    fundamental = harmonic_set.fundamental
+    n_harmonics = len(harmonic_set.members)
+    if fundamental >= 30e6:
+        return CLOCK
+    if 80e3 <= fundamental < 150e3:
+        return MEMORY_REFRESH
+    if 150e3 <= fundamental <= 600e3:
+        # Refresh combs grouped at their strong comb line (e.g. 512 kHz)
+        # are distinguished from regulators by their many similar-strength
+        # harmonics: a <3 % duty pulse train's sinc envelope decays slowly
+        # and its crystal lines stay sharp, while a regulator's detectable
+        # harmonics are few (the RC linewidth grows with order, washing
+        # out the falt shift) and decay faster.
+        magnitudes = [member.magnitude_dbm for _, member in harmonic_set.members]
+        if n_harmonics >= 4 and (max(magnitudes) - min(magnitudes)) < 15.0:
+            return MEMORY_REFRESH
+        return SWITCHING_REGULATOR
+    return UNIDENTIFIED

@@ -1,0 +1,135 @@
+"""FASE campaign configuration (Figure 10).
+
+A campaign is defined by its frequency span, the spectrum resolution
+``fres``, the base alternation frequency ``falt1``, the step ``f_delta``
+between successive alternation frequencies, and how many alternation
+frequencies are measured (five throughout the paper: "we found that five
+alternation frequencies are sufficient to detect almost any carrier").
+
+The paper's three campaigns:
+
+    span        fres     falt1      f_delta
+    0-4 MHz     50 Hz    43.3 kHz   0.5 kHz
+    0-120 MHz   500 Hz   43.3 kHz   5 kHz
+    0-1200 MHz  500 Hz   1800 kHz   100 kHz
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import CampaignError
+from ..spectrum.grid import FrequencyGrid
+
+#: Harmonics of falt the paper scores: "the 1st, 2nd, 3rd, 4th and 5th
+#: positive and negative harmonics of the alternation activity".
+DEFAULT_HARMONICS = (1, -1, 2, -2, 3, -3, 4, -4, 5, -5)
+
+
+@dataclass(frozen=True)
+class FaseConfig:
+    """Parameters of one FASE measurement campaign."""
+
+    span_low: float = 0.0
+    span_high: float = 4e6
+    fres: float = 50.0
+    falt1: float = 43.3e3
+    f_delta: float = 0.5e3
+    n_alternations: int = 5
+    n_averages: int = 4
+    harmonics: tuple = DEFAULT_HARMONICS
+    name: str = ""
+
+    def __post_init__(self):
+        if self.span_high <= self.span_low:
+            raise CampaignError("span_high must exceed span_low")
+        if self.fres <= 0:
+            raise CampaignError("fres must be positive")
+        if self.falt1 <= 0:
+            raise CampaignError("falt1 must be positive")
+        if self.f_delta <= 0:
+            raise CampaignError("f_delta must be positive")
+        if self.n_alternations < 2:
+            raise CampaignError(
+                "need at least two alternation frequencies for the heuristic's "
+                "cross-normalization"
+            )
+        if self.n_averages < 1:
+            raise CampaignError("n_averages must be >= 1")
+        if not self.harmonics or 0 in self.harmonics:
+            raise CampaignError("harmonics must be non-empty and exclude 0")
+        if self.f_delta >= self.falt1:
+            raise CampaignError("f_delta should be small compared to falt1")
+        if self.f_delta < 2 * self.fres:
+            raise CampaignError(
+                "f_delta must be at least two resolution bins or the side-band "
+                "shift is unresolvable"
+            )
+
+    def falts(self):
+        """The target alternation frequencies falt1 .. falt1+(n-1)*f_delta."""
+        return [self.falt1 + i * self.f_delta for i in range(self.n_alternations)]
+
+    def grid(self):
+        """The capture grid for this campaign."""
+        return FrequencyGrid(self.span_low, self.span_high, self.fres)
+
+    def n_points(self):
+        """Data points per spectrum (the paper's 0-4 MHz campaign: 80,000)."""
+        return self.grid().n_bins
+
+    def describe(self):
+        label = self.name or "campaign"
+        return (
+            f"{label}: {self.span_low / 1e6:g}-{self.span_high / 1e6:g} MHz, "
+            f"fres={self.fres:g} Hz ({self.n_points()} points), "
+            f"falt1={self.falt1 / 1e3:g} kHz, f_delta={self.f_delta / 1e3:g} kHz, "
+            f"{self.n_alternations} alternations x {self.n_averages} averages"
+        )
+
+
+def campaign_low_band():
+    """Figure 10 row 1: 0-4 MHz at 50 Hz; falt1 = 43.3 kHz, f_delta = 0.5 kHz."""
+    return FaseConfig(
+        span_low=0.0,
+        span_high=4e6,
+        fres=50.0,
+        falt1=43.3e3,
+        f_delta=0.5e3,
+        name="low band (0-4 MHz)",
+    )
+
+
+def campaign_mid_band():
+    """Figure 10 row 2: 0-120 MHz at 500 Hz; falt1 = 43.3 kHz, f_delta = 5 kHz."""
+    return FaseConfig(
+        span_low=0.0,
+        span_high=120e6,
+        fres=500.0,
+        falt1=43.3e3,
+        f_delta=5e3,
+        name="mid band (0-120 MHz)",
+    )
+
+
+def campaign_high_band():
+    """Figure 10 row 3: 0-1200 MHz at 500 Hz; falt1 = 1800 kHz, f_delta = 100 kHz.
+
+    The large falt1 moves side-bands outside spread-spectrum clock pedestals
+    (Section 4.3's guidance for detecting swept clocks).
+    """
+    return FaseConfig(
+        span_low=0.0,
+        span_high=1200e6,
+        fres=500.0,
+        falt1=1800e3,
+        f_delta=100e3,
+        name="high band (0-1200 MHz)",
+    )
+
+
+PAPER_CAMPAIGNS = {
+    "low": campaign_low_band,
+    "mid": campaign_mid_band,
+    "high": campaign_high_band,
+}

@@ -1,0 +1,246 @@
+"""FM-FASE: finding frequency-modulated emanations (the paper's §4.4 idea).
+
+"In principle, signals that are frequency-modulated by system activity
+should be possible to identify by a FASE-like approach based on spectral
+properties of FM-modulated signals."
+
+A constant-on-time regulator moves its switching *frequency* with load, so
+AM-FASE sees no falt-tracking side-bands and (correctly) ignores it. The
+FM variant implemented here exploits the dual signature: instead of five
+alternation frequencies, capture averaged spectra at several *steady*
+activity levels; a frequency-modulated carrier is a spectral hump whose
+
+* center frequency moves monotonically with the level, by much more than
+  the measurement scatter, while
+* its band power stays roughly constant (energy relocates, it doesn't
+  grow or shrink — that would be AM).
+
+AM carriers show the opposite pattern (fixed centroid, level-dependent
+power), and unmodulated signals move neither, so the same sweep classifies
+all three behaviours.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import DetectionError
+from ..rng import ensure_rng
+from ..spectrum.analyzer import SpectrumAnalyzer
+from ..spectrum.peaks import detect_peaks
+from ..uarch.activity import AlternationActivity
+from ..units import format_frequency
+
+#: Classification labels for swept humps.
+FM_CARRIER = "FM"
+AM_CARRIER = "AM"
+STATIC_SIGNAL = "static"
+
+
+@dataclass(frozen=True)
+class SweptHump:
+    """One spectral hump tracked across the activity-level sweep."""
+
+    idle_frequency: float
+    centroids: tuple  # Hz per level
+    band_powers: tuple  # mW per level
+    levels: tuple
+
+    @property
+    def frequency_shift(self):
+        """Total centroid movement from the lowest to the highest level."""
+        return self.centroids[-1] - self.centroids[0]
+
+    @property
+    def power_ratio_db(self):
+        """Band-power change (dB) from the lowest to the highest level."""
+        lo = max(self.band_powers[0], 1e-30)
+        hi = max(self.band_powers[-1], 1e-30)
+        return 10.0 * np.log10(hi / lo)
+
+    def classify(self, min_shift_hz, max_fm_power_change_db=3.0, min_am_power_change_db=3.0):
+        """FM: centroid moves monotonically AND band power is conserved
+        (pure FM relocates energy). A moving centroid with a big power
+        change is a tracking artifact (a static line whose window was
+        invaded by a stronger neighbor) or a hybrid; only the power-
+        conserving movement is reported as FM."""
+        shift = abs(self.frequency_shift)
+        power_change = abs(self.power_ratio_db)
+        monotone = self._is_monotone(self.centroids)
+        if shift >= min_shift_hz and monotone and power_change <= max_fm_power_change_db:
+            return FM_CARRIER
+        if power_change >= min_am_power_change_db and self._is_monotone(self.band_powers):
+            return AM_CARRIER
+        return STATIC_SIGNAL
+
+    @staticmethod
+    def _is_monotone(values):
+        diffs = np.diff(values)
+        return bool(np.all(diffs >= 0) or np.all(diffs <= 0))
+
+    def describe(self):
+        return (
+            f"hump at {format_frequency(self.idle_frequency)}: "
+            f"shift {self.frequency_shift / 1e3:+.1f} kHz, "
+            f"power change {self.power_ratio_db:+.1f} dB over the sweep"
+        )
+
+
+@dataclass(frozen=True)
+class FmDetection:
+    """A carrier identified as frequency-modulated by the activity domain."""
+
+    hump: SweptHump
+    kind: str
+
+    def describe(self):
+        return f"{self.kind} carrier: {self.hump.describe()}"
+
+
+class FmFaseScanner:
+    """Scan a machine for frequency-modulated carriers.
+
+    ``levels`` are the steady activity levels applied to ``domain`` (e.g.
+    the core supply for a CPU regulator). Captures use the exact analyzer
+    mean by default (the classification compares smooth averaged spectra;
+    estimation noise only blurs centroids and can be enabled for realism).
+    """
+
+    def __init__(
+        self,
+        grid,
+        domain,
+        levels=(0.0, 0.25, 0.5, 0.75, 1.0),
+        min_shift_hz=None,
+        hump_window_hz=None,
+        max_step_hz=None,
+        n_averages=None,
+        rng=None,
+    ):
+        if len(levels) < 3:
+            raise DetectionError("need at least three levels to see monotone movement")
+        if sorted(levels) != list(levels):
+            raise DetectionError("levels must be sorted ascending")
+        self.grid = grid
+        self.domain = domain
+        self.levels = tuple(float(level) for level in levels)
+        self.min_shift_hz = (
+            float(min_shift_hz) if min_shift_hz is not None else 20.0 * grid.resolution
+        )
+        self.hump_window_hz = (
+            float(hump_window_hz) if hump_window_hz is not None else 100.0 * grid.resolution
+        )
+        #: How far the hump may move between consecutive levels; the
+        #: tracker searches this far around the previous centroid.
+        self.max_step_hz = (
+            float(max_step_hz) if max_step_hz is not None else grid.span / 15.0
+        )
+        self.analyzer = SpectrumAnalyzer(n_averages=n_averages, rng=ensure_rng(rng))
+
+    # ------------------------------------------------------------------
+
+    def capture_sweep(self, machine):
+        """One averaged trace per steady activity level."""
+        traces = []
+        for level in self.levels:
+            activity = AlternationActivity.constant(
+                {self.domain: level}, label=f"{self.domain}={level:g}"
+            )
+            traces.append(self.analyzer.capture(machine.scene(activity), self.grid))
+        return traces
+
+    def _hump_candidates(self, traces):
+        """Peak positions in the *idle* (first-level) spectrum.
+
+        An FM carrier smears to a low broad ridge in a mean-across-levels
+        spectrum (its energy keeps moving), so candidates are seeded from
+        the idle capture where every carrier is concentrated, then tracked
+        level by level.
+        """
+        power = traces[0].power_mw
+        floor = np.median(power)
+        # full hump-window prominence: a wide (many-bin) regulator hump has
+        # little contrast at quarter-window range but towers over the floor
+        # a full window away
+        window_bins = max(int(self.hump_window_hz / self.grid.resolution), 3)
+        peaks = detect_peaks(
+            10.0 * np.log10(np.maximum(power, 1e-30)),
+            window=window_bins,
+            n_sigma=4.0,
+            min_separation=int(self.hump_window_hz / self.grid.resolution),
+        )
+        return [
+            self.grid.frequency_at(p.index) for p in peaks if power[p.index] > 10.0 * floor
+        ]
+
+    def _window_centroid(self, trace, center):
+        """(centroid, band power) in a hump window around ``center``."""
+        half = self.hump_window_hz / 2.0
+        lo = max(center - half, self.grid.start)
+        hi = min(center + half, self.grid.frequency_at(self.grid.n_bins - 1))
+        lo_i, hi_i = self.grid.slice_indices(lo, hi)
+        freqs = self.grid.frequencies[lo_i:hi_i]
+        segment = trace.power_mw[lo_i:hi_i]
+        # centroid over the above-floor portion so the window's flat noise
+        # does not pin the centroid to the window center
+        floor = np.median(segment)
+        weights = np.maximum(segment - floor, 0.0)
+        total = weights.sum()
+        if total <= 0:
+            return float(center), float(segment.sum())
+        return float(np.sum(freqs * weights) / total), float(segment.sum())
+
+    def _track_hump(self, traces, frequency):
+        """Follow a hump across the level sweep.
+
+        Per level: find the strongest bin within ``max_step_hz`` of the
+        previous centroid, then refine with a windowed centroid. This
+        tracks carriers that move much farther over the full sweep than a
+        single window width (the constant-on-time regulator moves tens of
+        kHz per level step).
+        """
+        centroids = []
+        powers = []
+        previous = float(frequency)
+        for i, trace in enumerate(traces):
+            # the first level is anchored tightly to the candidate (the
+            # wide step search would let a strong neighbor steal the
+            # track); subsequent levels may step up to max_step_hz
+            reach = self.hump_window_hz / 2.0 if i == 0 else self.max_step_hz
+            lo = max(previous - reach, self.grid.start)
+            hi = min(previous + reach, self.grid.frequency_at(self.grid.n_bins - 1))
+            lo_i, hi_i = self.grid.slice_indices(lo, hi)
+            peak = lo_i + int(np.argmax(trace.power_mw[lo_i:hi_i]))
+            centroid, power = self._window_centroid(trace, self.grid.frequency_at(peak))
+            centroids.append(centroid)
+            powers.append(power)
+            previous = centroid
+        return SweptHump(
+            idle_frequency=float(centroids[0]),
+            centroids=tuple(centroids),
+            band_powers=tuple(powers),
+            levels=self.levels,
+        )
+
+    # ------------------------------------------------------------------
+
+    def scan(self, machine):
+        """All swept humps with their FM/AM/static classification."""
+        traces = self.capture_sweep(machine)
+        detections = []
+        for frequency in self._hump_candidates(traces):
+            hump = self._track_hump(traces, frequency)
+            if any(
+                abs(hump.idle_frequency - other.hump.idle_frequency) < self.hump_window_hz
+                for other in detections
+            ):
+                continue  # two candidates converged onto the same hump
+            kind = hump.classify(self.min_shift_hz)
+            detections.append(FmDetection(hump=hump, kind=kind))
+        return detections
+
+    def fm_carriers(self, machine):
+        """Only the frequency-modulated carriers."""
+        return [d for d in self.scan(machine) if d.kind == FM_CARRIER]

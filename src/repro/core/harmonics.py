@@ -1,0 +1,133 @@
+"""Grouping detected carriers into harmonic sets.
+
+Section 4: "after performing FASE it is useful to group the identified
+carriers into sets such that all the carriers within a set occur at
+frequencies which appear to be multiples of one another" — a set of
+harmonics points at one periodic physical behaviour, and the relative
+magnitudes within a set hint at its duty cycle (Section 2.1).
+
+Candidate fundamentals are the detected carriers themselves (a set is
+grouped at its lowest *observed* member): the paper groups the refresh
+signal at "512 kHz, 1024 kHz, etc." even though the underlying period is
+128 kHz, because the 128 kHz sub-harmonics are only visible near-field.
+Restricting candidates this way also prevents conflating unrelated combs
+through an accidental common divisor (315 kHz and 225 kHz sets share a
+45 kHz divisor a free GCD search would latch onto).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import DetectionError
+from ..units import format_frequency
+
+
+@dataclass(frozen=True)
+class HarmonicSet:
+    """Carriers at (approximate) integer multiples of one fundamental."""
+
+    fundamental: float
+    members: tuple  # of (order, CarrierDetection)
+
+    @property
+    def frequencies(self):
+        return [member.frequency for _, member in self.members]
+
+    @property
+    def orders(self):
+        return [order for order, _ in self.members]
+
+    @property
+    def strongest_dbm(self):
+        return max(member.magnitude_dbm for _, member in self.members)
+
+    @property
+    def total_evidence(self):
+        return sum(member.combined_score for _, member in self.members)
+
+    @property
+    def max_modulation_depth(self):
+        return max(member.modulation_depth for _, member in self.members)
+
+    def describe(self):
+        orders = ", ".join(str(order) for order in self.orders)
+        return (
+            f"fundamental {format_frequency(self.fundamental)} "
+            f"(harmonics {orders}, strongest {self.strongest_dbm:.1f} dBm)"
+        )
+
+
+def _order_of(frequency, fundamental, rel_tol):
+    """Integer order if ``frequency`` is a near-multiple, else None."""
+    ratio = frequency / fundamental
+    order = int(round(ratio))
+    if order < 1:
+        return None
+    if abs(ratio - order) <= rel_tol * order:
+        return order
+    return None
+
+
+def group_harmonics(detections, rel_tol=0.01, max_order=32):
+    """Partition detections into harmonic sets.
+
+    Greedy over candidate fundamentals drawn from the detected carriers:
+    the candidate capturing the most remaining carriers (with distinct
+    orders, ties broken toward the larger fundamental) forms a set; repeat
+    until every carrier is grouped. Each set's fundamental is refined by a
+    least-squares fit over its members. Singleton sets are legitimate
+    (e.g. a clock whose harmonics are out of band).
+    """
+    if rel_tol <= 0 or rel_tol >= 0.5:
+        raise DetectionError("rel_tol must be in (0, 0.5)")
+    if max_order < 1:
+        raise DetectionError("max_order must be >= 1")
+    remaining = sorted(detections, key=lambda d: d.frequency)
+    sets = []
+    while remaining:
+        best = None
+        for candidate in remaining:
+            fundamental = candidate.frequency
+            members = []
+            seen_orders = set()
+            conflated = False
+            for other in remaining:
+                order = _order_of(other.frequency, fundamental, rel_tol)
+                if order is None or order > max_order:
+                    continue
+                if order in seen_orders:
+                    # Two carriers at the same multiple: this fundamental
+                    # conflates separate sources; keep only the first.
+                    conflated = True
+                    continue
+                seen_orders.add(order)
+                members.append((order, other))
+            if conflated and len(members) <= 1:
+                continue
+            key = (len(members), fundamental)
+            if best is None or key > best[0]:
+                best = (key, members)
+        if best is None:
+            carrier = remaining.pop(0)
+            sets.append(HarmonicSet(carrier.frequency, ((1, carrier),)))
+            continue
+        _, members = best
+        refined = _refine_fundamental(members)
+        sets.append(HarmonicSet(refined, tuple(members)))
+        member_ids = {id(member) for _, member in members}
+        remaining = [carrier for carrier in remaining if id(carrier) not in member_ids]
+    sets.sort(key=lambda s: s.fundamental)
+    return sets
+
+
+def _refine_fundamental(members):
+    """Least-squares fundamental from (order, carrier) pairs.
+
+    Minimizes sum_i (f_i - order_i * f0)^2 → f0 = sum(order*f) / sum(order^2).
+    """
+    orders = np.array([order for order, _ in members], dtype=float)
+    frequencies = np.array([member.frequency for _, member in members], dtype=float)
+    return float(np.sum(orders * frequencies) / np.sum(orders * orders))

@@ -1,0 +1,170 @@
+"""The FASE heuristic (Equations 1 and 2).
+
+For a harmonic ``h`` of the alternation frequency, the score at candidate
+carrier frequency ``f`` is
+
+    F_h(f)    = prod_i F_{i,h}(f)                               (Eq. 1)
+    F_{i,h}(f) = SP_i(f + h*falt_i) / ( (1/(N-1)) sum_{j!=i} SP_j(f + h*falt_i) )   (Eq. 2)
+
+Sub-score ``i`` reads spectrum ``i`` at its own shifted side-band position
+``f + h*falt_i`` and normalizes by the *other* spectra **at that same
+absolute frequency** — the paper's prose is explicit: "At the exact same
+frequency in at least some of the other spectra, however, the signal will
+not be as strong because these spectra have peaks at falt_j and so their
+side-band signal is at a different frequency." A side-band that moves with
+falt therefore scores ≫ 1 in every sub-score (each spectrum is strong
+exactly where the others are not), while anything stationary — radio
+stations, unmodulated combs, noise hills — cancels to ≈ 1. (Shifting the
+denominator spectra by their *own* falt_j instead would park every
+spectrum on its own side-band peak and flatten the score to 1 everywhere,
+including at real carriers.)
+
+Spectra are combined in *linear power* — the ratio of Eq. 2 is a power
+ratio, and the figures' dBm axes are display-only.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import DetectionError
+
+#: Floor (mW) applied to shifted powers before ratios. Far below the
+#: thermal noise per bin of any realistic capture (-148 dBm ≈ 1.6e-15 mW)
+#: so it only guards truly empty synthetic traces.
+DEFAULT_POWER_FLOOR = 1e-22
+
+
+class HeuristicScorer:
+    """Computes Eq. 1/2 score arrays over a campaign's grid."""
+
+    def __init__(self, power_floor=DEFAULT_POWER_FLOOR, clip_subscore=1e9):
+        if power_floor <= 0:
+            raise DetectionError("power floor must be positive")
+        if clip_subscore <= 1:
+            raise DetectionError("subscore clip must exceed 1")
+        self.power_floor = float(power_floor)
+        self.clip_subscore = float(clip_subscore)
+
+    # ------------------------------------------------------------------
+
+    def subscores(self, traces, falts, harmonic):
+        """The N sub-scores F_{i,h}(f) as an (N, n_bins) matrix.
+
+        For each ``i`` every spectrum is evaluated at the *same* shifted
+        frequency ``f + h*falt_i``; the sub-score is spectrum i over the
+        mean of the others there. Bins whose shifted frequency falls
+        outside the measured span have no data and are forced to 1.
+        """
+        self._validate(traces, falts, harmonic)
+        grid = traces[0].grid
+        n = len(traces)
+        subs = np.empty((n, grid.n_bins), dtype=float)
+        for i, falt in enumerate(falts):
+            shift = harmonic * falt
+            shifted = np.empty((n, grid.n_bins), dtype=float)
+            for j, trace in enumerate(traces):
+                shifted[j] = trace.shifted_power(shift)
+            shifted = np.maximum(shifted, self.power_floor)
+            mean_others = (shifted.sum(axis=0) - shifted[i]) / (n - 1)
+            sub = shifted[i] / np.maximum(mean_others, self.power_floor)
+            sub = np.clip(sub, 1.0 / self.clip_subscore, self.clip_subscore)
+            lo = grid.start - shift
+            hi = grid.frequency_at(grid.n_bins - 1) - shift
+            valid = (grid.frequencies >= lo) & (grid.frequencies <= hi)
+            sub[~valid] = 1.0
+            subs[i] = sub
+        return subs
+
+    def harmonic_score(self, traces, falts, harmonic):
+        """F_h(f) over the whole grid (Eq. 1)."""
+        subs = self.subscores(traces, falts, harmonic)
+        # Multiply in log space: the product of 5 clipped ratios stays well
+        # inside float range, but log keeps the combined score additive.
+        return np.exp(np.sum(np.log(subs), axis=0))
+
+    def all_scores(self, result):
+        """{harmonic: F_h array} for every configured harmonic."""
+        result.validate()
+        return {
+            h: self.harmonic_score(result.traces, result.falts, h)
+            for h in result.config.harmonics
+        }
+
+    def combined_score(self, result, scores=None):
+        """Evidence fused across harmonics: sum of positive log10 scores.
+
+        The paper inspects each F_h separately; this simple fusion sums
+        ``max(log10 F_h, 0)`` so independent harmonics reinforce each other
+        while off-carrier scores (~1, log ~0) contribute nothing. Returned
+        in log10 units ("decades of evidence"). For automated detection
+        prefer :meth:`combined_zscore`, which normalizes each harmonic by
+        its own noise statistics first.
+        """
+        if scores is None:
+            scores = self.all_scores(result)
+        grid = result.grid
+        combined = np.zeros(grid.n_bins, dtype=float)
+        for score in scores.values():
+            combined += np.maximum(np.log10(score), 0.0)
+        return combined
+
+    @staticmethod
+    def zscore(score_array):
+        """Robust z-score of one harmonic's log-score array.
+
+        Off-carrier, log10 F_h fluctuates around 0 with a spread set by the
+        capture averaging and side-band overlap; carriers stand many robust
+        standard deviations (median absolute deviation scaled to sigma)
+        above it. Normalizing per harmonic makes detection thresholds
+        independent of the campaign's noise floor and averaging count.
+        """
+        log_score = np.log10(score_array)
+        median = float(np.median(log_score))
+        mad = float(np.median(np.abs(log_score - median)))
+        sigma = 1.4826 * mad
+        if sigma <= 0:
+            sigma = float(np.std(log_score)) or 1.0
+        return (log_score - median) / sigma
+
+    def harmonic_zscores(self, result, scores=None):
+        """{harmonic: robust z-score array} for every configured harmonic."""
+        if scores is None:
+            scores = self.all_scores(result)
+        return {h: self.zscore(score) for h, score in scores.items()}
+
+    def combined_zscore(self, result, scores=None, zscores=None):
+        """Root-sum-square fusion of the positive per-harmonic z-scores.
+
+        Z(f) = sqrt(sum_h max(z_h(f), 0)^2). Section 2.3 stresses that
+        "detection of a single harmonic of falt in a single side-band is
+        sufficient to detect a carrier" — several side-bands are routinely
+        obscured by unrelated signals — so the fusion must not average
+        strong evidence away across harmonics that (legitimately) carry
+        none: a 50 %-duty alternation has no even harmonics at all, and a
+        carrier with one clean side-band may only excite h = -1. RSS keeps
+        a single z = 9 harmonic decisive while off-carrier bins (z ~ N(0,1)
+        per harmonic) stay near sqrt(H/2) ~ 2.2.
+        """
+        if zscores is None:
+            zscores = self.harmonic_zscores(result, scores=scores)
+        grid = result.grid
+        combined = np.zeros(grid.n_bins, dtype=float)
+        for z in zscores.values():
+            combined += np.maximum(z, 0.0) ** 2
+        return np.sqrt(combined)
+
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _validate(traces, falts, harmonic):
+        if len(traces) != len(falts):
+            raise DetectionError("one falt per trace is required")
+        if len(traces) < 2:
+            raise DetectionError("the heuristic needs at least two spectra")
+        if harmonic == 0:
+            raise DetectionError("harmonic 0 is the carrier itself; score side-bands")
+        grid = traces[0].grid
+        for trace in traces:
+            if trace.grid != grid:
+                raise DetectionError("traces must share one grid")

@@ -1,0 +1,67 @@
+"""End-to-end FASE runs: campaign → heuristic → detection → classification.
+
+``run_fase`` is the one-call public API: give it a system model, an X/Y
+micro-op pair (or several), and a campaign configuration; it returns a
+:class:`~repro.core.report.FaseReport` with every activity-modulated
+carrier, grouped into harmonic sets and classified by which activities
+modulate them.
+"""
+
+from __future__ import annotations
+
+from ..rng import ensure_rng
+from ..uarch.isa import MicroOp
+from .campaign import MeasurementCampaign
+from .classify import classify_sources
+from .config import campaign_low_band
+from .detect import CarrierDetector
+from .harmonics import group_harmonics
+from .report import ActivityReport, FaseReport
+
+
+def pair_label(op_x, op_y):
+    """The paper's pair notation, e.g. ``"LDM/LDL1"``."""
+    return f"{op_x.value}/{op_y.value}"
+
+
+def run_fase(
+    machine,
+    pairs=((MicroOp.LDM, MicroOp.LDL1), (MicroOp.LDL2, MicroOp.LDL1)),
+    config=None,
+    detector=None,
+    latency_model=None,
+    rng=None,
+):
+    """Run FASE on a machine for one or more X/Y activity pairs.
+
+    Returns a :class:`FaseReport`. The default pairs are the two the paper
+    focuses on: LDM/LDL1 (memory modulation, Figure 11) and LDL2/LDL1
+    (on-chip modulation, Figure 13).
+    """
+    rng = ensure_rng(rng)
+    config = config or campaign_low_band()
+    detector = detector or CarrierDetector()
+    report = FaseReport(machine_name=machine.name, config_description=config.describe())
+    sets_by_activity = {}
+    memory_labels = []
+    onchip_labels = []
+    for op_x, op_y in pairs:
+        label = pair_label(op_x, op_y)
+        campaign = MeasurementCampaign(machine, config, latency_model=latency_model, rng=rng)
+        result = campaign.run(op_x, op_y, label=label)
+        detections = detector.detect(result)
+        harmonic_sets = group_harmonics(detections)
+        report.activities[label] = ActivityReport(
+            activity_label=label, detections=detections, harmonic_sets=harmonic_sets
+        )
+        sets_by_activity[label] = harmonic_sets
+        is_memory_pair = (op_x in (MicroOp.LDM, MicroOp.STM)) != (
+            op_y in (MicroOp.LDM, MicroOp.STM)
+        )
+        (memory_labels if is_memory_pair else onchip_labels).append(label)
+    report.sources = classify_sources(
+        sets_by_activity,
+        memory_labels=tuple(memory_labels),
+        onchip_labels=tuple(onchip_labels),
+    )
+    return report

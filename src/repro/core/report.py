@@ -1,0 +1,80 @@
+"""FASE reports: the human-readable end product.
+
+A :class:`FaseReport` bundles what Figure 11/13/17 show — the detected
+carriers with their magnitudes and harmonic grouping — plus the
+cross-activity classification of Section 4, rendered as text tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..units import format_frequency
+
+
+@dataclass
+class ActivityReport:
+    """Detections for one X/Y activity pair."""
+
+    activity_label: str
+    detections: list
+    harmonic_sets: list
+
+    def to_text(self):
+        lines = [f"activity {self.activity_label}: {len(self.detections)} carriers"]
+        for harmonic_set in self.harmonic_sets:
+            lines.append(f"  set {harmonic_set.describe()}")
+            for order, detection in harmonic_set.members:
+                lines.append(f"    [{order:>2}] {detection.describe()}")
+        return "\n".join(lines)
+
+
+@dataclass
+class FaseReport:
+    """Full FASE run over one machine: per-activity results + classification."""
+
+    machine_name: str
+    config_description: str
+    activities: dict = field(default_factory=dict)  # label -> ActivityReport
+    sources: list = field(default_factory=list)  # ClassifiedSource
+
+    def detections_for(self, label):
+        return self.activities[label].detections
+
+    def sets_for(self, label):
+        return self.activities[label].harmonic_sets
+
+    def carriers_near(self, frequency, label=None, rel_tol=0.01):
+        """Detections within a relative tolerance of a frequency."""
+        labels = [label] if label else list(self.activities)
+        matches = []
+        for lbl in labels:
+            for detection in self.activities[lbl].detections:
+                if abs(detection.frequency - frequency) <= rel_tol * frequency:
+                    matches.append(detection)
+        return matches
+
+    def to_text(self):
+        lines = [
+            f"FASE report for {self.machine_name}",
+            f"  {self.config_description}",
+            "",
+        ]
+        for report in self.activities.values():
+            lines.append(report.to_text())
+            lines.append("")
+        if self.sources:
+            lines.append("classified sources:")
+            for source in self.sources:
+                lines.append(f"  {source.describe()}")
+        return "\n".join(lines)
+
+    def summary(self):
+        """One line per source, in the style of the paper's figure legends."""
+        lines = []
+        for source in self.sources:
+            lines.append(
+                f"{format_frequency(source.harmonic_set.fundamental)}: "
+                f"{source.mechanism} ({source.fingerprint})"
+            )
+        return "\n".join(lines)

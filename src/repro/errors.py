@@ -1,0 +1,39 @@
+"""Exception hierarchy for the FASE reproduction.
+
+All library-specific errors derive from :class:`ReproError` so callers can
+catch one base class. Submodules raise the most specific subclass available.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class UnitsError(ReproError):
+    """A quantity was given in an invalid or out-of-range unit."""
+
+
+class GridError(ReproError):
+    """A frequency grid was constructed or indexed inconsistently."""
+
+
+class TraceError(ReproError):
+    """A spectrum trace operation received incompatible operands."""
+
+
+class CalibrationError(ReproError):
+    """The micro-benchmark calibration loop failed to converge."""
+
+
+class CampaignError(ReproError):
+    """A measurement campaign was configured inconsistently."""
+
+
+class DetectionError(ReproError):
+    """Carrier detection was invoked with invalid inputs."""
+
+
+class SystemModelError(ReproError):
+    """A system model (emitters/domains/layout) is inconsistent."""

@@ -1,0 +1,114 @@
+"""Persistence for campaign results: record once, analyze many times.
+
+A real FASE lab records spectra over hours and re-analyzes them offline;
+this module round-trips :class:`~repro.core.campaign.CampaignResult`
+bundles through a single ``.npz`` file (numpy's zipped archive), keeping
+the traces, the achieved falts, the activity metadata, and the campaign
+configuration.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+
+from .core.campaign import CampaignMeasurement, CampaignResult
+from .core.config import FaseConfig
+from .errors import CampaignError
+from .spectrum.grid import FrequencyGrid
+from .spectrum.trace import SpectrumTrace
+from .uarch.activity import AlternationActivity
+
+#: Format marker for forward compatibility.
+_FORMAT = "fase-campaign-v1"
+
+
+def _config_to_dict(config):
+    return {
+        "span_low": config.span_low,
+        "span_high": config.span_high,
+        "fres": config.fres,
+        "falt1": config.falt1,
+        "f_delta": config.f_delta,
+        "n_alternations": config.n_alternations,
+        "n_averages": config.n_averages,
+        "harmonics": list(config.harmonics),
+        "name": config.name,
+    }
+
+
+def _config_from_dict(data):
+    data = dict(data)
+    data["harmonics"] = tuple(data["harmonics"])
+    return FaseConfig(**data)
+
+
+def _activity_to_dict(activity):
+    return {
+        "falt": activity.falt,
+        "levels_x": activity.levels_x,
+        "levels_y": activity.levels_y,
+        "duty_cycle": activity.duty_cycle,
+        "jitter_fraction": activity.jitter_fraction,
+        "label": activity.label,
+    }
+
+
+def _activity_from_dict(data):
+    return AlternationActivity(**data)
+
+
+def save_campaign(result, path):
+    """Write a campaign result to ``path`` (a ``.npz`` archive)."""
+    if not result.measurements:
+        raise CampaignError("refusing to save an empty campaign result")
+    grid = result.grid
+    metadata = {
+        "format": _FORMAT,
+        "machine_name": result.machine_name,
+        "activity_label": result.activity_label,
+        "config": _config_to_dict(result.config),
+        "grid": {"start": grid.start, "stop": grid.stop, "resolution": grid.resolution},
+        "falts": list(result.falts),
+        "activities": [_activity_to_dict(m.activity) for m in result.measurements],
+        "trace_labels": [m.trace.label for m in result.measurements],
+    }
+    arrays = {
+        f"trace_{i}": measurement.trace.power_mw
+        for i, measurement in enumerate(result.measurements)
+    }
+    np.savez_compressed(path, metadata=json.dumps(metadata), **arrays)
+    return path
+
+
+def load_campaign(path):
+    """Read a campaign result previously written by :func:`save_campaign`."""
+    with np.load(path, allow_pickle=False) as archive:
+        try:
+            metadata = json.loads(str(archive["metadata"]))
+        except KeyError as exc:
+            raise CampaignError(f"{path!r} is not a FASE campaign archive") from exc
+        if metadata.get("format") != _FORMAT:
+            raise CampaignError(
+                f"unsupported campaign format {metadata.get('format')!r}"
+            )
+        grid = FrequencyGrid(**metadata["grid"])
+        result = CampaignResult(
+            config=_config_from_dict(metadata["config"]),
+            machine_name=metadata["machine_name"],
+            activity_label=metadata["activity_label"],
+        )
+        for i, (falt, activity_data, label) in enumerate(
+            zip(metadata["falts"], metadata["activities"], metadata["trace_labels"])
+        ):
+            power = archive[f"trace_{i}"]
+            trace = SpectrumTrace(grid, power, label=label)
+            result.measurements.append(
+                CampaignMeasurement(
+                    falt=float(falt),
+                    activity=_activity_from_dict(activity_data),
+                    trace=trace,
+                )
+            )
+    return result.validate()

@@ -1,0 +1,30 @@
+"""Mitigations the paper proposes, implemented and evaluated.
+
+Section 1/4.2 sketches "surgical" mitigations once FASE has found a leak:
+
+* **Refresh randomization** — "randomizing the issue of memory refresh
+  commands would be compatible with existing DRAM standards and would
+  greatly reduce the modulation of refresh activity";
+* **Modulation weakening** — "careful scheduling of memory accesses to
+  avoid their interaction with refresh activity";
+* **Regulator frequency dithering** — the spread-spectrum treatment already
+  applied to clocks for EMC, applied to a switching regulator's carrier.
+
+Each mitigation is a drop-in emitter (or emitter wrapper) plus an
+evaluation harness that quantifies, before vs after: the carrier's peak
+spectral line, its modulation depth, and whether FASE still detects it.
+"""
+
+from .refresh_randomization import RandomizedRefreshEmitter
+from .regulator_dithering import DitheredRegulator
+from .scheduling import AccessPacedRefreshEmitter
+from .evaluate import MitigationOutcome, evaluate_mitigation, replace_emitter
+
+__all__ = [
+    "RandomizedRefreshEmitter",
+    "DitheredRegulator",
+    "AccessPacedRefreshEmitter",
+    "MitigationOutcome",
+    "evaluate_mitigation",
+    "replace_emitter",
+]

@@ -1,0 +1,42 @@
+"""Switching-frequency dithering for voltage regulators.
+
+Section 4.3 notes that EMI compliance already pushes clock designers to
+spread-spectrum techniques; the same dithering applied to a switching
+regulator spreads its carrier energy over a band, lowering the peak
+spectral line by the spreading ratio. The paper is careful to warn this is
+only an *averaged-sense* mitigation — "attackers can still track the
+carrier and use the full power of the signal after demodulation" — and the
+evaluation harness reports both the per-bin attenuation and the unchanged
+total power so that caveat is visible in the numbers.
+"""
+
+from __future__ import annotations
+
+from ..errors import SystemModelError
+from ..signals.lineshape import SpreadSpectrumLine
+from ..system.regulator import SwitchingRegulator
+
+
+class DitheredRegulator(SwitchingRegulator):
+    """A switching regulator whose frequency is swept over ``dither_width``.
+
+    The Gaussian RC line of each harmonic is replaced by a spread pedestal
+    ``order * dither_width`` wide (the sweep scales with the harmonic,
+    exactly like a spread-spectrum clock). Total emitted power and the
+    PWM-to-AM modulation mechanism are unchanged — only the energy's
+    concentration drops.
+    """
+
+    def __init__(self, *args, dither_width=20e3, **kwargs):
+        if dither_width <= 0:
+            raise SystemModelError("dither width must be positive")
+        self.dither_width = float(dither_width)
+        super().__init__(*args, **kwargs)
+
+    def lineshape(self, order):
+        """Spread pedestal in place of the RC Gaussian at every harmonic."""
+        return SpreadSpectrumLine(
+            self.dither_width * order,
+            edge_sigma=max(self.oscillator.sigma * order, self.dither_width / 100.0),
+            profile="triangular",
+        )

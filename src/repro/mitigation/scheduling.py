@@ -1,0 +1,38 @@
+"""Modulation weakening by access scheduling (Section 1's second knob).
+
+"Modulation-weakening efforts might involve careful scheduling of memory
+accesses to avoid their interaction with refresh activity."
+
+Mechanism: the refresh engine's periodicity erodes because demand accesses
+*delay* refresh commands. A memory controller that paces accesses around
+refresh slots (reserving the refresh window, smoothing bursts) decouples
+the refresh timing from the demand pattern: the coherence the refresh
+carrier loses under load — and, critically, the *difference* in coherence
+between the X and Y halves of an alternation — shrinks by the pacing
+factor. The carrier stays (energy still emitted, unlike randomization) but
+its activity modulation fades.
+"""
+
+from __future__ import annotations
+
+from ..errors import SystemModelError
+from ..system.refresh import MemoryRefreshEmitter
+
+
+class AccessPacedRefreshEmitter(MemoryRefreshEmitter):
+    """Refresh whose interaction with demand accesses is reduced by pacing.
+
+    ``pacing`` in [0, 1]: 0 is the stock controller (accesses freely delay
+    refreshes); 1 fully isolates refresh slots from demand traffic. The
+    effective utilization seen by the refresh scheduler is scaled by
+    ``(1 - pacing)``.
+    """
+
+    def __init__(self, *args, pacing=0.9, **kwargs):
+        if not 0.0 <= pacing <= 1.0:
+            raise SystemModelError("pacing must be in [0, 1]")
+        self.pacing = float(pacing)
+        super().__init__(*args, **kwargs)
+
+    def coherence(self, utilization):
+        return super().coherence(utilization * (1.0 - self.pacing))

@@ -1,0 +1,69 @@
+"""Signal-theory primitives: pulse trains, line shapes, modulation, noise.
+
+This subpackage implements the spectral mathematics of Section 2.1 of the
+paper: Fourier series of rectangular pulse trains (carrier harmonics as a
+function of duty cycle), non-ideal oscillator line shapes, AM side-band
+structure for square-wave modulating activity, and the noise processes that
+make real spectra hard to read by eye.
+"""
+
+from .pulse import (
+    pulse_harmonic_amplitude,
+    pulse_harmonic_amplitudes,
+    pulse_harmonic_power,
+    duty_cycle_sensitivity,
+)
+from .lineshape import (
+    LineShape,
+    DeltaLine,
+    GaussianLine,
+    LorentzianLine,
+    SpreadSpectrumLine,
+)
+from .oscillator import Oscillator, CrystalOscillator, RCOscillator, SpreadSpectrumClock
+from .modulation import (
+    SpectralLine,
+    alternation_coefficients,
+    am_sideband_lines,
+    fm_dwell_lines,
+    modulation_depth_from_levels,
+)
+from .noise import NoiseModel, ThermalNoise, PinkNoise, BroadbandHills, CompositeNoise
+from .waveform import (
+    synthesize_carrier_iq,
+    synthesize_alternation_envelope,
+    synthesize_am_iq,
+    synthesize_fm_iq,
+    synthesize_spread_spectrum_iq,
+)
+
+__all__ = [
+    "pulse_harmonic_amplitude",
+    "pulse_harmonic_amplitudes",
+    "pulse_harmonic_power",
+    "duty_cycle_sensitivity",
+    "LineShape",
+    "DeltaLine",
+    "GaussianLine",
+    "LorentzianLine",
+    "SpreadSpectrumLine",
+    "Oscillator",
+    "CrystalOscillator",
+    "RCOscillator",
+    "SpreadSpectrumClock",
+    "SpectralLine",
+    "alternation_coefficients",
+    "am_sideband_lines",
+    "fm_dwell_lines",
+    "modulation_depth_from_levels",
+    "NoiseModel",
+    "ThermalNoise",
+    "PinkNoise",
+    "BroadbandHills",
+    "CompositeNoise",
+    "synthesize_carrier_iq",
+    "synthesize_alternation_envelope",
+    "synthesize_am_iq",
+    "synthesize_fm_iq",
+    "synthesize_spread_spectrum_iq",
+]

@@ -1,0 +1,126 @@
+"""Noise processes that clutter realistic spectra (Figure 5).
+
+The paper stresses that visual carrier hunting fails because real spectra
+contain a thermal floor, 1/f-ish low-frequency rise, and "gently rolling
+hills and valleys" from randomly timed switching activity. These models
+produce the *mean* noise power spectral density; the spectrum analyzer adds
+the per-capture estimation fluctuations.
+
+All densities are in milliwatts per Hz so a trace integrates to milliwatts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import UnitsError
+from ..rng import ensure_rng
+from ..units import dbm_to_milliwatts
+
+
+class NoiseModel:
+    """Base class: mean noise power density over a frequency grid."""
+
+    def mean_density(self, frequencies):
+        """Mean PSD (mW/Hz) at each frequency of the grid."""
+        raise NotImplementedError
+
+
+class ThermalNoise(NoiseModel):
+    """Flat receiver noise floor.
+
+    ``floor_dbm_per_hz`` defaults to a realistic receiver-referred density:
+    thermal noise at room temperature is -174 dBm/Hz and a measurement chain
+    adds a noise figure, so -165 dBm/Hz is typical for the paper's setup.
+    """
+
+    def __init__(self, floor_dbm_per_hz=-165.0):
+        self.floor_dbm_per_hz = float(floor_dbm_per_hz)
+
+    def mean_density(self, frequencies):
+        density = dbm_to_milliwatts(self.floor_dbm_per_hz)
+        return np.full(len(frequencies), density, dtype=float)
+
+
+class PinkNoise(NoiseModel):
+    """1/f^alpha rise toward low frequencies.
+
+    ``knee`` is the frequency at which the pink component equals
+    ``level_dbm_per_hz``; below it the density keeps rising as 1/f^alpha
+    (clamped at 10 Hz to stay finite near DC).
+    """
+
+    def __init__(self, level_dbm_per_hz=-150.0, knee=100e3, alpha=1.0):
+        if knee <= 0:
+            raise UnitsError("knee frequency must be positive")
+        if alpha <= 0:
+            raise UnitsError("alpha must be positive")
+        self.level_dbm_per_hz = float(level_dbm_per_hz)
+        self.knee = float(knee)
+        self.alpha = float(alpha)
+
+    def mean_density(self, frequencies):
+        level = dbm_to_milliwatts(self.level_dbm_per_hz)
+        f = np.maximum(np.asarray(frequencies, dtype=float), 10.0)
+        return level * (self.knee / f) ** self.alpha
+
+
+class BroadbandHills(NoiseModel):
+    """Randomly placed broad humps: the "rolling hills" of Figure 5.
+
+    Draws ``n_hills`` Gaussian humps with log-uniform widths and random
+    amplitudes across the band. The realization is fixed at construction
+    (a given lab environment has a fixed hill landscape) so repeated
+    captures see the same mean density — exactly the property that lets the
+    FASE heuristic normalize hills away.
+    """
+
+    def __init__(
+        self,
+        span,
+        n_hills=12,
+        peak_dbm_per_hz=-152.0,
+        min_width_fraction=0.01,
+        max_width_fraction=0.12,
+        rng=None,
+    ):
+        if span <= 0:
+            raise UnitsError("span must be positive")
+        if n_hills < 0:
+            raise UnitsError("n_hills must be non-negative")
+        if not 0 < min_width_fraction <= max_width_fraction:
+            raise UnitsError("width fractions must satisfy 0 < min <= max")
+        rng = ensure_rng(rng)
+        self.span = float(span)
+        peak = dbm_to_milliwatts(peak_dbm_per_hz)
+        self.centers = rng.uniform(0.0, self.span, size=n_hills)
+        widths = np.exp(
+            rng.uniform(
+                np.log(min_width_fraction * self.span),
+                np.log(max_width_fraction * self.span),
+                size=n_hills,
+            )
+        )
+        self.widths = widths
+        self.amplitudes = peak * rng.uniform(0.05, 1.0, size=n_hills)
+
+    def mean_density(self, frequencies):
+        f = np.asarray(frequencies, dtype=float)
+        density = np.zeros_like(f)
+        for center, width, amplitude in zip(self.centers, self.widths, self.amplitudes):
+            z = (f - center) / width
+            density += amplitude * np.exp(-0.5 * z * z)
+        return density
+
+
+class CompositeNoise(NoiseModel):
+    """Sum of component noise models."""
+
+    def __init__(self, components):
+        self.components = list(components)
+
+    def mean_density(self, frequencies):
+        density = np.zeros(len(frequencies), dtype=float)
+        for component in self.components:
+            density += component.mean_density(frequencies)
+        return density

@@ -1,0 +1,109 @@
+"""Oscillator models: what generates a periodic carrier and how stable it is.
+
+An :class:`Oscillator` couples a nominal frequency with a line shape and with
+per-harmonic behaviour. Harmonic ``m`` of an oscillator inherits ``m`` times
+the fractional instability of the fundamental, so RC-oscillator harmonics get
+progressively wider — visible in the paper's Figure 11 where higher regulator
+harmonics are broader.
+"""
+
+from __future__ import annotations
+
+from ..errors import UnitsError
+from .lineshape import DeltaLine, GaussianLine, SpreadSpectrumLine
+
+
+class Oscillator:
+    """Base oscillator: nominal frequency plus a line shape per harmonic."""
+
+    def __init__(self, frequency):
+        if frequency <= 0:
+            raise UnitsError("oscillator frequency must be positive")
+        self.frequency = float(frequency)
+
+    def harmonic_frequency(self, order):
+        """Center frequency of harmonic ``order`` (1 = fundamental)."""
+        if order < 1:
+            raise UnitsError("harmonic order must be >= 1")
+        return self.frequency * order
+
+    def lineshape(self, order):
+        """Line shape of harmonic ``order``."""
+        raise NotImplementedError
+
+
+class CrystalOscillator(Oscillator):
+    """Crystal-derived timing: effectively ideal lines at every harmonic.
+
+    Used for memory-refresh timing and memory-controller clocks, which the
+    paper identifies as "crystal-derived" from their stability.
+    """
+
+    def lineshape(self, order):
+        if order < 1:
+            raise UnitsError("harmonic order must be >= 1")
+        return DeltaLine()
+
+
+class RCOscillator(Oscillator):
+    """RC relaxation oscillator with Gaussian phase-noise line shape.
+
+    ``fractional_sigma`` is the RMS fractional frequency deviation; the
+    fundamental's linewidth is ``fractional_sigma * frequency`` and harmonic
+    ``m`` is ``m`` times wider. Switching voltage regulators "often use RC
+    oscillators" (Section 4.1) which is why their carriers look Gaussian.
+    """
+
+    def __init__(self, frequency, fractional_sigma=2e-3):
+        super().__init__(frequency)
+        if fractional_sigma <= 0:
+            raise UnitsError("fractional sigma must be positive")
+        self.fractional_sigma = float(fractional_sigma)
+
+    @property
+    def sigma(self):
+        """Absolute linewidth (Hz, one-sigma) of the fundamental."""
+        return self.fractional_sigma * self.frequency
+
+    def lineshape(self, order):
+        if order < 1:
+            raise UnitsError("harmonic order must be >= 1")
+        return GaussianLine(self.sigma * order)
+
+
+class SpreadSpectrumClock(Oscillator):
+    """A clock swept across a band for EMI compliance (Section 4.3).
+
+    ``frequency`` is the top of the sweep (e.g. 333 MHz) and ``sweep_width``
+    how far it is swept down (e.g. 1 MHz → 332..333 MHz), matching the
+    paper's example. ``sweep_period`` (e.g. 100 microseconds) is carried for
+    the time-domain synthesis path. The long-term line shape is the dwell
+    density across the band, centered halfway down the sweep.
+    """
+
+    def __init__(self, frequency, sweep_width, sweep_period=100e-6, profile="sinusoidal"):
+        super().__init__(frequency)
+        if sweep_width <= 0 or sweep_width >= frequency:
+            raise UnitsError("sweep width must be positive and below the clock frequency")
+        if sweep_period <= 0:
+            raise UnitsError("sweep period must be positive")
+        self.sweep_width = float(sweep_width)
+        self.sweep_period = float(sweep_period)
+        self.profile = profile
+
+    def harmonic_frequency(self, order):
+        """Harmonics are centered on the middle of the swept band."""
+        if order < 1:
+            raise UnitsError("harmonic order must be >= 1")
+        return (self.frequency - self.sweep_width / 2.0) * order
+
+    def band_edges(self, order=1):
+        """(low, high) frequency of the swept band at a harmonic."""
+        low = (self.frequency - self.sweep_width) * order
+        high = self.frequency * order
+        return low, high
+
+    def lineshape(self, order):
+        if order < 1:
+            raise UnitsError("harmonic order must be >= 1")
+        return SpreadSpectrumLine(self.sweep_width * order, profile=self.profile)

@@ -1,0 +1,213 @@
+"""Time-domain synthesis of modulated carriers (complex baseband IQ).
+
+The frequency-domain renderer in :mod:`repro.system.emitter` is what the big
+campaigns use, but a physical methodology deserves a physical cross-check:
+these functions generate sampled waveforms of the same processes, which
+:mod:`repro.spectrum.welch` turns back into spectra. Tests assert the two
+paths agree on side-band positions and relative powers.
+
+All synthesizers work at complex baseband: frequencies are offsets from the
+capture center frequency, and the sample rate must exceed twice the largest
+offset of interest.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import UnitsError
+from ..rng import ensure_rng
+
+
+def _validate_duration(duration, sample_rate):
+    if duration <= 0:
+        raise UnitsError("duration must be positive")
+    if sample_rate <= 0:
+        raise UnitsError("sample rate must be positive")
+    n_samples = int(round(duration * sample_rate))
+    if n_samples < 2:
+        raise UnitsError("duration too short for the sample rate")
+    return n_samples
+
+
+def synthesize_alternation_envelope(
+    duration,
+    sample_rate,
+    falt,
+    level_x,
+    level_y,
+    duty_cycle=0.5,
+    jitter_fraction=0.0,
+    rng=None,
+):
+    """Envelope a(t) of the X/Y alternation micro-benchmark.
+
+    Simulates successive alternation periods whose durations are perturbed
+    by Gaussian jitter (fraction of the nominal period), switching the
+    envelope between ``level_x`` (for ``duty_cycle`` of each period) and
+    ``level_y``. This is the "nearly square wave" of Section 2.2.
+    """
+    if falt <= 0:
+        raise UnitsError("alternation frequency must be positive")
+    if not 0.0 < duty_cycle < 1.0:
+        raise UnitsError("duty cycle must be in (0, 1) for an alternation")
+    n_samples = _validate_duration(duration, sample_rate)
+    rng = ensure_rng(rng)
+    nominal_period = 1.0 / falt
+    envelope = np.empty(n_samples, dtype=float)
+    # Edges are placed by rounding *absolute* switching times, never by
+    # rounding each period to whole samples: a period of ~15 samples
+    # rounded per-cycle would quantize falt to fs/k steps and collapse the
+    # campaign's closely spaced alternation frequencies onto one value.
+    t = 0.0
+    filled = 0
+    while filled < n_samples:
+        period = nominal_period
+        if jitter_fraction > 0:
+            period *= max(1.0 + jitter_fraction * rng.standard_normal(), 0.1)
+        x_edge = min(int(round((t + duty_cycle * period) * sample_rate)), n_samples)
+        period_edge = min(int(round((t + period) * sample_rate)), n_samples)
+        if x_edge > filled:
+            envelope[filled:x_edge] = level_x
+            filled = x_edge
+        if period_edge > filled:
+            envelope[filled:period_edge] = level_y
+            filled = period_edge
+        t += period
+    return envelope
+
+
+def synthesize_carrier_iq(
+    duration,
+    sample_rate,
+    frequency_offset,
+    line_sigma=0.0,
+    wander_time=1e-3,
+    rng=None,
+):
+    """Complex tone with slow Gaussian frequency wander.
+
+    ``line_sigma`` is the one-sigma linewidth (Hz). The instantaneous
+    frequency follows an Ornstein-Uhlenbeck process with correlation time
+    ``wander_time``; when the wander is slow compared to the linewidth the
+    quasi-static approximation holds and the long-term line shape is the
+    Gaussian marginal of the process — matching :class:`GaussianLine`.
+    """
+    n_samples = _validate_duration(duration, sample_rate)
+    rng = ensure_rng(rng)
+    dt = 1.0 / sample_rate
+    if line_sigma > 0:
+        theta = dt / wander_time
+        if theta >= 1.0:
+            raise UnitsError("wander_time too short for this sample rate")
+        # AR(1) form of the OU recursion, vectorized through lfilter:
+        # x[i] = (1 - theta) x[i-1] + sigma sqrt(2 theta) w[i]
+        from scipy.signal import lfilter
+
+        noise = rng.standard_normal(n_samples)
+        scale = line_sigma * np.sqrt(2.0 * theta)
+        initial = line_sigma * rng.standard_normal()
+        deviations = lfilter(
+            [scale], [1.0, -(1.0 - theta)], noise, zi=[(1.0 - theta) * initial]
+        )[0]
+        instantaneous = frequency_offset + deviations
+    else:
+        instantaneous = np.full(n_samples, frequency_offset, dtype=float)
+    phase = 2.0 * np.pi * np.cumsum(instantaneous) * dt
+    return np.exp(1j * phase)
+
+
+def synthesize_am_iq(
+    duration,
+    sample_rate,
+    frequency_offset,
+    falt,
+    amplitude_x,
+    amplitude_y,
+    duty_cycle=0.5,
+    jitter_fraction=0.0,
+    line_sigma=0.0,
+    rng=None,
+):
+    """Carrier whose envelope alternates between two amplitudes at falt."""
+    rng = ensure_rng(rng)
+    carrier = synthesize_carrier_iq(
+        duration, sample_rate, frequency_offset, line_sigma=line_sigma, rng=rng
+    )
+    envelope = synthesize_alternation_envelope(
+        duration,
+        sample_rate,
+        falt,
+        amplitude_x,
+        amplitude_y,
+        duty_cycle=duty_cycle,
+        jitter_fraction=jitter_fraction,
+        rng=rng,
+    )
+    return carrier * envelope
+
+
+def synthesize_fm_iq(
+    duration,
+    sample_rate,
+    frequency_x,
+    frequency_y,
+    falt,
+    duty_cycle=0.5,
+    jitter_fraction=0.02,
+    rng=None,
+):
+    """Constant-on-time-regulator style FM: frequency alternates with load.
+
+    The instantaneous frequency switches between ``frequency_x`` and
+    ``frequency_y`` (offsets from capture center) following the alternation
+    envelope; phase is continuous. Per-period jitter decoheres the comb, as
+    in the AMD regulator the paper confirms FASE correctly ignores.
+    """
+    n_samples = _validate_duration(duration, sample_rate)
+    rng = ensure_rng(rng)
+    selector = synthesize_alternation_envelope(
+        duration,
+        sample_rate,
+        falt,
+        1.0,
+        0.0,
+        duty_cycle=duty_cycle,
+        jitter_fraction=jitter_fraction,
+        rng=rng,
+    )
+    instantaneous = frequency_y + (frequency_x - frequency_y) * selector
+    dt = 1.0 / sample_rate
+    phase = 2.0 * np.pi * np.cumsum(instantaneous) * dt
+    return np.exp(1j * phase[:n_samples])
+
+
+def synthesize_spread_spectrum_iq(
+    duration,
+    sample_rate,
+    top_frequency_offset,
+    sweep_width,
+    sweep_period=100e-6,
+    profile="sinusoidal",
+    rng=None,
+):
+    """Swept clock at baseband: frequency swept down ``sweep_width`` Hz.
+
+    Mirrors :class:`SpreadSpectrumClock`: a sinusoidal profile dwells at the
+    band edges (arcsine density), a triangular profile dwells uniformly.
+    """
+    if sweep_width <= 0 or sweep_period <= 0:
+        raise UnitsError("sweep width and period must be positive")
+    if profile not in ("sinusoidal", "triangular"):
+        raise UnitsError(f"unknown sweep profile {profile!r}")
+    n_samples = _validate_duration(duration, sample_rate)
+    t = np.arange(n_samples) / sample_rate
+    phase_in_sweep = (t / sweep_period) % 1.0
+    if profile == "sinusoidal":
+        position = 0.5 - 0.5 * np.cos(2.0 * np.pi * phase_in_sweep)
+    else:
+        position = 2.0 * np.abs(phase_in_sweep - 0.5)
+    instantaneous = top_frequency_offset - sweep_width * position
+    dt = 1.0 / sample_rate
+    phase = 2.0 * np.pi * np.cumsum(instantaneous) * dt
+    return np.exp(1j * phase)

@@ -1,0 +1,31 @@
+"""Spectrum capture and processing: grids, traces, analyzer, peak detection.
+
+Models the measurement side of the paper's setup (an Agilent MXA N9020A
+spectrum analyzer recording averaged power spectra at a configured
+resolution bandwidth) and the generic peak-detection algorithms the paper
+cites ([29] Palshikar) for post-processing the heuristic's output.
+"""
+
+from .grid import FrequencyGrid
+from .trace import SpectrumTrace, average_traces
+from .analyzer import SpectrumAnalyzer
+from .welch import welch_psd, trace_from_iq
+from .peaks import (
+    palshikar_s1,
+    palshikar_s2,
+    detect_peaks,
+    Peak,
+)
+
+__all__ = [
+    "FrequencyGrid",
+    "SpectrumTrace",
+    "average_traces",
+    "SpectrumAnalyzer",
+    "welch_psd",
+    "trace_from_iq",
+    "palshikar_s1",
+    "palshikar_s2",
+    "detect_peaks",
+    "Peak",
+]

@@ -1,0 +1,103 @@
+"""Spectrum analyzer model: averaged power spectra with estimation noise.
+
+The instrument in the paper (Agilent MXA N9020A) sweeps the span at a
+resolution bandwidth equal to the campaign's ``fres`` and records an
+averaged power trace. The statistically important behaviour for FASE is:
+
+* each bin reports the *mean* power of everything falling inside its
+  resolution bandwidth, plus receiver noise;
+* a single capture of a noise-like bin fluctuates with an exponential
+  (chi-squared, 2 d.o.f.) distribution; averaging K captures tightens the
+  relative spread to 1/sqrt(K) (the paper averages 4).
+
+We model the averaged trace directly: each bin's power is the scene's mean
+power multiplied by a Gamma(K, 1/K) fluctuation. Deterministic capture
+(``n_averages=None``) returns the exact mean, which benchmarks use to get
+noise-free reference shapes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import TraceError
+from ..rng import ensure_rng
+from .grid import FrequencyGrid
+from .trace import SpectrumTrace
+
+
+class SpectrumAnalyzer:
+    """Capture averaged power spectra of a scene over a grid.
+
+    A *scene* is any object with ``mean_bin_power(grid) -> array`` giving
+    the mean per-bin power in milliwatts (the system model plus environment
+    provides this; see :mod:`repro.system.machine`).
+
+    ``rbw`` models the instrument's resolution bandwidth: when it exceeds
+    the grid's bin spacing, each bin collects power from its neighbors
+    through a Gaussian filter of that 3-dB width — narrow lines smear, the
+    noise floor per bin rises, exactly as widening the RBW knob on a real
+    analyzer does. ``None`` (the default) means RBW = bin spacing.
+    """
+
+    def __init__(self, n_averages=4, rbw=None, rng=None):
+        if n_averages is not None and n_averages < 1:
+            raise TraceError("n_averages must be >= 1 (or None for exact mean)")
+        if rbw is not None and rbw <= 0:
+            raise TraceError("rbw must be positive")
+        self.n_averages = n_averages
+        self.rbw = rbw
+        self.rng = ensure_rng(rng)
+
+    def _apply_rbw(self, mean_power, grid):
+        if self.rbw is None or self.rbw <= grid.resolution:
+            return mean_power
+        # Gaussian filter with the requested 3-dB bandwidth; kernel sums to
+        # rbw/fres so a flat noise floor scales up by the bandwidth ratio
+        # (per-bin noise power grows with RBW) while line total power is
+        # conserved up to the same factor, as on the instrument.
+        sigma_bins = (self.rbw / 2.355) / grid.resolution
+        halfwidth = max(int(np.ceil(4 * sigma_bins)), 1)
+        offsets = np.arange(-halfwidth, halfwidth + 1)
+        kernel = np.exp(-0.5 * (offsets / sigma_bins) ** 2)
+        kernel *= (self.rbw / grid.resolution) / kernel.sum()
+        return np.convolve(mean_power, kernel, mode="same")
+
+    def capture(self, scene, grid, label=""):
+        """One averaged capture of the scene over the grid."""
+        if not isinstance(grid, FrequencyGrid):
+            raise TraceError("grid must be a FrequencyGrid")
+        mean_power = np.asarray(scene.mean_bin_power(grid), dtype=float)
+        if mean_power.shape != (grid.n_bins,):
+            raise TraceError("scene returned a power array of the wrong shape")
+        mean_power = self._apply_rbw(mean_power, grid)
+        if self.n_averages is None:
+            return SpectrumTrace(grid, mean_power, label=label)
+        k = float(self.n_averages)
+        fluctuation = self.rng.gamma(shape=k, scale=1.0 / k, size=grid.n_bins)
+        return SpectrumTrace(grid, mean_power * fluctuation, label=label)
+
+    def capture_many(self, scene, grid, count, label=""):
+        """Several independent averaged captures (e.g. for variance studies)."""
+        if count < 1:
+            raise TraceError("count must be >= 1")
+        return [self.capture(scene, grid, label=label) for _ in range(count)]
+
+
+class StaticScene:
+    """Adapter: wrap a fixed per-bin power array (or callable) as a scene.
+
+    Useful in tests and in the time-domain cross-check where a Welch PSD is
+    replayed through the analyzer interface.
+    """
+
+    def __init__(self, power_or_fn):
+        self._source = power_or_fn
+
+    def mean_bin_power(self, grid):
+        if callable(self._source):
+            return np.asarray(self._source(grid), dtype=float)
+        power = np.asarray(self._source, dtype=float)
+        if power.shape != (grid.n_bins,):
+            raise TraceError("static scene power does not match grid")
+        return power

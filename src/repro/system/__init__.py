@@ -1,0 +1,75 @@
+"""System models: emitters, environment, receiver chain, and presets.
+
+This subpackage is the paper's "device under test" half: physical models of
+every emanation mechanism the paper identifies (switching regulators,
+memory refresh, spread-spectrum clocks), plus the unshielded-metropolitan
+RF environment FASE must reject, packaged into per-machine presets.
+"""
+
+from .domains import (
+    CORE,
+    L2_CACHE,
+    MEMORY_INTERFACE,
+    DRAM_POWER,
+    DRAM_BUS,
+    MEMORY_UTILIZATION,
+    ALL_DOMAINS,
+)
+from .emitter import Emitter, UnmodulatedEmitter
+from .regulator import SwitchingRegulator, ConstantOnTimeRegulator
+from .refresh import MemoryRefreshEmitter, DDR3_REFRESH_FREQUENCY
+from .clocks import DRAMClockEmitter, CPUClockEmitter
+from .environment import (
+    EnvironmentSource,
+    ToneInterferer,
+    AMRadioStation,
+    SpuriousToneField,
+    RFEnvironment,
+)
+from .antenna import LoopAntenna, ReceiverChain, REFERENCE_DISTANCE_CM
+from .machine import SystemModel, MachineScene
+from .presets import (
+    corei7_desktop,
+    corei3_laptop,
+    turionx2_laptop,
+    pentium3m_laptop,
+    build_environment,
+    ALL_PRESETS,
+)
+from .variants import percore_regulator_machine, fivr_machine
+
+__all__ = [
+    "CORE",
+    "L2_CACHE",
+    "MEMORY_INTERFACE",
+    "DRAM_POWER",
+    "DRAM_BUS",
+    "MEMORY_UTILIZATION",
+    "ALL_DOMAINS",
+    "Emitter",
+    "UnmodulatedEmitter",
+    "SwitchingRegulator",
+    "ConstantOnTimeRegulator",
+    "MemoryRefreshEmitter",
+    "DDR3_REFRESH_FREQUENCY",
+    "DRAMClockEmitter",
+    "CPUClockEmitter",
+    "EnvironmentSource",
+    "ToneInterferer",
+    "AMRadioStation",
+    "SpuriousToneField",
+    "RFEnvironment",
+    "LoopAntenna",
+    "ReceiverChain",
+    "REFERENCE_DISTANCE_CM",
+    "SystemModel",
+    "MachineScene",
+    "corei7_desktop",
+    "corei3_laptop",
+    "turionx2_laptop",
+    "pentium3m_laptop",
+    "build_environment",
+    "ALL_PRESETS",
+    "percore_regulator_machine",
+    "fivr_machine",
+]

@@ -1,0 +1,96 @@
+"""Clock emitters: spread-spectrum DRAM and CPU clocks (Section 4.3).
+
+High-frequency clocks are strong enough to violate EMC limits, so they are
+spread-spectrum modulated: "a 333 MHz memory clock might be swept back and
+forth between 332 MHz and 333 MHz over a period of 100 us". The emitted
+power at the DRAM clock frequency tracks how much switching activity the
+clock is driving: strong with heavy DRAM traffic, weaker but present when
+idle (the clock still toggles the bus interface), Figure 14.
+
+CPU clocks on the tested systems also appear as weak spread-spectrum
+signals but show *no* variation with processor activity — an
+:class:`UnmodulatedEmitter` behind a swept oscillator.
+"""
+
+from __future__ import annotations
+
+from ..errors import SystemModelError
+from ..signals.oscillator import SpreadSpectrumClock
+from .domains import DRAM_BUS
+from .emitter import Emitter, UnmodulatedEmitter
+
+
+class DRAMClockEmitter(Emitter):
+    """Swept DRAM clock whose amplitude tracks DRAM switching activity.
+
+    ``idle_fraction`` is the envelope amplitude at zero activity relative
+    to full activity: the paper's Figure 14 shows the idle (LDL1/LDL1)
+    pedestal roughly 8-10 dB below the saturated (LDM/LDM) one, matching
+    the default of 0.35 (power ratio ≈ -9 dB).
+    """
+
+    def __init__(
+        self,
+        name="DRAM clock",
+        clock_frequency=333e6,
+        sweep_width=1e6,
+        sweep_period=100e-6,
+        fundamental_dbm=-95.0,
+        idle_fraction=0.3,
+        max_harmonics=3,
+        harmonic_decay_db=10.0,
+        **kwargs,
+    ):
+        if not 0.0 <= idle_fraction < 1.0:
+            raise SystemModelError("idle fraction must be in [0, 1)")
+        if harmonic_decay_db < 0:
+            raise SystemModelError("harmonic decay must be non-negative")
+        self.idle_fraction = float(idle_fraction)
+        self.harmonic_decay_db = float(harmonic_decay_db)
+        oscillator = SpreadSpectrumClock(
+            clock_frequency, sweep_width, sweep_period=sweep_period
+        )
+        super().__init__(
+            name,
+            oscillator,
+            domain=DRAM_BUS,
+            fundamental_dbm=fundamental_dbm,
+            max_harmonics=max_harmonics,
+            **kwargs,
+        )
+
+    def reference_level(self):
+        # fundamental_dbm is specified at full DRAM activity.
+        return 1.0
+
+    def envelope(self, order, level):
+        if not 0.0 <= level <= 1.0:
+            raise SystemModelError("activity level must be in [0, 1]")
+        activity_amp = self.idle_fraction + (1.0 - self.idle_fraction) * level
+        decay = 10.0 ** (-(order - 1) * self.harmonic_decay_db / 20.0)
+        return activity_amp * decay
+
+    def band_edges(self, order=1):
+        """Edges of the swept band, where FASE reports the two carriers."""
+        return self.oscillator.band_edges(order)
+
+
+class CPUClockEmitter(UnmodulatedEmitter):
+    """Weak spread-spectrum CPU/system clock, unmodulated by activity.
+
+    "The systems tested generated weak spread-spectrum signals at CPU clock
+    frequencies. Interestingly, we do not observe any variation in these
+    signals in response to processor activity."
+    """
+
+    def __init__(
+        self,
+        name="CPU clock",
+        clock_frequency=100e6,
+        sweep_width=0.5e6,
+        fundamental_dbm=-138.0,
+        **kwargs,
+    ):
+        oscillator = SpreadSpectrumClock(clock_frequency, sweep_width)
+        kwargs.setdefault("max_harmonics", 2)
+        super().__init__(name, oscillator, fundamental_dbm, **kwargs)

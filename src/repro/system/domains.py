@@ -1,0 +1,42 @@
+"""Power and activity domains of the modeled systems.
+
+A *domain* is a named aspect of system activity that an emitter can couple
+to: the supply current of a voltage regulator's load, the switching
+activity on the DRAM bus, or the memory-bus utilization that perturbs
+refresh scheduling. Micro-ops report a level in [0, 1] per domain
+(:mod:`repro.uarch.isa`); emitters translate the X/Y level difference into
+amplitude modulation.
+"""
+
+from __future__ import annotations
+
+#: Supply current of the CPU cores (and core-side caches).
+CORE = "core"
+
+#: Activity in the L2/LLC arrays; included in the core supply on the modeled
+#: systems but kept separate so presets can split it if a system does.
+L2_CACHE = "l2_cache"
+
+#: Supply current of the on-chip memory interface / memory controller
+#: ("the chip has separate power supplies for its cores and its memory
+#: interface", Section 4.1).
+MEMORY_INTERFACE = "memory_interface"
+
+#: Supply current of the DRAM DIMMs.
+DRAM_POWER = "dram_power"
+
+#: Switching activity driven by the DRAM clock (commands/data toggling).
+DRAM_BUS = "dram_bus"
+
+#: Fraction of memory-bus time occupied by demand accesses; this is what
+#: delays refresh commands and destroys their periodicity (Section 4.2).
+MEMORY_UTILIZATION = "memory_utilization"
+
+ALL_DOMAINS = (
+    CORE,
+    L2_CACHE,
+    MEMORY_INTERFACE,
+    DRAM_POWER,
+    DRAM_BUS,
+    MEMORY_UTILIZATION,
+)

@@ -1,0 +1,387 @@
+"""Preset system models mirroring the paper's four test systems.
+
+Section 3/4: a recent Intel Core i7 desktop (the main results platform,
+Figures 7-16), plus three laptops — Intel Core i3 (2010), AMD Turion X2
+(2007, Figure 17), and Intel Pentium 3M (2002). Frequencies are chosen to
+match every number the paper states (315 kHz DRAM regulator, 512 kHz-comb
+refresh with 128 kHz GCD, 333 MHz spread DRAM clock, 132 kHz Turion
+refresh, FM core regulator on the AMD) and to be plausible for the parts of
+the era where the paper is silent.
+
+Board positions (cm) place each emitter where its component lives so the
+near-field localization pass recovers the paper's findings (regulator
+signals strongest "near the high power MOSFET switches and power inductors
+that supply power to the main memory DIMMs", refresh strongest "near the
+memory DIMMs").
+"""
+
+from __future__ import annotations
+
+from ..errors import SystemModelError
+from ..rng import ensure_rng
+from ..signals.oscillator import CrystalOscillator
+from .clocks import CPUClockEmitter, DRAMClockEmitter
+from .domains import CORE, DRAM_POWER, MEMORY_INTERFACE
+from .emitter import UnmodulatedEmitter
+from .environment import RFEnvironment
+from .machine import SystemModel
+from .refresh import MemoryRefreshEmitter
+from .regulator import ConstantOnTimeRegulator, SwitchingRegulator
+
+#: Board locations (cm) used across the desktop presets.
+_DIMM_AREA = (22.0, 8.0)
+_DIMM_REGULATOR_AREA = (20.0, 10.0)
+_CPU_AREA = (10.0, 14.0)
+_CHIPSET_AREA = (14.0, 10.0)
+
+
+def build_environment(span, rng=None, kind="metropolitan"):
+    """The shared RF environment for a campaign span.
+
+    ``kind`` is ``"metropolitan"`` (the paper's unshielded city lab) or
+    ``"quiet"`` (a shielded chamber, useful to isolate system signals in
+    tests).
+    """
+    if kind == "metropolitan":
+        return RFEnvironment.metropolitan(span, rng=ensure_rng(rng))
+    if kind == "quiet":
+        return RFEnvironment.quiet()
+    raise SystemModelError(f"unknown environment kind {kind!r}")
+
+
+def corei7_desktop(environment=None, rng=None):
+    """The paper's main platform: a recent Intel Core i7 desktop.
+
+    * DRAM DIMM regulator at 315 kHz (Figure 11's red dashed comb; "its
+      switching frequency was 315 kHz").
+    * Memory-controller (on-chip memory interface) regulator at 225 kHz
+      (the black dash-dot comb of Figure 11; separate core and memory
+      interface supplies).
+    * CPU core regulator at 333 kHz (Figures 12/13; only this carrier is
+      modulated by LDL2/LDL1).
+    * Memory refresh at 128 kHz with 4-rank staggering: strong comb at
+      512 kHz multiples far-field, 128 kHz GCD near-field (Section 4.2).
+    * DRAM clock at 333 MHz swept down 1 MHz over 100 us (Section 4.3).
+    * Weak unmodulated spread-spectrum CPU base clock and crystal spurs.
+    """
+    rng = ensure_rng(rng)
+    emitters = [
+        SwitchingRegulator(
+            "DRAM DIMM regulator",
+            switching_frequency=315e3,
+            domain=DRAM_POWER,
+            fundamental_dbm=-103.0,
+            input_volts=12.0,
+            output_volts=1.35,
+            duty_gain=0.12,
+            fractional_sigma=4e-4,
+            max_harmonics=14,
+            position=_DIMM_REGULATOR_AREA,
+        ),
+        SwitchingRegulator(
+            "memory-controller regulator",
+            switching_frequency=225e3,
+            domain=MEMORY_INTERFACE,
+            fundamental_dbm=-112.0,
+            input_volts=12.0,
+            output_volts=1.05,
+            duty_gain=0.10,
+            fractional_sigma=4e-4,
+            max_harmonics=12,
+            position=_CHIPSET_AREA,
+        ),
+        SwitchingRegulator(
+            "CPU core regulator",
+            switching_frequency=333e3,
+            domain=CORE,
+            fundamental_dbm=-106.0,
+            input_volts=12.0,
+            output_volts=1.10,
+            duty_gain=0.12,
+            fractional_sigma=4e-4,
+            max_harmonics=12,
+            position=_CPU_AREA,
+        ),
+        MemoryRefreshEmitter(
+            "memory refresh",
+            refresh_frequency=128e3,
+            fundamental_dbm=-118.0,
+            coherence_loss=2.0,
+            n_ranks=4,
+            rank_imbalance=0.15,
+            max_harmonics=40,
+            position=_DIMM_AREA,
+        ),
+        DRAMClockEmitter(
+            "DRAM clock",
+            clock_frequency=333e6,
+            sweep_width=1e6,
+            sweep_period=100e-6,
+            fundamental_dbm=-91.0,
+            idle_fraction=0.35,
+            position=_DIMM_AREA,
+        ),
+        CPUClockEmitter(
+            "CPU base clock",
+            clock_frequency=100e6,
+            sweep_width=0.5e6,
+            fundamental_dbm=-105.0,
+            position=_CPU_AREA,
+        ),
+        UnmodulatedEmitter(
+            "Ethernet PHY crystal",
+            CrystalOscillator(25e6),
+            fundamental_dbm=-124.0,
+            max_harmonics=4,
+            position=(4.0, 26.0),
+        ),
+        UnmodulatedEmitter(
+            "RTC crystal",
+            CrystalOscillator(32.768e3),
+            fundamental_dbm=-131.0,
+            max_harmonics=12,
+            position=(6.0, 4.0),
+        ),
+        UnmodulatedEmitter(
+            "legacy timer crystal",
+            CrystalOscillator(1.193182e6),
+            fundamental_dbm=-127.0,
+            max_harmonics=3,
+            position=_CHIPSET_AREA,
+        ),
+    ]
+    return SystemModel(
+        "Intel Core i7 desktop",
+        emitters,
+        environment=environment or build_environment(4e6, rng=rng),
+    )
+
+
+def turionx2_laptop(environment=None, rng=None):
+    """AMD Turion X2 laptop (2007): Figure 17 and the FM-regulator finding.
+
+    * Memory refresh at 132 kHz "instead of 128 kHz as observed in all
+      three other systems".
+    * A memory regulator, plus two regulator-like carriers the paper left
+      unidentified (localization would have required destructive
+      disassembly).
+    * The CPU core regulator is constant-on-time: frequency-modulated by
+      core activity, hence (correctly) not reported by FASE.
+    """
+    rng = ensure_rng(rng)
+    emitters = [
+        SwitchingRegulator(
+            "memory regulator",
+            switching_frequency=250e3,
+            domain=DRAM_POWER,
+            fundamental_dbm=-108.0,
+            input_volts=19.0,
+            output_volts=1.8,
+            duty_gain=0.10,
+            fractional_sigma=4e-4,
+            max_harmonics=10,
+            position=(18.0, 8.0),
+        ),
+        MemoryRefreshEmitter(
+            "memory refresh",
+            refresh_frequency=132e3,
+            fundamental_dbm=-126.0,
+            coherence_loss=2.0,
+            n_ranks=1,
+            max_harmonics=24,
+            position=(20.0, 6.0),
+        ),
+        SwitchingRegulator(
+            "unidentified carrier A",
+            switching_frequency=406e3,
+            domain=MEMORY_INTERFACE,
+            fundamental_dbm=-115.0,
+            input_volts=19.0,
+            output_volts=1.2,
+            duty_gain=0.10,
+            fractional_sigma=4e-4,
+            max_harmonics=6,
+            position=(9.0, 7.0),
+        ),
+        SwitchingRegulator(
+            "unidentified carrier B",
+            switching_frequency=472e3,
+            domain=DRAM_POWER,
+            fundamental_dbm=-113.0,
+            input_volts=19.0,
+            output_volts=3.3,
+            duty_gain=0.12,
+            fractional_sigma=4e-4,
+            max_harmonics=4,
+            position=(6.0, 16.0),
+        ),
+        ConstantOnTimeRegulator(
+            "CPU core regulator (constant on-time)",
+            nominal_frequency=300e3,
+            domain=CORE,
+            fundamental_dbm=-104.0,
+            input_volts=19.0,
+            output_volts=1.1,
+            duty_gain=0.015,
+            position=(11.0, 13.0),
+        ),
+        DRAMClockEmitter(
+            "DRAM clock",
+            clock_frequency=333e6,
+            sweep_width=1e6,
+            fundamental_dbm=-93.0,
+            position=(20.0, 6.0),
+        ),
+        CPUClockEmitter(
+            "HyperTransport clock",
+            clock_frequency=200e6,
+            sweep_width=1e6,
+            fundamental_dbm=-106.0,
+            position=(11.0, 13.0),
+        ),
+    ]
+    return SystemModel(
+        "AMD Turion X2 laptop",
+        emitters,
+        environment=environment or build_environment(1.2e6, rng=rng),
+    )
+
+
+def corei3_laptop(environment=None, rng=None):
+    """Intel Core i3 laptop (2010): same three signal families (Section 4.4)."""
+    rng = ensure_rng(rng)
+    emitters = [
+        SwitchingRegulator(
+            "memory regulator",
+            switching_frequency=285e3,
+            domain=DRAM_POWER,
+            fundamental_dbm=-107.0,
+            input_volts=19.0,
+            output_volts=1.5,
+            duty_gain=0.11,
+            fractional_sigma=4e-4,
+            max_harmonics=12,
+            position=(18.0, 9.0),
+        ),
+        SwitchingRegulator(
+            "memory-controller regulator",
+            switching_frequency=240e3,
+            domain=MEMORY_INTERFACE,
+            fundamental_dbm=-114.0,
+            input_volts=19.0,
+            output_volts=1.05,
+            duty_gain=0.10,
+            fractional_sigma=4e-4,
+            max_harmonics=8,
+            position=(13.0, 11.0),
+        ),
+        SwitchingRegulator(
+            "CPU core regulator",
+            switching_frequency=355e3,
+            domain=CORE,
+            fundamental_dbm=-106.0,
+            input_volts=19.0,
+            output_volts=1.05,
+            duty_gain=0.12,
+            fractional_sigma=4e-4,
+            max_harmonics=10,
+            position=(10.0, 13.0),
+        ),
+        MemoryRefreshEmitter(
+            "memory refresh",
+            refresh_frequency=128e3,
+            fundamental_dbm=-124.0,
+            coherence_loss=2.0,
+            n_ranks=2,
+            rank_imbalance=0.2,
+            max_harmonics=32,
+            position=(20.0, 7.0),
+        ),
+        DRAMClockEmitter(
+            "DRAM clock",
+            clock_frequency=533e6,
+            sweep_width=1.5e6,
+            fundamental_dbm=-91.0,
+            position=(20.0, 7.0),
+        ),
+        CPUClockEmitter(
+            "CPU base clock",
+            clock_frequency=133e6,
+            sweep_width=0.7e6,
+            fundamental_dbm=-106.0,
+            position=(10.0, 13.0),
+        ),
+    ]
+    return SystemModel(
+        "Intel Core i3 laptop",
+        emitters,
+        environment=environment or build_environment(4e6, rng=rng),
+    )
+
+
+def pentium3m_laptop(environment=None, rng=None):
+    """Intel Pentium 3M laptop (2002): the oldest surveyed system."""
+    rng = ensure_rng(rng)
+    emitters = [
+        SwitchingRegulator(
+            "memory regulator",
+            switching_frequency=200e3,
+            domain=DRAM_POWER,
+            fundamental_dbm=-110.0,
+            input_volts=16.0,
+            output_volts=2.5,
+            duty_gain=0.10,
+            fractional_sigma=4e-4,
+            max_harmonics=10,
+            position=(16.0, 8.0),
+        ),
+        SwitchingRegulator(
+            "CPU core regulator",
+            switching_frequency=240e3,
+            domain=CORE,
+            fundamental_dbm=-109.0,
+            input_volts=16.0,
+            output_volts=1.4,
+            duty_gain=0.12,
+            fractional_sigma=4e-4,
+            max_harmonics=8,
+            position=(9.0, 12.0),
+        ),
+        MemoryRefreshEmitter(
+            "memory refresh",
+            refresh_frequency=128e3,
+            fundamental_dbm=-126.0,
+            coherence_loss=1.8,
+            n_ranks=1,
+            max_harmonics=20,
+            position=(18.0, 6.0),
+        ),
+        DRAMClockEmitter(
+            "SDRAM clock",
+            clock_frequency=133e6,
+            sweep_width=0.5e6,
+            fundamental_dbm=-96.0,
+            idle_fraction=0.4,
+            position=(18.0, 6.0),
+        ),
+        UnmodulatedEmitter(
+            "USB controller crystal",
+            CrystalOscillator(48e6),
+            fundamental_dbm=-130.0,
+            max_harmonics=2,
+            position=(5.0, 20.0),
+        ),
+    ]
+    return SystemModel(
+        "Intel Pentium 3M laptop",
+        emitters,
+        environment=environment or build_environment(4e6, rng=rng),
+    )
+
+
+ALL_PRESETS = {
+    "corei7_desktop": corei7_desktop,
+    "corei3_laptop": corei3_laptop,
+    "turionx2_laptop": turionx2_laptop,
+    "pentium3m_laptop": pentium3m_laptop,
+}

@@ -1,0 +1,293 @@
+"""Time-domain capture path: sampled waveforms instead of analytic spectra.
+
+The analytic frequency-domain renderer (each emitter deposits spectral
+lines onto the grid) is what the big campaigns use, because a 0-1200 MHz
+sweep is 2.4 M bins. This module provides the *other* path end to end: a
+:class:`TimeDomainScene` synthesizes the complex baseband waveform every
+emitter would induce in the antenna over a sub-band — time-varying
+envelopes from the micro-benchmark activity, oscillator phase noise,
+spread-spectrum sweeps, PSD-shaped environment noise — and a
+:class:`TimeDomainCampaign` turns those waveforms into averaged spectra via
+Welch estimation.
+
+Running FASE over this path and getting the same carriers as the analytic
+path is the strongest internal validation the reproduction offers: two
+independent implementations of the same physics must agree.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import SystemModelError
+from ..rng import child_rng, ensure_rng
+from ..signals.pulse import pulse_harmonic_amplitude
+from ..signals.waveform import synthesize_carrier_iq
+from ..spectrum.trace import average_traces
+from ..spectrum.welch import trace_from_iq
+from ..system.clocks import DRAMClockEmitter
+from ..system.refresh import MemoryRefreshEmitter
+from ..system.regulator import ConstantOnTimeRegulator, SwitchingRegulator
+from ..core.campaign import CampaignMeasurement, CampaignResult
+
+
+# ----------------------------------------------------------------------
+# Vectorized envelopes (per-sample activity levels)
+# ----------------------------------------------------------------------
+
+def _envelope_series(emitter, order, levels):
+    """Per-sample envelope amplitudes for an emitter harmonic.
+
+    Activity waveforms take few distinct values (two for an alternation),
+    so the generic fallback evaluates the scalar envelope once per unique
+    level; the common emitter types get closed-form vectorized versions.
+    """
+    levels = np.asarray(levels, dtype=float)
+    if isinstance(emitter, SwitchingRegulator):
+        duty = emitter.nominal_duty + emitter.duty_gain * levels
+        current = 1.0 + emitter.current_gain * levels
+        return current * duty * np.abs(np.sinc(order * duty))
+    if isinstance(emitter, MemoryRefreshEmitter):
+        base = pulse_harmonic_amplitude(order, emitter.duty_cycle)
+        stagger = emitter.rank_stagger_factor(order)
+        coherence = np.exp(-emitter.coherence_loss * levels)
+        extra = getattr(emitter, "coherence_retention", None)
+        retention = extra(order) if extra is not None else 1.0
+        return base * stagger * retention * coherence
+    if isinstance(emitter, DRAMClockEmitter):
+        decay = 10.0 ** (-(order - 1) * emitter.harmonic_decay_db / 20.0)
+        return decay * (emitter.idle_fraction + (1.0 - emitter.idle_fraction) * levels)
+    unique_levels, inverse = np.unique(levels, return_inverse=True)
+    values = np.array([emitter.envelope(order, float(u)) for u in unique_levels])
+    return values[inverse]
+
+
+def _harmonics_in_band(emitter, center, sample_rate):
+    """Harmonic orders whose center frequency falls inside the capture."""
+    low = center - sample_rate / 2.0
+    high = center + sample_rate / 2.0
+    orders = []
+    for order in range(1, emitter.max_harmonics + 1):
+        f = emitter.oscillator.harmonic_frequency(order)
+        if low < f < high:
+            orders.append(order)
+        elif f >= high:
+            break
+    return orders
+
+
+def _emitter_iq(emitter, activity, center, sample_rate, duration, rng):
+    """Complex baseband waveform of one emitter within the capture band."""
+    n_samples = int(round(duration * sample_rate))
+    iq = np.zeros(n_samples, dtype=complex)
+    unit = emitter.amplitude_unit()
+
+    if isinstance(emitter, ConstantOnTimeRegulator):
+        # FM: the switching frequency follows the per-sample load.
+        levels = activity.sampled_level(
+            emitter.domain, duration, sample_rate, rng=child_rng(rng, emitter.name + ":act")
+        )
+        duty = emitter.nominal_duty + emitter.duty_gain * levels
+        fundamental = duty / emitter.on_time
+        for order in range(1, emitter.max_harmonics + 1):
+            f_mid = order * emitter.frequency_at(0.5)
+            if not (center - sample_rate / 2 < f_mid < center + sample_rate / 2):
+                continue
+            amplitude = unit * emitter.envelope(order, 0.0)
+            sigma = emitter.oscillator.sigma * order
+            wander = sigma * _ou_process(
+                n_samples, sample_rate, child_rng(rng, f"{emitter.name}:pn{order}")
+            )
+            instantaneous = order * fundamental[:n_samples] + wander - center
+            phase = 2.0 * np.pi * np.cumsum(instantaneous) / sample_rate
+            iq += amplitude * np.exp(1j * phase)
+        return iq
+
+    orders = _harmonics_in_band(emitter, center, sample_rate)
+    if not orders:
+        return iq
+
+    if emitter.domain is not None:
+        levels = activity.sampled_level(
+            emitter.domain, duration, sample_rate, rng=child_rng(rng, emitter.name + ":act")
+        )[:n_samples]
+    else:
+        levels = np.zeros(n_samples)
+
+    for order in orders:
+        f = emitter.oscillator.harmonic_frequency(order)
+        envelope = unit * _envelope_series(emitter, order, levels)
+        shape = emitter.oscillator.lineshape(order)
+        sweep_width = getattr(shape, "width", 0.0)
+        if sweep_width:
+            # spread-spectrum clock: sinusoidal frequency sweep
+            sweep_period = getattr(emitter.oscillator, "sweep_period", 100e-6)
+            t = np.arange(n_samples) / sample_rate
+            position = 0.5 - 0.5 * np.cos(2.0 * np.pi * (t / sweep_period))
+            instantaneous = (f + sweep_width / 2.0) - sweep_width * position - center
+            phase = 2.0 * np.pi * np.cumsum(instantaneous) / sample_rate
+            carrier = np.exp(1j * phase)
+        else:
+            sigma = getattr(shape, "sigma", 0.0)
+            carrier = synthesize_carrier_iq(
+                duration,
+                sample_rate,
+                f - center,
+                line_sigma=sigma,
+                rng=child_rng(rng, f"{emitter.name}:pn{order}"),
+            )[:n_samples]
+        iq += envelope * carrier
+    return iq
+
+
+def _ou_process(n_samples, sample_rate, rng, correlation_time=1e-3):
+    """Unit-variance Ornstein-Uhlenbeck samples (slow frequency wander)."""
+    from scipy.signal import lfilter
+
+    theta = min(1.0 / (correlation_time * sample_rate), 0.5)
+    noise = rng.standard_normal(n_samples)
+    scale = np.sqrt(2.0 * theta)
+    initial = rng.standard_normal()
+    return lfilter([scale], [1.0, -(1.0 - theta)], noise, zi=[(1.0 - theta) * initial])[0]
+
+
+def _environment_iq(environment, grid_like, center, sample_rate, n_samples, rng):
+    """PSD-shaped environment noise + tones via frequency-domain synthesis.
+
+    Renders the environment's mean per-bin power onto an FFT-bin grid for
+    the capture band, then synthesizes a Gaussian realization with exactly
+    that PSD: complex spectrum = sqrt(power) * unit Gaussian, inverse FFT.
+    Static tones and stations come out with random phases, exactly like a
+    stationary RF background.
+    """
+    from ..spectrum.grid import FrequencyGrid
+
+    resolution = sample_rate / n_samples
+    low = max(center - sample_rate / 2.0, 0.0)
+    grid = FrequencyGrid(low, center + sample_rate / 2.0, resolution)
+    power = environment.mean_power(grid)
+    # map grid bins onto FFT bins (offset from center)
+    offsets = grid.frequencies - center
+    fft_freqs = np.fft.fftfreq(n_samples, d=1.0 / sample_rate)
+    spectrum = np.zeros(n_samples, dtype=complex)
+    indices = np.round(offsets / resolution).astype(int) % n_samples
+    gauss = rng.standard_normal(len(indices)) + 1j * rng.standard_normal(len(indices))
+    np.add.at(spectrum, indices, np.sqrt(power / 2.0) * gauss)
+    # ifft carries a 1/n: x = n * ifft(S) makes E[periodogram bin k] equal
+    # power_k and hence mean|x|^2 = sum_k power_k (Parseval), which the
+    # calibration test in tests/test_timedomain.py pins down.
+    return np.fft.ifft(spectrum) * n_samples
+
+
+class TimeDomainScene:
+    """A machine under one activity, as a synthesizable waveform."""
+
+    def __init__(self, machine, activity, center_frequency, sample_rate, rng=None):
+        if sample_rate <= 0:
+            raise SystemModelError("sample rate must be positive")
+        if center_frequency < sample_rate / 2.0 and center_frequency != 0.0:
+            # allow captures starting at 0 Hz by centering the band
+            pass
+        self.machine = machine
+        self.activity = activity
+        self.center_frequency = float(center_frequency)
+        self.sample_rate = float(sample_rate)
+        self.rng = ensure_rng(rng)
+
+    def synthesize(self, duration):
+        """Complex baseband samples of everything the antenna receives."""
+        n_samples = int(round(duration * self.sample_rate))
+        if n_samples < 64:
+            raise SystemModelError("duration too short for the sample rate")
+        iq = np.zeros(n_samples, dtype=complex)
+        for emitter in self.machine.emitters:
+            coupling = np.sqrt(
+                self.machine.receiver.power_coupling(
+                    frequency=emitter.oscillator.frequency
+                )
+            )
+            iq += coupling * _emitter_iq(
+                emitter,
+                self.activity,
+                self.center_frequency,
+                self.sample_rate,
+                duration,
+                child_rng(self.rng, emitter.name),
+            )
+        iq += _environment_iq(
+            self.machine.environment,
+            None,
+            self.center_frequency,
+            self.sample_rate,
+            n_samples,
+            child_rng(self.rng, "environment"),
+        )
+        return iq
+
+    def capture_trace(self, grid, duration, label=""):
+        """One Welch-estimated trace of the scene over ``grid``."""
+        iq = self.synthesize(duration)
+        nperseg = int(round(self.sample_rate / grid.resolution))
+        return trace_from_iq(
+            iq,
+            self.sample_rate,
+            grid,
+            center_frequency=self.center_frequency,
+            nperseg=nperseg,
+            label=label,
+        )
+
+
+class TimeDomainCampaign:
+    """A FASE campaign whose spectra come from sampled waveforms.
+
+    Drop-in alternative to :class:`~repro.core.campaign.MeasurementCampaign`
+    for sub-band windows (the sample rate must cover the grid span).
+    ``duration`` controls the Welch averaging: longer captures average more
+    segments, like the instrument's sweep averaging.
+    """
+
+    def __init__(self, machine, config, duration=0.5, oversample=1.3, rng=None):
+        self.machine = machine
+        self.config = config
+        self.duration = float(duration)
+        span = config.span_high - config.span_low
+        self.center_frequency = (config.span_low + config.span_high) / 2.0
+        self.sample_rate = span * float(oversample)
+        self.rng = ensure_rng(rng)
+
+    def run_with_activities(self, activities, label=None):
+        grid = self.config.grid()
+        result = CampaignResult(
+            config=self.config,
+            machine_name=self.machine.name,
+            activity_label=label or (activities[0].label or "activity"),
+        )
+        for activity in activities:
+            scene = TimeDomainScene(
+                self.machine,
+                activity,
+                self.center_frequency,
+                self.sample_rate,
+                rng=child_rng(self.rng, f"scene:{activity.falt:.6g}"),
+            )
+            captures = [
+                scene.capture_trace(grid, self.duration, label=f"{label} capture {i}")
+                for i in range(self.config.n_averages)
+            ]
+            trace = average_traces(captures)
+            result.measurements.append(
+                CampaignMeasurement(falt=activity.falt, activity=activity, trace=trace)
+            )
+        return result.validate()
+
+    def run(self, op_x, op_y, label=None, latency_model=None):
+        from ..uarch.microbench import AlternationMicrobenchmark
+
+        activities = []
+        for falt in self.config.falts():
+            bench = AlternationMicrobenchmark.calibrated(
+                op_x, op_y, falt, latency_model=latency_model
+            )
+            activities.append(bench.activity(label=label))
+        return self.run_with_activities(activities, label=label)

@@ -1,0 +1,34 @@
+"""Micro-architectural substrate: caches, timing, and the alternation loop.
+
+Implements the software half of the FASE methodology (Section 2.2): the
+micro-benchmark of Figure 6, a cache-hierarchy timing model that gives each
+X/Y instruction a realistic latency (with the contention-induced mixture of
+"several commonly-occurring execution times" of Section 2.1), and the
+calibration step that chooses loop counts so the alternation lands at a
+target frequency falt with a 50 % duty cycle.
+"""
+
+from .isa import MicroOp, OP_SPECS, activity_levels
+from .cache import CacheLevel, CacheHierarchy, default_hierarchy
+from .timing import LatencyModel, JitterMixture
+from .activity import AlternationActivity
+from .microbench import AlternationMicrobenchmark, pointer_mask_for_working_set
+from .program import Program, ProgramPhase, ProgramSimulator, ProgramTrace
+
+__all__ = [
+    "MicroOp",
+    "OP_SPECS",
+    "activity_levels",
+    "CacheLevel",
+    "CacheHierarchy",
+    "default_hierarchy",
+    "LatencyModel",
+    "JitterMixture",
+    "AlternationActivity",
+    "AlternationMicrobenchmark",
+    "pointer_mask_for_working_set",
+    "Program",
+    "ProgramPhase",
+    "ProgramSimulator",
+    "ProgramTrace",
+]

@@ -1,0 +1,128 @@
+"""Alternation activity: the interface between software and emitters.
+
+An :class:`AlternationActivity` summarizes what the running micro-benchmark
+does to the system: per-domain activity levels during the X and Y halves,
+the achieved alternation frequency, duty cycle, and timing jitter. Emitters
+read these to compute their amplitude during each half and hence their
+side-band structure. A constant workload (e.g. Figure 14's 0 % / 100 %
+memory-activity traces) is the degenerate case with equal X and Y levels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import SystemModelError
+from ..rng import ensure_rng
+
+
+@dataclass(frozen=True)
+class AlternationActivity:
+    """Per-domain X/Y activity levels alternating at ``falt``.
+
+    ``levels_x`` / ``levels_y`` map domain name -> level in [0, 1]; domains
+    absent from the maps are treated as level 0. ``jitter_fraction`` is the
+    RMS alternation-period jitter as a fraction of the period.
+    """
+
+    falt: float
+    levels_x: dict
+    levels_y: dict
+    duty_cycle: float = 0.5
+    jitter_fraction: float = 0.0
+    label: str = ""
+
+    def __post_init__(self):
+        if self.falt <= 0:
+            raise SystemModelError("alternation frequency must be positive")
+        if not 0.0 < self.duty_cycle < 1.0:
+            raise SystemModelError("duty cycle must be in (0, 1)")
+        if self.jitter_fraction < 0:
+            raise SystemModelError("jitter fraction must be non-negative")
+        for levels in (self.levels_x, self.levels_y):
+            for domain, level in levels.items():
+                if not 0.0 <= level <= 1.0:
+                    raise SystemModelError(
+                        f"activity level for {domain!r} must be in [0, 1], got {level}"
+                    )
+
+    @classmethod
+    def constant(cls, levels, falt=1e3, label=""):
+        """A steady workload: both halves at the same levels.
+
+        ``falt`` is irrelevant (no level difference, hence no side-bands)
+        but must be positive; the default keeps downstream math happy.
+        """
+        return cls(
+            falt=falt,
+            levels_x=dict(levels),
+            levels_y=dict(levels),
+            duty_cycle=0.5,
+            jitter_fraction=0.0,
+            label=label,
+        )
+
+    def level_x(self, domain):
+        return float(self.levels_x.get(domain, 0.0))
+
+    def level_y(self, domain):
+        return float(self.levels_y.get(domain, 0.0))
+
+    def mean_level(self, domain):
+        """Time-averaged level of a domain over the alternation."""
+        return (
+            self.level_x(domain) * self.duty_cycle
+            + self.level_y(domain) * (1.0 - self.duty_cycle)
+        )
+
+    def swing(self, domain):
+        """X-minus-Y level difference: the modulation drive of a domain."""
+        return self.level_x(domain) - self.level_y(domain)
+
+    def is_modulating(self, domain, threshold=1e-9):
+        return abs(self.swing(domain)) > threshold
+
+    def with_falt(self, falt):
+        """The same activity at a different alternation frequency."""
+        return AlternationActivity(
+            falt=falt,
+            levels_x=dict(self.levels_x),
+            levels_y=dict(self.levels_y),
+            duty_cycle=self.duty_cycle,
+            jitter_fraction=self.jitter_fraction,
+            label=self.label,
+        )
+
+    def sampled_level(self, domain, duration, sample_rate, rng=None):
+        """A sampled waveform of this domain's level over time.
+
+        Used by the time-domain synthesis path; alternation periods are
+        jittered like :func:`repro.signals.waveform.synthesize_alternation_envelope`.
+        """
+        from ..signals.waveform import synthesize_alternation_envelope
+
+        rng = ensure_rng(rng)
+        return synthesize_alternation_envelope(
+            duration,
+            sample_rate,
+            self.falt,
+            self.level_x(domain),
+            self.level_y(domain),
+            duty_cycle=self.duty_cycle,
+            jitter_fraction=self.jitter_fraction,
+            rng=rng,
+        )
+
+    def describe(self):
+        """One-line summary for logs and reports."""
+        moving = sorted(
+            domain
+            for domain in set(self.levels_x) | set(self.levels_y)
+            if self.is_modulating(domain)
+        )
+        label = self.label or "activity"
+        return (
+            f"{label}: falt={self.falt:.4g} Hz, duty={self.duty_cycle:.3f}, "
+            f"jitter={self.jitter_fraction:.4f}, modulating domains: "
+            f"{', '.join(moving) if moving else 'none'}"
+        )

@@ -1,0 +1,104 @@
+"""Cache hierarchy model: sizes, latencies, and mask-to-level mapping.
+
+The micro-benchmark of Figure 6 steers its loads to a cache level purely by
+the pointer mask: ``ptr = (ptr & ~mask) | ((ptr + offset) & mask)`` walks a
+working set of ``mask + 1`` bytes. The paper stresses this is
+methodologically important because "the exact same micro-benchmark code"
+is used for LDM, LDL2, and LDL1 — only the masks differ. The hierarchy
+model answers the question "which level does a working set of N bytes hit
+in?" and supplies access latencies for the timing model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import SystemModelError
+from .isa import MicroOp
+
+
+@dataclass(frozen=True)
+class CacheLevel:
+    """One cache level: capacity in bytes and load-to-use latency in cycles."""
+
+    name: str
+    capacity_bytes: int
+    latency_cycles: float
+
+    def __post_init__(self):
+        if self.capacity_bytes <= 0:
+            raise SystemModelError(f"cache {self.name}: capacity must be positive")
+        if self.latency_cycles <= 0:
+            raise SystemModelError(f"cache {self.name}: latency must be positive")
+
+
+class CacheHierarchy:
+    """An ordered hierarchy of cache levels backed by DRAM.
+
+    ``levels`` must be ordered smallest/fastest first; ``dram_latency_cycles``
+    is the full LLC-miss cost including the memory controller round trip.
+    """
+
+    def __init__(self, levels, dram_latency_cycles=210.0):
+        levels = list(levels)
+        if not levels:
+            raise SystemModelError("hierarchy needs at least one cache level")
+        for smaller, larger in zip(levels, levels[1:]):
+            if smaller.capacity_bytes >= larger.capacity_bytes:
+                raise SystemModelError(
+                    "cache levels must be ordered by strictly increasing capacity"
+                )
+            if smaller.latency_cycles >= larger.latency_cycles:
+                raise SystemModelError(
+                    "cache levels must be ordered by strictly increasing latency"
+                )
+        if dram_latency_cycles <= levels[-1].latency_cycles:
+            raise SystemModelError("DRAM latency must exceed the last cache level's")
+        self.levels = levels
+        self.dram_latency_cycles = float(dram_latency_cycles)
+
+    def level_for_working_set(self, working_set_bytes):
+        """Name of the level a working set of this size hits in steady state.
+
+        Returns ``"DRAM"`` when the set overflows the last-level cache. A
+        working set "fits" when it is at most half the capacity (leaving
+        room for the rest of the loop's footprint), matching how the
+        paper's masks are chosen well inside / well outside each level.
+        """
+        if working_set_bytes <= 0:
+            raise SystemModelError("working set size must be positive")
+        for level in self.levels:
+            if working_set_bytes <= level.capacity_bytes // 2:
+                return level.name
+        return "DRAM"
+
+    def latency_for_level(self, name):
+        """Load latency (cycles) of a named level, or of DRAM."""
+        if name == "DRAM":
+            return self.dram_latency_cycles
+        for level in self.levels:
+            if level.name == name:
+                return level.latency_cycles
+        raise SystemModelError(f"unknown cache level {name!r}")
+
+    def op_for_working_set(self, working_set_bytes):
+        """Which load micro-op a pointer-chase over this working set becomes."""
+        name = self.level_for_working_set(working_set_bytes)
+        mapping = {"L1": MicroOp.LDL1, "L2": MicroOp.LDL2, "DRAM": MicroOp.LDM}
+        if name in mapping:
+            return mapping[name]
+        # Larger on-chip levels (L3/LLC) still behave like an on-chip load;
+        # classify them as L2-like for modulation purposes.
+        return MicroOp.LDL2
+
+
+def default_hierarchy():
+    """A desktop-class hierarchy (32 KiB L1, 256 KiB L2, 8 MiB LLC)."""
+    return CacheHierarchy(
+        levels=[
+            CacheLevel("L1", 32 * 1024, 5.0),
+            CacheLevel("L2", 256 * 1024, 13.0),
+            CacheLevel("LLC", 8 * 1024 * 1024, 42.0),
+        ],
+        dram_latency_cycles=210.0,
+    )

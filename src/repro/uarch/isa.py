@@ -1,0 +1,122 @@
+"""Micro-op kinds used as X/Y activities, and their per-domain activity.
+
+The paper's activities: "integer multiplication, division, addition,
+subtraction, as well as load and store to all levels of the cache
+hierarchy" (Section 3). Each op carries a vector of activity levels over
+the system's power/activity domains; the *difference* between the X op's
+and the Y op's vector is what amplitude-modulates each emitter.
+
+The level values encode the paper's observed behaviour:
+
+* LDM (LLC-miss load) and LDL1 draw the *same* core power — the core is
+  mostly stalled during an LLC miss — which is why LDM/LDL1 does not
+  modulate the core regulator in Figure 11 while lighting up everything on
+  the memory path.
+* LDL2 draws more core-domain power than LDL1 (the L2 and its wires live
+  on the core supply), so LDL2/LDL1 modulates only the core regulator
+  (Figure 13).
+* Memory-side levels of all on-chip ops are identical, so on-chip pairs
+  leave the memory regulator, refresh, and DRAM clock unmodulated.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..errors import SystemModelError
+from ..system.domains import (
+    CORE,
+    L2_CACHE,
+    MEMORY_INTERFACE,
+    DRAM_POWER,
+    DRAM_BUS,
+    MEMORY_UTILIZATION,
+)
+
+
+class MicroOp(enum.Enum):
+    """The X/Y instruction kinds of Figure 6 and Section 3."""
+
+    LDL1 = "LDL1"  # load hitting L1
+    LDL2 = "LDL2"  # load hitting L2 (L1 miss)
+    LDM = "LDM"  # load missing the LLC (DRAM read)
+    STM = "STM"  # store causing LLC write-back traffic (DRAM write)
+    ADD = "ADD"
+    SUB = "SUB"
+    MUL = "MUL"
+    DIV = "DIV"
+    NOP = "NOP"
+
+
+@dataclass(frozen=True)
+class MicroOpSpec:
+    """Static properties of one micro-op kind.
+
+    ``base_latency_cycles`` is the nominal per-iteration cost of one loop
+    body built around this op (address update + the op itself, Figure 6);
+    ``is_memory`` marks ops that travel to DRAM.
+    """
+
+    op: MicroOp
+    base_latency_cycles: float
+    is_memory: bool
+    levels: dict
+
+
+def _levels(core, l2=0.0, mem_if=0.0, dram_power=0.0, dram_bus=0.0, mem_util=0.0):
+    return {
+        CORE: core,
+        L2_CACHE: l2,
+        MEMORY_INTERFACE: mem_if,
+        DRAM_POWER: dram_power,
+        DRAM_BUS: dram_bus,
+        MEMORY_UTILIZATION: mem_util,
+    }
+
+
+#: Memory-side activity shared by every on-chip op: background traffic only.
+_ONCHIP_MEMORY_SIDE = dict(mem_if=0.02, dram_power=0.05, dram_bus=0.0, mem_util=0.0)
+
+OP_SPECS = {
+    MicroOp.LDL1: MicroOpSpec(
+        MicroOp.LDL1, 5.0, False, _levels(core=0.50, l2=0.05, **_ONCHIP_MEMORY_SIDE)
+    ),
+    MicroOp.LDL2: MicroOpSpec(
+        MicroOp.LDL2, 13.0, False, _levels(core=0.82, l2=0.70, **_ONCHIP_MEMORY_SIDE)
+    ),
+    MicroOp.LDM: MicroOpSpec(
+        MicroOp.LDM,
+        210.0,
+        True,
+        _levels(core=0.50, l2=0.30, mem_if=0.80, dram_power=0.85, dram_bus=0.90, mem_util=0.90),
+    ),
+    MicroOp.STM: MicroOpSpec(
+        MicroOp.STM,
+        190.0,
+        True,
+        _levels(core=0.50, l2=0.34, mem_if=0.76, dram_power=0.82, dram_bus=0.86, mem_util=0.86),
+    ),
+    MicroOp.ADD: MicroOpSpec(
+        MicroOp.ADD, 4.0, False, _levels(core=0.58, l2=0.02, **_ONCHIP_MEMORY_SIDE)
+    ),
+    MicroOp.SUB: MicroOpSpec(
+        MicroOp.SUB, 4.0, False, _levels(core=0.58, l2=0.02, **_ONCHIP_MEMORY_SIDE)
+    ),
+    MicroOp.MUL: MicroOpSpec(
+        MicroOp.MUL, 6.0, False, _levels(core=0.68, l2=0.02, **_ONCHIP_MEMORY_SIDE)
+    ),
+    MicroOp.DIV: MicroOpSpec(
+        MicroOp.DIV, 24.0, False, _levels(core=0.88, l2=0.02, **_ONCHIP_MEMORY_SIDE)
+    ),
+    MicroOp.NOP: MicroOpSpec(
+        MicroOp.NOP, 1.0, False, _levels(core=0.32, l2=0.0, **_ONCHIP_MEMORY_SIDE)
+    ),
+}
+
+
+def activity_levels(op):
+    """Per-domain activity levels (0..1) while the loop runs op ``op``."""
+    if not isinstance(op, MicroOp):
+        raise SystemModelError(f"expected a MicroOp, got {op!r}")
+    return dict(OP_SPECS[op].levels)

@@ -1,0 +1,195 @@
+"""The X/Y alternation micro-benchmark of Figure 6.
+
+The pseudo-code:
+
+    while(true){
+      for(i=0;i<inst_x_count;i++){ ptr1=(ptr1&~mask1)|((ptr1+offset)&mask1);
+                                   value=*ptr1; }      // activity X
+      for(i=0;i<inst_y_count;i++){ ptr2=(ptr2&~mask2)|((ptr2+offset)&mask2);
+                                   *ptr2=value; }      // activity Y
+    }
+
+The outer loop alternates X and Y; one outer iteration takes ``Talt`` and
+the alternation frequency is ``falt = 1/Talt``. The paper adjusts
+``inst_x_count`` and ``inst_y_count`` "so that activity X and activity Y
+are each done for half of the alternation period (50 % duty cycle)" — that
+adjustment is :meth:`AlternationMicrobenchmark.calibrated`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import CalibrationError, SystemModelError
+from ..rng import ensure_rng
+from .activity import AlternationActivity
+from .cache import CacheHierarchy
+from .isa import MicroOp, activity_levels
+from .timing import LatencyModel
+
+
+def pointer_mask_for_working_set(working_set_bytes):
+    """The pointer mask that walks a working set of at least this size.
+
+    Masks are ``2^k - 1`` so the masked pointer arithmetic of Figure 6 wraps
+    within a power-of-two buffer.
+    """
+    if working_set_bytes < 1:
+        raise SystemModelError("working set size must be >= 1 byte")
+    size = 1
+    while size < working_set_bytes:
+        size <<= 1
+    return size - 1
+
+
+class AlternationMicrobenchmark:
+    """A calibrated X/Y alternation workload.
+
+    Build directly from two micro-ops and loop counts, via
+    :meth:`calibrated` to hit a target ``falt``, or via :meth:`from_masks`
+    to mirror the paper's mask-only configuration (the same code walks L1,
+    L2, or DRAM purely depending on the pointer mask).
+    """
+
+    def __init__(self, op_x, op_y, inst_x_count, inst_y_count, latency_model=None):
+        if not isinstance(op_x, MicroOp) or not isinstance(op_y, MicroOp):
+            raise SystemModelError("op_x and op_y must be MicroOp values")
+        if inst_x_count < 1 or inst_y_count < 1:
+            raise SystemModelError("instruction counts must be >= 1")
+        self.op_x = op_x
+        self.op_y = op_y
+        self.inst_x_count = int(inst_x_count)
+        self.inst_y_count = int(inst_y_count)
+        self.latency_model = latency_model or LatencyModel()
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_masks(cls, mask_x, mask_y, hierarchy=None, latency_model=None, **kwargs):
+        """Configure by pointer masks, deriving the op from the hierarchy.
+
+        This is the paper's configuration surface: "They differ only in the
+        mask values in Figure 6."
+        """
+        if hierarchy is None:
+            from .cache import default_hierarchy
+
+            hierarchy = default_hierarchy()
+        if not isinstance(hierarchy, CacheHierarchy):
+            raise SystemModelError("hierarchy must be a CacheHierarchy")
+        op_x = hierarchy.op_for_working_set(mask_x + 1)
+        op_y = hierarchy.op_for_working_set(mask_y + 1)
+        counts = {"inst_x_count": 1, "inst_y_count": 1}
+        counts.update(kwargs)
+        return cls(op_x, op_y, latency_model=latency_model, **counts)
+
+    @classmethod
+    def calibrated(cls, op_x, op_y, falt, duty_cycle=0.5, latency_model=None, tolerance=0.05):
+        """Choose loop counts so the alternation hits ``falt`` at ``duty_cycle``.
+
+        The X burst must take ``duty_cycle / falt`` seconds and the Y burst
+        the remainder. Counts are integers, so perfect calibration is not
+        always possible at high falt; a :class:`CalibrationError` is raised
+        when the achieved frequency misses by more than ``tolerance``
+        (fractional).
+        """
+        latency_model = latency_model or LatencyModel()
+        if falt <= 0:
+            raise CalibrationError("target falt must be positive")
+        if not 0.0 < duty_cycle < 1.0:
+            raise CalibrationError("duty cycle must be in (0, 1)")
+        period = 1.0 / falt
+        jitter_mean_s = latency_model.jitter.mean() / latency_model.cpu_frequency
+
+        def count_for(op, target_seconds):
+            cycles_per_iter = latency_model.op_latency_cycles(op)
+            target_cycles = (target_seconds - jitter_mean_s) * latency_model.cpu_frequency
+            count = int(round(target_cycles / cycles_per_iter))
+            return max(count, 1)
+
+        # Choose the X count from the duty-cycle target, then let the Y
+        # count absorb the X burst's quantization error so the *period*
+        # (hence falt) stays accurate — at high falt an LLC-miss burst is
+        # only a handful of iterations, and the paper tolerates an
+        # imperfect duty cycle ("may not have a perfect 50% duty cycle")
+        # but the heuristic needs falt itself on target.
+        inst_x = count_for(op_x, period * duty_cycle)
+        x_burst = latency_model.burst_duration_mean(op_x, inst_x)
+        inst_y = count_for(op_y, period - x_burst)
+        bench = cls(op_x, op_y, inst_x, inst_y, latency_model=latency_model)
+        achieved = bench.achieved_falt()
+        if abs(achieved - falt) / falt > tolerance:
+            raise CalibrationError(
+                f"calibration missed: target {falt:.6g} Hz, achieved {achieved:.6g} Hz "
+                f"(counts {bench.inst_x_count}/{bench.inst_y_count}); falt too high for "
+                f"these op latencies"
+            )
+        return bench
+
+    # ------------------------------------------------------------------
+    # Timing
+    # ------------------------------------------------------------------
+
+    def mean_burst_durations(self):
+        """(mean X seconds, mean Y seconds) for the calibrated counts."""
+        return (
+            self.latency_model.burst_duration_mean(self.op_x, self.inst_x_count),
+            self.latency_model.burst_duration_mean(self.op_y, self.inst_y_count),
+        )
+
+    def achieved_falt(self):
+        """The actual alternation frequency given integer loop counts."""
+        x_s, y_s = self.mean_burst_durations()
+        return 1.0 / (x_s + y_s)
+
+    def achieved_duty_cycle(self):
+        """Fraction of the period spent in the X activity."""
+        x_s, y_s = self.mean_burst_durations()
+        return x_s / (x_s + y_s)
+
+    def period_jitter_fraction(self):
+        """Analytic RMS period jitter as a fraction of the period."""
+        std = float(
+            np.hypot(
+                self.latency_model.burst_duration_std(self.op_x, self.inst_x_count),
+                self.latency_model.burst_duration_std(self.op_y, self.inst_y_count),
+            )
+        )
+        return std * self.achieved_falt()
+
+    def simulate_periods(self, n_periods, rng=None):
+        """Sample ``n_periods`` alternation periods (seconds) with jitter.
+
+        The histogram of these durations exhibits the "several
+        commonly-occurring execution times" of Section 2.1 (the contention
+        mixture's discrete delays).
+        """
+        rng = ensure_rng(rng)
+        x = self.latency_model.burst_durations(self.op_x, self.inst_x_count, n_periods, rng)
+        y = self.latency_model.burst_durations(self.op_y, self.inst_y_count, n_periods, rng)
+        return x + y
+
+    # ------------------------------------------------------------------
+    # Activity
+    # ------------------------------------------------------------------
+
+    def activity(self, label=None):
+        """The :class:`AlternationActivity` this benchmark produces."""
+        if label is None:
+            label = f"{self.op_x.value}/{self.op_y.value}"
+        return AlternationActivity(
+            falt=self.achieved_falt(),
+            levels_x=activity_levels(self.op_x),
+            levels_y=activity_levels(self.op_y),
+            duty_cycle=self.achieved_duty_cycle(),
+            jitter_fraction=self.period_jitter_fraction(),
+            label=label,
+        )
+
+    def __repr__(self):
+        return (
+            f"AlternationMicrobenchmark({self.op_x.value}x{self.inst_x_count} / "
+            f"{self.op_y.value}x{self.inst_y_count}, falt={self.achieved_falt():.4g} Hz)"
+        )

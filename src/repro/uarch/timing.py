@@ -1,0 +1,115 @@
+"""Instruction timing with contention jitter.
+
+Section 2.1 observes that repetitions of a loop do not all take the same
+time: "there are often several commonly-occurring execution times among the
+repetitions", e.g. from resource contention with other threads in SMT or
+multi-processor systems. We model a loop half-period's duration as
+
+    nominal + (mixture of discrete contention delays) + Gaussian noise
+
+where the mixture produces the secondary "bumps" of Figure 2 and the
+Gaussian the overall side-band broadening.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import SystemModelError
+from ..rng import ensure_rng
+from .isa import OP_SPECS, MicroOp
+
+
+@dataclass(frozen=True)
+class JitterMixture:
+    """A discrete mixture of extra delays (in cycles) with probabilities.
+
+    ``delays`` and ``probabilities`` must have equal length; probabilities
+    must sum to <= 1, the remainder being "no extra delay".
+    """
+
+    delays: tuple = (180.0, 420.0)
+    probabilities: tuple = (0.02, 0.006)
+
+    def __post_init__(self):
+        if len(self.delays) != len(self.probabilities):
+            raise SystemModelError("delays and probabilities must align")
+        if any(p < 0 for p in self.probabilities) or sum(self.probabilities) > 1.0:
+            raise SystemModelError("probabilities must be non-negative and sum to <= 1")
+        if any(d < 0 for d in self.delays):
+            raise SystemModelError("delays must be non-negative")
+
+    def sample(self, rng, size):
+        """Sample extra delays (cycles) for ``size`` loop bursts."""
+        rng = ensure_rng(rng)
+        outcomes = np.zeros(size, dtype=float)
+        u = rng.random(size)
+        cumulative = 0.0
+        for delay, probability in zip(self.delays, self.probabilities):
+            mask = (u >= cumulative) & (u < cumulative + probability)
+            outcomes[mask] = delay
+            cumulative += probability
+        return outcomes
+
+    def mean(self):
+        return float(sum(d * p for d, p in zip(self.delays, self.probabilities)))
+
+    def variance(self):
+        mean = self.mean()
+        second = sum(d * d * p for d, p in zip(self.delays, self.probabilities))
+        return float(second - mean * mean)
+
+
+@dataclass
+class LatencyModel:
+    """Converts micro-op bursts into wall-clock durations.
+
+    ``cpu_frequency`` is the core clock; ``gaussian_sigma_cycles`` is the
+    per-burst Gaussian timing noise; ``jitter`` the contention mixture.
+    A "burst" is one inner loop of the micro-benchmark (``inst_count``
+    iterations of one op).
+    """
+
+    cpu_frequency: float = 3.4e9
+    gaussian_sigma_fraction: float = 0.0015
+    jitter: JitterMixture = field(default_factory=JitterMixture)
+
+    def __post_init__(self):
+        if self.cpu_frequency <= 0:
+            raise SystemModelError("cpu frequency must be positive")
+        if self.gaussian_sigma_fraction < 0:
+            raise SystemModelError("gaussian sigma fraction must be non-negative")
+
+    def op_latency_cycles(self, op):
+        """Nominal per-iteration cycles of a loop body around ``op``."""
+        if not isinstance(op, MicroOp):
+            raise SystemModelError(f"expected a MicroOp, got {op!r}")
+        return OP_SPECS[op].base_latency_cycles
+
+    def burst_duration_mean(self, op, inst_count):
+        """Mean duration (seconds) of ``inst_count`` iterations of ``op``."""
+        if inst_count < 1:
+            raise SystemModelError("inst_count must be >= 1")
+        cycles = self.op_latency_cycles(op) * inst_count + self.jitter.mean()
+        return cycles / self.cpu_frequency
+
+    def burst_durations(self, op, inst_count, n_bursts, rng=None):
+        """Sample ``n_bursts`` burst durations (seconds) with jitter."""
+        if n_bursts < 1:
+            raise SystemModelError("n_bursts must be >= 1")
+        rng = ensure_rng(rng)
+        nominal = self.op_latency_cycles(op) * inst_count
+        extra = self.jitter.sample(rng, n_bursts)
+        gaussian = self.gaussian_sigma_fraction * nominal * rng.standard_normal(n_bursts)
+        cycles = np.maximum(nominal + extra + gaussian, 1.0)
+        return cycles / self.cpu_frequency
+
+    def burst_duration_std(self, op, inst_count):
+        """Analytic standard deviation (seconds) of a burst duration."""
+        nominal = self.op_latency_cycles(op) * inst_count
+        variance_cycles = (
+            self.jitter.variance() + (self.gaussian_sigma_fraction * nominal) ** 2
+        )
+        return float(np.sqrt(variance_cycles)) / self.cpu_frequency

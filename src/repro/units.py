@@ -1,0 +1,119 @@
+"""Unit conversions and formatting helpers.
+
+The spectrum-analyzer side of this library works in dBm (decibels relative to
+one milliwatt), matching every figure in the paper. The synthesis side works
+in linear power (milliwatts) because the FASE heuristic (Eq. 2) is a ratio of
+*powers*, not of decibel values. This module is the single place where the
+two representations meet.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from .errors import UnitsError
+
+#: Smallest linear power we will convert to dB, to avoid log(0). Corresponds
+#: to -400 dBm, far below any physically meaningful floor in this library.
+_POWER_FLOOR_MILLIWATTS = 1e-40
+
+KILO = 1e3
+MEGA = 1e6
+GIGA = 1e9
+
+
+def dbm_to_milliwatts(dbm):
+    """Convert dBm to linear power in milliwatts.
+
+    Accepts scalars or numpy arrays and returns the same shape.
+    """
+    return np.power(10.0, np.asarray(dbm, dtype=float) / 10.0)
+
+
+def milliwatts_to_dbm(milliwatts):
+    """Convert linear power in milliwatts to dBm.
+
+    Values at or below zero are clamped to a floor (-400 dBm) rather than
+    producing ``-inf``, because averaged spectra can contain exact zeros in
+    bins no emitter reaches.
+    """
+    power = np.asarray(milliwatts, dtype=float)
+    if np.any(power < 0):
+        raise UnitsError("power in milliwatts must be non-negative")
+    clamped = np.maximum(power, _POWER_FLOOR_MILLIWATTS)
+    return 10.0 * np.log10(clamped)
+
+
+def db_ratio(numerator, denominator):
+    """Express the power ratio ``numerator / denominator`` in decibels."""
+    if denominator <= 0:
+        raise UnitsError("denominator power must be positive")
+    if numerator < 0:
+        raise UnitsError("numerator power must be non-negative")
+    return 10.0 * math.log10(max(numerator, _POWER_FLOOR_MILLIWATTS) / denominator)
+
+
+def volts_to_dbm(volts_rms, impedance_ohms=50.0):
+    """Convert an RMS voltage across an impedance to dBm.
+
+    Spectrum analyzers are 50-ohm instruments; the antenna model produces
+    voltages which the receiver converts to dBm through this function.
+    """
+    if impedance_ohms <= 0:
+        raise UnitsError("impedance must be positive")
+    v = np.asarray(volts_rms, dtype=float)
+    power_mw = (v * v) / impedance_ohms * 1e3
+    return milliwatts_to_dbm(power_mw)
+
+
+def dbm_to_volts(dbm, impedance_ohms=50.0):
+    """Convert dBm to the RMS voltage across an impedance."""
+    if impedance_ohms <= 0:
+        raise UnitsError("impedance must be positive")
+    power_w = dbm_to_milliwatts(dbm) * 1e-3
+    return np.sqrt(power_w * impedance_ohms)
+
+
+def format_frequency(hertz):
+    """Render a frequency with an appropriate SI prefix, e.g. ``315.0 kHz``.
+
+    Used by reports so detected carriers read like the paper's prose.
+    """
+    hertz = float(hertz)
+    magnitude = abs(hertz)
+    if magnitude >= GIGA:
+        return f"{hertz / GIGA:.4g} GHz"
+    if magnitude >= MEGA:
+        return f"{hertz / MEGA:.4g} MHz"
+    if magnitude >= KILO:
+        return f"{hertz / KILO:.4g} kHz"
+    return f"{hertz:.4g} Hz"
+
+
+def parse_frequency(text):
+    """Parse a frequency string such as ``"43.3 kHz"`` or ``"1.0235MHz"``.
+
+    The inverse of :func:`format_frequency` for round-tripping configuration
+    files and reports.
+    """
+    stripped = text.strip()
+    suffixes = (
+        ("ghz", GIGA),
+        ("mhz", MEGA),
+        ("khz", KILO),
+        ("hz", 1.0),
+    )
+    lowered = stripped.lower()
+    for suffix, scale in suffixes:
+        if lowered.endswith(suffix):
+            number = stripped[: len(stripped) - len(suffix)].strip()
+            try:
+                return float(number) * scale
+            except ValueError as exc:
+                raise UnitsError(f"cannot parse frequency {text!r}") from exc
+    try:
+        return float(stripped)
+    except ValueError as exc:
+        raise UnitsError(f"cannot parse frequency {text!r}") from exc

@@ -1,0 +1,99 @@
+"""Shared fixtures.
+
+Campaign runs over the paper's full 0-4 MHz grid cost ~0.5 s each; the
+expensive ones are session-scoped so the whole suite reuses them. Seeds are
+fixed so every assertion is reproducible.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    FaseConfig,
+    MeasurementCampaign,
+    MicroOp,
+    campaign_low_band,
+    corei7_desktop,
+    turionx2_laptop,
+)
+from repro.core import CarrierDetector
+from repro.system import build_environment
+
+
+@pytest.fixture(scope="session")
+def i7():
+    """The paper's main platform with a fixed environment realization."""
+    return corei7_desktop(rng=np.random.default_rng(0))
+
+
+@pytest.fixture(scope="session")
+def i7_quiet():
+    """The i7 in a shielded chamber: system emitters only."""
+    return corei7_desktop(environment=build_environment(4e6, kind="quiet"), rng=np.random.default_rng(0))
+
+
+@pytest.fixture(scope="session")
+def turion():
+    return turionx2_laptop(rng=np.random.default_rng(2))
+
+
+@pytest.fixture(scope="session")
+def low_band_config():
+    return campaign_low_band()
+
+
+def _run_campaign(machine, config, op_x, op_y, label, seed=1):
+    campaign = MeasurementCampaign(machine, config, rng=np.random.default_rng(seed))
+    return campaign.run(op_x, op_y, label=label)
+
+
+@pytest.fixture(scope="session")
+def i7_ldm_ldl1(i7, low_band_config):
+    """LDM/LDL1 campaign result on the i7 (memory modulation, Fig. 11)."""
+    return _run_campaign(i7, low_band_config, MicroOp.LDM, MicroOp.LDL1, "LDM/LDL1")
+
+
+@pytest.fixture(scope="session")
+def i7_ldl2_ldl1(i7, low_band_config):
+    """LDL2/LDL1 campaign result on the i7 (on-chip modulation, Fig. 13)."""
+    return _run_campaign(i7, low_band_config, MicroOp.LDL2, MicroOp.LDL1, "LDL2/LDL1")
+
+
+@pytest.fixture(scope="session")
+def i7_null(i7, low_band_config):
+    """LDL1/LDL1 control: no alternation contrast, nothing modulated."""
+    return _run_campaign(i7, low_band_config, MicroOp.LDL1, MicroOp.LDL1, "LDL1/LDL1")
+
+
+@pytest.fixture(scope="session")
+def i7_detections(i7_ldm_ldl1):
+    return CarrierDetector().detect(i7_ldm_ldl1)
+
+
+@pytest.fixture(scope="session")
+def i7_onchip_detections(i7_ldl2_ldl1):
+    return CarrierDetector().detect(i7_ldl2_ldl1)
+
+
+@pytest.fixture(scope="session")
+def dram_clock_window_config():
+    """The Fig. 15/16 window around the 333 MHz DRAM clock."""
+    return FaseConfig(
+        span_low=329e6,
+        span_high=336e6,
+        fres=2e3,
+        falt1=180e3,
+        f_delta=10e3,
+        name="DRAM clock window",
+    )
+
+
+@pytest.fixture(scope="session")
+def i7_hf(dram_clock_window_config):
+    """The i7 with an environment spanning the DRAM clock band."""
+    return corei7_desktop(
+        environment=build_environment(340e6, rng=np.random.default_rng(0)),
+        rng=np.random.default_rng(0),
+    )

@@ -1,0 +1,79 @@
+"""AlternationActivity: the software-to-emitter interface."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SystemModelError
+from repro.system.domains import CORE, DRAM_POWER
+from repro.uarch.activity import AlternationActivity
+
+
+def make_activity(**kwargs):
+    defaults = dict(
+        falt=43.3e3,
+        levels_x={CORE: 0.5, DRAM_POWER: 0.9},
+        levels_y={CORE: 0.5, DRAM_POWER: 0.1},
+    )
+    defaults.update(kwargs)
+    return AlternationActivity(**defaults)
+
+
+class TestConstruction:
+    def test_validation(self):
+        with pytest.raises(SystemModelError):
+            make_activity(falt=0.0)
+        with pytest.raises(SystemModelError):
+            make_activity(duty_cycle=0.0)
+        with pytest.raises(SystemModelError):
+            make_activity(jitter_fraction=-0.1)
+        with pytest.raises(SystemModelError):
+            make_activity(levels_x={CORE: 1.5})
+
+    def test_constant_classmethod(self):
+        activity = AlternationActivity.constant({CORE: 0.7})
+        assert activity.level_x(CORE) == activity.level_y(CORE) == 0.7
+        assert not activity.is_modulating(CORE)
+
+
+class TestAccessors:
+    def test_missing_domain_is_zero(self):
+        activity = make_activity()
+        assert activity.level_x("nonexistent") == 0.0
+
+    def test_swing(self):
+        activity = make_activity()
+        assert activity.swing(DRAM_POWER) == pytest.approx(0.8)
+        assert activity.swing(CORE) == pytest.approx(0.0)
+
+    def test_is_modulating(self):
+        activity = make_activity()
+        assert activity.is_modulating(DRAM_POWER)
+        assert not activity.is_modulating(CORE)
+
+    def test_mean_level_with_duty(self):
+        activity = make_activity(duty_cycle=0.25)
+        assert activity.mean_level(DRAM_POWER) == pytest.approx(0.25 * 0.9 + 0.75 * 0.1)
+
+    def test_with_falt(self):
+        moved = make_activity().with_falt(50e3)
+        assert moved.falt == 50e3
+        assert moved.swing(DRAM_POWER) == pytest.approx(0.8)
+
+    def test_describe_names_modulating_domains(self):
+        text = make_activity(label="LDM/LDL1").describe()
+        assert "LDM/LDL1" in text
+        assert DRAM_POWER in text
+        assert CORE not in text.split("modulating domains:")[1]
+
+
+class TestSampling:
+    def test_sampled_level_alternates(self):
+        activity = make_activity()
+        wave = activity.sampled_level(DRAM_POWER, 0.001, 10e6, rng=np.random.default_rng(0))
+        assert set(np.unique(wave)) <= {0.1, 0.9}
+        assert wave.mean() == pytest.approx(0.5, abs=0.1)
+
+    def test_sampled_constant_domain_flat(self):
+        activity = make_activity()
+        wave = activity.sampled_level(CORE, 0.0005, 10e6, rng=np.random.default_rng(0))
+        assert np.ptp(wave) == 0.0

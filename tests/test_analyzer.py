@@ -1,0 +1,108 @@
+"""Spectrum analyzer model: averaging statistics and determinism."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceError
+from repro.spectrum.analyzer import SpectrumAnalyzer, StaticScene
+from repro.spectrum.grid import FrequencyGrid
+
+GRID = FrequencyGrid(0.0, 100e3, 100.0)
+
+
+def flat_scene(level=1.0):
+    return StaticScene(np.full(GRID.n_bins, level))
+
+
+class TestCapture:
+    def test_exact_mean_mode(self):
+        analyzer = SpectrumAnalyzer(n_averages=None)
+        trace = analyzer.capture(flat_scene(2.0), GRID)
+        np.testing.assert_allclose(trace.power_mw, 2.0)
+
+    def test_mean_unbiased(self):
+        analyzer = SpectrumAnalyzer(n_averages=4, rng=np.random.default_rng(0))
+        trace = analyzer.capture(flat_scene(1.0), GRID)
+        assert trace.power_mw.mean() == pytest.approx(1.0, rel=0.05)
+
+    def test_averaging_tightens_fluctuations(self):
+        """Relative std ~ 1/sqrt(K): the paper's 4-sweep averaging."""
+        few = SpectrumAnalyzer(n_averages=1, rng=np.random.default_rng(0)).capture(flat_scene(), GRID)
+        many = SpectrumAnalyzer(n_averages=16, rng=np.random.default_rng(0)).capture(flat_scene(), GRID)
+        assert few.power_mw.std() == pytest.approx(1.0, rel=0.2)
+        assert many.power_mw.std() == pytest.approx(0.25, rel=0.2)
+
+    def test_label_propagates(self):
+        analyzer = SpectrumAnalyzer(n_averages=None)
+        assert analyzer.capture(flat_scene(), GRID, label="x").label == "x"
+
+    def test_capture_many_independent(self):
+        analyzer = SpectrumAnalyzer(n_averages=4, rng=np.random.default_rng(0))
+        a, b = analyzer.capture_many(flat_scene(), GRID, 2)
+        assert not np.array_equal(a.power_mw, b.power_mw)
+
+    def test_deterministic_with_seed(self):
+        a = SpectrumAnalyzer(n_averages=4, rng=np.random.default_rng(5)).capture(flat_scene(), GRID)
+        b = SpectrumAnalyzer(n_averages=4, rng=np.random.default_rng(5)).capture(flat_scene(), GRID)
+        np.testing.assert_array_equal(a.power_mw, b.power_mw)
+
+
+class TestResolutionBandwidth:
+    def _line_scene(self):
+        power = np.zeros(GRID.n_bins)
+        power[GRID.index_of(50e3)] = 1e-10
+        return StaticScene(power)
+
+    def test_default_rbw_is_transparent(self):
+        trace = SpectrumAnalyzer(n_averages=None).capture(self._line_scene(), GRID)
+        assert np.count_nonzero(trace.power_mw) == 1
+
+    def test_wide_rbw_smears_lines(self):
+        analyzer = SpectrumAnalyzer(n_averages=None, rbw=500.0)
+        trace = analyzer.capture(self._line_scene(), GRID)
+        assert np.count_nonzero(trace.power_mw > 1e-14) > 3
+        # apparent peak height drops (energy shared across bins)
+        assert trace.power_mw.max() < 1e-10
+
+    def test_wide_rbw_raises_noise_floor(self):
+        """Per-bin noise power scales with the bandwidth ratio."""
+        narrow = SpectrumAnalyzer(n_averages=None).capture(flat_scene(1e-15), GRID)
+        wide = SpectrumAnalyzer(n_averages=None, rbw=1000.0).capture(flat_scene(1e-15), GRID)
+        interior = slice(20, -20)
+        ratio = wide.power_mw[interior].mean() / narrow.power_mw[interior].mean()
+        assert ratio == pytest.approx(1000.0 / GRID.resolution, rel=0.01)
+
+    def test_line_band_power_scales_with_rbw(self):
+        """A line's total collected power rises by the same RBW factor the
+        floor does, so line-to-floor contrast in *band power* is preserved
+        (only per-bin peak contrast is lost)."""
+        analyzer = SpectrumAnalyzer(n_averages=None, rbw=500.0)
+        trace = analyzer.capture(self._line_scene(), GRID)
+        assert trace.total_power() == pytest.approx(1e-10 * 500.0 / GRID.resolution, rel=0.01)
+
+    def test_invalid_rbw(self):
+        with pytest.raises(TraceError):
+            SpectrumAnalyzer(rbw=0.0)
+
+
+class TestValidation:
+    def test_bad_averages(self):
+        with pytest.raises(TraceError):
+            SpectrumAnalyzer(n_averages=0)
+
+    def test_bad_grid(self):
+        with pytest.raises(TraceError):
+            SpectrumAnalyzer().capture(flat_scene(), "grid")
+
+    def test_scene_shape_mismatch(self):
+        with pytest.raises(TraceError):
+            SpectrumAnalyzer(n_averages=None).capture(StaticScene(np.zeros(3)), GRID)
+
+    def test_callable_scene(self):
+        scene = StaticScene(lambda grid: np.ones(grid.n_bins))
+        trace = SpectrumAnalyzer(n_averages=None).capture(scene, GRID)
+        assert trace.power_mw.sum() == GRID.n_bins
+
+    def test_bad_count(self):
+        with pytest.raises(TraceError):
+            SpectrumAnalyzer().capture_many(flat_scene(), GRID, 0)

@@ -1,0 +1,101 @@
+"""Receiver chain and SystemModel scene composition."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SystemModelError
+from repro.signals.oscillator import CrystalOscillator
+from repro.spectrum.analyzer import SpectrumAnalyzer
+from repro.spectrum.grid import FrequencyGrid
+from repro.system.antenna import REFERENCE_DISTANCE_CM, LoopAntenna, ReceiverChain
+from repro.system.emitter import UnmodulatedEmitter
+from repro.system.environment import RFEnvironment
+from repro.system.machine import SystemModel
+from repro.uarch.activity import AlternationActivity
+
+GRID = FrequencyGrid(0.0, 1e6, 100.0)
+
+
+def make_machine(**kwargs):
+    emitters = kwargs.pop(
+        "emitters",
+        [UnmodulatedEmitter("spur", CrystalOscillator(200e3), -110.0, max_harmonics=2)],
+    )
+    return SystemModel("test box", emitters, environment=RFEnvironment.quiet(), **kwargs)
+
+
+class TestReceiverChain:
+    def test_reference_distance_unity(self):
+        assert ReceiverChain().power_coupling() == pytest.approx(1.0)
+
+    def test_near_field_sixth_power(self):
+        chain = ReceiverChain(distance_cm=REFERENCE_DISTANCE_CM)
+        assert chain.power_coupling(15.0) == pytest.approx(2.0**6)
+        assert chain.power_coupling(60.0) == pytest.approx(0.5**6)
+
+    def test_antenna_gain(self):
+        chain = ReceiverChain(antenna=LoopAntenna(gain_db=10.0))
+        assert chain.power_coupling() == pytest.approx(10.0)
+
+    def test_validation(self):
+        with pytest.raises(SystemModelError):
+            ReceiverChain(distance_cm=0.0)
+        with pytest.raises(SystemModelError):
+            ReceiverChain().power_coupling(-1.0)
+
+
+class TestSystemModel:
+    def test_scene_sums_emitters_and_environment(self):
+        machine = make_machine()
+        scene = machine.idle_scene()
+        power = scene.mean_bin_power(GRID)
+        assert power[GRID.index_of(200e3)] > 0
+        assert power.min() > 0  # thermal floor everywhere
+
+    def test_scene_caches_per_grid(self):
+        scene = make_machine().idle_scene()
+        a = scene.mean_bin_power(GRID)
+        b = scene.mean_bin_power(GRID)
+        assert a is b
+
+    def test_duplicate_names_rejected(self):
+        e1 = UnmodulatedEmitter("x", CrystalOscillator(100e3), -110.0)
+        e2 = UnmodulatedEmitter("x", CrystalOscillator(200e3), -110.0)
+        with pytest.raises(SystemModelError):
+            SystemModel("dup", [e1, e2])
+
+    def test_needs_emitters(self):
+        with pytest.raises(SystemModelError):
+            SystemModel("empty", [])
+
+    def test_emitter_named(self):
+        machine = make_machine()
+        assert machine.emitter_named("spur").name == "spur"
+        with pytest.raises(SystemModelError):
+            machine.emitter_named("nope")
+
+    def test_scene_requires_activity(self):
+        with pytest.raises(SystemModelError):
+            make_machine().scene("activity")
+
+    def test_modulated_emitters_ground_truth(self):
+        machine = make_machine()
+        activity = AlternationActivity(falt=10e3, levels_x={"core": 1.0}, levels_y={"core": 0.0})
+        assert machine.modulated_emitters(activity) == []
+
+    def test_receiver_scales_emitters_not_environment(self):
+        near = SystemModel(
+            "near",
+            [UnmodulatedEmitter("spur", CrystalOscillator(200e3), -110.0)],
+            environment=RFEnvironment.quiet(),
+            receiver=ReceiverChain(distance_cm=15.0),
+        )
+        far = make_machine()
+        analyzer = SpectrumAnalyzer(n_averages=None)
+        near_trace = analyzer.capture(near.idle_scene(), GRID)
+        far_trace = analyzer.capture(far.idle_scene(), GRID)
+        idx = GRID.index_of(200e3)
+        assert near_trace.power_mw[idx] == pytest.approx(64 * far_trace.power_mw[idx], rel=1e-6)
+        # thermal floor (environment) identical
+        floor_idx = GRID.index_of(500e3)
+        assert near_trace.power_mw[floor_idx] == pytest.approx(far_trace.power_mw[floor_idx])

@@ -1,0 +1,78 @@
+"""Cache hierarchy: mask -> working set -> level -> micro-op mapping."""
+
+import pytest
+
+from repro.errors import SystemModelError
+from repro.uarch.cache import CacheHierarchy, CacheLevel, default_hierarchy
+from repro.uarch.isa import MicroOp
+
+
+class TestCacheLevel:
+    def test_validation(self):
+        with pytest.raises(SystemModelError):
+            CacheLevel("L1", 0, 4.0)
+        with pytest.raises(SystemModelError):
+            CacheLevel("L1", 1024, 0.0)
+
+
+class TestHierarchy:
+    def test_default_is_desktop_class(self):
+        h = default_hierarchy()
+        assert [l.name for l in h.levels] == ["L1", "L2", "LLC"]
+
+    def test_ordering_enforced(self):
+        with pytest.raises(SystemModelError):
+            CacheHierarchy([CacheLevel("L1", 64 * 1024, 4.0), CacheLevel("L2", 32 * 1024, 12.0)])
+        with pytest.raises(SystemModelError):
+            CacheHierarchy([CacheLevel("L1", 32 * 1024, 12.0), CacheLevel("L2", 64 * 1024, 4.0)])
+
+    def test_dram_latency_must_exceed_llc(self):
+        with pytest.raises(SystemModelError):
+            CacheHierarchy([CacheLevel("L1", 1024, 4.0)], dram_latency_cycles=2.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(SystemModelError):
+            CacheHierarchy([])
+
+
+class TestLevelForWorkingSet:
+    def test_small_set_hits_l1(self):
+        assert default_hierarchy().level_for_working_set(4 * 1024) == "L1"
+
+    def test_medium_set_hits_l2(self):
+        assert default_hierarchy().level_for_working_set(64 * 1024) == "L2"
+
+    def test_large_set_hits_llc(self):
+        assert default_hierarchy().level_for_working_set(1024 * 1024) == "LLC"
+
+    def test_huge_set_misses_to_dram(self):
+        assert default_hierarchy().level_for_working_set(64 * 1024 * 1024) == "DRAM"
+
+    def test_half_capacity_rule(self):
+        """A set must fit in half the capacity to count as resident."""
+        h = default_hierarchy()
+        assert h.level_for_working_set(16 * 1024) == "L1"
+        assert h.level_for_working_set(17 * 1024) == "L2"
+
+    def test_invalid_size(self):
+        with pytest.raises(SystemModelError):
+            default_hierarchy().level_for_working_set(0)
+
+
+class TestOpMapping:
+    def test_mask_only_configuration(self):
+        """The paper's point: the same code walks L1/L2/DRAM purely by mask."""
+        h = default_hierarchy()
+        assert h.op_for_working_set(8 * 1024) == MicroOp.LDL1
+        assert h.op_for_working_set(100 * 1024) == MicroOp.LDL2
+        assert h.op_for_working_set(256 * 1024 * 1024) == MicroOp.LDM
+
+    def test_llc_sized_set_behaves_onchip(self):
+        assert default_hierarchy().op_for_working_set(2 * 1024 * 1024) == MicroOp.LDL2
+
+    def test_latency_lookup(self):
+        h = default_hierarchy()
+        assert h.latency_for_level("L1") == 5.0
+        assert h.latency_for_level("DRAM") == 210.0
+        with pytest.raises(SystemModelError):
+            h.latency_for_level("L9")

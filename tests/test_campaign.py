@@ -1,0 +1,94 @@
+"""Measurement campaigns: calibration per falt, capture bundling."""
+
+import numpy as np
+import pytest
+
+from repro.core.campaign import CampaignResult, MeasurementCampaign
+from repro.core.config import FaseConfig
+from repro.errors import CampaignError
+from repro.system import build_environment, corei7_desktop
+from repro.uarch.activity import AlternationActivity
+from repro.uarch.isa import MicroOp
+
+
+@pytest.fixture(scope="module")
+def machine():
+    return corei7_desktop(environment=build_environment(1e6, kind="quiet"), rng=np.random.default_rng(0))
+
+
+@pytest.fixture(scope="module")
+def small_config():
+    return FaseConfig(span_low=0.0, span_high=1e6, fres=100.0, name="small")
+
+
+class TestRun:
+    def test_five_measurements_with_achieved_falts(self, machine, small_config):
+        campaign = MeasurementCampaign(machine, small_config, rng=np.random.default_rng(1))
+        result = campaign.run(MicroOp.LDM, MicroOp.LDL1)
+        assert len(result.measurements) == 5
+        for measurement, target in zip(result.measurements, small_config.falts()):
+            assert measurement.falt == pytest.approx(target, rel=0.02)
+
+    def test_labels(self, machine, small_config):
+        campaign = MeasurementCampaign(machine, small_config, rng=np.random.default_rng(1))
+        result = campaign.run(MicroOp.LDM, MicroOp.LDL1, label="LDM/LDL1")
+        assert result.activity_label == "LDM/LDL1"
+        assert result.machine_name == machine.name
+        assert "LDM/LDL1" in result.traces[0].label
+
+    def test_traces_share_grid(self, machine, small_config):
+        campaign = MeasurementCampaign(machine, small_config, rng=np.random.default_rng(1))
+        result = campaign.run(MicroOp.LDL2, MicroOp.LDL1)
+        grid = result.grid
+        for trace in result.traces:
+            assert trace.grid == grid
+
+    def test_deterministic_given_seed(self, machine, small_config):
+        r1 = MeasurementCampaign(machine, small_config, rng=np.random.default_rng(9)).run(
+            MicroOp.LDM, MicroOp.LDL1
+        )
+        r2 = MeasurementCampaign(machine, small_config, rng=np.random.default_rng(9)).run(
+            MicroOp.LDM, MicroOp.LDL1
+        )
+        np.testing.assert_array_equal(r1.traces[0].power_mw, r2.traces[0].power_mw)
+
+
+class TestRunWithActivities:
+    def test_custom_activities(self, machine, small_config):
+        campaign = MeasurementCampaign(machine, small_config, rng=np.random.default_rng(1))
+        activities = [
+            AlternationActivity(falt=f, levels_x={"dram_power": 0.9}, levels_y={"dram_power": 0.1})
+            for f in (20e3, 21e3, 22e3)
+        ]
+        result = campaign.run_with_activities(activities)
+        assert result.falts == [20e3, 21e3, 22e3]
+
+    def test_too_few_activities(self, machine, small_config):
+        campaign = MeasurementCampaign(machine, small_config, rng=np.random.default_rng(1))
+        with pytest.raises(CampaignError):
+            campaign.run_with_activities([AlternationActivity.constant({})])
+
+
+class TestSteadyCapture:
+    def test_capture_steady(self, machine, small_config):
+        campaign = MeasurementCampaign(machine, small_config, rng=np.random.default_rng(1))
+        trace = campaign.capture_steady({"dram_power": 1.0}, label="full load")
+        assert trace.label == "full load"
+        assert trace.grid == small_config.grid()
+
+
+class TestValidation:
+    def test_result_validates_falt_separation(self, machine, small_config):
+        campaign = MeasurementCampaign(machine, small_config, rng=np.random.default_rng(1))
+        with pytest.raises(CampaignError):
+            campaign.run_with_activities(
+                [
+                    AlternationActivity(falt=20e3, levels_x={}, levels_y={}),
+                    AlternationActivity(falt=20e3 + 150.0, levels_x={}, levels_y={}),
+                ]
+            )
+
+    def test_empty_result_grid_raises(self, small_config):
+        result = CampaignResult(config=small_config, machine_name="x", activity_label="y")
+        with pytest.raises(CampaignError):
+            _ = result.grid

@@ -1,0 +1,111 @@
+"""Source classification from cross-activity evidence."""
+
+import pytest
+
+from repro.core.classify import (
+    CLOCK,
+    CORE_SIDE,
+    MEMORY_REFRESH,
+    MEMORY_SIDE,
+    SHARED,
+    SWITCHING_REGULATOR,
+    UNIDENTIFIED,
+    classify_sources,
+)
+from repro.core.detect import CarrierDetection
+from repro.core.harmonics import group_harmonics
+from repro.errors import DetectionError
+
+
+def det(frequency, dbm=-120.0):
+    return CarrierDetection(
+        frequency=frequency,
+        combined_score=10.0,
+        harmonic_scores={1: 10.0},
+        magnitude_dbm=dbm,
+        modulation_depth=0.3,
+    )
+
+
+def sets_of(*frequencies, dbms=None):
+    dbms = dbms or [-120.0] * len(frequencies)
+    return group_harmonics([det(f, m) for f, m in zip(frequencies, dbms)])
+
+
+class TestFingerprint:
+    def test_memory_side(self):
+        sources = classify_sources({"LDM/LDL1": sets_of(315e3, 630e3), "LDL2/LDL1": []})
+        assert len(sources) == 1
+        assert sources[0].fingerprint == MEMORY_SIDE
+
+    def test_core_side(self):
+        sources = classify_sources({"LDM/LDL1": [], "LDL2/LDL1": sets_of(333e3)})
+        assert sources[0].fingerprint == CORE_SIDE
+
+    def test_shared(self):
+        sources = classify_sources(
+            {"LDM/LDL1": sets_of(300e3), "LDL2/LDL1": sets_of(300e3)}
+        )
+        assert len(sources) == 1
+        assert sources[0].fingerprint == SHARED
+        assert set(sources[0].modulating_labels) == {"LDM/LDL1", "LDL2/LDL1"}
+
+    def test_same_source_different_grouping_matched(self):
+        """A comb grouped at 512k in one run and 1024k in another is one source."""
+        sources = classify_sources(
+            {"LDM/LDL1": sets_of(512e3, 1024e3), "LDL2/LDL1": sets_of(1024e3)}
+        )
+        assert len(sources) == 1
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(DetectionError):
+            classify_sources({})
+
+
+class TestMechanism:
+    def test_regulator_range(self):
+        sources = classify_sources({"LDM/LDL1": sets_of(315e3, 630e3)})
+        assert sources[0].mechanism == SWITCHING_REGULATOR
+
+    def test_refresh_by_fundamental_frequency(self):
+        sources = classify_sources({"LDM/LDL1": sets_of(128e3, 256e3)})
+        assert sources[0].mechanism == MEMORY_REFRESH
+
+    def test_refresh_by_flat_comb(self):
+        """A 512 kHz set with many equal-strength harmonics is refresh,
+        not a regulator (whose sinc envelope decays)."""
+        frequencies = (512e3, 1024e3, 1536e3, 2048e3, 2560e3)
+        dbms = [-124.0, -125.0, -126.0, -125.5, -127.0]
+        sources = classify_sources({"LDM/LDL1": sets_of(*frequencies, dbms=dbms)})
+        assert sources[0].mechanism == MEMORY_REFRESH
+
+    def test_clock_range(self):
+        sources = classify_sources({"LDM/LDL1": sets_of(332e6)})
+        assert sources[0].mechanism == CLOCK
+
+    def test_unidentified_out_of_ranges(self):
+        sources = classify_sources({"LDM/LDL1": sets_of(5e6)})
+        assert sources[0].mechanism == UNIDENTIFIED
+
+    def test_describe(self):
+        sources = classify_sources({"LDM/LDL1": sets_of(315e3)})
+        text = sources[0].describe()
+        assert "switching regulator" in text and "LDM/LDL1" in text
+
+
+class TestI7EndToEnd:
+    def test_classification_matches_paper(self, i7_detections, i7_onchip_detections):
+        sources = classify_sources(
+            {
+                "LDM/LDL1": group_harmonics(i7_detections),
+                "LDL2/LDL1": group_harmonics(i7_onchip_detections),
+            }
+        )
+        by_fundamental = {round(s.harmonic_set.fundamental / 1e3): s for s in sources}
+        assert by_fundamental[225].fingerprint == MEMORY_SIDE
+        assert by_fundamental[315].fingerprint == MEMORY_SIDE
+        assert by_fundamental[512].fingerprint == MEMORY_SIDE
+        assert by_fundamental[512].mechanism == MEMORY_REFRESH
+        assert by_fundamental[315].mechanism == SWITCHING_REGULATOR
+        core = [k for k in by_fundamental if 330 <= k <= 336]
+        assert core and by_fundamental[core[0]].fingerprint == CORE_SIDE

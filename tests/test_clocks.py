@@ -1,0 +1,82 @@
+"""Spread-spectrum clock emitters (Section 4.3)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SystemModelError
+from repro.spectrum.grid import FrequencyGrid
+from repro.system.clocks import CPUClockEmitter, DRAMClockEmitter
+from repro.system.domains import CORE, DRAM_BUS
+from repro.uarch.activity import AlternationActivity
+
+GRID = FrequencyGrid(329e6, 336e6, 2e3)
+
+
+def make_clock(**kwargs):
+    defaults = dict(clock_frequency=333e6, sweep_width=1e6, fundamental_dbm=-95.0)
+    defaults.update(kwargs)
+    return DRAMClockEmitter(**defaults)
+
+
+class TestDRAMClock:
+    def test_pedestal_occupies_sweep_band(self):
+        power = make_clock().render(GRID, AlternationActivity.constant({DRAM_BUS: 1.0}))
+        in_band = power[GRID.index_of(331.95e6) : GRID.index_of(333.05e6)].sum()
+        assert in_band / power.sum() > 0.95
+
+    def test_edge_horns(self):
+        """Figure 14's twin humps at the sweep edges."""
+        power = make_clock().render(GRID, AlternationActivity.constant({DRAM_BUS: 1.0}))
+        center = power[GRID.index_of(332.5e6)]
+        assert power[GRID.index_of(332.0e6)] > 2 * center
+        assert power[GRID.index_of(333.0e6)] > 2 * center
+
+    def test_amplitude_tracks_activity(self):
+        """Figure 14: 0% vs 100% memory activity differ by several dB."""
+        clock = make_clock(idle_fraction=0.3)
+        idle = clock.render(GRID, AlternationActivity.constant({DRAM_BUS: 0.0}))
+        busy = clock.render(GRID, AlternationActivity.constant({DRAM_BUS: 1.0}))
+        i = GRID.index_of(332.5e6)
+        ratio_db = 10 * np.log10(busy[i] / idle[i])
+        assert 8.0 < ratio_db < 13.0  # (1/0.3)^2 ~ 10.5 dB
+
+    def test_idle_pedestal_still_present(self):
+        """The clock toggles the bus interface even when idle."""
+        idle = make_clock().render(GRID, AlternationActivity.constant({DRAM_BUS: 0.0}))
+        assert idle.sum() > 0
+
+    def test_modulated_by_dram_activity_only(self):
+        clock = make_clock()
+        dram = AlternationActivity(falt=180e3, levels_x={DRAM_BUS: 0.9}, levels_y={DRAM_BUS: 0.0})
+        core = AlternationActivity(falt=180e3, levels_x={CORE: 0.9}, levels_y={CORE: 0.0})
+        assert clock.is_modulated_by(dram)
+        assert not clock.is_modulated_by(core)
+
+    def test_band_edges(self):
+        low, high = make_clock().band_edges()
+        assert low == pytest.approx(332e6)
+        assert high == pytest.approx(333e6)
+
+    def test_validation(self):
+        with pytest.raises(SystemModelError):
+            make_clock(idle_fraction=1.5)
+        with pytest.raises(SystemModelError):
+            make_clock(harmonic_decay_db=-3.0)
+        with pytest.raises(SystemModelError):
+            make_clock().envelope(1, 2.0)
+
+
+class TestCPUClock:
+    def test_unmodulated(self):
+        """'We do not observe any variation in these signals in response to
+        processor activity.'"""
+        clock = CPUClockEmitter(clock_frequency=100e6, sweep_width=0.5e6)
+        activity = AlternationActivity(falt=43e3, levels_x={CORE: 1.0}, levels_y={CORE: 0.0})
+        assert not clock.is_modulated_by(activity)
+
+    def test_renders_spread_pedestal(self):
+        grid = FrequencyGrid(99e6, 101e6, 2e3)
+        clock = CPUClockEmitter(clock_frequency=100e6, sweep_width=0.5e6, fundamental_dbm=-105.0)
+        power = clock.render(grid, AlternationActivity.constant({}))
+        occupied = power[power > 0]
+        assert len(occupied) > 100  # spread, not a single line

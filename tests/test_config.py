@@ -1,0 +1,85 @@
+"""Campaign configuration: the Figure 10 parameter table."""
+
+import pytest
+
+from repro.core.config import (
+    DEFAULT_HARMONICS,
+    FaseConfig,
+    PAPER_CAMPAIGNS,
+    campaign_high_band,
+    campaign_low_band,
+    campaign_mid_band,
+)
+from repro.errors import CampaignError
+
+
+class TestFigure10Parameters:
+    def test_low_band_row(self):
+        cfg = campaign_low_band()
+        assert (cfg.span_low, cfg.span_high) == (0.0, 4e6)
+        assert cfg.fres == 50.0
+        assert cfg.falt1 == 43.3e3
+        assert cfg.f_delta == 0.5e3
+
+    def test_mid_band_row(self):
+        cfg = campaign_mid_band()
+        assert cfg.span_high == 120e6
+        assert cfg.fres == 500.0
+        assert cfg.falt1 == 43.3e3
+        assert cfg.f_delta == 5e3
+
+    def test_high_band_row(self):
+        cfg = campaign_high_band()
+        assert cfg.span_high == 1200e6
+        assert cfg.fres == 500.0
+        assert cfg.falt1 == 1800e3
+        assert cfg.f_delta == 100e3
+
+    def test_low_band_point_count(self):
+        """'our 0-4MHz measurements used fres = 50Hz, so each recorded
+        spectrum has 4MHz/50Hz = 80,000 data points'."""
+        assert campaign_low_band().n_points() == 80000
+
+    def test_all_campaigns_registered(self):
+        assert set(PAPER_CAMPAIGNS) == {"low", "mid", "high"}
+
+
+class TestFalts:
+    def test_five_alternation_frequencies(self):
+        """'we use five' / 'falt1 through falt1 + 4 f_delta'."""
+        falts = campaign_low_band().falts()
+        assert len(falts) == 5
+        assert falts == pytest.approx([43.3e3, 43.8e3, 44.3e3, 44.8e3, 45.3e3])
+
+    def test_harmonics_default(self):
+        """'the 1st, 2nd, 3rd, 4th and 5th positive and negative harmonics'."""
+        assert set(DEFAULT_HARMONICS) == {1, -1, 2, -2, 3, -3, 4, -4, 5, -5}
+
+    def test_averages_default(self):
+        """'Each spectrum was measured 4 times ... and averaged.'"""
+        assert campaign_low_band().n_averages == 4
+
+
+class TestValidation:
+    def test_span_ordering(self):
+        with pytest.raises(CampaignError):
+            FaseConfig(span_low=4e6, span_high=1e6)
+
+    def test_needs_two_alternations(self):
+        with pytest.raises(CampaignError):
+            FaseConfig(n_alternations=1)
+
+    def test_f_delta_below_falt1(self):
+        with pytest.raises(CampaignError):
+            FaseConfig(falt1=1e3, f_delta=2e3)
+
+    def test_f_delta_resolvable(self):
+        with pytest.raises(CampaignError):
+            FaseConfig(fres=500.0, f_delta=500.0)
+
+    def test_zero_harmonic_rejected(self):
+        with pytest.raises(CampaignError):
+            FaseConfig(harmonics=(0, 1))
+
+    def test_describe_mentions_name(self):
+        assert "low band" in campaign_low_band().describe()

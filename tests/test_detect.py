@@ -1,0 +1,122 @@
+"""Carrier detection: thresholds, movement verification, characterization.
+
+Uses the session-scoped i7 campaign fixtures (real pipeline data) plus
+synthetic cases for the movement-verification logic.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.detect import CarrierDetector
+from repro.errors import DetectionError
+
+
+class TestI7MemoryPair:
+    """Detections for LDM/LDL1 on the Core i7 (the Figure 11 scenario)."""
+
+    def test_dram_regulator_fundamental_found(self, i7_detections):
+        assert any(abs(d.frequency - 315e3) < 2e3 for d in i7_detections)
+
+    def test_memory_controller_regulator_found(self, i7_detections):
+        assert any(abs(d.frequency - 225e3) < 2e3 for d in i7_detections)
+
+    def test_refresh_comb_found(self, i7_detections):
+        for harmonic in (512e3, 1024e3):
+            assert any(abs(d.frequency - harmonic) < 2e3 for d in i7_detections), harmonic
+
+    def test_core_regulator_not_reported(self, i7_detections):
+        """Fig. 11: the core regulator's humps are visible in the spectrum
+        'but were not reported by FASE because they were not significantly
+        modulated by the LDM/LDL1 alternation'."""
+        assert not any(abs(d.frequency - 333e3) < 2e3 for d in i7_detections)
+
+    def test_carrier_frequencies_accurate(self, i7_detections):
+        """The movement fit recovers carriers to within a few bins."""
+        for expected in (225e3, 315e3, 512e3):
+            match = min(i7_detections, key=lambda d: abs(d.frequency - expected))
+            assert abs(match.frequency - expected) < 500.0
+
+    def test_magnitudes_plausible(self, i7_detections):
+        for detection in i7_detections:
+            assert -150.0 < detection.magnitude_dbm < -90.0
+
+    def test_modulation_depth_in_range(self, i7_detections):
+        for detection in i7_detections:
+            assert 0.0 <= detection.modulation_depth <= 1.0
+
+    def test_refresh_depth_exceeds_regulator_depth(self, i7_detections):
+        """Refresh coherence collapses under load (deep AM); the regulator
+        duty cycle only shifts a little (shallow AM)."""
+        refresh = min(i7_detections, key=lambda d: abs(d.frequency - 512e3))
+        regulator = min(i7_detections, key=lambda d: abs(d.frequency - 315e3))
+        assert refresh.modulation_depth > regulator.modulation_depth
+
+    def test_describe_readable(self, i7_detections):
+        text = i7_detections[0].describe()
+        assert "carrier at" in text and "dBm" in text
+
+
+class TestI7OnChipPair:
+    def test_only_core_regulator(self, i7_onchip_detections):
+        """Fig. 13: 'Only one type of carrier was found to be modulated in
+        this case - the switching regulator for the CPU cores.'"""
+        assert len(i7_onchip_detections) >= 1
+        for detection in i7_onchip_detections:
+            assert abs(detection.frequency - 333e3) < 3e3 or (
+                abs(detection.frequency % 333e3) < 3e3
+            )
+
+
+class TestNullPair:
+    def test_no_detections_without_contrast(self, i7, low_band_config, i7_null):
+        assert CarrierDetector().detect(i7_null) == []
+
+
+class TestDetectorKnobs:
+    def test_harmonic_evidence_recorded(self, i7_detections):
+        strongest = max(i7_detections, key=lambda d: d.combined_score)
+        assert 1 in strongest.harmonic_scores or -1 in strongest.harmonic_scores
+        for h, score in strongest.harmonic_scores.items():
+            assert score > 1.0
+
+    def test_stricter_threshold_fewer_detections(self, i7_ldm_ldl1):
+        loose = CarrierDetector(min_combined_z=5.5).detect(i7_ldm_ldl1)
+        strict = CarrierDetector(min_combined_z=25.0).detect(i7_ldm_ldl1)
+        assert len(strict) <= len(loose)
+        strict_freqs = {round(d.frequency) for d in strict}
+        loose_freqs = {round(d.frequency) for d in loose}
+        assert strict_freqs <= loose_freqs
+
+    def test_validation(self):
+        with pytest.raises(DetectionError):
+            CarrierDetector(min_combined_z=0.0)
+        with pytest.raises(DetectionError):
+            CarrierDetector(min_harmonics=0)
+        with pytest.raises(DetectionError):
+            CarrierDetector(slope_tolerance=0.9)
+        with pytest.raises(DetectionError):
+            CarrierDetector(smoothing_bins=0)
+
+
+class TestMovementVerification:
+    def test_correct_harmonic_accepted(self, i7_ldm_ldl1):
+        detector = CarrierDetector()
+        carrier = detector._verify_movement(i7_ldm_ldl1, 315e3, 1)
+        assert carrier is not None
+        assert carrier == pytest.approx(315e3, abs=500.0)
+
+    def test_wrong_harmonic_rejected(self, i7_ldm_ldl1):
+        """A +1-moving side-band must not verify under h = +3: the paper's
+        'observed spacing is unique for each harmonic'."""
+        detector = CarrierDetector()
+        # 315k's +1 side-band would alias to a carrier at 315k - 2*falt_mid
+        ghost = 315e3 - 2 * 44.3e3
+        assert detector._verify_movement(i7_ldm_ldl1, ghost, 3) is None
+
+    def test_static_tone_rejected(self, i7_ldm_ldl1):
+        """A strong static line (zero slope) fails every harmonic."""
+        detector = CarrierDetector()
+        # the legacy timer crystal at 1.193182 MHz is a strong static tone;
+        # pretend it is the +1 side-band of a carrier at 1.193182M - falt
+        candidate = 1.193182e6 - 44.3e3
+        assert detector._verify_movement(i7_ldm_ldl1, candidate, 1) is None

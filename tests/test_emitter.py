@@ -1,0 +1,134 @@
+"""Emitter base class: rendering, calibration, modulation bookkeeping."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SystemModelError
+from repro.signals.oscillator import CrystalOscillator
+from repro.spectrum.grid import FrequencyGrid
+from repro.system.emitter import Emitter, UnmodulatedEmitter
+from repro.uarch.activity import AlternationActivity
+from repro.units import dbm_to_milliwatts
+
+GRID = FrequencyGrid(0.0, 2e6, 50.0)
+
+
+class LinearEmitter(Emitter):
+    """Test double: envelope directly proportional to the activity level."""
+
+    def envelope(self, order, level):
+        decay = 0.5 ** (order - 1)
+        return decay * (0.2 + 0.8 * level)
+
+
+def make_emitter(**kwargs):
+    defaults = dict(
+        name="test",
+        oscillator=CrystalOscillator(200e3),
+        domain="core",
+        fundamental_dbm=-110.0,
+        max_harmonics=4,
+    )
+    defaults.update(kwargs)
+    return LinearEmitter(**defaults)
+
+
+def alternation(level_x=1.0, level_y=0.0, falt=20e3):
+    return AlternationActivity(
+        falt=falt, levels_x={"core": level_x}, levels_y={"core": level_y}
+    )
+
+
+class TestCalibration:
+    def test_fundamental_power_at_reference(self):
+        emitter = make_emitter()
+        activity = AlternationActivity.constant({"core": emitter.reference_level()})
+        power = emitter.render(GRID, activity)
+        fundamental = power[GRID.index_of(200e3)]
+        assert fundamental == pytest.approx(dbm_to_milliwatts(-110.0), rel=1e-6)
+
+    def test_amplitude_unit_positive(self):
+        assert make_emitter().amplitude_unit() > 0
+
+
+class TestRendering:
+    def test_harmonics_present(self):
+        power = emitter_power = make_emitter().render(GRID, alternation())
+        for order in range(1, 5):
+            assert power[GRID.index_of(order * 200e3)] > 0
+
+    def test_max_harmonics_respected(self):
+        power = make_emitter(max_harmonics=2).render(GRID, alternation())
+        assert power[GRID.index_of(600e3)] == 0.0
+
+    def test_sidebands_present_when_modulated(self):
+        power = make_emitter().render(GRID, alternation(falt=20e3))
+        assert power[GRID.index_of(220e3)] > 0
+        assert power[GRID.index_of(180e3)] > 0
+
+    def test_no_sidebands_when_constant(self):
+        activity = AlternationActivity.constant({"core": 0.6})
+        power = make_emitter().render(GRID, activity)
+        assert power[GRID.index_of(220e3)] == pytest.approx(0.0, abs=1e-30)
+
+    def test_unknown_domain_renders_at_zero_level(self):
+        emitter = make_emitter(domain="weird")
+        power = emitter.render(GRID, alternation())
+        # level 0 -> envelope 0.2: carrier exists, no sidebands
+        assert power[GRID.index_of(200e3)] > 0
+        assert power[GRID.index_of(220e3)] == pytest.approx(0.0, abs=1e-30)
+
+    def test_out_of_grid_harmonics_skipped(self):
+        # falt of 1 kHz keeps every side-band within 5 kHz of its (out of
+        # grid) carrier, so nothing lands on this 0-150 kHz grid.
+        small = FrequencyGrid(0.0, 150e3, 50.0)
+        power = make_emitter().render(small, alternation(falt=1e3))
+        assert power.sum() == pytest.approx(0.0, abs=1e-30)
+
+    def test_ingrid_sideband_of_outofgrid_carrier_renders(self):
+        """Section 2.3: the carrier itself need not be observable — its
+        side-bands can land inside the measured span."""
+        small = FrequencyGrid(0.0, 190e3, 50.0)  # carrier at 200 kHz is outside
+        power = make_emitter().render(small, alternation(falt=20e3))
+        assert power[small.index_of(180e3)] > 0
+
+
+class TestModulationPredicate:
+    def test_modulated_by_contrasting_activity(self):
+        assert make_emitter().is_modulated_by(alternation())
+
+    def test_not_modulated_by_constant(self):
+        assert not make_emitter().is_modulated_by(AlternationActivity.constant({"core": 0.5}))
+
+    def test_carrier_frequencies(self):
+        emitter = make_emitter()
+        assert emitter.carrier_frequencies(up_to=500e3) == [200e3, 400e3]
+
+
+class TestUnmodulatedEmitter:
+    def test_flat_in_level(self):
+        emitter = UnmodulatedEmitter("spur", CrystalOscillator(100e3), -120.0)
+        assert emitter.envelope(1, 0.0) == emitter.envelope(1, 1.0)
+
+    def test_never_modulated(self):
+        emitter = UnmodulatedEmitter("spur", CrystalOscillator(100e3), -120.0)
+        assert not emitter.is_modulated_by(alternation())
+
+    def test_harmonic_decay(self):
+        emitter = UnmodulatedEmitter("spur", CrystalOscillator(100e3), -120.0, harmonic_decay_db=6.0)
+        assert emitter.envelope(2, 0.0) == pytest.approx(10 ** (-6.0 / 20.0))
+
+
+class TestValidation:
+    def test_bad_harmonics(self):
+        with pytest.raises(SystemModelError):
+            make_emitter(max_harmonics=0)
+
+    def test_zero_reference_envelope(self):
+        class DeadEmitter(Emitter):
+            def envelope(self, order, level):
+                return 0.0
+
+        dead = DeadEmitter("dead", CrystalOscillator(1e5), "core", -110.0)
+        with pytest.raises(SystemModelError):
+            dead.amplitude_unit()

@@ -1,0 +1,47 @@
+"""Spectrogram FM confirmation (the paper's Section 4.4 check)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.fm_detect import is_frequency_modulated, spectrogram_frequency_track
+from repro.errors import DetectionError
+from repro.signals.waveform import synthesize_am_iq, synthesize_fm_iq
+
+FS = 1e6
+
+
+class TestFrequencyTrack:
+    def test_tracks_alternating_frequency(self):
+        iq = synthesize_fm_iq(0.05, FS, 50e3, 100e3, falt=1e3, rng=np.random.default_rng(0))
+        _, track = spectrogram_frequency_track(iq, FS)
+        assert track.min() < 60e3
+        assert track.max() > 90e3
+
+    def test_too_short_rejected(self):
+        with pytest.raises(DetectionError):
+            spectrogram_frequency_track(np.ones(100, dtype=complex), FS)
+
+
+class TestIsFrequencyModulated:
+    def test_fm_signal_detected(self):
+        """The AMD constant-on-time regulator case: frequency alternates."""
+        iq = synthesize_fm_iq(0.05, FS, 50e3, 100e3, falt=1e3, rng=np.random.default_rng(0))
+        assert is_frequency_modulated(iq, FS, min_separation_hz=20e3)
+
+    def test_am_signal_not_fm(self):
+        """An AM carrier holds one frequency: the FM check must say no."""
+        iq = synthesize_am_iq(
+            0.05, FS, 80e3, falt=1e3, amplitude_x=1.0, amplitude_y=0.2,
+            rng=np.random.default_rng(0),
+        )
+        assert not is_frequency_modulated(iq, FS, min_separation_hz=20e3)
+
+    def test_separation_threshold(self):
+        iq = synthesize_fm_iq(0.05, FS, 50e3, 54e3, falt=1e3, rng=np.random.default_rng(0))
+        # 4 kHz swing < 20 kHz requirement
+        assert not is_frequency_modulated(iq, FS, min_separation_hz=20e3)
+
+    def test_validation(self):
+        iq = synthesize_fm_iq(0.01, FS, 50e3, 100e3, falt=1e3, rng=np.random.default_rng(0))
+        with pytest.raises(DetectionError):
+            is_frequency_modulated(iq, FS, min_separation_hz=0.0)

@@ -1,0 +1,92 @@
+"""FM-FASE: the Section 4.4 future-work extension, tested on the Turion."""
+
+import numpy as np
+import pytest
+
+from repro.core.fmfase import AM_CARRIER, FM_CARRIER, STATIC_SIGNAL, FmFaseScanner, SweptHump
+from repro.errors import DetectionError
+from repro.spectrum.grid import FrequencyGrid
+from repro.system import build_environment, turionx2_laptop
+from repro.system.domains import CORE
+
+
+@pytest.fixture(scope="module")
+def turion_quiet():
+    return turionx2_laptop(
+        environment=build_environment(1.2e6, kind="quiet"), rng=np.random.default_rng(0)
+    )
+
+
+@pytest.fixture(scope="module")
+def scanner():
+    grid = FrequencyGrid(150e3, 700e3, 50.0)
+    return FmFaseScanner(grid, CORE, levels=(0.0, 0.25, 0.5, 0.75, 1.0))
+
+
+class TestSweptHump:
+    def make_hump(self, centroids, powers):
+        return SweptHump(
+            idle_frequency=centroids[0],
+            centroids=tuple(centroids),
+            band_powers=tuple(powers),
+            levels=(0.0, 0.5, 1.0),
+        )
+
+    def test_fm_classification(self):
+        hump = self.make_hump([300e3, 310e3, 320e3], [1.0, 1.0, 1.0])
+        assert hump.classify(min_shift_hz=5e3) == FM_CARRIER
+
+    def test_am_classification(self):
+        hump = self.make_hump([300e3, 300e3, 300e3], [1.0, 2.0, 4.0])
+        assert hump.classify(min_shift_hz=5e3) == AM_CARRIER
+
+    def test_static_classification(self):
+        hump = self.make_hump([300e3, 300.1e3, 300e3], [1.0, 1.05, 1.0])
+        assert hump.classify(min_shift_hz=5e3) == STATIC_SIGNAL
+
+    def test_non_monotone_shift_not_fm(self):
+        hump = self.make_hump([300e3, 330e3, 310e3], [1.0, 1.0, 1.0])
+        assert hump.classify(min_shift_hz=5e3) != FM_CARRIER
+
+
+class TestScannerOnTurion:
+    def test_finds_the_cot_regulator_as_fm(self, turion_quiet, scanner):
+        """The AMD constant-on-time core regulator, invisible to AM-FASE,
+        is exactly what FM-FASE must find."""
+        fm = scanner.fm_carriers(turion_quiet)
+        assert len(fm) >= 1
+        regulator = turion_quiet.emitter_named("CPU core regulator (constant on-time)")
+        f_idle = regulator.frequency_at(0.0)
+        f_loaded = regulator.frequency_at(1.0)
+        match = min(fm, key=lambda d: abs(d.hump.idle_frequency - f_idle))
+        assert abs(match.hump.idle_frequency - f_idle) < 10e3
+        # the measured shift approximates the regulator's physical swing
+        assert match.hump.frequency_shift == pytest.approx(f_loaded - f_idle, rel=0.35)
+
+    def test_am_regulator_not_classified_fm(self, turion_quiet, scanner):
+        """The 250 kHz memory regulator is AM (under DRAM load) and simply
+        static under a *core* sweep: it must not appear as FM."""
+        for detection in scanner.scan(turion_quiet):
+            if abs(detection.hump.idle_frequency - 250e3) < 5e3:
+                assert detection.kind != FM_CARRIER
+
+    def test_refresh_comb_not_fm(self, turion_quiet, scanner):
+        for detection in scanner.scan(turion_quiet):
+            if abs(detection.hump.idle_frequency - 264e3) < 3e3:
+                assert detection.kind != FM_CARRIER
+
+    def test_describe(self, turion_quiet, scanner):
+        fm = scanner.fm_carriers(turion_quiet)
+        assert "FM carrier" in fm[0].describe()
+
+
+class TestValidation:
+    def test_needs_three_levels(self):
+        grid = FrequencyGrid(0.0, 1e6, 100.0)
+        with pytest.raises(DetectionError):
+            FmFaseScanner(grid, CORE, levels=(0.0, 1.0))
+
+    def test_levels_sorted(self):
+        grid = FrequencyGrid(0.0, 1e6, 100.0)
+        with pytest.raises(DetectionError):
+            FmFaseScanner(grid, CORE, levels=(0.0, 1.0, 0.5))

@@ -1,0 +1,95 @@
+"""FrequencyGrid: bin bookkeeping every other component relies on."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GridError
+from repro.spectrum.grid import FrequencyGrid
+
+
+class TestConstruction:
+    def test_paper_low_band_has_80000_points(self):
+        """Figure 10: '4MHz/50Hz = 80,000 data points'."""
+        grid = FrequencyGrid(0.0, 4e6, 50.0)
+        assert grid.n_bins == 80000
+
+    def test_frequencies_uniform(self):
+        grid = FrequencyGrid(1e3, 11e3, 100.0)
+        assert len(grid.frequencies) == 100
+        np.testing.assert_allclose(np.diff(grid.frequencies), 100.0)
+
+    def test_frequencies_read_only(self):
+        grid = FrequencyGrid(0.0, 1e4, 100.0)
+        with pytest.raises(ValueError):
+            grid.frequencies[0] = 5.0
+
+    @pytest.mark.parametrize(
+        "start,stop,res",
+        [(0.0, 1e3, 0.0), (1e3, 1e3, 10.0), (-1.0, 1e3, 10.0), (0.0, 10.0, 10.0)],
+    )
+    def test_invalid_construction(self, start, stop, res):
+        with pytest.raises(GridError):
+            FrequencyGrid(start, stop, res)
+
+
+class TestIndexing:
+    def test_index_roundtrip(self):
+        grid = FrequencyGrid(0.0, 4e6, 50.0)
+        for f in (0.0, 315e3, 3.9999e6):
+            assert grid.frequency_at(grid.index_of(f)) == pytest.approx(f, abs=25.0)
+
+    def test_contains(self):
+        grid = FrequencyGrid(100e3, 200e3, 100.0)
+        assert grid.contains(150e3)
+        assert not grid.contains(250e3)
+        assert not grid.contains(50e3)
+
+    def test_index_outside_raises(self):
+        grid = FrequencyGrid(0.0, 1e6, 100.0)
+        with pytest.raises(GridError):
+            grid.index_of(2e6)
+
+    def test_negative_index(self):
+        grid = FrequencyGrid(0.0, 1e4, 100.0)
+        assert grid.frequency_at(-1) == grid.frequency_at(grid.n_bins - 1)
+
+    def test_index_out_of_range(self):
+        grid = FrequencyGrid(0.0, 1e4, 100.0)
+        with pytest.raises(GridError):
+            grid.frequency_at(grid.n_bins)
+
+
+class TestSlicing:
+    def test_slice_indices(self):
+        grid = FrequencyGrid(0.0, 1e6, 100.0)
+        lo, hi = grid.slice_indices(10e3, 20e3)
+        assert grid.frequency_at(lo) >= 10e3 - 1e-6
+        assert grid.frequency_at(hi - 1) <= 20e3 + 1e-6
+
+    def test_subgrid_same_resolution(self):
+        grid = FrequencyGrid(0.0, 1e6, 100.0)
+        sub = grid.subgrid(100e3, 200e3)
+        assert sub.resolution == grid.resolution
+        assert sub.start >= 100e3 - 1e-6
+
+    def test_empty_slice_raises(self):
+        grid = FrequencyGrid(0.0, 1e6, 100.0)
+        with pytest.raises(GridError):
+            grid.slice_indices(2e6, 3e6)
+
+    def test_reversed_slice_raises(self):
+        grid = FrequencyGrid(0.0, 1e6, 100.0)
+        with pytest.raises(GridError):
+            grid.slice_indices(20e3, 10e3)
+
+
+class TestEquality:
+    def test_equal_grids(self):
+        assert FrequencyGrid(0.0, 1e6, 100.0) == FrequencyGrid(0.0, 1e6, 100.0)
+
+    def test_different_resolution(self):
+        assert FrequencyGrid(0.0, 1e6, 100.0) != FrequencyGrid(0.0, 1e6, 50.0)
+
+    def test_hashable(self):
+        cache = {FrequencyGrid(0.0, 1e6, 100.0): "x"}
+        assert cache[FrequencyGrid(0.0, 1e6, 100.0)] == "x"

@@ -1,0 +1,104 @@
+"""Harmonic-set grouping (Section 4's 'group the identified carriers')."""
+
+import pytest
+
+from repro.core.detect import CarrierDetection
+from repro.core.harmonics import HarmonicSet, group_harmonics
+from repro.errors import DetectionError
+
+
+def det(frequency, dbm=-120.0, score=10.0, depth=0.3):
+    return CarrierDetection(
+        frequency=frequency,
+        combined_score=score,
+        harmonic_scores={1: 10.0},
+        magnitude_dbm=dbm,
+        modulation_depth=depth,
+    )
+
+
+class TestGrouping:
+    def test_single_comb(self):
+        sets = group_harmonics([det(315e3), det(630e3), det(945e3)])
+        assert len(sets) == 1
+        assert sets[0].fundamental == pytest.approx(315e3, rel=1e-3)
+        assert sets[0].orders == [1, 2, 3]
+
+    def test_two_combs_not_conflated_by_common_divisor(self):
+        """315k and 225k share a 45k divisor; candidates restricted to
+        detected carriers keep the sets apart."""
+        detections = [det(f) for f in (225e3, 450e3, 675e3, 315e3, 630e3, 945e3)]
+        sets = group_harmonics(detections)
+        fundamentals = sorted(s.fundamental for s in sets)
+        assert len(sets) == 2
+        assert fundamentals[0] == pytest.approx(225e3, rel=1e-3)
+        assert fundamentals[1] == pytest.approx(315e3, rel=1e-3)
+
+    def test_refresh_comb_grouped_at_strong_line(self):
+        """The far-field refresh comb (512 kHz multiples) groups at 512 kHz
+        even though the physical period is 128 kHz (only visible near-field)."""
+        detections = [det(f) for f in (512e3, 1024e3, 1536e3, 2048e3)]
+        sets = group_harmonics(detections)
+        assert len(sets) == 1
+        assert sets[0].fundamental == pytest.approx(512e3, rel=1e-3)
+
+    def test_singleton_allowed(self):
+        sets = group_harmonics([det(333e3)])
+        assert len(sets) == 1
+        assert sets[0].orders == [1]
+
+    def test_tolerates_measurement_error(self):
+        sets = group_harmonics([det(315.0e3), det(630.2e3)], rel_tol=0.01)
+        assert len(sets) == 1
+
+    def test_fundamental_refined_by_least_squares(self):
+        # members at 315.1k and 629.9k: best f0 from weighted fit
+        sets = group_harmonics([det(315.1e3), det(629.9e3)])
+        assert sets[0].fundamental == pytest.approx((315.1e3 + 2 * 629.9e3) / 5.0, rel=1e-6)
+
+    def test_empty_input(self):
+        assert group_harmonics([]) == []
+
+    def test_sets_sorted_by_fundamental(self):
+        sets = group_harmonics([det(f) for f in (900e3, 300e3, 600e3, 500e3)])
+        fundamentals = [s.fundamental for s in sets]
+        assert fundamentals == sorted(fundamentals)
+
+    def test_validation(self):
+        with pytest.raises(DetectionError):
+            group_harmonics([det(1e3)], rel_tol=0.9)
+        with pytest.raises(DetectionError):
+            group_harmonics([det(1e3)], max_order=0)
+
+
+class TestHarmonicSetProperties:
+    def test_strongest_and_evidence(self):
+        sets = group_harmonics([det(315e3, dbm=-110.0, score=20.0), det(630e3, dbm=-114.0, score=10.0)])
+        assert sets[0].strongest_dbm == -110.0
+        assert sets[0].total_evidence == 30.0
+
+    def test_max_modulation_depth(self):
+        sets = group_harmonics([det(512e3, depth=0.5), det(1024e3, depth=0.54)])
+        assert sets[0].max_modulation_depth == 0.54
+
+    def test_describe(self):
+        sets = group_harmonics([det(315e3)])
+        assert "315" in sets[0].describe()
+
+
+class TestI7Grouping:
+    def test_i7_sets_match_figure_11(self, i7_detections):
+        sets = group_harmonics(i7_detections)
+        fundamentals = sorted(s.fundamental for s in sets)
+        expected = (225e3, 315e3, 512e3)
+        assert len(sets) == 3
+        for fundamental, target in zip(fundamentals, expected):
+            assert fundamental == pytest.approx(target, rel=0.01)
+
+    def test_refresh_set_has_many_similar_harmonics(self, i7_detections):
+        """'its harmonics are all of similar strength' (< 3% duty cycle)."""
+        sets = group_harmonics(i7_detections)
+        refresh = min(sets, key=lambda s: abs(s.fundamental - 512e3))
+        assert len(refresh.members) >= 4
+        magnitudes = [m.magnitude_dbm for _, m in refresh.members]
+        assert max(magnitudes) - min(magnitudes) < 15.0

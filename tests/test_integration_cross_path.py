@@ -1,0 +1,82 @@
+"""Cross-check: the analytic frequency-domain renderer against time-domain
+synthesis + Welch estimation.
+
+This is the strongest correctness evidence the simulator can give: two
+independent implementations of the same physics (AM side-band structure,
+spread-spectrum pedestals) must put the same features in the same places
+with the same relative powers.
+"""
+
+import numpy as np
+import pytest
+
+from repro.signals.modulation import am_sideband_lines
+from repro.signals.waveform import synthesize_am_iq, synthesize_spread_spectrum_iq
+from repro.spectrum.grid import FrequencyGrid
+from repro.spectrum.welch import trace_from_iq
+
+FS = 2e6
+DURATION = 0.25
+
+
+def band_power(trace, frequency, halfwidth=1.5e3):
+    lo, hi = trace.grid.slice_indices(frequency - halfwidth, frequency + halfwidth)
+    return float(trace.power_mw[lo:hi].sum())
+
+
+class TestAmSidebandAgreement:
+    @pytest.fixture(scope="class")
+    def am_trace(self):
+        iq = synthesize_am_iq(
+            DURATION, FS, 300e3, falt=43.3e3, amplitude_x=1.0, amplitude_y=0.3,
+            rng=np.random.default_rng(0),
+        )
+        grid = FrequencyGrid(100e3, 500e3, 200.0)
+        return trace_from_iq(iq, FS, grid)
+
+    def test_sideband_positions(self, am_trace):
+        carrier = band_power(am_trace, 300e3)
+        for k in (1, 3):
+            assert band_power(am_trace, 300e3 + k * 43.3e3) > 1e-4 * carrier
+            assert band_power(am_trace, 300e3 - k * 43.3e3) > 1e-4 * carrier
+        # even harmonic suppressed at 50% duty
+        assert band_power(am_trace, 300e3 + 2 * 43.3e3) < 0.3 * band_power(
+            am_trace, 300e3 + 43.3e3
+        )
+
+    def test_sideband_to_carrier_ratio_matches_analytic(self, am_trace):
+        """Measured P(sb1)/P(carrier) vs the am_sideband_lines prediction."""
+        lines = am_sideband_lines(1.0, 0.3, falt=43.3e3, n_harmonics=1)
+        predicted = {line.offset: line.power for line in lines}
+        predicted_ratio = predicted[43.3e3] / predicted[0.0]
+        measured_ratio = band_power(am_trace, 343.3e3) / band_power(am_trace, 300e3)
+        assert measured_ratio == pytest.approx(predicted_ratio, rel=0.15)
+
+    def test_third_harmonic_ratio(self, am_trace):
+        lines = am_sideband_lines(1.0, 0.3, falt=43.3e3, n_harmonics=3)
+        predicted = {line.offset: line.power for line in lines}
+        predicted_ratio = predicted[3 * 43.3e3] / predicted[43.3e3]
+        measured_ratio = band_power(am_trace, 300e3 + 3 * 43.3e3) / band_power(
+            am_trace, 343.3e3
+        )
+        assert measured_ratio == pytest.approx(predicted_ratio, rel=0.3)
+
+    def test_total_power_conserved(self, am_trace):
+        """Mean-square of the envelope-modulated carrier."""
+        # envelope alternates 1.0 / 0.3 at 50% duty -> mean square = 0.545
+        assert am_trace.total_power() == pytest.approx(0.545, rel=0.05)
+
+
+class TestSpreadSpectrumAgreement:
+    def test_pedestal_band_and_horns(self):
+        iq = synthesize_spread_spectrum_iq(0.1, FS, 400e3, 100e3, sweep_period=100e-6)
+        grid = FrequencyGrid(200e3, 500e3, 500.0)
+        trace = trace_from_iq(iq, FS, grid)
+        in_band = band_power(trace, 350e3, halfwidth=52e3)
+        assert in_band / trace.total_power() > 0.95
+        # horns at both edges exceed the mid-band density
+        center = band_power(trace, 350e3, halfwidth=5e3)
+        low_horn = band_power(trace, 301e3, halfwidth=5e3)
+        high_horn = band_power(trace, 399e3, halfwidth=5e3)
+        assert low_horn > 1.5 * center
+        assert high_horn > 1.5 * center

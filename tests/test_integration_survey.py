@@ -1,0 +1,75 @@
+"""Section 4.4 survey: FASE finds the same signal families on every system."""
+
+import numpy as np
+import pytest
+
+from repro import FaseConfig, MeasurementCampaign, MicroOp
+from repro.core import CarrierDetector, group_harmonics
+from repro.system import (
+    ALL_PRESETS,
+    DRAMClockEmitter,
+    MemoryRefreshEmitter,
+    SwitchingRegulator,
+    build_environment,
+)
+
+
+@pytest.mark.parametrize("preset_name", sorted(ALL_PRESETS))
+def test_low_band_survey_finds_memory_side_signals(preset_name):
+    """On every modeled system the LDM/LDL1 campaign reports the memory
+    regulator and the refresh comb (the DRAM clock lives in the high band,
+    covered by the campaign-3 tests)."""
+    machine = ALL_PRESETS[preset_name](
+        environment=build_environment(2e6, kind="quiet"), rng=np.random.default_rng(0)
+    )
+    config = FaseConfig(span_low=0.0, span_high=2e6, fres=100.0, name="survey window")
+    campaign = MeasurementCampaign(machine, config, rng=np.random.default_rng(1))
+    result = campaign.run(MicroOp.LDM, MicroOp.LDL1, label="LDM/LDL1")
+    detections = CarrierDetector().detect(result)
+    detected = np.array([d.frequency for d in detections])
+    assert detected.size > 0
+
+    regulators = [
+        e for e in machine.emitters
+        if isinstance(e, SwitchingRegulator) and e.is_modulated_by(result.measurements[0].activity)
+    ]
+    found_regulator = False
+    for regulator in regulators:
+        for harmonic in regulator.carrier_frequencies(up_to=2e6):
+            if np.min(np.abs(detected - harmonic)) < 2e3:
+                found_regulator = True
+    assert found_regulator, f"{preset_name}: no modulated regulator harmonic detected"
+
+    refresh = next(e for e in machine.emitters if isinstance(e, MemoryRefreshEmitter))
+    comb_step = refresh.refresh_frequency * refresh.n_ranks
+    found_refresh = any(
+        np.min(np.abs(detected - k * comb_step)) < 2e3
+        for k in range(1, int(2e6 // comb_step))
+    )
+    assert found_refresh, f"{preset_name}: refresh comb not detected"
+
+
+@pytest.mark.parametrize("preset_name", sorted(ALL_PRESETS))
+def test_dram_clock_detected_on_every_system(preset_name):
+    """The spread-spectrum memory clock is found (as edge carriers) on all
+    four systems using campaign-3 style parameters."""
+    machine = ALL_PRESETS[preset_name](
+        environment=build_environment(1e9, kind="quiet"), rng=np.random.default_rng(0)
+    )
+    clock = next(e for e in machine.emitters if isinstance(e, DRAMClockEmitter))
+    low, high = clock.band_edges()
+    config = FaseConfig(
+        span_low=low - 3e6,
+        span_high=high + 3e6,
+        fres=2e3,
+        falt1=1800e3,
+        f_delta=100e3,
+        name="clock window",
+    )
+    campaign = MeasurementCampaign(machine, config, rng=np.random.default_rng(1))
+    result = campaign.run(MicroOp.LDM, MicroOp.LDL1, label="LDM/LDL1")
+    detections = CarrierDetector(min_separation_hz=150e3).detect(result)
+    assert detections, f"{preset_name}: DRAM clock not detected"
+    for detection in detections:
+        near_edge = min(abs(detection.frequency - low), abs(detection.frequency - high))
+        assert near_edge < 200e3

@@ -1,0 +1,64 @@
+"""The orchestrated Section 4 workflow on the Core i7."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.investigate import (
+    FLAT,
+    STRENGTHENS,
+    WEAKENS,
+    investigate,
+)
+from repro.errors import DetectionError
+from repro.system import build_environment, corei7_desktop
+
+
+@pytest.fixture(scope="module")
+def investigation():
+    machine = corei7_desktop(
+        environment=build_environment(4e6, rng=np.random.default_rng(0)),
+        rng=np.random.default_rng(0),
+    )
+    return investigate(machine, rng=np.random.default_rng(1))
+
+
+class TestInvestigation:
+    def test_finds_all_four_sources(self, investigation):
+        fundamentals = sorted(f.fundamental for f in investigation.findings)
+        assert len(fundamentals) == 4
+        for expected in (225e3, 315e3, 333e3, 512e3):
+            assert any(abs(f - expected) < 3e3 for f in fundamentals), expected
+
+    def test_dram_regulator_finding(self, investigation):
+        finding = investigation.finding_near(315e3)
+        assert finding.mechanism == "switching regulator"
+        assert finding.fingerprint == "memory-side"
+        assert finding.component == "DRAM DIMM regulator"
+        assert finding.response == STRENGTHENS
+
+    def test_refresh_finding_with_inverted_response(self, investigation):
+        """The Section 4.2 narrative end to end: localized to the DIMMs,
+        and the carrier WEAKENS as memory activity rises."""
+        finding = investigation.finding_near(512e3)
+        assert finding.mechanism == "memory refresh"
+        assert finding.component == "memory refresh"
+        assert finding.response == WEAKENS
+
+    def test_core_regulator_finding(self, investigation):
+        finding = investigation.finding_near(333e3)
+        assert finding.fingerprint == "core-side"
+        assert finding.component == "CPU core regulator"
+        assert finding.response == STRENGTHENS
+
+    def test_memory_controller_regulator_finding(self, investigation):
+        finding = investigation.finding_near(225e3)
+        assert finding.component == "memory-controller regulator"
+
+    def test_to_text(self, investigation):
+        text = investigation.to_text()
+        assert "512.0 kHz" in text or "512" in text
+        assert "weakens" in text
+
+    def test_finding_near_miss_raises(self, investigation):
+        with pytest.raises(DetectionError):
+            investigation.finding_near(999e3)

@@ -1,0 +1,106 @@
+"""Campaign persistence round-trips and the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro import FaseConfig, MeasurementCampaign, MicroOp
+from repro.cli import main
+from repro.core import CarrierDetector
+from repro.errors import CampaignError
+from repro.io import load_campaign, save_campaign
+from repro.system import build_environment, corei7_desktop
+
+
+@pytest.fixture(scope="module")
+def small_result():
+    machine = corei7_desktop(
+        environment=build_environment(1e6, kind="quiet"), rng=np.random.default_rng(0)
+    )
+    config = FaseConfig(span_low=0.0, span_high=1e6, fres=100.0, name="io test")
+    campaign = MeasurementCampaign(machine, config, rng=np.random.default_rng(1))
+    return campaign.run(MicroOp.LDM, MicroOp.LDL1, label="LDM/LDL1")
+
+
+class TestCampaignIO:
+    def test_roundtrip_traces(self, small_result, tmp_path):
+        path = tmp_path / "campaign.npz"
+        save_campaign(small_result, path)
+        loaded = load_campaign(path)
+        assert loaded.machine_name == small_result.machine_name
+        assert loaded.activity_label == "LDM/LDL1"
+        assert loaded.falts == small_result.falts
+        for original, restored in zip(small_result.measurements, loaded.measurements):
+            np.testing.assert_array_equal(original.trace.power_mw, restored.trace.power_mw)
+            assert restored.activity.falt == original.activity.falt
+            assert restored.activity.levels_x == original.activity.levels_x
+
+    def test_roundtrip_config(self, small_result, tmp_path):
+        path = tmp_path / "campaign.npz"
+        save_campaign(small_result, path)
+        loaded = load_campaign(path)
+        assert loaded.config == small_result.config
+
+    def test_detection_identical_after_reload(self, small_result, tmp_path):
+        path = tmp_path / "campaign.npz"
+        save_campaign(small_result, path)
+        loaded = load_campaign(path)
+        before = [d.frequency for d in CarrierDetector().detect(small_result)]
+        after = [d.frequency for d in CarrierDetector().detect(loaded)]
+        assert before == after
+
+    def test_bad_archive_rejected(self, tmp_path):
+        path = tmp_path / "not_a_campaign.npz"
+        np.savez(path, data=np.arange(4))
+        with pytest.raises(CampaignError):
+            load_campaign(path)
+
+    def test_empty_result_rejected(self, small_result, tmp_path):
+        from repro.core.campaign import CampaignResult
+
+        empty = CampaignResult(config=small_result.config, machine_name="x", activity_label="y")
+        with pytest.raises(CampaignError):
+            save_campaign(empty, tmp_path / "empty.npz")
+
+
+class TestCli:
+    def test_scan_prints_report(self, capsys):
+        code = main(
+            [
+                "scan", "--machine", "corei7_desktop", "--seed", "0",
+                "--span-high", "1e6", "--fres", "100", "--pair", "LDM/LDL1",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "FASE report for Intel Core i7 desktop" in out
+        assert "LDM/LDL1" in out
+
+    def test_localize(self, capsys):
+        code = main(["localize", "--machine", "corei7_desktop", "--memory", "315e3"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "DRAM DIMM regulator" in out
+
+    def test_record_then_analyze(self, tmp_path, capsys):
+        path = tmp_path / "rec.npz"
+        code = main(
+            [
+                "record", "--machine", "corei7_desktop", "--span-high", "1e6",
+                "--fres", "100", "--pair", "LDM/LDL1", str(path),
+            ]
+        )
+        assert code == 0
+        assert path.exists()
+        code = main(["analyze", str(path)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "carriers" in out
+        assert "315" in out
+
+    def test_invalid_pair_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["scan", "--pair", "FOO/BAR"])
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,81 @@
+"""Micro-op activity levels: the constraints the paper's results rely on."""
+
+import pytest
+
+from repro.errors import SystemModelError
+from repro.system.domains import (
+    ALL_DOMAINS,
+    CORE,
+    DRAM_BUS,
+    DRAM_POWER,
+    MEMORY_INTERFACE,
+    MEMORY_UTILIZATION,
+)
+from repro.uarch.isa import OP_SPECS, MicroOp, activity_levels
+
+
+class TestLevels:
+    def test_every_op_has_every_domain(self):
+        for op in MicroOp:
+            levels = activity_levels(op)
+            for domain in ALL_DOMAINS:
+                assert domain in levels
+
+    def test_levels_in_unit_range(self):
+        for op in MicroOp:
+            for level in activity_levels(op).values():
+                assert 0.0 <= level <= 1.0
+
+    def test_ldm_and_ldl1_same_core_power(self):
+        """Figure 11: LDM/LDL1 does NOT modulate the core regulator — the
+        core is stalled during an LLC miss, drawing L1-hit-like power."""
+        assert activity_levels(MicroOp.LDM)[CORE] == activity_levels(MicroOp.LDL1)[CORE]
+
+    def test_ldl2_draws_more_core_power_than_ldl1(self):
+        """Figure 13: LDL2/LDL1 modulates the core regulator."""
+        assert activity_levels(MicroOp.LDL2)[CORE] > activity_levels(MicroOp.LDL1)[CORE]
+
+    def test_onchip_ops_share_memory_side_levels(self):
+        """On-chip pairs must leave every memory-side emitter unmodulated."""
+        reference = activity_levels(MicroOp.LDL1)
+        for op in (MicroOp.LDL2, MicroOp.ADD, MicroOp.SUB, MicroOp.MUL, MicroOp.DIV, MicroOp.NOP):
+            levels = activity_levels(op)
+            for domain in (MEMORY_INTERFACE, DRAM_POWER, DRAM_BUS, MEMORY_UTILIZATION):
+                assert levels[domain] == reference[domain], (op, domain)
+
+    def test_ldm_lights_up_memory_path(self):
+        ldm = activity_levels(MicroOp.LDM)
+        ldl1 = activity_levels(MicroOp.LDL1)
+        for domain in (MEMORY_INTERFACE, DRAM_POWER, DRAM_BUS, MEMORY_UTILIZATION):
+            assert ldm[domain] > ldl1[domain]
+
+    def test_stm_also_memory_heavy(self):
+        stm = activity_levels(MicroOp.STM)
+        assert stm[DRAM_BUS] > 0.5
+        assert stm[MEMORY_UTILIZATION] > 0.5
+
+    def test_div_is_hottest_alu_op(self):
+        assert activity_levels(MicroOp.DIV)[CORE] > activity_levels(MicroOp.ADD)[CORE]
+
+    def test_copy_returned(self):
+        levels = activity_levels(MicroOp.ADD)
+        levels[CORE] = 99.0
+        assert activity_levels(MicroOp.ADD)[CORE] != 99.0
+
+    def test_non_op_rejected(self):
+        with pytest.raises(SystemModelError):
+            activity_levels("LDM")
+
+
+class TestSpecs:
+    def test_memory_flag(self):
+        assert OP_SPECS[MicroOp.LDM].is_memory
+        assert OP_SPECS[MicroOp.STM].is_memory
+        assert not OP_SPECS[MicroOp.LDL1].is_memory
+
+    def test_latency_ordering(self):
+        """LLC-miss >> L2 hit > L1 hit > simple ALU."""
+        lat = lambda op: OP_SPECS[op].base_latency_cycles
+        assert lat(MicroOp.LDM) > 10 * lat(MicroOp.LDL2)
+        assert lat(MicroOp.LDL2) > lat(MicroOp.LDL1)
+        assert lat(MicroOp.LDL1) > lat(MicroOp.NOP)

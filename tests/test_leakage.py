@@ -1,0 +1,72 @@
+"""Leakage quantification: SNR and capacity per detected carrier."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.leakage import LeakageEstimate, estimate_leakage, rank_leaks
+from repro.errors import DetectionError
+
+
+class TestEstimate:
+    def test_all_detections_quantifiable(self, i7_ldm_ldl1, i7_detections):
+        for detection in i7_detections:
+            estimate = estimate_leakage(i7_ldm_ldl1, detection)
+            assert np.isfinite(estimate.snr_db)
+            assert estimate.capacity_bits_per_second > 0
+
+    def test_sideband_below_carrier(self, i7_ldm_ldl1, i7_detections):
+        for detection in i7_detections:
+            estimate = estimate_leakage(i7_ldm_ldl1, detection)
+            assert estimate.sideband_dbm < estimate.carrier_dbm
+
+    def test_sideband_above_floor_in_resolution_bandwidth(self, i7_ldm_ldl1, i7_detections):
+        """A carrier FASE could detect must have its side-band above the
+        noise within one resolution bandwidth (the full-band SNR may be
+        negative: the channel trades bandwidth for margin)."""
+        strongest = max(i7_detections, key=lambda d: d.combined_score)
+        estimate = estimate_leakage(i7_ldm_ldl1, strongest)
+        fres = i7_ldm_ldl1.grid.resolution
+        floor_in_bin = estimate.noise_floor_dbm_per_hz + 10 * np.log10(fres)
+        assert estimate.sideband_dbm > floor_in_bin + 6.0
+
+    def test_describe(self, i7_ldm_ldl1, i7_detections):
+        estimate = estimate_leakage(i7_ldm_ldl1, i7_detections[0])
+        assert "kbit/s" in estimate.describe()
+
+
+class TestRanking:
+    def test_sorted_by_capacity(self, i7_ldm_ldl1, i7_detections):
+        estimates = rank_leaks(i7_ldm_ldl1, i7_detections)
+        capacities = [e.capacity_bits_per_second for e in estimates]
+        assert capacities == sorted(capacities, reverse=True)
+
+    def test_regulator_outranks_refresh_harmonics(self, i7_ldm_ldl1, i7_detections):
+        """The strongest regulator side-band leaks more than the weaker
+        refresh comb lines — the prioritization the paper's mitigation
+        discussion implies."""
+        estimates = rank_leaks(i7_ldm_ldl1, i7_detections)
+        by_freq = {round(e.carrier_frequency / 1e3): e for e in estimates}
+        assert (
+            by_freq[315].capacity_bits_per_second
+            > by_freq[3072].capacity_bits_per_second
+        )
+
+
+class TestCapacityMath:
+    def test_capacity_formula(self):
+        estimate = LeakageEstimate(
+            carrier_frequency=315e3,
+            carrier_dbm=-110.0,
+            sideband_dbm=-130.0,
+            noise_floor_dbm_per_hz=-170.0,
+            modulation_bandwidth_hz=10e3,
+        )
+        # noise over 10 kHz = -130 dBm -> SNR 0 dB -> capacity = B * log2(2)
+        assert estimate.snr_db == pytest.approx(0.0)
+        assert estimate.capacity_bits_per_second == pytest.approx(10e3)
+
+    def test_more_bandwidth_not_always_more_capacity(self):
+        """Integrated noise grows with B: capacity saturates."""
+        narrow = LeakageEstimate(315e3, -110.0, -130.0, -170.0, 1e3)
+        wide = LeakageEstimate(315e3, -110.0, -130.0, -170.0, 1e6)
+        assert narrow.snr_db > wide.snr_db

@@ -1,0 +1,115 @@
+"""The Figure 6 micro-benchmark: masks, calibration, activity summary."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CalibrationError, SystemModelError
+from repro.uarch.isa import MicroOp
+from repro.uarch.microbench import AlternationMicrobenchmark, pointer_mask_for_working_set
+from repro.uarch.timing import LatencyModel
+
+
+class TestPointerMask:
+    def test_power_of_two_minus_one(self):
+        assert pointer_mask_for_working_set(4096) == 4095
+        assert pointer_mask_for_working_set(5000) == 8191
+        assert pointer_mask_for_working_set(1) == 0
+
+    def test_invalid(self):
+        with pytest.raises(SystemModelError):
+            pointer_mask_for_working_set(0)
+
+
+class TestFromMasks:
+    def test_masks_select_ops(self):
+        """'They differ only in the mask values in Figure 6.'"""
+        bench = AlternationMicrobenchmark.from_masks(
+            mask_x=64 * 1024 * 1024 - 1, mask_y=8 * 1024 - 1
+        )
+        assert bench.op_x == MicroOp.LDM
+        assert bench.op_y == MicroOp.LDL1
+
+    def test_l2_mask(self):
+        bench = AlternationMicrobenchmark.from_masks(mask_x=128 * 1024 - 1, mask_y=8 * 1024 - 1)
+        assert bench.op_x == MicroOp.LDL2
+
+
+class TestCalibration:
+    @pytest.mark.parametrize("falt", [10e3, 43.3e3, 45.3e3, 100e3])
+    def test_hits_target_falt(self, falt):
+        bench = AlternationMicrobenchmark.calibrated(MicroOp.LDM, MicroOp.LDL1, falt)
+        assert bench.achieved_falt() == pytest.approx(falt, rel=0.02)
+
+    def test_half_duty_cycle(self):
+        bench = AlternationMicrobenchmark.calibrated(MicroOp.LDM, MicroOp.LDL1, 43.3e3)
+        assert bench.achieved_duty_cycle() == pytest.approx(0.5, abs=0.02)
+
+    def test_high_falt_trades_duty_for_frequency(self):
+        """At 1.8 MHz an LLC-miss burst is ~4 iterations; the Y count absorbs
+        the quantization so falt stays accurate (duty may drift)."""
+        bench = AlternationMicrobenchmark.calibrated(MicroOp.LDM, MicroOp.LDL1, 1.8e6)
+        assert bench.achieved_falt() == pytest.approx(1.8e6, rel=0.05)
+
+    def test_asymmetric_duty(self):
+        bench = AlternationMicrobenchmark.calibrated(
+            MicroOp.LDM, MicroOp.LDL1, 20e3, duty_cycle=0.25
+        )
+        assert bench.achieved_duty_cycle() == pytest.approx(0.25, abs=0.03)
+
+    def test_impossible_falt_raises(self):
+        # One LDM iteration already exceeds the period at 20 MHz alternation.
+        with pytest.raises(CalibrationError):
+            AlternationMicrobenchmark.calibrated(MicroOp.LDM, MicroOp.LDM, 20e6)
+
+    def test_bad_inputs(self):
+        with pytest.raises(CalibrationError):
+            AlternationMicrobenchmark.calibrated(MicroOp.ADD, MicroOp.ADD, -1.0)
+        with pytest.raises(CalibrationError):
+            AlternationMicrobenchmark.calibrated(MicroOp.ADD, MicroOp.ADD, 1e3, duty_cycle=0.0)
+
+
+class TestActivity:
+    def test_activity_reflects_ops(self):
+        bench = AlternationMicrobenchmark.calibrated(MicroOp.LDM, MicroOp.LDL1, 43.3e3)
+        activity = bench.activity()
+        assert activity.label == "LDM/LDL1"
+        assert activity.is_modulating("dram_power")
+        assert not activity.is_modulating("core")
+
+    def test_jitter_fraction_small_but_positive(self):
+        bench = AlternationMicrobenchmark.calibrated(MicroOp.LDM, MicroOp.LDL1, 43.3e3)
+        assert 0.0 < bench.period_jitter_fraction() < 0.05
+
+    def test_simulated_periods_match_analytics(self):
+        bench = AlternationMicrobenchmark.calibrated(MicroOp.LDM, MicroOp.LDL1, 43.3e3)
+        periods = bench.simulate_periods(20000, rng=np.random.default_rng(0))
+        assert periods.mean() == pytest.approx(1.0 / bench.achieved_falt(), rel=0.01)
+        assert periods.std() * bench.achieved_falt() == pytest.approx(
+            bench.period_jitter_fraction(), rel=0.15
+        )
+
+    def test_simulated_periods_multimodal(self):
+        """The contention mixture creates secondary execution-time modes."""
+        model = LatencyModel()
+        bench = AlternationMicrobenchmark.calibrated(
+            MicroOp.LDL1, MicroOp.LDL1, 43.3e3, latency_model=model
+        )
+        periods = bench.simulate_periods(50000, rng=np.random.default_rng(0))
+        base = np.median(periods)
+        mode_delay = model.jitter.delays[0] / model.cpu_frequency
+        near_secondary = np.abs(periods - (base + mode_delay)) < mode_delay / 4
+        assert near_secondary.mean() > 0.01
+
+
+class TestValidation:
+    def test_counts_positive(self):
+        with pytest.raises(SystemModelError):
+            AlternationMicrobenchmark(MicroOp.ADD, MicroOp.ADD, 0, 10)
+
+    def test_ops_typed(self):
+        with pytest.raises(SystemModelError):
+            AlternationMicrobenchmark("LDM", MicroOp.ADD, 1, 1)
+
+    def test_repr_mentions_ops(self):
+        bench = AlternationMicrobenchmark(MicroOp.LDM, MicroOp.LDL1, 10, 100)
+        assert "LDM" in repr(bench)

@@ -1,0 +1,170 @@
+"""Mitigations: refresh randomization, access pacing, regulator dithering."""
+
+import numpy as np
+import pytest
+
+from repro import FaseConfig, MeasurementCampaign, MicroOp
+from repro.core import CarrierDetector
+from repro.errors import SystemModelError
+from repro.mitigation import (
+    AccessPacedRefreshEmitter,
+    DitheredRegulator,
+    RandomizedRefreshEmitter,
+    evaluate_mitigation,
+    replace_emitter,
+)
+from repro.spectrum.grid import FrequencyGrid
+from repro.system import build_environment, corei7_desktop
+from repro.system.domains import DRAM_POWER, MEMORY_UTILIZATION
+from repro.uarch.activity import AlternationActivity
+
+GRID = FrequencyGrid(0.0, 2e6, 50.0)
+
+
+def ldm_like_activity(falt=43.3e3):
+    return AlternationActivity(
+        falt=falt,
+        levels_x={MEMORY_UTILIZATION: 0.9, DRAM_POWER: 0.85},
+        levels_y={MEMORY_UTILIZATION: 0.0, DRAM_POWER: 0.05},
+    )
+
+
+def make_refresh(cls=RandomizedRefreshEmitter, **kwargs):
+    defaults = dict(fundamental_dbm=-118.0, coherence_loss=2.0, n_ranks=4, rank_imbalance=0.15)
+    defaults.update(kwargs)
+    return cls("memory refresh", **defaults)
+
+
+class TestRandomizedRefresh:
+    def test_full_randomization_kills_coherent_lines(self):
+        stock = make_refresh(randomization=0.0)
+        randomized = make_refresh(randomization=1.0)
+        activity = ldm_like_activity()
+        stock_power = stock.render(GRID, activity)
+        mitigated_power = randomized.render(GRID, activity)
+        line = GRID.index_of(512e3)
+        assert mitigated_power[line] < 0.01 * stock_power[line]
+
+    def test_total_energy_not_destroyed(self):
+        """The energy is spread, not removed (it reappears as a pedestal)."""
+        stock = make_refresh(randomization=0.0)
+        randomized = make_refresh(randomization=1.0)
+        activity = ldm_like_activity()
+        stock_total = stock.render(GRID, activity).sum()
+        mitigated_total = randomized.render(GRID, activity).sum()
+        assert mitigated_total > 0.3 * stock_total
+
+    def test_partial_randomization_partial_retention(self):
+        emitter = make_refresh(randomization=0.25)
+        assert emitter.coherence_retention(1) == pytest.approx(np.sinc(0.25))
+        # at r=0.25 the 4th harmonic (512 kHz comb line) is fully nulled
+        assert emitter.coherence_retention(4) == pytest.approx(0.0, abs=1e-12)
+
+    def test_not_modulated_when_fully_randomized(self):
+        assert not make_refresh(randomization=1.0).is_modulated_by(ldm_like_activity())
+        assert make_refresh(randomization=0.0).is_modulated_by(ldm_like_activity())
+
+    def test_validation(self):
+        with pytest.raises(SystemModelError):
+            make_refresh(randomization=1.5)
+
+
+class TestAccessPacing:
+    def test_pacing_shrinks_modulation_not_carrier(self):
+        """The carrier survives (idle coherence unchanged) but the X/Y
+        coherence contrast — the leak — shrinks."""
+        stock = make_refresh(cls=AccessPacedRefreshEmitter, pacing=0.0)
+        paced = make_refresh(cls=AccessPacedRefreshEmitter, pacing=0.95)
+        # idle carrier identical
+        assert paced.coherence(0.0) == stock.coherence(0.0) == 1.0
+        # loaded coherence much closer to idle under pacing
+        assert paced.coherence(0.9) > 0.9
+        assert stock.coherence(0.9) < 0.2
+
+    def test_sidebands_shrink(self):
+        stock = make_refresh(cls=AccessPacedRefreshEmitter, pacing=0.0)
+        paced = make_refresh(cls=AccessPacedRefreshEmitter, pacing=0.95)
+        activity = ldm_like_activity()
+        sb = GRID.index_of(512e3 + 43.3e3)
+        stock_sb = stock.render(GRID, activity)[sb]
+        paced_sb = paced.render(GRID, activity)[sb]
+        assert paced_sb < 0.05 * stock_sb
+
+    def test_validation(self):
+        with pytest.raises(SystemModelError):
+            make_refresh(cls=AccessPacedRefreshEmitter, pacing=-0.1)
+
+
+class TestDitheredRegulator:
+    def make_pair(self):
+        common = dict(
+            switching_frequency=315e3,
+            domain=DRAM_POWER,
+            fundamental_dbm=-103.0,
+            input_volts=12.0,
+            output_volts=1.35,
+            duty_gain=0.12,
+            fractional_sigma=4e-4,
+        )
+        from repro.system.regulator import SwitchingRegulator
+
+        return (
+            SwitchingRegulator("DRAM DIMM regulator", **common),
+            DitheredRegulator("DRAM DIMM regulator", dither_width=30e3, **common),
+        )
+
+    def test_peak_line_reduced(self):
+        stock, dithered = self.make_pair()
+        activity = ldm_like_activity()
+        stock_peak = stock.render(GRID, activity).max()
+        dithered_peak = dithered.render(GRID, activity).max()
+        assert dithered_peak < 0.1 * stock_peak
+
+    def test_total_power_preserved(self):
+        """The paper's caveat: spreading helps 'only in an averaged sense'."""
+        stock, dithered = self.make_pair()
+        activity = ldm_like_activity()
+        stock_total = stock.render(GRID, activity).sum()
+        dithered_total = dithered.render(GRID, activity).sum()
+        assert dithered_total == pytest.approx(stock_total, rel=0.05)
+
+    def test_validation(self):
+        from repro.system.regulator import SwitchingRegulator
+
+        with pytest.raises(SystemModelError):
+            DitheredRegulator(
+                "x", switching_frequency=315e3, domain=DRAM_POWER,
+                fundamental_dbm=-103.0, dither_width=0.0,
+            )
+
+
+class TestEvaluateMitigation:
+    @pytest.fixture(scope="class")
+    def outcome(self):
+        machine = corei7_desktop(
+            environment=build_environment(2e6, kind="quiet"), rng=np.random.default_rng(0)
+        )
+        mitigated = replace_emitter(
+            machine,
+            "memory refresh",
+            make_refresh(randomization=1.0, position=(22.0, 8.0)),
+        )
+        config = FaseConfig(span_low=0.0, span_high=2e6, fres=100.0, name="mitigation eval")
+        return evaluate_mitigation(
+            machine, mitigated, 512e3, config, rng=np.random.default_rng(7)
+        )
+
+    def test_refresh_mitigation_removes_detection(self, outcome):
+        assert outcome.detected_before
+        assert not outcome.detected_after
+
+    def test_sideband_reduced_substantially(self, outcome):
+        assert outcome.sideband_reduction_db > 6.0
+
+    def test_describe(self, outcome):
+        assert "FASE detects: True -> False" in outcome.describe()
+
+    def test_replace_emitter_requires_match(self):
+        machine = corei7_desktop(rng=np.random.default_rng(0))
+        with pytest.raises(SystemModelError):
+            replace_emitter(machine, "nonexistent", make_refresh())

@@ -1,0 +1,133 @@
+"""AM side-band synthesis and FM dwell lines (Section 2.1 spectra)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import UnitsError
+from repro.signals.modulation import (
+    alternation_coefficients,
+    am_sideband_lines,
+    fm_dwell_lines,
+    modulation_depth_from_levels,
+)
+
+
+class TestAlternationCoefficients:
+    def test_half_duty_no_even_harmonics(self):
+        coefficients = alternation_coefficients(6, duty_cycle=0.5)
+        assert coefficients[1] == pytest.approx(0.0, abs=1e-12)  # k=2
+        assert coefficients[3] == pytest.approx(0.0, abs=1e-12)  # k=4
+        assert coefficients[0] > 0 and coefficients[2] > 0
+
+    def test_jitter_attenuates_higher_harmonics_more(self):
+        clean = alternation_coefficients(5, 0.5, jitter_fraction=0.0)
+        jittered = alternation_coefficients(5, 0.5, jitter_fraction=0.05)
+        ratio_k1 = jittered[0] / clean[0]
+        ratio_k5 = jittered[4] / clean[4]
+        assert ratio_k1 > ratio_k5
+
+    def test_negative_jitter_rejected(self):
+        with pytest.raises(UnitsError):
+            alternation_coefficients(3, 0.5, jitter_fraction=-0.1)
+
+
+class TestAmSidebandLines:
+    def test_carrier_plus_symmetric_sidebands(self):
+        lines = am_sideband_lines(1.0, 0.2, falt=43.3e3, n_harmonics=3)
+        offsets = sorted(line.offset for line in lines)
+        assert 0.0 in offsets
+        for k in (1, 3):  # even harmonics vanish at 50% duty
+            assert k * 43.3e3 in offsets
+            assert -k * 43.3e3 in offsets
+
+    def test_sideband_pairs_equal_power(self):
+        lines = am_sideband_lines(1.0, 0.3, falt=10e3, n_harmonics=5)
+        by_offset = {line.offset: line.power for line in lines}
+        for k in (1, 3, 5):
+            assert by_offset[k * 10e3] == pytest.approx(by_offset[-k * 10e3])
+
+    def test_carrier_power_is_mean_amplitude_squared(self):
+        lines = am_sideband_lines(0.8, 0.2, falt=1e3, duty_cycle=0.5)
+        carrier = next(line for line in lines if line.offset == 0.0)
+        assert carrier.power == pytest.approx(0.5**2)
+
+    def test_first_sideband_power(self):
+        # |c_1| at 50% duty = 1/pi; swing = Ax - Ay
+        lines = am_sideband_lines(1.0, 0.0, falt=1e3, duty_cycle=0.5)
+        sb = next(line for line in lines if line.offset == 1e3)
+        assert sb.power == pytest.approx((1.0 / np.pi) ** 2)
+
+    def test_no_swing_no_sidebands(self):
+        lines = am_sideband_lines(0.7, 0.7, falt=1e3)
+        assert len(lines) == 1
+        assert lines[0].offset == 0.0
+
+    def test_sideband_power_scales_with_swing_squared(self):
+        small = am_sideband_lines(0.6, 0.4, falt=1e3)
+        large = am_sideband_lines(0.8, 0.2, falt=1e3)
+        sb_small = next(l.power for l in small if l.offset == 1e3)
+        sb_large = next(l.power for l in large if l.offset == 1e3)
+        assert sb_large / sb_small == pytest.approx(9.0)
+
+    def test_jitter_broadens_higher_sidebands_linearly(self):
+        lines = am_sideband_lines(1.0, 0.0, falt=10e3, n_harmonics=5, jitter_fraction=0.01)
+        widths = {line.order: line.extra_width for line in lines if line.order > 0}
+        assert widths[3] == pytest.approx(3 * widths[1])
+
+    def test_negative_amplitude_rejected(self):
+        with pytest.raises(UnitsError):
+            am_sideband_lines(-0.1, 0.5, falt=1e3)
+
+    def test_invalid_falt_rejected(self):
+        with pytest.raises(UnitsError):
+            am_sideband_lines(1.0, 0.5, falt=0.0)
+
+    def test_total_sideband_power_bounded_by_parseval(self):
+        """Sum of side-band powers cannot exceed the swing's total power."""
+        lines = am_sideband_lines(1.0, 0.0, falt=1e3, n_harmonics=50)
+        sideband_power = sum(l.power for l in lines if l.offset != 0.0)
+        # swing^2 * (mean-square of zero-mean square wave) = 1 * 0.25
+        assert sideband_power <= 0.25 + 1e-9
+        assert sideband_power > 0.2  # most of it is in the first harmonics
+
+
+class TestFmDwellLines:
+    def test_two_lines_weighted_by_dwell(self):
+        lines = fm_dwell_lines(300e3, 320e3, duty_cycle=0.7, power=2.0)
+        assert len(lines) == 2
+        powers = {line.offset: line.power for line in lines}
+        assert powers[300e3] == pytest.approx(1.4)
+        assert powers[320e3] == pytest.approx(0.6)
+
+    def test_total_power_conserved(self):
+        lines = fm_dwell_lines(300e3, 320e3, duty_cycle=0.3, power=5.0)
+        assert sum(line.power for line in lines) == pytest.approx(5.0)
+
+    def test_smear_scales_with_separation(self):
+        near = fm_dwell_lines(300e3, 310e3, smear_fraction=0.1)
+        far = fm_dwell_lines(300e3, 340e3, smear_fraction=0.1)
+        assert far[0].extra_width == pytest.approx(4 * near[0].extra_width)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(UnitsError):
+            fm_dwell_lines(0.0, 320e3)
+        with pytest.raises(UnitsError):
+            fm_dwell_lines(300e3, 320e3, duty_cycle=1.5)
+
+
+class TestModulationDepth:
+    def test_full_depth(self):
+        assert modulation_depth_from_levels(1.0, 0.0) == pytest.approx(1.0)
+
+    def test_no_modulation(self):
+        assert modulation_depth_from_levels(0.5, 0.5) == 0.0
+
+    def test_symmetric(self):
+        assert modulation_depth_from_levels(0.8, 0.2) == modulation_depth_from_levels(0.2, 0.8)
+
+    def test_zero_total(self):
+        assert modulation_depth_from_levels(0.0, 0.0) == 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(UnitsError):
+            modulation_depth_from_levels(-1.0, 0.5)

@@ -1,0 +1,60 @@
+"""Modulation-depth quantification and activity-response sweeps."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.modulation_depth import modulation_depth_sweep, sideband_to_carrier_db
+from repro.errors import DetectionError
+from repro.spectrum.grid import FrequencyGrid
+from repro.system.domains import DRAM_BUS, DRAM_POWER, MEMORY_UTILIZATION
+
+
+class TestSidebandToCarrier:
+    def test_regulator_sideband_ratio_negative_db(self, i7_ldm_ldl1):
+        measurement = i7_ldm_ldl1.measurements[0]
+        ratio = sideband_to_carrier_db(measurement.trace, 315e3, measurement.falt)
+        assert -40.0 < ratio < -3.0
+
+    def test_unmodulated_carrier_ratio_much_lower(self, i7_ldm_ldl1):
+        """The core regulator's side-band/carrier ratio under LDM/LDL1 is
+        far below the memory regulator's: it isn't modulated."""
+        measurement = i7_ldm_ldl1.measurements[0]
+        modulated = sideband_to_carrier_db(measurement.trace, 315e3, measurement.falt)
+        unmodulated = sideband_to_carrier_db(measurement.trace, 333e3, measurement.falt)
+        assert modulated > unmodulated + 6.0
+
+    def test_outside_grid_rejected(self, i7_ldm_ldl1):
+        measurement = i7_ldm_ldl1.measurements[0]
+        with pytest.raises(DetectionError):
+            sideband_to_carrier_db(measurement.trace, 10e6, measurement.falt)
+
+
+class TestDepthSweep:
+    def test_regulator_strengthens_with_load(self, i7_quiet):
+        """PWM duty rises with load -> fundamental envelope rises."""
+        grid = FrequencyGrid(250e3, 400e3, 50.0)
+        sweep = modulation_depth_sweep(i7_quiet, DRAM_POWER, 315e3, grid)
+        powers = [m.carrier_power_mw for m in sweep]
+        assert powers[-1] > powers[0]
+
+    def test_refresh_weakens_with_load(self, i7_quiet):
+        """Section 4.2's inverted response: 'it weakens (instead of getting
+        stronger) as memory activity increases'."""
+        grid = FrequencyGrid(450e3, 600e3, 50.0)
+        sweep = modulation_depth_sweep(i7_quiet, MEMORY_UTILIZATION, 512e3, grid)
+        powers = [m.carrier_power_mw for m in sweep]
+        assert powers[0] > 3 * powers[-1]
+        assert powers == sorted(powers, reverse=True)
+
+    def test_levels_recorded(self, i7_quiet):
+        grid = FrequencyGrid(450e3, 600e3, 50.0)
+        sweep = modulation_depth_sweep(
+            i7_quiet, MEMORY_UTILIZATION, 512e3, grid, levels=(0.0, 1.0)
+        )
+        assert [m.level for m in sweep] == [0.0, 1.0]
+        assert all(np.isfinite(m.carrier_dbm) for m in sweep)
+
+    def test_carrier_outside_grid_rejected(self, i7_quiet):
+        grid = FrequencyGrid(450e3, 600e3, 50.0)
+        with pytest.raises(DetectionError):
+            modulation_depth_sweep(i7_quiet, DRAM_BUS, 1e6, grid)

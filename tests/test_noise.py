@@ -1,0 +1,86 @@
+"""Noise models: the landscape of Figure 5."""
+
+import numpy as np
+import pytest
+
+from repro.errors import UnitsError
+from repro.signals.noise import (
+    BroadbandHills,
+    CompositeNoise,
+    PinkNoise,
+    ThermalNoise,
+)
+from repro.units import dbm_to_milliwatts
+
+FREQS = np.linspace(10e3, 4e6, 2000)
+
+
+class TestThermalNoise:
+    def test_flat(self):
+        density = ThermalNoise(-165.0).mean_density(FREQS)
+        assert np.ptp(density) == 0.0
+
+    def test_level(self):
+        density = ThermalNoise(-165.0).mean_density(FREQS)
+        assert density[0] == pytest.approx(dbm_to_milliwatts(-165.0))
+
+
+class TestPinkNoise:
+    def test_rises_toward_low_frequency(self):
+        density = PinkNoise(level_dbm_per_hz=-160.0, knee=100e3).mean_density(FREQS)
+        assert density[0] > density[-1]
+
+    def test_level_at_knee(self):
+        noise = PinkNoise(level_dbm_per_hz=-150.0, knee=100e3)
+        at_knee = noise.mean_density(np.array([100e3]))[0]
+        assert at_knee == pytest.approx(dbm_to_milliwatts(-150.0))
+
+    def test_alpha_controls_slope(self):
+        shallow = PinkNoise(knee=1e6, alpha=0.5).mean_density(np.array([10e3]))[0]
+        steep = PinkNoise(knee=1e6, alpha=2.0).mean_density(np.array([10e3]))[0]
+        assert steep > shallow
+
+    def test_finite_near_dc(self):
+        density = PinkNoise().mean_density(np.array([0.0, 1.0]))
+        assert np.all(np.isfinite(density))
+
+    def test_validation(self):
+        with pytest.raises(UnitsError):
+            PinkNoise(knee=0.0)
+        with pytest.raises(UnitsError):
+            PinkNoise(alpha=-1.0)
+
+
+class TestBroadbandHills:
+    def test_fixed_realization(self):
+        """Same seed -> same hills: a lab's landscape is static, which is
+        what lets Eq. 2 normalize it away."""
+        a = BroadbandHills(4e6, rng=np.random.default_rng(3)).mean_density(FREQS)
+        b = BroadbandHills(4e6, rng=np.random.default_rng(3)).mean_density(FREQS)
+        np.testing.assert_array_equal(a, b)
+
+    def test_has_hills_and_valleys(self):
+        density = BroadbandHills(4e6, n_hills=10, rng=np.random.default_rng(1)).mean_density(FREQS)
+        assert density.max() > 3 * max(density.min(), 1e-30)
+
+    def test_zero_hills_is_flat_zero(self):
+        density = BroadbandHills(4e6, n_hills=0, rng=np.random.default_rng(0)).mean_density(FREQS)
+        assert density.sum() == 0.0
+
+    def test_validation(self):
+        with pytest.raises(UnitsError):
+            BroadbandHills(0.0)
+        with pytest.raises(UnitsError):
+            BroadbandHills(4e6, min_width_fraction=0.5, max_width_fraction=0.1)
+
+
+class TestCompositeNoise:
+    def test_sums_components(self):
+        thermal = ThermalNoise(-165.0)
+        pink = PinkNoise()
+        composite = CompositeNoise([thermal, pink])
+        expected = thermal.mean_density(FREQS) + pink.mean_density(FREQS)
+        np.testing.assert_allclose(composite.mean_density(FREQS), expected)
+
+    def test_empty_is_zero(self):
+        assert CompositeNoise([]).mean_density(FREQS).sum() == 0.0

@@ -1,0 +1,76 @@
+"""Oscillator models: harmonic frequencies and per-harmonic line shapes."""
+
+import pytest
+
+from repro.errors import UnitsError
+from repro.signals.lineshape import DeltaLine, GaussianLine, SpreadSpectrumLine
+from repro.signals.oscillator import CrystalOscillator, RCOscillator, SpreadSpectrumClock
+
+
+class TestCrystalOscillator:
+    def test_harmonic_frequencies(self):
+        osc = CrystalOscillator(128e3)
+        assert osc.harmonic_frequency(1) == 128e3
+        assert osc.harmonic_frequency(4) == 512e3
+
+    def test_delta_lines_at_every_harmonic(self):
+        osc = CrystalOscillator(128e3)
+        for order in (1, 3, 10):
+            assert isinstance(osc.lineshape(order), DeltaLine)
+
+    def test_invalid_frequency(self):
+        with pytest.raises(UnitsError):
+            CrystalOscillator(0.0)
+
+    def test_invalid_order(self):
+        with pytest.raises(UnitsError):
+            CrystalOscillator(1e6).harmonic_frequency(0)
+        with pytest.raises(UnitsError):
+            CrystalOscillator(1e6).lineshape(-1)
+
+
+class TestRCOscillator:
+    def test_linewidth_scales_with_harmonic(self):
+        """Harmonic m inherits m times the fundamental's absolute jitter."""
+        osc = RCOscillator(315e3, fractional_sigma=1e-3)
+        s1 = osc.lineshape(1)
+        s3 = osc.lineshape(3)
+        assert isinstance(s1, GaussianLine)
+        assert s3.sigma == pytest.approx(3 * s1.sigma)
+
+    def test_sigma_property(self):
+        osc = RCOscillator(315e3, fractional_sigma=2e-3)
+        assert osc.sigma == pytest.approx(630.0)
+
+    def test_invalid_sigma(self):
+        with pytest.raises(UnitsError):
+            RCOscillator(315e3, fractional_sigma=0.0)
+
+
+class TestSpreadSpectrumClock:
+    def test_band_edges_match_papers_example(self):
+        """'A 333 MHz memory clock might be swept between 332 and 333 MHz.'"""
+        clock = SpreadSpectrumClock(333e6, 1e6)
+        low, high = clock.band_edges()
+        assert low == pytest.approx(332e6)
+        assert high == pytest.approx(333e6)
+
+    def test_harmonic_centered_mid_sweep(self):
+        clock = SpreadSpectrumClock(333e6, 1e6)
+        assert clock.harmonic_frequency(1) == pytest.approx(332.5e6)
+        assert clock.harmonic_frequency(2) == pytest.approx(665e6)
+
+    def test_lineshape_width_scales(self):
+        clock = SpreadSpectrumClock(333e6, 1e6)
+        assert isinstance(clock.lineshape(1), SpreadSpectrumLine)
+        assert clock.lineshape(2).width == pytest.approx(2e6)
+
+    def test_sweep_width_validation(self):
+        with pytest.raises(UnitsError):
+            SpreadSpectrumClock(333e6, 0.0)
+        with pytest.raises(UnitsError):
+            SpreadSpectrumClock(333e6, 400e6)
+
+    def test_sweep_period_validation(self):
+        with pytest.raises(UnitsError):
+            SpreadSpectrumClock(333e6, 1e6, sweep_period=0.0)

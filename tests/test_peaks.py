@@ -1,0 +1,81 @@
+"""Peak detection: Palshikar spike functions and the cluster detector."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DetectionError
+from repro.spectrum.peaks import detect_peaks, palshikar_s1, palshikar_s2
+
+
+def series_with_spikes(n=1000, spikes=((200, 10.0), (600, 7.0)), noise=0.1, seed=0):
+    rng = np.random.default_rng(seed)
+    values = noise * rng.standard_normal(n)
+    for index, height in spikes:
+        values[index] += height
+    return values
+
+
+class TestPalshikarS1:
+    def test_spike_scores_high(self):
+        values = series_with_spikes()
+        scores = palshikar_s1(values, window=3)
+        assert scores[200] > 5.0
+        assert abs(scores[400]) < 1.0
+
+    def test_flat_series_zero(self):
+        scores = palshikar_s1(np.ones(100), window=3)
+        np.testing.assert_allclose(scores, 0.0)
+
+    def test_window_validation(self):
+        with pytest.raises(DetectionError):
+            palshikar_s1(np.ones(10), window=0)
+        with pytest.raises(DetectionError):
+            palshikar_s1(np.ones(5), window=3)
+
+    def test_2d_rejected(self):
+        with pytest.raises(DetectionError):
+            palshikar_s1(np.ones((5, 5)), window=1)
+
+
+class TestPalshikarS2:
+    def test_mean_version_smaller_than_max_version(self):
+        values = series_with_spikes()
+        s1 = palshikar_s1(values, window=5)
+        s2 = palshikar_s2(values, window=5)
+        assert s2[200] <= s1[200] + 1e-12
+
+    def test_spike_detected(self):
+        values = series_with_spikes()
+        assert palshikar_s2(values, window=3)[200] > 3.0
+
+
+class TestDetectPeaks:
+    def test_finds_both_spikes(self):
+        values = series_with_spikes()
+        peaks = detect_peaks(values, window=3, n_sigma=6.0)
+        indices = {p.index for p in peaks}
+        assert 200 in indices
+        assert 600 in indices
+
+    def test_min_value_filters(self):
+        values = series_with_spikes()
+        peaks = detect_peaks(values, window=3, n_sigma=6.0, min_value=8.0)
+        indices = {p.index for p in peaks}
+        assert 200 in indices
+        assert 600 not in indices
+
+    def test_min_separation_keeps_strongest(self):
+        values = series_with_spikes(spikes=((300, 10.0), (304, 8.0)))
+        peaks = detect_peaks(values, window=3, n_sigma=6.0, min_separation=10)
+        assert [p.index for p in peaks] == [300]
+
+    def test_no_peaks_in_noise(self):
+        rng = np.random.default_rng(1)
+        peaks = detect_peaks(rng.standard_normal(2000) * 0.1, window=3, n_sigma=10.0)
+        assert peaks == []
+
+    def test_results_sorted_by_index(self):
+        values = series_with_spikes(spikes=((700, 9.0), (100, 9.0)))
+        peaks = detect_peaks(values, window=3, n_sigma=6.0)
+        indices = [p.index for p in peaks]
+        assert indices == sorted(indices)

@@ -1,0 +1,130 @@
+"""Preset machines: every number the paper states, as model ground truth."""
+
+import numpy as np
+import pytest
+
+from repro.system import (
+    ALL_PRESETS,
+    ConstantOnTimeRegulator,
+    CPUClockEmitter,
+    DRAMClockEmitter,
+    MemoryRefreshEmitter,
+    SwitchingRegulator,
+    corei3_laptop,
+    corei7_desktop,
+    pentium3m_laptop,
+    turionx2_laptop,
+)
+from repro.system.domains import CORE, DRAM_POWER
+from repro.uarch.activity import AlternationActivity
+from repro.uarch.isa import MicroOp, activity_levels
+
+
+def ldm_ldl1_activity():
+    return AlternationActivity(
+        falt=43.3e3,
+        levels_x=activity_levels(MicroOp.LDM),
+        levels_y=activity_levels(MicroOp.LDL1),
+    )
+
+
+def ldl2_ldl1_activity():
+    return AlternationActivity(
+        falt=43.3e3,
+        levels_x=activity_levels(MicroOp.LDL2),
+        levels_y=activity_levels(MicroOp.LDL1),
+    )
+
+
+class TestCorei7:
+    def test_paper_frequencies(self):
+        machine = corei7_desktop(rng=np.random.default_rng(0))
+        assert machine.emitter_named("DRAM DIMM regulator").switching_frequency == 315e3
+        assert machine.emitter_named("memory refresh").refresh_frequency == 128e3
+        dram_clock = machine.emitter_named("DRAM clock")
+        assert dram_clock.band_edges() == (pytest.approx(332e6), pytest.approx(333e6))
+
+    def test_refresh_staggered_four_ranks(self):
+        machine = corei7_desktop(rng=np.random.default_rng(0))
+        assert machine.emitter_named("memory refresh").n_ranks == 4
+
+    def test_ldm_ldl1_modulates_memory_side_only(self):
+        """Ground truth behind Figure 11: memory pair moves the two memory
+        regulators, refresh, and the DRAM clock — not the core regulator."""
+        machine = corei7_desktop(rng=np.random.default_rng(0))
+        modulated = {e.name for e in machine.modulated_emitters(ldm_ldl1_activity())}
+        assert "DRAM DIMM regulator" in modulated
+        assert "memory-controller regulator" in modulated
+        assert "memory refresh" in modulated
+        assert "DRAM clock" in modulated
+        assert "CPU core regulator" not in modulated
+
+    def test_ldl2_ldl1_modulates_core_only(self):
+        """Ground truth behind Figure 13."""
+        machine = corei7_desktop(rng=np.random.default_rng(0))
+        modulated = {e.name for e in machine.modulated_emitters(ldl2_ldl1_activity())}
+        assert modulated == {"CPU core regulator"}
+
+    def test_unmodulated_spurs_exist(self):
+        """FASE must have something to reject."""
+        machine = corei7_desktop(rng=np.random.default_rng(0))
+        names = {e.name for e in machine.emitters}
+        assert "RTC crystal" in names
+        assert "CPU base clock" in names
+
+
+class TestTurion:
+    def test_refresh_at_132khz(self):
+        """'The memory refresh carrier for the AMD Turion X2 laptop is at
+        132 kHz instead of 128 kHz.'"""
+        machine = turionx2_laptop(rng=np.random.default_rng(0))
+        assert machine.emitter_named("memory refresh").refresh_frequency == 132e3
+
+    def test_core_regulator_is_fm(self):
+        machine = turionx2_laptop(rng=np.random.default_rng(0))
+        core_reg = machine.emitter_named("CPU core regulator (constant on-time)")
+        assert isinstance(core_reg, ConstantOnTimeRegulator)
+
+    def test_fm_regulator_modulated_but_in_frequency(self):
+        """It responds to core activity (so the paper could confirm FM with
+        a spectrogram) yet produces no AM side-bands for FASE."""
+        machine = turionx2_laptop(rng=np.random.default_rng(0))
+        core_reg = machine.emitter_named("CPU core regulator (constant on-time)")
+        assert core_reg.is_modulated_by(ldl2_ldl1_activity())
+
+    def test_two_unidentified_carriers(self):
+        machine = turionx2_laptop(rng=np.random.default_rng(0))
+        names = {e.name for e in machine.emitters}
+        assert "unidentified carrier A" in names
+        assert "unidentified carrier B" in names
+
+
+class TestAllPresets:
+    @pytest.mark.parametrize("preset_name", sorted(ALL_PRESETS))
+    def test_builds_and_has_three_signal_families(self, preset_name):
+        """Section 4.4: 'In all three systems, FASE finds the same types of
+        carriers': regulators, refresh, DRAM clock."""
+        machine = ALL_PRESETS[preset_name](rng=np.random.default_rng(0))
+        kinds = {type(e) for e in machine.emitters}
+        assert SwitchingRegulator in kinds
+        assert MemoryRefreshEmitter in kinds
+        assert DRAMClockEmitter in kinds
+
+    @pytest.mark.parametrize("preset_name", sorted(ALL_PRESETS))
+    def test_deterministic_given_seed(self, preset_name):
+        a = ALL_PRESETS[preset_name](rng=np.random.default_rng(3))
+        b = ALL_PRESETS[preset_name](rng=np.random.default_rng(3))
+        grid_power_a = a.idle_scene().mean_bin_power
+        grid_power_b = b.idle_scene().mean_bin_power
+        from repro.spectrum.grid import FrequencyGrid
+
+        grid = FrequencyGrid(0.0, 1e6, 100.0)
+        np.testing.assert_array_equal(grid_power_a(grid), grid_power_b(grid))
+
+    @pytest.mark.parametrize("preset_name", sorted(ALL_PRESETS))
+    def test_regulator_frequencies_in_spec_range(self, preset_name):
+        """'usually between 200kHz and 500kHz' (Section 1)."""
+        machine = ALL_PRESETS[preset_name](rng=np.random.default_rng(0))
+        for emitter in machine.emitters:
+            if isinstance(emitter, SwitchingRegulator):
+                assert 150e3 <= emitter.switching_frequency <= 550e3

@@ -1,0 +1,103 @@
+"""Program-level workloads: phases, traces, activity waveforms."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SystemModelError
+from repro.system.domains import CORE, DRAM_POWER
+from repro.uarch.isa import MicroOp, activity_levels
+from repro.uarch.program import Program, ProgramPhase, ProgramSimulator
+
+
+class TestProgramConstruction:
+    def test_alternation_builder(self):
+        program = Program.alternation(MicroOp.LDM, 10, MicroOp.LDL1, 400)
+        assert len(program.phases) == 2
+        assert program.phases[0].op == MicroOp.LDM
+
+    def test_square_and_multiply_structure(self):
+        program = Program.square_and_multiply((1, 0, 1))
+        # bit 1: square + multiply + reduce; bit 0: square + reduce
+        ops = [phase.op for phase in program.phases]
+        assert len(program.phases) == 3 + 2 + 3
+        assert ops.count(MicroOp.LDL2) == 3
+
+    def test_repeat_expands(self):
+        program = Program.alternation(MicroOp.ADD, 5, MicroOp.NOP, 5, repeat=3)
+        assert len(program.expanded_phases()) == 6
+        assert program.total_iterations() == 30
+
+    def test_validation(self):
+        with pytest.raises(SystemModelError):
+            Program([])
+        with pytest.raises(SystemModelError):
+            Program([ProgramPhase(MicroOp.ADD, 1)], repeat=0)
+        with pytest.raises(SystemModelError):
+            ProgramPhase(MicroOp.ADD, 0)
+        with pytest.raises(SystemModelError):
+            ProgramPhase("ADD", 5)
+
+
+class TestSimulation:
+    def test_trace_durations_positive(self):
+        simulator = ProgramSimulator()
+        trace = simulator.trace(
+            Program.alternation(MicroOp.LDM, 100, MicroOp.LDL1, 100),
+            rng=np.random.default_rng(0),
+        )
+        assert all(d > 0 for d in trace.durations)
+        assert trace.total_seconds == pytest.approx(sum(trace.durations))
+
+    def test_memory_phase_takes_longer(self):
+        simulator = ProgramSimulator()
+        trace = simulator.trace(
+            Program([ProgramPhase(MicroOp.LDM, 1000), ProgramPhase(MicroOp.LDL1, 1000)]),
+            rng=np.random.default_rng(0),
+        )
+        assert trace.durations[0] > 10 * trace.durations[1]
+
+    def test_waveform_levels_match_ops(self):
+        simulator = ProgramSimulator()
+        program = Program([ProgramPhase(MicroOp.LDM, 5000), ProgramPhase(MicroOp.LDL1, 5000)])
+        levels, trace = simulator.activity_waveform(
+            program, DRAM_POWER, 10e6, rng=np.random.default_rng(1)
+        )
+        expected_first = activity_levels(MicroOp.LDM)[DRAM_POWER]
+        expected_second = activity_levels(MicroOp.LDL1)[DRAM_POWER]
+        assert levels[0] == expected_first
+        assert levels[-1] == expected_second
+        assert set(np.unique(levels)) == {expected_first, expected_second}
+
+    def test_waveform_duration_matches_trace(self):
+        simulator = ProgramSimulator()
+        program = Program.square_and_multiply((1, 0, 1, 1))
+        levels, trace = simulator.activity_waveform(
+            program, CORE, 5e6, rng=np.random.default_rng(2)
+        )
+        assert len(levels) == pytest.approx(trace.total_seconds * 5e6, abs=2)
+
+    def test_secret_bits_change_duration(self):
+        """The timing leak: a 1-heavy exponent runs longer."""
+        simulator = ProgramSimulator()
+        ones = simulator.trace(
+            Program.square_and_multiply((1,) * 16), rng=np.random.default_rng(3)
+        )
+        zeros = simulator.trace(
+            Program.square_and_multiply((0,) * 16), rng=np.random.default_rng(3)
+        )
+        assert ones.total_seconds > 1.3 * zeros.total_seconds
+
+    def test_mean_level_analytic(self):
+        simulator = ProgramSimulator()
+        program = Program([ProgramPhase(MicroOp.LDM, 1000), ProgramPhase(MicroOp.LDL1, 1000)])
+        mean = simulator.mean_level(program, DRAM_POWER)
+        # LDM dominates the time (its latency is ~40x), so the mean is near
+        # the LDM level
+        assert mean > 0.8 * activity_levels(MicroOp.LDM)[DRAM_POWER]
+
+    def test_sample_rate_validation(self):
+        simulator = ProgramSimulator()
+        with pytest.raises(SystemModelError):
+            simulator.activity_waveform(
+                Program([ProgramPhase(MicroOp.ADD, 10)]), CORE, 0.0
+            )

@@ -1,0 +1,113 @@
+"""Property-based tests over the extension modules."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.attack import decode_bits
+from repro.mitigation import RandomizedRefreshEmitter
+from repro.signals.waveform import synthesize_alternation_envelope
+from repro.system.refresh import MemoryRefreshEmitter
+from repro.uarch.isa import MicroOp
+from repro.uarch.program import Program, ProgramPhase, ProgramSimulator
+
+bits_strategy = st.lists(st.integers(min_value=0, max_value=1), min_size=2, max_size=24).filter(
+    lambda bits: 0 in bits and 1 in bits
+)
+
+
+class TestDecodeProperties:
+    @given(bits=bits_strategy)
+    @settings(max_examples=50)
+    def test_clean_envelope_always_decoded(self, bits):
+        slot = 64
+        envelope = np.concatenate(
+            [np.full(slot, 2.0 if b else 1.0) for b in bits]
+        )
+        decoded, _ = decode_bits(envelope, len(bits), guard_fraction=0.1)
+        assert decoded == tuple(bits)
+
+    @given(bits=bits_strategy, noise=st.floats(min_value=0.0, max_value=0.2))
+    @settings(max_examples=30)
+    def test_mild_noise_tolerated(self, bits, noise):
+        rng = np.random.default_rng(int(noise * 1e6) + len(bits))
+        slot = 64
+        envelope = np.concatenate(
+            [np.full(slot, 2.0 if b else 1.0) for b in bits]
+        ) + noise * rng.standard_normal(slot * len(bits))
+        decoded, _ = decode_bits(envelope, len(bits), guard_fraction=0.1)
+        assert decoded == tuple(bits)
+
+
+class TestRandomizationProperties:
+    @given(
+        randomization=st.floats(min_value=0.0, max_value=1.0),
+        order=st.integers(min_value=1, max_value=24),
+    )
+    @settings(max_examples=60)
+    def test_retention_bounded_and_never_amplifies(self, randomization, order):
+        emitter = RandomizedRefreshEmitter(
+            "r", fundamental_dbm=-120.0, randomization=randomization
+        )
+        retention = emitter.coherence_retention(order)
+        assert 0.0 <= retention <= 1.0
+        stock = MemoryRefreshEmitter("s", fundamental_dbm=-120.0)
+        assert emitter.envelope(order, 0.0) <= stock.envelope(order, 0.0) + 1e-12
+
+    @given(randomization=st.floats(min_value=0.05, max_value=1.0))
+    @settings(max_examples=30)
+    def test_more_randomization_weaker_fundamental(self, randomization):
+        weaker = RandomizedRefreshEmitter(
+            "a", fundamental_dbm=-120.0, randomization=randomization
+        )
+        # sinc is monotone decreasing on [0, 1] for the fundamental
+        reference = RandomizedRefreshEmitter(
+            "b", fundamental_dbm=-120.0, randomization=randomization / 2
+        )
+        assert weaker.coherence_retention(1) <= reference.coherence_retention(1) + 1e-12
+
+
+class TestEnvelopeProperties:
+    @given(
+        falt=st.floats(min_value=5e3, max_value=80e3),
+        duty=st.floats(min_value=0.2, max_value=0.8),
+        seed=st.integers(min_value=0, max_value=1000),
+    )
+    @settings(max_examples=40)
+    def test_mean_matches_duty(self, falt, duty, seed):
+        envelope = synthesize_alternation_envelope(
+            0.02, 1e6, falt, 1.0, 0.0, duty_cycle=duty,
+            rng=np.random.default_rng(seed),
+        )
+        assert envelope.mean() == pytest.approx(duty, abs=0.05)
+
+    @given(falt=st.floats(min_value=5e3, max_value=80e3))
+    @settings(max_examples=40)
+    def test_edge_rate_matches_falt(self, falt):
+        """Absolute-time edge placement keeps the long-run rate exact —
+        the regression property behind the falt-quantization bug."""
+        envelope = synthesize_alternation_envelope(
+            0.05, 1e6, falt, 1.0, 0.0, rng=np.random.default_rng(0)
+        )
+        rises = np.sum((envelope[1:] > 0.5) & (envelope[:-1] < 0.5))
+        assert rises == pytest.approx(0.05 * falt, rel=0.02)
+
+
+class TestProgramProperties:
+    @given(
+        counts=st.lists(st.integers(min_value=100, max_value=50_000), min_size=1, max_size=6),
+        seed=st.integers(min_value=0, max_value=500),
+    )
+    @settings(max_examples=30)
+    def test_trace_duration_additive(self, counts, seed):
+        simulator = ProgramSimulator()
+        program = Program([ProgramPhase(MicroOp.ADD, c) for c in counts])
+        trace = simulator.trace(program, rng=np.random.default_rng(seed))
+        assert len(trace.durations) == len(counts)
+        assert trace.total_seconds == pytest.approx(sum(trace.durations))
+
+    @given(repeat=st.integers(min_value=1, max_value=5))
+    @settings(max_examples=20)
+    def test_repeat_scales_iterations(self, repeat):
+        program = Program([ProgramPhase(MicroOp.ADD, 100)], repeat=repeat)
+        assert program.total_iterations() == 100 * repeat

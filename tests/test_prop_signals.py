@@ -1,0 +1,114 @@
+"""Property-based tests (hypothesis) on the signal-theory core."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.signals.lineshape import DeltaLine, GaussianLine, LorentzianLine, SpreadSpectrumLine
+from repro.signals.modulation import am_sideband_lines, modulation_depth_from_levels
+from repro.signals.pulse import pulse_harmonic_amplitude, pulse_harmonic_power
+
+duties = st.floats(min_value=0.005, max_value=0.995)
+orders = st.integers(min_value=1, max_value=40)
+amplitudes = st.floats(min_value=0.0, max_value=10.0)
+
+
+class TestPulseProperties:
+    @given(order=orders, duty=duties)
+    def test_amplitude_bounded_by_duty(self, order, duty):
+        """|c_n| = d |sinc(n d)| <= d <= 1."""
+        amplitude = pulse_harmonic_amplitude(order, duty)
+        assert 0.0 <= amplitude <= min(duty, 1.0) + 1e-12
+
+    @given(order=orders, duty=duties)
+    def test_complement_symmetry(self, order, duty):
+        assert pulse_harmonic_amplitude(order, duty) == pytest.approx(
+            pulse_harmonic_amplitude(order, 1.0 - duty), abs=1e-12
+        )
+
+    @given(duty=duties)
+    def test_total_power_never_exceeds_mean_square(self, duty):
+        """Partial Fourier sums are bounded by the signal's total power."""
+        total = pulse_harmonic_power(0, duty)
+        for n in range(1, 60):
+            total += pulse_harmonic_power(n, duty)
+        assert total <= duty + 1e-9
+
+    @given(order=orders, duty=duties)
+    def test_power_nonnegative(self, order, duty):
+        assert pulse_harmonic_power(order, duty) >= 0.0
+
+
+class TestLineShapeProperties:
+    grid = np.arange(0.0, 500e3, 100.0)
+
+    @given(
+        sigma=st.floats(min_value=150.0, max_value=20e3),
+        center=st.floats(min_value=120e3, max_value=380e3),
+        power=st.floats(min_value=1e-18, max_value=1e-3),
+    )
+    @settings(max_examples=40)
+    def test_gaussian_power_conserved(self, sigma, center, power):
+        out = GaussianLine(sigma).render(self.grid, center, power)
+        assert out.sum() == pytest.approx(power, rel=1e-6)
+        assert np.all(out >= 0.0)
+
+    @given(
+        width=st.floats(min_value=5e3, max_value=100e3),
+        center=st.floats(min_value=150e3, max_value=350e3),
+    )
+    @settings(max_examples=40)
+    def test_spread_spectrum_power_conserved(self, width, center):
+        out = SpreadSpectrumLine(width).render(self.grid, center, 1.0)
+        assert out.sum() == pytest.approx(1.0, rel=1e-6)
+
+    @given(gamma=st.floats(min_value=200.0, max_value=5e3))
+    @settings(max_examples=20)
+    def test_lorentzian_peak_at_center(self, gamma):
+        out = LorentzianLine(gamma).render(self.grid, 250e3, 1.0)
+        assert abs(self.grid[int(np.argmax(out))] - 250e3) <= 100.0
+
+    @given(center=st.floats(min_value=0.0, max_value=499e3))
+    @settings(max_examples=40)
+    def test_delta_single_bin(self, center):
+        out = DeltaLine().render(self.grid, center, 1.0)
+        assert np.count_nonzero(out) == 1
+        assert out.sum() == pytest.approx(1.0)
+
+
+class TestModulationProperties:
+    @given(
+        amp_x=amplitudes,
+        amp_y=amplitudes,
+        falt=st.floats(min_value=1e3, max_value=100e3),
+        duty=st.floats(min_value=0.05, max_value=0.95),
+    )
+    @settings(max_examples=60)
+    def test_sideband_energy_conservation(self, amp_x, amp_y, falt, duty):
+        """Carrier + side-band power equals the envelope's mean square.
+
+        E[A(t)^2] = d*Ax^2 + (1-d)*Ay^2 decomposes exactly into the DC
+        (carrier) term and the harmonic (side-band) terms by Parseval.
+        """
+        lines = am_sideband_lines(amp_x, amp_y, falt, duty_cycle=duty, n_harmonics=400)
+        total = sum(line.power for line in lines)
+        mean_square = duty * amp_x**2 + (1 - duty) * amp_y**2
+        assert total <= mean_square + 1e-9
+        assert total == pytest.approx(mean_square, rel=0.02)
+
+    @given(amp_x=amplitudes, amp_y=amplitudes)
+    def test_depth_in_unit_interval(self, amp_x, amp_y):
+        assert 0.0 <= modulation_depth_from_levels(amp_x, amp_y) <= 1.0
+
+    @given(
+        amp_x=amplitudes,
+        amp_y=amplitudes,
+        falt=st.floats(min_value=1e3, max_value=100e3),
+    )
+    @settings(max_examples=40)
+    def test_sidebands_symmetric(self, amp_x, amp_y, falt):
+        lines = am_sideband_lines(amp_x, amp_y, falt, n_harmonics=5)
+        by_offset = {line.offset: line.power for line in lines}
+        for offset, power in by_offset.items():
+            if offset != 0.0:
+                assert by_offset[-offset] == pytest.approx(power)

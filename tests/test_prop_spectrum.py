@@ -1,0 +1,133 @@
+"""Property-based tests on grids, traces, and the heuristic's invariances."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.spectrum.grid import FrequencyGrid
+from repro.spectrum.trace import SpectrumTrace, average_traces
+from repro.units import dbm_to_milliwatts, milliwatts_to_dbm
+
+
+class TestGridProperties:
+    @given(
+        start=st.floats(min_value=0.0, max_value=1e6),
+        span=st.floats(min_value=1e3, max_value=10e6),
+        resolution=st.sampled_from([50.0, 100.0, 500.0, 2000.0]),
+    )
+    @settings(max_examples=60)
+    def test_index_roundtrip(self, start, span, resolution):
+        from hypothesis import assume
+
+        assume(span >= 4 * resolution)
+        grid = FrequencyGrid(start, start + span, resolution)
+        for index in (0, grid.n_bins // 2, grid.n_bins - 1):
+            frequency = grid.frequency_at(index)
+            assert grid.index_of(frequency) == index
+
+    @given(
+        span=st.floats(min_value=10e3, max_value=10e6),
+        resolution=st.sampled_from([50.0, 100.0, 500.0]),
+    )
+    @settings(max_examples=40)
+    def test_bin_count_matches_span(self, span, resolution):
+        grid = FrequencyGrid(0.0, span, resolution)
+        assert grid.n_bins == int(round(span / resolution))
+
+
+class TestUnitsProperties:
+    @given(dbm=st.floats(min_value=-200.0, max_value=50.0))
+    def test_dbm_roundtrip(self, dbm):
+        assert float(milliwatts_to_dbm(dbm_to_milliwatts(dbm))) == pytest.approx(dbm, abs=1e-9)
+
+    @given(
+        a=st.floats(min_value=1e-20, max_value=1e3),
+        b=st.floats(min_value=1e-20, max_value=1e3),
+    )
+    def test_dbm_monotone(self, a, b):
+        if a < b:
+            assert milliwatts_to_dbm(a) < milliwatts_to_dbm(b)
+
+
+class TestTraceProperties:
+    grid = FrequencyGrid(0.0, 100e3, 100.0)
+
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=30)
+    def test_shift_by_zero_is_identity(self, seed):
+        rng = np.random.default_rng(seed)
+        trace = SpectrumTrace(self.grid, rng.gamma(4.0, 1e-12, self.grid.n_bins))
+        np.testing.assert_allclose(trace.shifted_power(0.0), trace.power_mw)
+
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        n=st.integers(min_value=1, max_value=8),
+    )
+    @settings(max_examples=30)
+    def test_average_preserves_total_power_mean(self, seed, n):
+        rng = np.random.default_rng(seed)
+        traces = [
+            SpectrumTrace(self.grid, rng.gamma(4.0, 1e-12, self.grid.n_bins))
+            for _ in range(n)
+        ]
+        averaged = average_traces(traces)
+        expected = np.mean([t.total_power() for t in traces])
+        assert averaged.total_power() == pytest.approx(expected, rel=1e-9)
+
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        factor=st.floats(min_value=0.0, max_value=100.0),
+    )
+    @settings(max_examples=30)
+    def test_scaling_linear(self, seed, factor):
+        rng = np.random.default_rng(seed)
+        trace = SpectrumTrace(self.grid, rng.gamma(4.0, 1e-12, self.grid.n_bins))
+        assert trace.scaled(factor).total_power() == pytest.approx(
+            factor * trace.total_power(), rel=1e-9
+        )
+
+
+class TestHeuristicInvariances:
+    """Eq. 2 is a power *ratio*: global rescaling must not change scores."""
+
+    @given(
+        scale=st.floats(min_value=1e-6, max_value=1e6),
+        seed=st.integers(min_value=0, max_value=1000),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_scale_invariance(self, scale, seed):
+        from repro.core.heuristic import HeuristicScorer
+
+        grid = FrequencyGrid(0.0, 200e3, 100.0)
+        rng = np.random.default_rng(seed)
+        falts = [20e3, 21e3, 22e3, 23e3, 24e3]
+        traces = []
+        for falt in falts:
+            power = rng.gamma(4.0, 1e-12, grid.n_bins)
+            power[grid.index_of(100e3 + falt)] += 1e-10
+            traces.append(SpectrumTrace(grid, power))
+        scorer = HeuristicScorer(power_floor=1e-30)
+        base = scorer.harmonic_score(traces, falts, 1)
+        scaled_traces = [t.scaled(scale) for t in traces]
+        scaled = scorer.harmonic_score(scaled_traces, falts, 1)
+        np.testing.assert_allclose(scaled, base, rtol=1e-6)
+
+    @given(seed=st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=20, deadline=None)
+    def test_permutation_of_measurements_preserves_carrier_score(self, seed):
+        """The carrier score must not depend on measurement order."""
+        from repro.core.heuristic import HeuristicScorer
+
+        grid = FrequencyGrid(0.0, 200e3, 100.0)
+        rng = np.random.default_rng(seed)
+        falts = [20e3, 21e3, 22e3, 23e3, 24e3]
+        traces = []
+        for falt in falts:
+            power = rng.gamma(4.0, 1e-12, grid.n_bins)
+            power[grid.index_of(100e3 + falt)] += 1e-10
+            traces.append(SpectrumTrace(grid, power))
+        scorer = HeuristicScorer(power_floor=1e-30)
+        forward = scorer.harmonic_score(traces, falts, 1)
+        backward = scorer.harmonic_score(traces[::-1], falts[::-1], 1)
+        idx = grid.index_of(100e3)
+        assert backward[idx] == pytest.approx(forward[idx], rel=1e-9)

@@ -1,0 +1,108 @@
+"""Property-based tests on the micro-benchmark and harmonic grouping."""
+
+import pytest
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.core.detect import CarrierDetection
+from repro.core.harmonics import group_harmonics
+from repro.errors import CalibrationError
+from repro.uarch.isa import MicroOp
+from repro.uarch.microbench import AlternationMicrobenchmark, pointer_mask_for_working_set
+
+onchip_ops = st.sampled_from([MicroOp.LDL1, MicroOp.LDL2, MicroOp.ADD, MicroOp.MUL, MicroOp.DIV])
+all_ops = st.sampled_from(list(MicroOp))
+
+
+class TestCalibrationProperties:
+    @given(
+        op_x=all_ops,
+        op_y=all_ops,
+        falt=st.floats(min_value=5e3, max_value=200e3),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_calibration_hits_target_or_raises(self, op_x, op_y, falt):
+        try:
+            bench = AlternationMicrobenchmark.calibrated(op_x, op_y, falt)
+        except CalibrationError:
+            return
+        assert bench.achieved_falt() == pytest.approx(falt, rel=0.05)
+        assert bench.inst_x_count >= 1
+        assert bench.inst_y_count >= 1
+
+    @given(
+        op_x=onchip_ops,
+        falt=st.floats(min_value=5e3, max_value=100e3),
+        duty=st.floats(min_value=0.2, max_value=0.8),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_duty_cycle_tracks_request(self, op_x, falt, duty):
+        bench = AlternationMicrobenchmark.calibrated(op_x, MicroOp.LDL1, falt, duty_cycle=duty)
+        assert bench.achieved_duty_cycle() == pytest.approx(duty, abs=0.05)
+
+    @given(size=st.integers(min_value=1, max_value=1 << 28))
+    def test_mask_covers_requested_size(self, size):
+        mask = pointer_mask_for_working_set(size)
+        assert mask + 1 >= size
+        assert (mask + 1) & mask == 0  # power of two
+
+
+class TestGroupingProperties:
+    @st.composite
+    def comb(draw):
+        fundamental = draw(st.floats(min_value=100e3, max_value=600e3))
+        orders = draw(st.lists(st.integers(min_value=1, max_value=8), min_size=1, max_size=6, unique=True))
+        return fundamental, sorted(orders)
+
+    @given(data=comb())
+    @settings(max_examples=60)
+    def test_single_comb_recovered(self, data):
+        fundamental, orders = data
+        detections = [
+            CarrierDetection(
+                frequency=order * fundamental,
+                combined_score=10.0,
+                harmonic_scores={1: 10.0},
+                magnitude_dbm=-120.0,
+                modulation_depth=0.3,
+            )
+            for order in orders
+        ]
+        sets = group_harmonics(detections)
+        # every detection is grouped exactly once
+        grouped = sorted(f for s in sets for f in s.frequencies)
+        assert grouped == sorted(d.frequency for d in detections)
+        # if the fundamental itself was detected, a single set results
+        if 1 in orders:
+            assert len(sets) == 1
+            assert sets[0].fundamental == pytest.approx(fundamental, rel=1e-6)
+
+    @given(
+        fundamentals=st.lists(
+            st.floats(min_value=100e3, max_value=250e3), min_size=1, max_size=3, unique=True
+        )
+    )
+    @settings(max_examples=40)
+    def test_partition_property(self, fundamentals):
+        """Grouping is always a partition: no carrier lost or duplicated."""
+        assume(
+            all(
+                abs(a / b - round(a / b)) > 0.05 and abs(b / a - round(b / a)) > 0.05
+                for i, a in enumerate(fundamentals)
+                for b in fundamentals[i + 1 :]
+            )
+        )
+        detections = []
+        for fundamental in fundamentals:
+            for order in (1, 2, 3):
+                detections.append(
+                    CarrierDetection(
+                        frequency=order * fundamental,
+                        combined_score=10.0,
+                        harmonic_scores={1: 10.0},
+                        magnitude_dbm=-120.0,
+                        modulation_depth=0.3,
+                    )
+                )
+        sets = group_harmonics(detections)
+        grouped = sorted(f for s in sets for f in s.frequencies)
+        assert grouped == sorted(d.frequency for d in detections)

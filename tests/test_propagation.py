@@ -1,0 +1,112 @@
+"""Distance and the near/far-field transition (§1 + the paper's ref [39]).
+
+"EM emanations can be covertly recorded from a distance" — but which
+emanations? A 315 kHz regulator carrier is deep in the magnetic near field
+at any lab distance (λ/2π ≈ 150 m) and its received power collapses as
+(d_ref/d)⁶; the 333 MHz DRAM clock is already radiating at 30 cm and only
+loses (d_ref/d)². At 1 m the regulators and the refresh comb are gone
+while the DRAM clock's edge carriers are still detected — matching ref
+[39]'s report of multi-meter reception for high-frequency emanations.
+"""
+
+import numpy as np
+import pytest
+
+from repro import FaseConfig, MeasurementCampaign, MicroOp
+from repro.core import CarrierDetector
+from repro.errors import SystemModelError
+from repro.system import ReceiverChain, SystemModel, build_environment, corei7_desktop
+
+
+def machine_at(distance_cm, environment_span=4e6, seed=0, gain_db=0.0):
+    from repro.system import LoopAntenna
+
+    base = corei7_desktop(
+        environment=build_environment(environment_span, rng=np.random.default_rng(seed)),
+        rng=np.random.default_rng(seed),
+    )
+    return SystemModel(
+        base.name,
+        base.emitters,
+        environment=base.environment,
+        receiver=ReceiverChain(
+            antenna=LoopAntenna(gain_db=gain_db), distance_cm=distance_cm
+        ),
+    )
+
+
+class TestCouplingLaw:
+    def test_reference_distance_is_unity_for_all_frequencies(self):
+        chain = ReceiverChain()
+        for frequency in (128e3, 315e3, 333e6):
+            assert chain.power_coupling(frequency=frequency) == pytest.approx(1.0)
+
+    def test_near_field_six_db_per_octave_times_six(self):
+        chain = ReceiverChain(distance_cm=60.0)
+        assert chain.power_coupling(frequency=315e3) == pytest.approx(0.5**6)
+
+    def test_far_field_two_exponent(self):
+        # both 30 cm and 300 cm are beyond 333 MHz's 14 cm transition
+        chain = ReceiverChain(distance_cm=300.0)
+        assert chain.power_coupling(frequency=333e6) == pytest.approx(0.1**2)
+
+    def test_high_frequency_carries_much_farther(self):
+        chain = ReceiverChain(distance_cm=300.0)
+        low = chain.power_coupling(frequency=315e3)
+        high = chain.power_coupling(frequency=333e6)
+        assert high > 1e3 * low
+
+    def test_transition_radius(self):
+        assert ReceiverChain.transition_radius_cm(333e6) == pytest.approx(14.3, rel=0.01)
+        with pytest.raises(SystemModelError):
+            ReceiverChain.transition_radius_cm(0.0)
+
+    def test_legacy_frequencyless_law_unchanged(self):
+        chain = ReceiverChain(distance_cm=15.0)
+        assert chain.power_coupling() == pytest.approx(2.0**6)
+
+
+class TestDetectionVsDistance:
+    def test_low_band_carriers_lost_at_one_meter(self):
+        machine = machine_at(100.0)
+        config = FaseConfig(span_low=0.0, span_high=2e6, fres=100.0, name="1 m low band")
+        campaign = MeasurementCampaign(machine, config, rng=np.random.default_rng(1))
+        result = campaign.run(MicroOp.LDM, MicroOp.LDL1, label="LDM/LDL1")
+        assert CarrierDetector().detect(result) == []
+
+    def test_dram_clock_detected_at_one_meter_with_directive_antenna(self):
+        """§3: 'attacks exploiting a particular set of carrier signals could
+        likely be carried out at larger distances using more directive
+        antennae optimized for higher gain across a narrower frequency
+        band.' A +20 dB directive antenna at 1 m restores the radiating
+        clock's margin (far-field loss is only 10.5 dB) — while the
+        near-field regulators, 60 dB down, stay unrecoverable."""
+        machine = machine_at(100.0, environment_span=340e6, gain_db=20.0)
+        config = FaseConfig(
+            span_low=329e6, span_high=336e6, fres=2e3,
+            falt1=1800e3, f_delta=100e3, name="1 m clock window",
+        )
+        campaign = MeasurementCampaign(machine, config, rng=np.random.default_rng(1))
+        result = campaign.run(MicroOp.LDM, MicroOp.LDL1, label="LDM/LDL1")
+        detections = CarrierDetector(min_separation_hz=150e3).detect(result)
+        assert detections, "the radiating clock must survive at 1 m with gain"
+        for detection in detections:
+            edge = min(abs(detection.frequency - 332e6), abs(detection.frequency - 333e6))
+            assert edge < 150e3
+
+    def test_low_band_mostly_lost_at_one_meter_even_with_gain(self):
+        """+20 dB buys back only a third of the 60 dB near-field loss: at
+        most the single strongest regulator fundamental survives, the
+        refresh comb and every higher harmonic are gone (vs ~12 carriers
+        at the 30 cm reference)."""
+        machine = machine_at(100.0, gain_db=20.0)
+        config = FaseConfig(span_low=0.0, span_high=2e6, fres=100.0, name="1 m + gain")
+        campaign = MeasurementCampaign(machine, config, rng=np.random.default_rng(1))
+        result = campaign.run(MicroOp.LDM, MicroOp.LDL1, label="LDM/LDL1")
+        detections = CarrierDetector().detect(result)
+        assert len(detections) <= 2
+        for detection in detections:
+            # the refresh comb (crystal lines, weaker than the regulator
+            # fundamentals) does not survive the distance
+            assert abs(detection.frequency - 512e3) > 2e3
+            assert abs(detection.frequency - 1024e3) > 2e3

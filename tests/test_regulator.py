@@ -1,0 +1,167 @@
+"""Switching regulators: PWM-to-AM mechanism; constant-on-time FM."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SystemModelError
+from repro.spectrum.grid import FrequencyGrid
+from repro.system.domains import CORE, DRAM_POWER
+from repro.system.regulator import ConstantOnTimeRegulator, SwitchingRegulator
+from repro.uarch.activity import AlternationActivity
+
+GRID = FrequencyGrid(0.0, 2e6, 50.0)
+
+
+def make_regulator(**kwargs):
+    defaults = dict(
+        name="reg",
+        switching_frequency=315e3,
+        domain=DRAM_POWER,
+        fundamental_dbm=-105.0,
+        input_volts=12.0,
+        output_volts=1.2,
+        duty_gain=0.1,
+    )
+    defaults.update(kwargs)
+    return SwitchingRegulator(**defaults)
+
+
+def dram_alternation(level_x=0.9, level_y=0.1, falt=43.3e3):
+    return AlternationActivity(
+        falt=falt, levels_x={DRAM_POWER: level_x}, levels_y={DRAM_POWER: level_y}
+    )
+
+
+class TestSwitchingRegulator:
+    def test_nominal_duty_is_conversion_ratio(self):
+        assert make_regulator().nominal_duty == pytest.approx(0.1)
+
+    def test_duty_rises_with_load(self):
+        """The feedback mechanism of Section 4.1."""
+        reg = make_regulator()
+        assert reg.duty_cycle_at(1.0) > reg.duty_cycle_at(0.0)
+
+    def test_all_harmonics_modulated(self):
+        """'Changing the duty cycle changes (modulates) the amplitude of all
+        the signal's harmonics.'"""
+        reg = make_regulator()
+        for order in range(1, 6):
+            assert reg.envelope(order, 0.9) != reg.envelope(order, 0.1)
+
+    def test_small_duty_even_harmonics_strong(self):
+        """Figure 11 reasoning: strong even harmonics -> small duty cycle."""
+        reg = make_regulator()
+        assert reg.envelope(2, 0.5) > 0.5 * reg.envelope(1, 0.5)
+
+    def test_sidebands_under_modulating_activity(self):
+        power = make_regulator().render(GRID, dram_alternation())
+        carrier_region = power[GRID.index_of(310e3) : GRID.index_of(320e3)].max()
+        sideband_region = power[GRID.index_of(356e3) : GRID.index_of(361e3)].max()
+        assert sideband_region > 0
+        assert carrier_region > sideband_region
+
+    def test_unmodulated_by_core_activity(self):
+        activity = AlternationActivity(
+            falt=43.3e3, levels_x={CORE: 0.9}, levels_y={CORE: 0.1}
+        )
+        assert not make_regulator().is_modulated_by(activity)
+
+    def test_gaussian_carrier_shape(self):
+        """RC oscillator -> Gaussian-looking hump (Figure 12)."""
+        reg = make_regulator(fractional_sigma=2e-3)
+        power = make_regulator(fractional_sigma=2e-3).render(
+            GRID, AlternationActivity.constant({DRAM_POWER: 0.5})
+        )
+        center = GRID.index_of(315e3)
+        assert power[center] > power[center + 10] > power[center + 20]
+
+    def test_validation(self):
+        with pytest.raises(SystemModelError):
+            make_regulator(output_volts=15.0)  # output above input
+        with pytest.raises(SystemModelError):
+            make_regulator(duty_gain=-0.1)
+        with pytest.raises(SystemModelError):
+            make_regulator(output_volts=11.0, duty_gain=0.2)  # duty > 1 at load
+        with pytest.raises(SystemModelError):
+            make_regulator().duty_cycle_at(1.5)
+        with pytest.raises(SystemModelError):
+            make_regulator(current_gain=-0.5)
+
+    def test_current_gain_adds_modulation(self):
+        """Switched-current AM: the envelope scales with the load current
+        even when the duty cycle barely responds (high conversion ratios)."""
+        duty_only = make_regulator(
+            input_volts=1.8, output_volts=1.05, duty_gain=0.0, current_gain=0.0
+        )
+        with_current = make_regulator(
+            input_volts=1.8, output_volts=1.05, duty_gain=0.0, current_gain=1.0
+        )
+        assert duty_only.envelope(1, 0.9) == duty_only.envelope(1, 0.1)
+        assert with_current.envelope(1, 0.9) > 1.5 * with_current.envelope(1, 0.1)
+
+    def test_current_gain_default_off(self):
+        """The paper's described mechanism is PWM; the current term is an
+        explicit opt-in so the calibrated presets are unaffected."""
+        assert make_regulator().current_gain == 0.0
+
+
+class TestConstantOnTimeRegulator:
+    def make_cot(self, **kwargs):
+        defaults = dict(
+            name="cot",
+            nominal_frequency=300e3,
+            domain=CORE,
+            fundamental_dbm=-104.0,
+            input_volts=19.0,
+            output_volts=1.1,
+            duty_gain=0.06,
+        )
+        defaults.update(kwargs)
+        return ConstantOnTimeRegulator(**defaults)
+
+    def test_frequency_rises_with_load(self):
+        """Fixed on-time + higher duty -> shorter period -> higher frequency."""
+        cot = self.make_cot()
+        assert cot.frequency_at(1.0) > cot.frequency_at(0.0)
+
+    def test_nominal_frequency_at_zero_load(self):
+        cot = self.make_cot()
+        assert cot.frequency_at(0.0) == pytest.approx(300e3)
+
+    def test_is_modulated_by_core_activity(self):
+        """It IS activity-modulated (FM) — just not AM."""
+        activity = AlternationActivity(
+            falt=43.3e3, levels_x={CORE: 0.9}, levels_y={CORE: 0.1}
+        )
+        assert self.make_cot().is_modulated_by(activity)
+
+    def test_renders_two_dwell_humps(self):
+        activity = AlternationActivity(
+            falt=43.3e3, levels_x={CORE: 1.0}, levels_y={CORE: 0.0}
+        )
+        cot = self.make_cot()
+        power = cot.render(GRID, activity)
+        f_low, f_high = cot.frequency_at(0.0), cot.frequency_at(1.0)
+        assert power[GRID.index_of(f_low)] > 0
+        assert power[GRID.index_of(f_high)] > 0
+
+    def test_no_falt_sidebands(self):
+        """The key property: an incoherent FM carrier leaves no falt comb,
+        so FASE (correctly) does not report it. The spectrum around
+        fc + falt must be smooth (the dwell hump's tail), with no narrow
+        line sticking out at the alternation offset."""
+        cot = self.make_cot()
+        alternating = cot.render(
+            GRID,
+            AlternationActivity(falt=43.3e3, levels_x={CORE: 1.0}, levels_y={CORE: 0.0}),
+        )
+        f_high = cot.frequency_at(1.0)
+        sideband_bin = GRID.index_of(f_high + 43.3e3)
+        window = alternating[sideband_bin - 20 : sideband_bin + 21]
+        assert np.ptp(window) < 0.1 * window.mean()
+
+    def test_validation(self):
+        with pytest.raises(SystemModelError):
+            self.make_cot(output_volts=20.0)
+        with pytest.raises(SystemModelError):
+            self.make_cot().frequency_at(-0.5)

@@ -1,0 +1,87 @@
+"""FaseReport rendering and the run_fase end-to-end pipeline."""
+
+import numpy as np
+import pytest
+
+from repro import FaseConfig, MicroOp, run_fase
+from repro.core import MEMORY_REFRESH, MEMORY_SIDE, SWITCHING_REGULATOR, pair_label
+from repro.system import build_environment, corei7_desktop
+
+
+@pytest.fixture(scope="module")
+def i7_report():
+    machine = corei7_desktop(rng=np.random.default_rng(0))
+    return run_fase(machine, rng=np.random.default_rng(1))
+
+
+class TestPairLabel:
+    def test_paper_notation(self):
+        assert pair_label(MicroOp.LDM, MicroOp.LDL1) == "LDM/LDL1"
+
+
+class TestRunFase:
+    def test_default_pairs_present(self, i7_report):
+        assert set(i7_report.activities) == {"LDM/LDL1", "LDL2/LDL1"}
+
+    def test_memory_pair_finds_three_sets(self, i7_report):
+        sets = i7_report.sets_for("LDM/LDL1")
+        fundamentals = sorted(s.fundamental for s in sets)
+        assert len(sets) == 3
+        assert fundamentals[0] == pytest.approx(225e3, rel=0.01)
+        assert fundamentals[1] == pytest.approx(315e3, rel=0.01)
+        assert fundamentals[2] == pytest.approx(512e3, rel=0.01)
+
+    def test_onchip_pair_finds_core_regulator_only(self, i7_report):
+        sets = i7_report.sets_for("LDL2/LDL1")
+        assert len(sets) == 1
+        assert sets[0].fundamental == pytest.approx(333e3, rel=0.01)
+
+    def test_sources_classified(self, i7_report):
+        mechanisms = {s.mechanism for s in i7_report.sources}
+        assert SWITCHING_REGULATOR in mechanisms
+        assert MEMORY_REFRESH in mechanisms
+
+    def test_carriers_near_lookup(self, i7_report):
+        assert i7_report.carriers_near(315e3, label="LDM/LDL1")
+        assert not i7_report.carriers_near(999e3, label="LDL2/LDL1")
+
+    def test_to_text_renders_everything(self, i7_report):
+        text = i7_report.to_text()
+        assert "Intel Core i7 desktop" in text
+        assert "LDM/LDL1" in text
+        assert "classified sources" in text
+        assert "memory refresh" in text
+
+    def test_summary_one_line_per_source(self, i7_report):
+        summary = i7_report.summary()
+        assert len(summary.splitlines()) == len(i7_report.sources)
+
+
+class TestCustomRun:
+    def test_single_pair_and_custom_config(self):
+        machine = corei7_desktop(
+            environment=build_environment(1.5e6, kind="quiet"), rng=np.random.default_rng(0)
+        )
+        config = FaseConfig(span_low=0.0, span_high=1.5e6, fres=100.0, name="narrow")
+        report = run_fase(
+            machine,
+            pairs=((MicroOp.LDM, MicroOp.LDL1),),
+            config=config,
+            rng=np.random.default_rng(1),
+        )
+        assert list(report.activities) == ["LDM/LDL1"]
+        assert report.sets_for("LDM/LDL1")
+        # every source is memory-side: only one (memory) pair was run
+        for source in report.sources:
+            assert source.fingerprint == MEMORY_SIDE
+
+    def test_reproducible(self):
+        machine = corei7_desktop(
+            environment=build_environment(1e6, kind="quiet"), rng=np.random.default_rng(0)
+        )
+        config = FaseConfig(span_low=0.0, span_high=1e6, fres=100.0, name="narrow")
+        r1 = run_fase(machine, pairs=((MicroOp.LDM, MicroOp.LDL1),), config=config, rng=np.random.default_rng(5))
+        r2 = run_fase(machine, pairs=((MicroOp.LDM, MicroOp.LDL1),), config=config, rng=np.random.default_rng(5))
+        f1 = [d.frequency for d in r1.detections_for("LDM/LDL1")]
+        f2 = [d.frequency for d in r2.detections_for("LDM/LDL1")]
+        assert f1 == f2

@@ -1,0 +1,45 @@
+"""RNG plumbing: reproducibility and stream independence."""
+
+import numpy as np
+
+from repro.rng import child_rng, ensure_rng, make_rng
+
+
+class TestMakeRng:
+    def test_same_seed_same_stream(self):
+        a, b = make_rng(42), make_rng(42)
+        assert a.random() == b.random()
+
+    def test_different_seed_different_stream(self):
+        assert make_rng(1).random() != make_rng(2).random()
+
+
+class TestChildRng:
+    def test_deterministic_for_same_label(self):
+        a = child_rng(make_rng(7), "analyzer")
+        b = child_rng(make_rng(7), "analyzer")
+        assert a.random() == b.random()
+
+    def test_labels_give_independent_streams(self):
+        root = make_rng(7)
+        a = child_rng(root, "analyzer")
+        b = child_rng(root, "environment")
+        assert a.random() != b.random()
+
+    def test_child_does_not_consume_parent(self):
+        root = make_rng(7)
+        before = make_rng(7).random()
+        child_rng(root, "x")
+        assert root.random() == before
+
+
+class TestEnsureRng:
+    def test_passthrough(self):
+        rng = make_rng(0)
+        assert ensure_rng(rng) is rng
+
+    def test_seed_accepted(self):
+        assert ensure_rng(5).random() == make_rng(5).random()
+
+    def test_none_gives_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)

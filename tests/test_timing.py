@@ -1,0 +1,73 @@
+"""Timing model: burst durations, jitter mixture statistics."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SystemModelError
+from repro.uarch.isa import MicroOp
+from repro.uarch.timing import JitterMixture, LatencyModel
+
+
+class TestJitterMixture:
+    def test_mean_and_variance(self):
+        mixture = JitterMixture(delays=(100.0,), probabilities=(0.5,))
+        assert mixture.mean() == pytest.approx(50.0)
+        assert mixture.variance() == pytest.approx(100.0**2 * 0.5 - 50.0**2)
+
+    def test_sampling_matches_probabilities(self):
+        mixture = JitterMixture(delays=(100.0, 400.0), probabilities=(0.2, 0.1))
+        samples = mixture.sample(np.random.default_rng(0), 200_000)
+        assert np.mean(samples == 100.0) == pytest.approx(0.2, abs=0.01)
+        assert np.mean(samples == 400.0) == pytest.approx(0.1, abs=0.01)
+        assert np.mean(samples == 0.0) == pytest.approx(0.7, abs=0.01)
+
+    def test_discrete_modes(self):
+        """'Several commonly-occurring execution times' (Section 2.1):
+        the delay distribution has discrete modes, not a continuum."""
+        mixture = JitterMixture()
+        samples = mixture.sample(np.random.default_rng(1), 10_000)
+        assert set(np.unique(samples)) <= {0.0, *mixture.delays}
+
+    def test_validation(self):
+        with pytest.raises(SystemModelError):
+            JitterMixture(delays=(1.0,), probabilities=(0.5, 0.5))
+        with pytest.raises(SystemModelError):
+            JitterMixture(delays=(1.0, 2.0), probabilities=(0.8, 0.4))
+        with pytest.raises(SystemModelError):
+            JitterMixture(delays=(-1.0,), probabilities=(0.1,))
+
+
+class TestLatencyModel:
+    def test_burst_mean_scales_with_count(self):
+        model = LatencyModel()
+        one = model.burst_duration_mean(MicroOp.LDL1, 1000)
+        two = model.burst_duration_mean(MicroOp.LDL1, 2000)
+        assert two > one
+        assert two < 2.05 * one  # jitter mean amortizes
+
+    def test_burst_duration_positive(self):
+        model = LatencyModel()
+        samples = model.burst_durations(MicroOp.LDM, 10, 1000, rng=np.random.default_rng(0))
+        assert np.all(samples > 0)
+
+    def test_sampled_mean_matches_analytic(self):
+        model = LatencyModel()
+        samples = model.burst_durations(MicroOp.LDL1, 5000, 20000, rng=np.random.default_rng(0))
+        assert samples.mean() == pytest.approx(
+            model.burst_duration_mean(MicroOp.LDL1, 5000), rel=0.01
+        )
+
+    def test_sampled_std_matches_analytic(self):
+        model = LatencyModel()
+        samples = model.burst_durations(MicroOp.LDL1, 5000, 50000, rng=np.random.default_rng(0))
+        assert samples.std() == pytest.approx(
+            model.burst_duration_std(MicroOp.LDL1, 5000), rel=0.1
+        )
+
+    def test_validation(self):
+        with pytest.raises(SystemModelError):
+            LatencyModel(cpu_frequency=0.0)
+        with pytest.raises(SystemModelError):
+            LatencyModel().burst_duration_mean(MicroOp.ADD, 0)
+        with pytest.raises(SystemModelError):
+            LatencyModel().op_latency_cycles("ADD")

@@ -1,0 +1,118 @@
+"""SpectrumTrace: linear-power storage, dBm views, shifting, averaging."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceError
+from repro.spectrum.grid import FrequencyGrid
+from repro.spectrum.trace import SpectrumTrace, average_traces
+
+GRID = FrequencyGrid(0.0, 100e3, 100.0)
+
+
+def make_trace(value=1e-12):
+    return SpectrumTrace(GRID, np.full(GRID.n_bins, value))
+
+
+class TestConstruction:
+    def test_shape_mismatch(self):
+        with pytest.raises(TraceError):
+            SpectrumTrace(GRID, np.zeros(10))
+
+    def test_negative_power_rejected(self):
+        power = np.zeros(GRID.n_bins)
+        power[5] = -1.0
+        with pytest.raises(TraceError):
+            SpectrumTrace(GRID, power)
+
+    def test_from_dbm_roundtrip(self):
+        trace = SpectrumTrace.from_dbm(GRID, np.full(GRID.n_bins, -120.0))
+        np.testing.assert_allclose(trace.dbm, -120.0)
+
+    def test_requires_grid(self):
+        with pytest.raises(TraceError):
+            SpectrumTrace("not a grid", np.zeros(4))
+
+
+class TestAccessors:
+    def test_power_at(self):
+        power = np.zeros(GRID.n_bins)
+        power[GRID.index_of(50e3)] = 7e-10
+        trace = SpectrumTrace(GRID, power)
+        assert trace.power_at(50e3) == pytest.approx(7e-10)
+
+    def test_dbm_at(self):
+        trace = make_trace(1e-12)
+        assert trace.dbm_at(10e3) == pytest.approx(-120.0)
+
+    def test_peak_frequency(self):
+        power = np.ones(GRID.n_bins)
+        power[GRID.index_of(30e3)] = 10.0
+        assert SpectrumTrace(GRID, power).peak_frequency() == pytest.approx(30e3)
+
+    def test_total_power(self):
+        assert make_trace(2.0).total_power() == pytest.approx(2.0 * GRID.n_bins)
+
+
+class TestShifting:
+    def test_shifted_power_moves_peak(self):
+        """SP(f + shift) evaluated on the grid: the Eq. 2 primitive."""
+        power = np.zeros(GRID.n_bins)
+        power[GRID.index_of(50e3)] = 1.0
+        trace = SpectrumTrace(GRID, power)
+        shifted = trace.shifted_power(10e3)
+        # at f = 40 kHz, f + 10 kHz hits the 50 kHz peak
+        assert shifted[GRID.index_of(40e3)] == pytest.approx(1.0)
+        assert shifted[GRID.index_of(50e3)] == pytest.approx(0.0, abs=1e-12)
+
+    def test_interp_between_bins(self):
+        power = np.zeros(GRID.n_bins)
+        power[10] = 1.0
+        trace = SpectrumTrace(GRID, power)
+        halfway = trace.interp_power(np.array([GRID.frequency_at(10) + 50.0]))
+        assert halfway[0] == pytest.approx(0.5)
+
+
+class TestSliceAndArithmetic:
+    def test_slice(self):
+        trace = make_trace(1.0)
+        sub = trace.slice(10e3, 20e3)
+        assert sub.grid.start >= 10e3 - 1e-6
+        assert np.all(sub.power_mw == 1.0)
+
+    def test_add(self):
+        total = make_trace(1.0) + make_trace(2.0)
+        assert np.all(total.power_mw == 3.0)
+
+    def test_add_incompatible_grid(self):
+        other_grid = FrequencyGrid(0.0, 100e3, 50.0)
+        other = SpectrumTrace(other_grid, np.zeros(other_grid.n_bins))
+        with pytest.raises(TraceError):
+            make_trace() + other
+
+    def test_scaled(self):
+        assert np.all(make_trace(2.0).scaled(0.5).power_mw == 1.0)
+
+    def test_scaled_negative_rejected(self):
+        with pytest.raises(TraceError):
+            make_trace().scaled(-1.0)
+
+
+class TestAveraging:
+    def test_average_in_linear_power(self):
+        """Power-average, not dB-average: matches analyzer behaviour."""
+        a = make_trace(1.0)
+        b = make_trace(3.0)
+        assert np.all(average_traces([a, b]).power_mw == 2.0)
+
+    def test_average_reduces_variance(self):
+        rng = np.random.default_rng(0)
+        traces = [
+            SpectrumTrace(GRID, rng.gamma(4.0, 0.25, GRID.n_bins)) for _ in range(16)
+        ]
+        averaged = average_traces(traces)
+        assert averaged.power_mw.std() < traces[0].power_mw.std() / 2
+
+    def test_empty_average_rejected(self):
+        with pytest.raises(TraceError):
+            average_traces([])

@@ -1,0 +1,115 @@
+"""Unit conversions: dBm <-> mW, voltages, frequency formatting/parsing."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import UnitsError
+from repro.units import (
+    db_ratio,
+    dbm_to_milliwatts,
+    dbm_to_volts,
+    format_frequency,
+    milliwatts_to_dbm,
+    parse_frequency,
+    volts_to_dbm,
+)
+
+
+class TestDbmConversions:
+    def test_zero_dbm_is_one_milliwatt(self):
+        assert dbm_to_milliwatts(0.0) == pytest.approx(1.0)
+
+    def test_minus_thirty_dbm(self):
+        assert dbm_to_milliwatts(-30.0) == pytest.approx(1e-3)
+
+    def test_roundtrip_scalar(self):
+        assert milliwatts_to_dbm(dbm_to_milliwatts(-117.3)) == pytest.approx(-117.3)
+
+    def test_roundtrip_array(self):
+        dbm = np.linspace(-160.0, 10.0, 50)
+        np.testing.assert_allclose(milliwatts_to_dbm(dbm_to_milliwatts(dbm)), dbm)
+
+    def test_zero_power_clamps_not_inf(self):
+        value = milliwatts_to_dbm(0.0)
+        assert np.isfinite(value)
+        assert value <= -300.0
+
+    def test_negative_power_rejected(self):
+        with pytest.raises(UnitsError):
+            milliwatts_to_dbm(-1.0)
+
+    def test_array_shape_preserved(self):
+        out = dbm_to_milliwatts(np.zeros((3, 4)))
+        assert out.shape == (3, 4)
+
+
+class TestDbRatio:
+    def test_equal_powers_zero_db(self):
+        assert db_ratio(2.0, 2.0) == pytest.approx(0.0)
+
+    def test_ten_times_is_ten_db(self):
+        assert db_ratio(10.0, 1.0) == pytest.approx(10.0)
+
+    def test_zero_denominator_rejected(self):
+        with pytest.raises(UnitsError):
+            db_ratio(1.0, 0.0)
+
+    def test_negative_numerator_rejected(self):
+        with pytest.raises(UnitsError):
+            db_ratio(-1.0, 1.0)
+
+
+class TestVoltageConversions:
+    def test_one_milliwatt_in_fifty_ohms(self):
+        # P = V^2/R -> V = sqrt(1e-3 * 50) ~ 0.2236 V rms
+        assert float(dbm_to_volts(0.0)) == pytest.approx(math.sqrt(0.05))
+
+    def test_roundtrip(self):
+        assert float(volts_to_dbm(dbm_to_volts(-42.0))) == pytest.approx(-42.0)
+
+    def test_bad_impedance(self):
+        with pytest.raises(UnitsError):
+            volts_to_dbm(1.0, impedance_ohms=0.0)
+        with pytest.raises(UnitsError):
+            dbm_to_volts(0.0, impedance_ohms=-50.0)
+
+
+class TestFrequencyFormatting:
+    @pytest.mark.parametrize(
+        "hertz,expected",
+        [
+            (315e3, "315 kHz"),
+            (1.0235e6, "1.024 MHz"),
+            (333e6, "333 MHz"),
+            (50.0, "50 Hz"),
+            (2.4e9, "2.4 GHz"),
+        ],
+    )
+    def test_format(self, hertz, expected):
+        assert format_frequency(hertz) == expected
+
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("43.3 kHz", 43.3e3),
+            ("1.0235MHz", 1.0235e6),
+            ("315 khz", 315e3),
+            ("50 Hz", 50.0),
+            ("  2.5 GHz ", 2.5e9),
+            ("1234", 1234.0),
+        ],
+    )
+    def test_parse(self, text, expected):
+        assert parse_frequency(text) == pytest.approx(expected)
+
+    def test_parse_roundtrips_format(self):
+        for hertz in (128e3, 315e3, 1.024e6, 333e6):
+            assert parse_frequency(format_frequency(hertz)) == pytest.approx(hertz, rel=1e-3)
+
+    def test_parse_garbage_rejected(self):
+        with pytest.raises(UnitsError):
+            parse_frequency("not a frequency")
+        with pytest.raises(UnitsError):
+            parse_frequency("xx kHz")

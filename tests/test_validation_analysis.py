@@ -1,0 +1,51 @@
+"""Rejection validation: the paper's manual cross-check, automated."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.validation import strong_rejected_signals, validate_rejections
+
+
+class TestStrongRejectedSignals:
+    def test_finds_strong_unreported_peaks(self, i7, i7_ldm_ldl1, i7_detections):
+        rejected = strong_rejected_signals(i7_ldm_ldl1, i7_detections)
+        assert len(rejected) > 0  # stations, spurs, core regulator...
+        weakest_reported = min(d.magnitude_dbm for d in i7_detections)
+        for frequency, magnitude in rejected:
+            assert magnitude >= weakest_reported
+
+    def test_reported_carriers_excluded(self, i7_ldm_ldl1, i7_detections):
+        rejected = strong_rejected_signals(i7_ldm_ldl1, i7_detections)
+        for frequency, _ in rejected:
+            for detection in i7_detections:
+                assert abs(frequency - detection.frequency) > 400.0
+
+
+class TestValidateRejections:
+    def test_no_missed_carriers(self, i7, i7_ldm_ldl1, i7_detections):
+        """The paper's validation: every rejected signal at least as strong
+        as the reported ones either does not respond to activity at all, or
+        is an unmarked harmonic of a set FASE already reported."""
+        checks = validate_rejections(i7, i7_ldm_ldl1, i7_detections)
+        assert len(checks) > 0
+        missed = [c for c in checks if c.is_missed_carrier]
+        assert missed == [], [c.describe() for c in missed]
+
+    def test_most_rejections_are_environment(self, i7, i7_ldm_ldl1, i7_detections):
+        """The bulk of the strong rejected peaks are stations and spurs."""
+        checks = validate_rejections(i7, i7_ldm_ldl1, i7_detections)
+        environmental = [c for c in checks if c.is_truly_unmodulated]
+        assert len(environmental) > len(checks) / 2
+
+    def test_core_regulator_among_rejected(self, i7, i7_ldm_ldl1, i7_detections):
+        """Fig. 11's prominent-but-unreported core regulator humps show up
+        as correctly rejected signals."""
+        checks = validate_rejections(i7, i7_ldm_ldl1, i7_detections)
+        near_core_reg = [c for c in checks if abs(c.frequency - 333e3) < 3e3]
+        assert near_core_reg
+        assert all(c.is_truly_unmodulated for c in near_core_reg)
+        assert near_core_reg[0].nearest_emitter == "CPU core regulator"
+
+    def test_describe(self, i7, i7_ldm_ldl1, i7_detections):
+        checks = validate_rejections(i7, i7_ldm_ldl1, i7_detections)
+        assert "correctly rejected" in checks[0].describe()

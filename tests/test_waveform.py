@@ -1,0 +1,146 @@
+"""Time-domain synthesis: envelopes, carriers, AM/FM/sweep waveforms."""
+
+import numpy as np
+import pytest
+
+from repro.errors import UnitsError
+from repro.signals.waveform import (
+    synthesize_alternation_envelope,
+    synthesize_am_iq,
+    synthesize_carrier_iq,
+    synthesize_fm_iq,
+    synthesize_spread_spectrum_iq,
+)
+
+FS = 1e6
+
+
+class TestAlternationEnvelope:
+    def test_levels_and_mean(self):
+        env = synthesize_alternation_envelope(0.01, FS, 10e3, 1.0, 0.0, rng=np.random.default_rng(0))
+        assert set(np.unique(env)) <= {0.0, 1.0}
+        assert env.mean() == pytest.approx(0.5, abs=0.05)
+
+    def test_duty_cycle_respected(self):
+        env = synthesize_alternation_envelope(
+            0.02, FS, 5e3, 1.0, 0.0, duty_cycle=0.25, rng=np.random.default_rng(0)
+        )
+        assert env.mean() == pytest.approx(0.25, abs=0.05)
+
+    def test_period_matches_falt(self):
+        env = synthesize_alternation_envelope(0.01, FS, 10e3, 1.0, 0.0, rng=np.random.default_rng(0))
+        # count rising edges
+        rises = np.sum((env[1:] > 0.5) & (env[:-1] < 0.5))
+        assert rises == pytest.approx(0.01 * 10e3, abs=2)
+
+    def test_jitter_varies_periods(self):
+        rng = np.random.default_rng(0)
+        env = synthesize_alternation_envelope(
+            0.05, FS, 10e3, 1.0, 0.0, jitter_fraction=0.05, rng=rng
+        )
+        rises = np.flatnonzero((env[1:] > 0.5) & (env[:-1] < 0.5))
+        periods = np.diff(rises)
+        assert periods.std() > 0
+
+    def test_validation(self):
+        with pytest.raises(UnitsError):
+            synthesize_alternation_envelope(0.01, FS, 0.0, 1.0, 0.0)
+        with pytest.raises(UnitsError):
+            synthesize_alternation_envelope(0.01, FS, 1e3, 1.0, 0.0, duty_cycle=1.0)
+        with pytest.raises(UnitsError):
+            synthesize_alternation_envelope(0.0, FS, 1e3, 1.0, 0.0)
+
+
+class TestCarrierIq:
+    def test_unit_magnitude(self):
+        iq = synthesize_carrier_iq(0.005, FS, 100e3, rng=np.random.default_rng(0))
+        np.testing.assert_allclose(np.abs(iq), 1.0, rtol=1e-9)
+
+    def test_frequency_without_noise(self):
+        iq = synthesize_carrier_iq(0.01, FS, 50e3)
+        spectrum = np.abs(np.fft.fft(iq))
+        freqs = np.fft.fftfreq(len(iq), 1 / FS)
+        assert freqs[int(np.argmax(spectrum))] == pytest.approx(50e3, abs=FS / len(iq) * 2)
+
+    def test_phase_noise_spreads_line(self):
+        clean = synthesize_carrier_iq(0.02, FS, 50e3, rng=np.random.default_rng(0))
+        noisy = synthesize_carrier_iq(0.02, FS, 50e3, line_sigma=2e3, rng=np.random.default_rng(0))
+        def peak_fraction(iq):
+            s = np.abs(np.fft.fft(iq)) ** 2
+            return s.max() / s.sum()
+        assert peak_fraction(noisy) < 0.5 * peak_fraction(clean)
+
+    def test_wander_time_validation(self):
+        with pytest.raises(UnitsError):
+            synthesize_carrier_iq(0.01, FS, 0.0, line_sigma=100.0, wander_time=1e-7)
+
+
+class TestAmIq:
+    def test_sidebands_at_falt(self):
+        iq = synthesize_am_iq(
+            0.04, FS, 0.0, falt=10e3, amplitude_x=1.0, amplitude_y=0.2,
+            rng=np.random.default_rng(0),
+        )
+        spectrum = np.abs(np.fft.fft(iq)) ** 2
+        freqs = np.fft.fftfreq(len(iq), 1 / FS)
+        def power_near(f, width=500.0):
+            return spectrum[np.abs(freqs - f) < width].sum()
+        carrier = power_near(0.0)
+        sideband = power_near(10e3)
+        noise_ref = power_near(5e3)
+        assert sideband > 30 * noise_ref
+        assert carrier > sideband
+
+    def test_even_harmonic_suppressed_at_half_duty(self):
+        iq = synthesize_am_iq(
+            0.04, FS, 0.0, falt=10e3, amplitude_x=1.0, amplitude_y=0.0,
+            rng=np.random.default_rng(1),
+        )
+        spectrum = np.abs(np.fft.fft(iq)) ** 2
+        freqs = np.fft.fftfreq(len(iq), 1 / FS)
+        def power_near(f, width=500.0):
+            return spectrum[np.abs(freqs - f) < width].sum()
+        assert power_near(10e3) > 5 * power_near(20e3)
+        assert power_near(30e3) > power_near(20e3)
+
+
+class TestFmIq:
+    def test_dwells_at_both_frequencies(self):
+        iq = synthesize_fm_iq(0.04, FS, 40e3, 60e3, falt=2e3, rng=np.random.default_rng(0))
+        spectrum = np.abs(np.fft.fft(iq)) ** 2
+        freqs = np.fft.fftfreq(len(iq), 1 / FS)
+        def power_near(f, width=1e3):
+            return spectrum[np.abs(freqs - f) < width].sum()
+        mid = power_near(50e3)
+        assert power_near(40e3) > 3 * mid
+        assert power_near(60e3) > 3 * mid
+
+    def test_constant_magnitude(self):
+        iq = synthesize_fm_iq(0.01, FS, 40e3, 60e3, falt=2e3, rng=np.random.default_rng(0))
+        np.testing.assert_allclose(np.abs(iq), 1.0, rtol=1e-9)
+
+
+class TestSpreadSpectrumIq:
+    def test_occupies_sweep_band(self):
+        iq = synthesize_spread_spectrum_iq(0.02, FS, 100e3, 50e3, sweep_period=200e-6)
+        spectrum = np.abs(np.fft.fft(iq)) ** 2
+        freqs = np.fft.fftfreq(len(iq), 1 / FS)
+        in_band = spectrum[(freqs > 45e3) & (freqs < 105e3)].sum()
+        assert in_band / spectrum.sum() > 0.9
+
+    def test_sinusoidal_profile_edge_horns(self):
+        iq = synthesize_spread_spectrum_iq(0.05, FS, 100e3, 50e3, sweep_period=200e-6)
+        spectrum = np.abs(np.fft.fft(iq)) ** 2
+        freqs = np.fft.fftfreq(len(iq), 1 / FS)
+        def density_near(f, width=2e3):
+            mask = np.abs(freqs - f) < width
+            return spectrum[mask].sum() / mask.sum()
+        center = density_near(75e3)
+        assert density_near(99e3) > 1.5 * center
+        assert density_near(51e3) > 1.5 * center
+
+    def test_validation(self):
+        with pytest.raises(UnitsError):
+            synthesize_spread_spectrum_iq(0.01, FS, 100e3, 0.0)
+        with pytest.raises(UnitsError):
+            synthesize_spread_spectrum_iq(0.01, FS, 100e3, 1e3, profile="bogus")
