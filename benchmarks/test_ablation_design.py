@@ -11,7 +11,6 @@ import numpy as np
 from conftest import write_series
 from repro import FaseConfig, MeasurementCampaign, MicroOp
 from repro.core import CarrierDetector, HeuristicScorer
-from repro.core.campaign import CampaignResult
 from repro.system import build_environment, corei7_desktop
 
 def make_machine():

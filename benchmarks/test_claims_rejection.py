@@ -4,7 +4,6 @@ own unmodulated combs — and the authors validated this by inspecting all
 rejected signals at least as strong as the reported ones.
 """
 
-import numpy as np
 
 from conftest import write_series
 from repro.analysis.validation import validate_rejections

@@ -7,7 +7,6 @@ import numpy as np
 from conftest import write_series
 from repro.analysis.attack import attack_carrier
 from repro.analysis.leakage import rank_leaks
-from repro.core import CarrierDetector
 from repro.core.fmfase import FM_CARRIER, FmFaseScanner
 from repro.spectrum.grid import FrequencyGrid
 from repro.system import build_environment, turionx2_laptop

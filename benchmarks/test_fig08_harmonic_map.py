@@ -6,7 +6,6 @@ harmonics (thin lines, fc ± k*falt). We regenerate that map from the
 pipeline's own detections.
 """
 
-import numpy as np
 
 from conftest import write_series
 from repro.core import CarrierDetector, group_harmonics

@@ -6,7 +6,6 @@ controller regulator (its own comb), and the memory-refresh comb (512 kHz
 multiples) — while the core regulator's visible humps go unreported.
 """
 
-import numpy as np
 
 from conftest import write_series
 from repro.core import CarrierDetector, group_harmonics

@@ -50,6 +50,7 @@ def _parse_span(args):
         fres=args.fres,
         falt1=args.falt1,
         f_delta=args.f_delta,
+        n_workers=args.workers,
         name="cli campaign",
     )
 
@@ -60,6 +61,13 @@ def _add_campaign_arguments(parser):
     parser.add_argument("--fres", type=float, default=50.0)
     parser.add_argument("--falt1", type=float, default=43.3e3)
     parser.add_argument("--f-delta", type=float, default=0.5e3)
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="captures (and activity pairs) run on this many threads; "
+        ">1 uses per-measurement random streams",
+    )
 
 
 def _parse_ops(text):

@@ -21,6 +21,7 @@ from .config import (
 )
 from .campaign import MeasurementCampaign, CampaignResult, CampaignMeasurement
 from .heuristic import HeuristicScorer, DEFAULT_POWER_FLOOR
+from .scoring import ShiftedPowerCache, shift_valid_mask, shift_valid_range
 from .detect import CarrierDetector, CarrierDetection
 from .harmonics import HarmonicSet, group_harmonics
 from .classify import (
@@ -58,6 +59,9 @@ __all__ = [
     "CampaignMeasurement",
     "HeuristicScorer",
     "DEFAULT_POWER_FLOOR",
+    "ShiftedPowerCache",
+    "shift_valid_mask",
+    "shift_valid_range",
     "CarrierDetector",
     "CarrierDetection",
     "HarmonicSet",

@@ -11,6 +11,7 @@ spectrum).
 
 from __future__ import annotations
 
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 
 from ..errors import CampaignError
@@ -110,22 +111,57 @@ class MeasurementCampaign:
         """
         if len(activities) < 2:
             raise CampaignError("need at least two activities (one per falt)")
-        analyzer = self._analyzer()
         grid = self.config.grid()
         result = CampaignResult(
             config=self.config,
             machine_name=self.machine.name,
             activity_label=label or activities[0].label or "activity",
         )
-        for activity in activities:
-            scene = self.machine.scene(activity)
-            trace = analyzer.capture(
-                scene, grid, label=f"{result.activity_label} falt={activity.falt:.6g}Hz"
+        n_workers = min(self.config.n_workers, len(activities))
+        if n_workers > 1:
+            result.measurements.extend(
+                self._capture_parallel(activities, result.activity_label, grid, n_workers)
             )
-            result.measurements.append(
-                CampaignMeasurement(falt=activity.falt, activity=activity, trace=trace)
-            )
+        else:
+            analyzer = self._analyzer()
+            for activity in activities:
+                scene = self.machine.scene(activity)
+                trace = analyzer.capture(
+                    scene, grid, label=f"{result.activity_label} falt={activity.falt:.6g}Hz"
+                )
+                result.measurements.append(
+                    CampaignMeasurement(falt=activity.falt, activity=activity, trace=trace)
+                )
         return result.validate()
+
+    def _capture_parallel(self, activities, label, grid, n_workers):
+        """Capture every activity's spectrum concurrently.
+
+        Each measurement gets its own analyzer whose noise stream is
+        derived from the campaign seed and the measurement index, so the
+        result is reproducible regardless of thread scheduling or worker
+        count (but differs from the serial shared-stream capture order).
+        Scene rendering is pure and emitters are immutable during render,
+        so sharing the machine across threads is safe.
+        """
+        analyzers = [
+            SpectrumAnalyzer(
+                n_averages=self.config.n_averages,
+                rng=child_rng(self.rng, f"analyzer:{index}"),
+            )
+            for index in range(len(activities))
+        ]
+
+        def capture(index):
+            activity = activities[index]
+            scene = self.machine.scene(activity)
+            trace = analyzers[index].capture(
+                scene, grid, label=f"{label} falt={activity.falt:.6g}Hz"
+            )
+            return CampaignMeasurement(falt=activity.falt, activity=activity, trace=trace)
+
+        with ThreadPoolExecutor(max_workers=n_workers) as pool:
+            return list(pool.map(capture, range(len(activities))))
 
     def capture_steady(self, levels, label="steady"):
         """One averaged capture of a constant workload (e.g. Figure 14)."""

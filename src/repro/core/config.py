@@ -39,6 +39,11 @@ class FaseConfig:
     n_averages: int = 4
     harmonics: tuple = DEFAULT_HARMONICS
     name: str = ""
+    #: Opt-in parallelism: >1 fans campaign captures (and run_fase's
+    #: independent X/Y pairs) across a thread pool. Parallel captures draw
+    #: from per-measurement derived random streams, so results are
+    #: reproducible for a given seed but differ from the serial stream.
+    n_workers: int = 1
 
     def __post_init__(self):
         if self.span_high <= self.span_low:
@@ -56,6 +61,8 @@ class FaseConfig:
             )
         if self.n_averages < 1:
             raise CampaignError("n_averages must be >= 1")
+        if self.n_workers < 1:
+            raise CampaignError("n_workers must be >= 1")
         if not self.harmonics or 0 in self.harmonics:
             raise CampaignError("harmonics must be non-empty and exclude 0")
         if self.f_delta >= self.falt1:

@@ -104,8 +104,20 @@ class CarrierDetector:
     # ------------------------------------------------------------------
 
     def detect(self, result):
-        """All carriers modulated by the campaign's activity pair."""
-        scores = self.scorer.all_scores(result)
+        """All carriers modulated by the campaign's activity pair.
+
+        One :class:`ShiftedPowerCache` is built per run and shared between
+        the Eq. 1/2 scoring pass and the movement-verification /
+        characterization reads, so no spectrum is stacked or interpolated
+        twice (reference-mode scorers skip the cache by design).
+        """
+        result.validate()
+        cache_for = getattr(self.scorer, "cache_for", None)
+        cache = cache_for(result) if cache_for is not None else None
+        if cache is not None:
+            scores = self.scorer.all_scores(result, cache=cache)
+        else:
+            scores = self.scorer.all_scores(result)
         zscores = self.scorer.harmonic_zscores(result, scores=scores)
         combined = self.scorer.combined_zscore(result, zscores=zscores)
         smoothed = self._smooth(combined)
@@ -114,7 +126,9 @@ class CarrierDetector:
         detections = []
         for start, stop in self._cluster_runs(smoothed, min_separation_bins):
             for index in self._cluster_candidates(smoothed, start, stop, min_separation_bins):
-                detection = self._build_detection(result, scores, zscores, smoothed, index)
+                detection = self._build_detection(
+                    result, scores, zscores, smoothed, index, cache=cache
+                )
                 if detection is None:
                     continue
                 if any(
@@ -179,7 +193,7 @@ class CarrierDetector:
                 candidates.append(index)
         return candidates
 
-    def _build_detection(self, result, scores, zscores, combined, index):
+    def _build_detection(self, result, scores, zscores, combined, index, cache=None):
         grid = result.grid
         candidate_frequency = grid.frequency_at(index)
         harmonic_scores = {}
@@ -188,7 +202,7 @@ class CarrierDetector:
             peak_z = float(self._window(z, index).max())
             if peak_z < self.min_harmonic_z:
                 continue
-            verdict = self._verify_movement(result, candidate_frequency, h)
+            verdict = self._verify_movement(result, candidate_frequency, h, cache=cache)
             if verdict is None:
                 continue
             harmonic_scores[h] = float(self._window(scores[h], index).max())
@@ -208,7 +222,7 @@ class CarrierDetector:
         if not grid.contains(frequency):
             frequency = candidate_frequency
         refined_index = grid.index_of(frequency)
-        magnitude_dbm, modulation_depth = self._characterize(result, refined_index)
+        magnitude_dbm, modulation_depth = self._characterize(result, refined_index, cache=cache)
         return CarrierDetection(
             frequency=frequency,
             combined_score=float(combined[index]),
@@ -219,7 +233,7 @@ class CarrierDetector:
         )
 
     def _verify_movement(
-        self, result, frequency, harmonic, prominence_ratio=4.0, min_prominent=None
+        self, result, frequency, harmonic, prominence_ratio=4.0, min_prominent=None, cache=None
     ):
         """Check that the scored side-band really moves with slope ``h``.
 
@@ -258,16 +272,22 @@ class CarrierDetector:
             )
             window_hz = max(20.0 * grid.resolution, f_delta)
         window_bins = max(int(round(window_hz / grid.resolution)), 2)
+        # The shared cache's stacked power matrix serves the window reads;
+        # without one (reference-mode scorer) fall back to the traces.
+        power_rows = cache.power if cache is not None else None
         positions = []
         falts = []
-        for measurement in result.measurements:
+        for row, measurement in enumerate(result.measurements):
             target = frequency + harmonic * measurement.falt
             if not grid.contains(target):
                 continue
             center = grid.index_of(target)
             lo = max(center - window_bins, 0)
             hi = min(center + window_bins + 1, grid.n_bins)
-            segment = measurement.trace.power_mw[lo:hi]
+            if power_rows is not None:
+                segment = power_rows[row, lo:hi]
+            else:
+                segment = measurement.trace.power_mw[lo:hi]
             peak_offset = int(np.argmax(segment))
             # Background from a low quantile: the window may legitimately
             # contain broad structure (e.g. a spread-spectrum pedestal) on
@@ -311,7 +331,7 @@ class CarrierDetector:
         hi = min(index + self.peak_window_bins + 1, len(array))
         return array[lo:hi]
 
-    def _characterize(self, result, index):
+    def _characterize(self, result, index, cache=None):
         """Carrier magnitude and modulation depth from the first spectrum.
 
         The carrier power is the strongest bin near the detected frequency;
@@ -321,9 +341,9 @@ class CarrierDetector:
         (clamped to [0, 1]).
         """
         measurement = result.measurements[0]
-        trace = measurement.trace
-        grid = trace.grid
-        carrier_window = self._window(trace.power_mw, index)
+        grid = measurement.trace.grid
+        power = cache.power[0] if cache is not None else measurement.trace.power_mw
+        carrier_window = self._window(power, index)
         carrier_power = float(carrier_window.max())
         magnitude_dbm = float(milliwatts_to_dbm(carrier_power))
         sideband_powers = []
@@ -331,7 +351,7 @@ class CarrierDetector:
             offset_freq = grid.frequency_at(index) + sign * measurement.falt
             if not grid.contains(offset_freq):
                 continue
-            sb_window = self._window(trace.power_mw, grid.index_of(offset_freq))
+            sb_window = self._window(power, grid.index_of(offset_freq))
             sideband_powers.append(float(sb_window.max()))
         if not sideband_powers or carrier_power <= 0:
             return magnitude_dbm, 0.0

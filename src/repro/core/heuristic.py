@@ -21,6 +21,14 @@ including at real carriers.)
 
 Spectra are combined in *linear power* — the ratio of Eq. 2 is a power
 ratio, and the figures' dBm axes are display-only.
+
+Two implementations compute the same numbers: the default vectorized
+pipeline batches every shift through a shared
+:class:`~repro.core.scoring.ShiftedPowerCache` and evaluates all
+harmonics as one ``(H, N, n_bins)`` array (log-space accumulation
+preserved); ``HeuristicScorer(vectorized=False)`` keeps the naive
+per-trace ``np.interp`` path as the reference implementation for tests
+and benchmarks.
 """
 
 from __future__ import annotations
@@ -28,6 +36,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..errors import DetectionError
+from .scoring import ShiftedPowerCache, shift_valid_mask
 
 #: Floor (mW) applied to shifted powers before ratios. Far below the
 #: thermal noise per bin of any realistic capture (-148 dBm ≈ 1.6e-15 mW)
@@ -38,17 +47,29 @@ DEFAULT_POWER_FLOOR = 1e-22
 class HeuristicScorer:
     """Computes Eq. 1/2 score arrays over a campaign's grid."""
 
-    def __init__(self, power_floor=DEFAULT_POWER_FLOOR, clip_subscore=1e9):
+    def __init__(self, power_floor=DEFAULT_POWER_FLOOR, clip_subscore=1e9, vectorized=True):
         if power_floor <= 0:
             raise DetectionError("power floor must be positive")
         if clip_subscore <= 1:
             raise DetectionError("subscore clip must exceed 1")
         self.power_floor = float(power_floor)
         self.clip_subscore = float(clip_subscore)
+        self.vectorized = bool(vectorized)
 
     # ------------------------------------------------------------------
 
-    def subscores(self, traces, falts, harmonic):
+    def cache_for(self, traces_or_result):
+        """A :class:`ShiftedPowerCache` over a trace list or campaign result.
+
+        Returns ``None`` in reference mode, where every evaluation goes
+        through per-trace ``np.interp`` by design.
+        """
+        if not self.vectorized:
+            return None
+        traces = getattr(traces_or_result, "traces", traces_or_result)
+        return ShiftedPowerCache(traces)
+
+    def subscores(self, traces, falts, harmonic, cache=None):
         """The N sub-scores F_{i,h}(f) as an (N, n_bins) matrix.
 
         For each ``i`` every spectrum is evaluated at the *same* shifted
@@ -57,6 +78,41 @@ class HeuristicScorer:
         outside the measured span have no data and are forced to 1.
         """
         self._validate(traces, falts, harmonic)
+        if not self.vectorized:
+            return self._subscores_reference(traces, falts, harmonic)
+        if cache is None:
+            cache = ShiftedPowerCache(traces)
+        return self._subscores_vectorized(cache, falts, harmonic)
+
+    def _subscores_vectorized(self, cache, falts, harmonic, out=None, scratch=None):
+        n = cache.n_traces
+        floor = self.power_floor
+        subs = out if out is not None else np.empty((n, cache.n_bins), dtype=float)
+        denom = scratch if scratch is not None else np.empty(cache.n_bins, dtype=float)
+        inv_others = 1.0 / (n - 1)
+        for i, falt in enumerate(falts):
+            shift = harmonic * falt
+            # Numerator: one row interpolation, floored straight into the
+            # output row; denominator: one interpolation of the
+            # precomputed floored total (linearity of the interpolation)
+            # minus that row. The working set per sub-score is a handful
+            # of grid-length vectors, not an (N, n_bins) matrix per shift.
+            sub = subs[i]
+            np.maximum(cache.shifted_row(i, shift), floor, out=sub)
+            np.subtract(cache.shifted_total(shift, floor), sub, out=denom)
+            denom *= inv_others
+            np.maximum(denom, floor, out=denom)
+            np.divide(sub, denom, out=sub)
+            np.clip(sub, 1.0 / self.clip_subscore, self.clip_subscore, out=sub)
+            # Bins whose shifted position has no measured data sit outside
+            # one contiguous in-span run; force both flanks to 1.
+            valid_lo, valid_hi = cache.valid_range(shift)
+            sub[:valid_lo] = 1.0
+            sub[valid_hi:] = 1.0
+        return subs
+
+    def _subscores_reference(self, traces, falts, harmonic):
+        """The naive path: one ``np.interp`` per trace per shift."""
         grid = traces[0].grid
         n = len(traces)
         subs = np.empty((n, grid.n_bins), dtype=float)
@@ -69,29 +125,54 @@ class HeuristicScorer:
             mean_others = (shifted.sum(axis=0) - shifted[i]) / (n - 1)
             sub = shifted[i] / np.maximum(mean_others, self.power_floor)
             sub = np.clip(sub, 1.0 / self.clip_subscore, self.clip_subscore)
-            lo = grid.start - shift
-            hi = grid.frequency_at(grid.n_bins - 1) - shift
-            valid = (grid.frequencies >= lo) & (grid.frequencies <= hi)
-            sub[~valid] = 1.0
+            sub[~shift_valid_mask(grid, shift)] = 1.0
             subs[i] = sub
         return subs
 
-    def harmonic_score(self, traces, falts, harmonic):
+    def harmonic_score(self, traces, falts, harmonic, cache=None):
         """F_h(f) over the whole grid (Eq. 1)."""
-        subs = self.subscores(traces, falts, harmonic)
-        # Multiply in log space: the product of 5 clipped ratios stays well
-        # inside float range, but log keeps the combined score additive.
-        return np.exp(np.sum(np.log(subs), axis=0))
+        subs = self.subscores(traces, falts, harmonic, cache=cache)
+        return self._accumulate(subs)
 
-    def all_scores(self, result):
-        """{harmonic: F_h array} for every configured harmonic."""
+    def all_scores(self, result, cache=None):
+        """{harmonic: F_h array} for every configured harmonic.
+
+        The vectorized path stacks every harmonic's sub-scores into one
+        ``(H, N, n_bins)`` array and reduces it with a single log-space
+        accumulation; pass ``cache`` to share shifted-power evaluations
+        with other consumers (the detector's movement verification).
+        """
         result.validate()
-        return {
-            h: self.harmonic_score(result.traces, result.falts, h)
-            for h in result.config.harmonics
-        }
+        harmonics = tuple(result.config.harmonics)
+        if not self.vectorized:
+            return {
+                h: self.harmonic_score(result.traces, result.falts, h)
+                for h in harmonics
+            }
+        if cache is None:
+            cache = ShiftedPowerCache.from_result(result)
+        stack = np.empty((len(harmonics), cache.n_traces, cache.n_bins), dtype=float)
+        scratch = np.empty(cache.n_bins, dtype=float)
+        for k, h in enumerate(harmonics):
+            self._subscores_vectorized(cache, result.falts, h, out=stack[k], scratch=scratch)
+        scores = self._accumulate(stack, axis=1)
+        return {h: scores[k] for k, h in enumerate(harmonics)}
 
-    def combined_score(self, result, scores=None):
+    def _accumulate(self, subs, axis=0):
+        """Eq. 1 product across traces, guarded against overflow.
+
+        Each factor is clipped to ``[1/clip, clip]``, so the product of N
+        sub-scores is bounded by ``clip**N``; when that provably fits in
+        float64 the product is taken directly (a single cheap pass).
+        Otherwise accumulation happens in log space, which is safe for
+        any N at the cost of a transcendental per element.
+        """
+        n = subs.shape[axis]
+        if n * np.log10(self.clip_subscore) < 250.0:
+            return np.prod(subs, axis=axis)
+        return np.exp(np.sum(np.log(subs), axis=axis))
+
+    def combined_score(self, result, scores=None, cache=None):
         """Evidence fused across harmonics: sum of positive log10 scores.
 
         The paper inspects each F_h separately; this simple fusion sums
@@ -102,7 +183,7 @@ class HeuristicScorer:
         its own noise statistics first.
         """
         if scores is None:
-            scores = self.all_scores(result)
+            scores = self.all_scores(result, cache=cache)
         grid = result.grid
         combined = np.zeros(grid.n_bins, dtype=float)
         for score in scores.values():
@@ -127,13 +208,13 @@ class HeuristicScorer:
             sigma = float(np.std(log_score)) or 1.0
         return (log_score - median) / sigma
 
-    def harmonic_zscores(self, result, scores=None):
+    def harmonic_zscores(self, result, scores=None, cache=None):
         """{harmonic: robust z-score array} for every configured harmonic."""
         if scores is None:
-            scores = self.all_scores(result)
+            scores = self.all_scores(result, cache=cache)
         return {h: self.zscore(score) for h, score in scores.items()}
 
-    def combined_zscore(self, result, scores=None, zscores=None):
+    def combined_zscore(self, result, scores=None, zscores=None, cache=None):
         """Root-sum-square fusion of the positive per-harmonic z-scores.
 
         Z(f) = sqrt(sum_h max(z_h(f), 0)^2). Section 2.3 stresses that
@@ -147,7 +228,7 @@ class HeuristicScorer:
         per harmonic) stay near sqrt(H/2) ~ 2.2.
         """
         if zscores is None:
-            zscores = self.harmonic_zscores(result, scores=scores)
+            zscores = self.harmonic_zscores(result, scores=scores, cache=cache)
         grid = result.grid
         combined = np.zeros(grid.n_bins, dtype=float)
         for z in zscores.values():

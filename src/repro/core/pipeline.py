@@ -9,7 +9,9 @@ modulate them.
 
 from __future__ import annotations
 
-from ..rng import ensure_rng
+from concurrent.futures import ThreadPoolExecutor
+
+from ..rng import child_rng, ensure_rng
 from ..uarch.isa import MicroOp
 from .campaign import MeasurementCampaign
 from .classify import classify_sources
@@ -31,26 +33,54 @@ def run_fase(
     detector=None,
     latency_model=None,
     rng=None,
+    n_workers=None,
 ):
     """Run FASE on a machine for one or more X/Y activity pairs.
 
     Returns a :class:`FaseReport`. The default pairs are the two the paper
     focuses on: LDM/LDL1 (memory modulation, Figure 11) and LDL2/LDL1
     (on-chip modulation, Figure 13).
+
+    ``n_workers`` (default: the config's ``n_workers``) > 1 fans the
+    independent activity pairs across a thread pool; each pair's campaign
+    draws from its own seed-derived random stream, so parallel runs are
+    reproducible per seed but differ from the serial shared-stream run.
     """
     rng = ensure_rng(rng)
     config = config or campaign_low_band()
     detector = detector or CarrierDetector()
+    if n_workers is None:
+        n_workers = config.n_workers
     report = FaseReport(machine_name=machine.name, config_description=config.describe())
     sets_by_activity = {}
     memory_labels = []
     onchip_labels = []
-    for op_x, op_y in pairs:
+    pairs = tuple(pairs)
+
+    def scan_pair(op_x, op_y, pair_rng):
         label = pair_label(op_x, op_y)
-        campaign = MeasurementCampaign(machine, config, latency_model=latency_model, rng=rng)
+        campaign = MeasurementCampaign(
+            machine, config, latency_model=latency_model, rng=pair_rng
+        )
         result = campaign.run(op_x, op_y, label=label)
         detections = detector.detect(result)
-        harmonic_sets = group_harmonics(detections)
+        return label, detections, group_harmonics(detections)
+
+    if n_workers > 1 and len(pairs) > 1:
+        pair_rngs = [
+            child_rng(rng, f"pair:{pair_label(op_x, op_y)}") for op_x, op_y in pairs
+        ]
+        with ThreadPoolExecutor(max_workers=min(n_workers, len(pairs))) as pool:
+            outcomes = list(
+                pool.map(
+                    lambda item: scan_pair(item[0][0], item[0][1], item[1]),
+                    zip(pairs, pair_rngs),
+                )
+            )
+    else:
+        outcomes = [scan_pair(op_x, op_y, rng) for op_x, op_y in pairs]
+
+    for (op_x, op_y), (label, detections, harmonic_sets) in zip(pairs, outcomes):
         report.activities[label] = ActivityReport(
             activity_label=label, detections=detections, harmonic_sets=harmonic_sets
         )

@@ -1,0 +1,267 @@
+"""Vectorized, cached scoring engine for the FASE heuristic.
+
+The Eq. 1/2 scorer is the hot path of every campaign: a full-span survey
+evaluates every spectrum at every shifted position ``f + h * falt_i`` —
+N traces x H harmonics x N falts interpolations over grids of up to
+hundreds of thousands of bins. :class:`ShiftedPowerCache` makes that
+cheap twice over:
+
+* **batched interpolation** — all N traces are stacked into one
+  ``(N, n_bins)`` power matrix, and a shift is applied to every trace at
+  once. Because the grid is uniform, ``f + shift`` lands at the same
+  fractional bin offset for every bin, so the interpolation collapses to
+  two gathers and one weighted sum instead of a per-trace binary-search
+  ``np.interp``;
+* **memoization** — shifted matrices are cached per shift, so the H x N
+  score pipeline, the z-score fusion, and the detector's
+  movement-verification pass never evaluate the same shift twice.
+
+The cache is shared by :class:`~repro.core.heuristic.HeuristicScorer` and
+:class:`~repro.core.detect.CarrierDetector`; the naive per-trace
+``np.interp`` path survives as the reference implementation
+(``HeuristicScorer(vectorized=False)``) that tests and benchmarks compare
+against.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+import numpy as np
+
+from ..errors import DetectionError
+
+
+def shift_valid_range(grid, shift):
+    """Half-open bin range ``[lo, hi)`` whose shifted positions have data.
+
+    A bin can only be scored where ``f + shift`` falls inside the grid's
+    span; outside it the interpolation merely clamps to the edge value.
+    Because the grid is uniform the in-span bins always form one
+    contiguous run, so the validity test reduces to two bounds. They are
+    compared with a half-resolution tolerance: the exact boundary is
+    derived from float arithmetic, and a strict comparison can flip the
+    first/last in-span bin in or out when ``shift`` is an exact multiple
+    of the resolution. Half a bin is the natural tolerance — a shifted
+    position within half a bin of the span is still covered by the edge
+    bin's resolution bandwidth.
+    """
+    # Bin k is valid iff -0.5 <= k + shift/fres <= n_bins - 1 + 0.5.
+    offset = shift / grid.resolution
+    lo = int(np.ceil(-offset - 0.5))
+    hi = int(np.floor(grid.n_bins - 1 - offset + 0.5)) + 1
+    lo = min(max(lo, 0), grid.n_bins)
+    hi = min(max(hi, lo), grid.n_bins)
+    return lo, hi
+
+
+def shift_valid_mask(grid, shift):
+    """Boolean-mask form of :func:`shift_valid_range` over the grid."""
+    lo, hi = shift_valid_range(grid, shift)
+    mask = np.zeros(grid.n_bins, dtype=bool)
+    mask[lo:hi] = True
+    return mask
+
+
+class ShiftedPowerCache:
+    """Batched, memoized ``SP_i(f + shift)`` evaluation for one campaign.
+
+    Stacks the campaign's traces into a ``(N, n_bins)`` power matrix and
+    evaluates each requested shift for *all* traces in one vectorized
+    pass, caching the result so repeated shifts (the same ``h * falt_i``
+    appears in every sub-score row and again in detection) are free.
+
+    ``max_entries`` bounds the memo (LRU eviction); the default ``None``
+    keeps every shift, which for a paper campaign (10 harmonics x 5
+    falts) is 50 matrices.
+    """
+
+    def __init__(self, traces, max_entries=None):
+        traces = list(traces)
+        if len(traces) < 2:
+            raise DetectionError("the scoring cache needs at least two traces")
+        grid = traces[0].grid
+        for trace in traces:
+            if trace.grid != grid:
+                raise DetectionError("traces must share one grid")
+        if max_entries is not None and max_entries < 1:
+            raise DetectionError("max_entries must be >= 1 (or None)")
+        self.grid = grid
+        self.power = np.ascontiguousarray(
+            np.vstack([trace.power_mw for trace in traces])
+        )
+        self.max_entries = max_entries
+        self._shifted = OrderedDict()
+        self._rows = {}
+        self._totals = {}
+        self._floored_sums = {}
+        self._ranges = {}
+        self._masks = {}
+        self.hits = 0
+        self.misses = 0
+
+    @classmethod
+    def from_result(cls, result, max_entries=None):
+        """Build a cache over a :class:`CampaignResult`'s traces."""
+        return cls(result.traces, max_entries=max_entries)
+
+    @property
+    def n_traces(self):
+        return self.power.shape[0]
+
+    @property
+    def n_bins(self):
+        return self.power.shape[1]
+
+    # ------------------------------------------------------------------
+
+    def shifted_all(self, shift):
+        """``(N, n_bins)`` matrix of every trace evaluated at ``f + shift``.
+
+        Matches ``np.interp`` semantics (linear interpolation, edge-value
+        clamping outside the span) to within floating-point reordering.
+        The returned array is shared with the cache — treat it as
+        read-only.
+        """
+        key = float(shift)
+        cached = self._shifted.get(key)
+        if cached is not None:
+            self._shifted.move_to_end(key)
+            self.hits += 1
+            return cached
+        self.misses += 1
+        matrix = self._interpolate(key)
+        matrix.flags.writeable = False
+        self._shifted[key] = matrix
+        if self.max_entries is not None and len(self._shifted) > self.max_entries:
+            self._shifted.popitem(last=False)
+        return matrix
+
+    def shifted(self, index, shift):
+        """One trace's shifted power: ``SP_index(f + shift)`` over the grid."""
+        return self.shifted_all(shift)[index]
+
+    def shifted_row(self, index, shift):
+        """Like :meth:`shifted`, but never materializes the full matrix.
+
+        The Eq. 2 numerator only ever reads trace ``i`` at shift
+        ``h * falt_i``, so interpolating one row keeps the working set a
+        single grid-length vector (cache-resident) instead of an
+        ``(N, n_bins)`` matrix per shift. Falls through to an already
+        cached full matrix when one exists.
+        """
+        shift = float(shift)
+        full = self._shifted.get(shift)
+        if full is not None:
+            self._shifted.move_to_end(shift)
+            self.hits += 1
+            return full[index]
+        key = (int(index), shift)
+        row = self._rows.get(key)
+        if row is not None:
+            self.hits += 1
+            return row
+        self.misses += 1
+        row = self._shift_matrix(self.power[index : index + 1], shift)[0]
+        row.flags.writeable = False
+        self._rows[key] = row
+        return row
+
+    def shifted_total(self, shift, floor=0.0):
+        """``sum_j max(SP_j, floor)`` evaluated at ``f + shift``.
+
+        Linear interpolation commutes with the sum over traces, so the
+        Eq. 2 denominator needs one interpolation of a precomputed
+        total-power vector instead of N per-trace interpolations. The
+        floor is applied to the bin powers *before* interpolating; that
+        matches flooring the interpolated values exactly wherever a trace
+        does not cross the floor between adjacent bins (the floor sits
+        ~7 decades below any physical noise floor, so in practice it only
+        binds on all-zero synthetic traces, where both orderings agree).
+        """
+        shift = float(shift)
+        floor = float(floor)
+        key = (shift, floor)
+        total = self._totals.get(key)
+        if total is not None:
+            self.hits += 1
+            return total
+        self.misses += 1
+        base = self._floored_sums.get(floor)
+        if base is None:
+            floored = np.maximum(self.power, floor) if floor > 0.0 else self.power
+            base = np.ascontiguousarray(floored.sum(axis=0))
+            self._floored_sums[floor] = base
+        total = self._shift_matrix(base[None, :], shift)[0]
+        total.flags.writeable = False
+        self._totals[key] = total
+        return total
+
+    def valid_range(self, shift):
+        """Memoized :func:`shift_valid_range` for this cache's grid."""
+        key = float(shift)
+        bounds = self._ranges.get(key)
+        if bounds is None:
+            bounds = shift_valid_range(self.grid, key)
+            self._ranges[key] = bounds
+        return bounds
+
+    def valid_mask(self, shift):
+        """Memoized :func:`shift_valid_mask` for this cache's grid."""
+        key = float(shift)
+        mask = self._masks.get(key)
+        if mask is None:
+            mask = shift_valid_mask(self.grid, key)
+            mask.flags.writeable = False
+            self._masks[key] = mask
+        return mask
+
+    # ------------------------------------------------------------------
+
+    def _interpolate(self, shift):
+        """Uniform-grid linear interpolation of all traces at one shift."""
+        return self._shift_matrix(self.power, shift)
+
+    def _shift_matrix(self, power, shift):
+        """Slice-blend interpolation of ``power`` rows at one shift.
+
+        On a uniform grid ``f_k + shift`` sits at bin position
+        ``k + shift/fres`` — a *constant* offset — so the interpolation is
+        two contiguous slices blended by one scalar weight (plus constant
+        edge clamps), with no per-point search or index gathers at all.
+        ``power`` is any ``(M, n_bins)`` matrix over this cache's grid.
+        """
+        n_bins = self.n_bins
+        offset = shift / self.grid.resolution
+        whole = int(np.floor(offset))
+        frac = offset - whole
+        out = np.empty_like(power)
+        # Columns k with 0 <= k+whole < n-1 interpolate between two real
+        # bins; on the left of that range the shifted position is below
+        # the span (clamp to the first bin), on the right at or past the
+        # last bin center (clamp to the last bin, matching np.interp).
+        lo = min(max(-whole, 0), n_bins)
+        hi = min(max(n_bins - 1 - whole, 0), n_bins)
+        if lo > 0:
+            out[:, :lo] = power[:, :1]
+        if hi < n_bins:
+            out[:, hi:] = power[:, -1:]
+        if hi > lo:
+            left = power[:, lo + whole : hi + whole]
+            if frac == 0.0:
+                out[:, lo:hi] = left
+            else:
+                # left + frac*(right - left), evaluated in place so the
+                # blend allocates nothing beyond the output itself.
+                right = power[:, lo + whole + 1 : hi + whole + 1]
+                interior = out[:, lo:hi]
+                np.subtract(right, left, out=interior)
+                interior *= frac
+                interior += left
+        return out
+
+    def __repr__(self):
+        return (
+            f"ShiftedPowerCache({self.n_traces} traces x {self.n_bins} bins, "
+            f"{len(self._shifted)} shifts cached, {self.hits} hits)"
+        )

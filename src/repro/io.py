@@ -35,12 +35,14 @@ def _config_to_dict(config):
         "n_averages": config.n_averages,
         "harmonics": list(config.harmonics),
         "name": config.name,
+        "n_workers": config.n_workers,
     }
 
 
 def _config_from_dict(data):
     data = dict(data)
     data["harmonics"] = tuple(data["harmonics"])
+    data.setdefault("n_workers", 1)  # archives written before the field existed
     return FaseConfig(**data)
 
 
@@ -57,6 +59,33 @@ def _activity_to_dict(activity):
 
 def _activity_from_dict(data):
     return AlternationActivity(**data)
+
+
+def _restore_grid(grid_data, config, path):
+    """Rebuild the capture grid, keeping it consistent with the config.
+
+    Grid parameters pass through JSON floats and were historically
+    reconstructed independently of the config, so a reloaded campaign's
+    ``grid`` could fail ``==`` against ``config.grid()`` and downstream
+    grid-keyed caches would miss. The config-derived grid is canonical:
+    float round-trip noise (under half a bin of ``start`` drift, a ppm of
+    ``resolution``) is repaired to it, while a materially different grid
+    means the archive is inconsistent and is rejected.
+    """
+    stored = FrequencyGrid(**grid_data)
+    expected = config.grid()
+    if stored != expected:
+        repairable = (
+            stored.n_bins == expected.n_bins
+            and abs(stored.start - expected.start) <= 0.5 * expected.resolution
+            and abs(stored.resolution - expected.resolution) <= 1e-6 * expected.resolution
+        )
+        if not repairable:
+            raise CampaignError(
+                f"{path!r}: stored grid {stored!r} disagrees with the campaign "
+                f"config's grid {expected!r}"
+            )
+    return expected
 
 
 def save_campaign(result, path):
@@ -93,9 +122,10 @@ def load_campaign(path):
             raise CampaignError(
                 f"unsupported campaign format {metadata.get('format')!r}"
             )
-        grid = FrequencyGrid(**metadata["grid"])
+        config = _config_from_dict(metadata["config"])
+        grid = _restore_grid(metadata["grid"], config, path)
         result = CampaignResult(
-            config=_config_from_dict(metadata["config"]),
+            config=config,
             machine_name=metadata["machine_name"],
             activity_label=metadata["activity_label"],
         )

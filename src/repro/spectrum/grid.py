@@ -53,12 +53,15 @@ class FrequencyGrid:
                 f"frequency {format_frequency(frequency)} outside grid "
                 f"[{format_frequency(self.start)}, {format_frequency(self.stop)})"
             )
-        return int(round((frequency - self.start) / self.resolution))
+        index = int(round((frequency - self.start) / self.resolution))
+        # round() maps the last half-bin before ``stop`` to n_bins; clamp
+        # to the nearest real bin so the documented [start, stop) domain
+        # is indexable end to end.
+        return min(max(index, 0), self.n_bins - 1)
 
     def contains(self, frequency):
-        """Whether the frequency falls within a grid bin."""
-        idx = int(round((frequency - self.start) / self.resolution))
-        return 0 <= idx < self.n_bins
+        """Whether the frequency falls in the documented span [start, stop)."""
+        return self.start <= frequency < self.stop
 
     def frequency_at(self, index):
         """Center frequency of bin ``index`` (supports negative indexing)."""

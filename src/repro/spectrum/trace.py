@@ -112,12 +112,18 @@ class SpectrumTrace:
         return f"SpectrumTrace({self.grid!r}{label})"
 
 
-def average_traces(traces):
+def average_traces(traces, label=None):
     """Average several traces bin-wise in linear power.
 
     The paper: "Each spectrum was measured 4 times over several hours and
     averaged." Averaging in linear power (not dB) is what a spectrum
     analyzer's power-average detector does.
+
+    ``label`` names the averaged trace explicitly. When omitted, a label
+    shared by every input is kept; inputs with differing labels (e.g.
+    captures whose labels embed their own falt) produce a combined
+    ``"average of N traces"`` label rather than silently inheriting the
+    first capture's provenance.
     """
     traces = list(traces)
     if not traces:
@@ -127,4 +133,7 @@ def average_traces(traces):
     for trace in traces:
         first._check_compatible(trace)
         accumulator += trace.power_mw
-    return SpectrumTrace(first.grid, accumulator / len(traces), label=first.label)
+    if label is None:
+        labels = {trace.label for trace in traces}
+        label = first.label if len(labels) == 1 else f"average of {len(traces)} traces"
+    return SpectrumTrace(first.grid, accumulator / len(traces), label=label)

@@ -168,7 +168,6 @@ def _environment_iq(environment, grid_like, center, sample_rate, n_samples, rng)
     power = environment.mean_power(grid)
     # map grid bins onto FFT bins (offset from center)
     offsets = grid.frequencies - center
-    fft_freqs = np.fft.fftfreq(n_samples, d=1.0 / sample_rate)
     spectrum = np.zeros(n_samples, dtype=complex)
     indices = np.round(offsets / resolution).astype(int) % n_samples
     gauss = rng.standard_normal(len(indices)) + 1j * rng.standard_normal(len(indices))
@@ -271,11 +270,12 @@ class TimeDomainCampaign:
                 self.sample_rate,
                 rng=child_rng(self.rng, f"scene:{activity.falt:.6g}"),
             )
+            capture_label = f"{result.activity_label} falt={activity.falt:.6g}Hz"
             captures = [
-                scene.capture_trace(grid, self.duration, label=f"{label} capture {i}")
+                scene.capture_trace(grid, self.duration, label=f"{capture_label} capture {i}")
                 for i in range(self.config.n_averages)
             ]
-            trace = average_traces(captures)
+            trace = average_traces(captures, label=capture_label)
             result.measurements.append(
                 CampaignMeasurement(falt=activity.falt, activity=activity, trace=trace)
             )

@@ -106,3 +106,39 @@ class TestValidation:
     def test_bad_count(self):
         with pytest.raises(TraceError):
             SpectrumAnalyzer().capture_many(flat_scene(), GRID, 0)
+
+
+class TestAveragedCaptureLabels:
+    """Label provenance of averaged captures (regression).
+
+    ``average_traces`` used to inherit the first capture's label
+    verbatim — which embeds that capture's falt — mislabeling the
+    averaged spectrum in reports.
+    """
+
+    def _captures(self):
+        analyzer = SpectrumAnalyzer(n_averages=None)
+        return [
+            analyzer.capture(flat_scene(), GRID, label=f"LDM/LDL1 falt={falt}Hz")
+            for falt in (43300.0, 43800.0)
+        ]
+
+    def test_mixed_labels_not_inherited_from_first(self):
+        from repro.spectrum.trace import average_traces
+
+        averaged = average_traces(self._captures())
+        assert averaged.label != "LDM/LDL1 falt=43300.0Hz"
+        assert averaged.label == "average of 2 traces"
+
+    def test_explicit_label_wins(self):
+        from repro.spectrum.trace import average_traces
+
+        averaged = average_traces(self._captures(), label="LDM/LDL1 averaged")
+        assert averaged.label == "LDM/LDL1 averaged"
+
+    def test_shared_label_kept(self):
+        from repro.spectrum.trace import average_traces
+
+        analyzer = SpectrumAnalyzer(n_averages=None)
+        captures = [analyzer.capture(flat_scene(), GRID, label="same") for _ in range(3)]
+        assert average_traces(captures).label == "same"

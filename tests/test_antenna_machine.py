@@ -1,6 +1,5 @@
 """Receiver chain and SystemModel scene composition."""
 
-import numpy as np
 import pytest
 
 from repro.errors import SystemModelError

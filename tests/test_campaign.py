@@ -92,3 +92,41 @@ class TestValidation:
         result = CampaignResult(config=small_config, machine_name="x", activity_label="y")
         with pytest.raises(CampaignError):
             _ = result.grid
+
+
+class TestParallelCapture:
+    def test_parallel_run_deterministic_and_valid(self, machine):
+        config = FaseConfig(span_low=0.0, span_high=1e6, fres=100.0, n_workers=3, name="par")
+        first = MeasurementCampaign(machine, config, rng=np.random.default_rng(1)).run(
+            MicroOp.LDM, MicroOp.LDL1, label="LDM/LDL1"
+        )
+        second = MeasurementCampaign(machine, config, rng=np.random.default_rng(1)).run(
+            MicroOp.LDM, MicroOp.LDL1, label="LDM/LDL1"
+        )
+        assert len(first.measurements) == config.n_alternations
+        for a, b in zip(first.measurements, second.measurements):
+            assert a.falt == b.falt
+            np.testing.assert_array_equal(a.trace.power_mw, b.trace.power_mw)
+
+    def test_worker_count_does_not_change_results(self, machine):
+        """Captures are keyed by measurement index, not thread schedule."""
+        results = []
+        for n_workers in (2, 5):
+            config = FaseConfig(
+                span_low=0.0, span_high=1e6, fres=100.0, n_workers=n_workers, name="par"
+            )
+            campaign = MeasurementCampaign(machine, config, rng=np.random.default_rng(1))
+            results.append(campaign.run(MicroOp.LDM, MicroOp.LDL1, label="LDM/LDL1"))
+        for a, b in zip(results[0].measurements, results[1].measurements):
+            np.testing.assert_array_equal(a.trace.power_mw, b.trace.power_mw)
+
+    def test_measurement_order_follows_falts(self, machine):
+        config = FaseConfig(span_low=0.0, span_high=1e6, fres=100.0, n_workers=4, name="par")
+        campaign = MeasurementCampaign(machine, config, rng=np.random.default_rng(1))
+        result = campaign.run(MicroOp.LDM, MicroOp.LDL1, label="LDM/LDL1")
+        for measurement, target in zip(result.measurements, config.falts()):
+            assert measurement.falt == pytest.approx(target, rel=0.02)
+
+    def test_invalid_worker_count_rejected(self):
+        with pytest.raises(CampaignError):
+            FaseConfig(span_low=0.0, span_high=1e6, fres=100.0, n_workers=0)

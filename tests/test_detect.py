@@ -4,7 +4,6 @@ Uses the session-scoped i7 campaign fixtures (real pipeline data) plus
 synthetic cases for the movement-verification logic.
 """
 
-import numpy as np
 import pytest
 
 from repro.core.detect import CarrierDetector

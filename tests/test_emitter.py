@@ -1,6 +1,5 @@
 """Emitter base class: rendering, calibration, modulation bookkeeping."""
 
-import numpy as np
 import pytest
 
 from repro.errors import SystemModelError
@@ -53,7 +52,7 @@ class TestCalibration:
 
 class TestRendering:
     def test_harmonics_present(self):
-        power = emitter_power = make_emitter().render(GRID, alternation())
+        power = make_emitter().render(GRID, alternation())
         for order in range(1, 5):
             assert power[GRID.index_of(order * 200e3)] > 0
 

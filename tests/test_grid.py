@@ -59,6 +59,47 @@ class TestIndexing:
             grid.frequency_at(grid.n_bins)
 
 
+class TestEdgeBins:
+    """Regressions for the documented [start, stop) boundary semantics.
+
+    ``round()``-based containment used to accept frequencies up to half a
+    bin *below* ``start`` and reject the last half-bin before ``stop``.
+    """
+
+    GRID = FrequencyGrid(100e3, 200e3, 100.0)
+
+    def test_just_below_start_rejected(self):
+        assert not self.GRID.contains(100e3 - 49.0)
+        with pytest.raises(GridError):
+            self.GRID.index_of(100e3 - 49.0)
+
+    def test_just_under_stop_accepted(self):
+        frequency = 200e3 - 49.0
+        assert self.GRID.contains(frequency)
+        assert self.GRID.index_of(frequency) == self.GRID.n_bins - 1
+
+    def test_start_inclusive(self):
+        assert self.GRID.contains(self.GRID.start)
+        assert self.GRID.index_of(self.GRID.start) == 0
+
+    def test_stop_exclusive(self):
+        assert not self.GRID.contains(self.GRID.stop)
+        with pytest.raises(GridError):
+            self.GRID.index_of(self.GRID.stop)
+
+    def test_every_bin_center_roundtrips(self):
+        grid = FrequencyGrid(0.0, 10e3, 300.0)
+        for index in range(grid.n_bins):
+            assert grid.index_of(grid.frequency_at(index)) == index
+
+    def test_span_not_a_resolution_multiple(self):
+        """Frequencies past the last bin center but inside [start, stop)
+        clamp to the nearest real bin instead of indexing out of range."""
+        grid = FrequencyGrid(0.0, 1e3, 30.0)  # 33 bins, last center 960 Hz
+        assert grid.contains(995.0)
+        assert grid.index_of(995.0) == grid.n_bins - 1
+
+
 class TestSlicing:
     def test_slice_indices(self):
         grid = FrequencyGrid(0.0, 1e6, 100.0)

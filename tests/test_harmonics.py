@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core.detect import CarrierDetection
-from repro.core.harmonics import HarmonicSet, group_harmonics
+from repro.core.harmonics import group_harmonics
 from repro.errors import DetectionError
 
 

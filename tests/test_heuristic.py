@@ -114,6 +114,23 @@ class TestEquationTwo:
         # the last 5*falt worth of bins cannot be evaluated for h=+5
         assert np.all(subs[:, -100:] == 1.0)
 
+    @pytest.mark.parametrize("vectorized", [True, False])
+    def test_exact_multiple_shift_keeps_last_inspan_bin(self, vectorized):
+        """Regression: when h*falt is an exact multiple of fres, float
+        rounding in the strict span bounds used to flip the last in-span
+        bin out of the validity mask, silently zeroing its evidence."""
+        grid = FrequencyGrid(0.0, 300.0, 0.3)  # 1000 bins, inexact centers
+        falts = [866 * 0.3, 886 * 0.3]  # shifts are exact fres multiples
+        floor = np.full(grid.n_bins, 1e-15)
+        strong = floor.copy()
+        strong[-1] = 1e-9  # seen only through the shifted read of bin 133
+        traces = [SpectrumTrace(grid, strong), SpectrumTrace(grid, floor)]
+        subs = HeuristicScorer(vectorized=vectorized).subscores(traces, falts, 1)
+        last_inspan = grid.n_bins - 1 - 866  # bin 133: shifted onto the last bin
+        assert subs[0, last_inspan] > 1e3
+        # and every bin past the span edge stays masked to 1
+        assert np.all(subs[0, last_inspan + 1 :] == 1.0)
+
 
 class TestZScores:
     def test_noise_zscore_standardized(self):

@@ -5,7 +5,7 @@ import pytest
 
 from repro import FaseConfig, MeasurementCampaign, MicroOp, run_fase
 from repro.core import CarrierDetector, group_harmonics
-from repro.system import build_environment, corei7_desktop, turionx2_laptop
+from repro.system import build_environment, corei7_desktop
 from repro.system.environment import AMRadioStation
 
 

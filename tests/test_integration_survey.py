@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro import FaseConfig, MeasurementCampaign, MicroOp
-from repro.core import CarrierDetector, group_harmonics
+from repro.core import CarrierDetector
 from repro.system import (
     ALL_PRESETS,
     DRAMClockEmitter,

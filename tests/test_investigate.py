@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.analysis.investigate import (
-    FLAT,
     STRENGTHENS,
     WEAKENS,
     investigate,

@@ -48,6 +48,45 @@ class TestCampaignIO:
         after = [d.frequency for d in CarrierDetector().detect(loaded)]
         assert before == after
 
+    def test_loaded_grid_identical_to_config_grid(self, small_result, tmp_path):
+        """Regression: grid params used to be rebuilt from JSON floats
+        independently of the config, so the reloaded grid could fail
+        ``==`` against ``config.grid()`` and miss grid-keyed caches."""
+        path = tmp_path / "campaign.npz"
+        save_campaign(small_result, path)
+        loaded = load_campaign(path)
+        assert loaded.grid == loaded.config.grid()
+
+    def _rewrite_grid_metadata(self, path, out, **overrides):
+        import json
+
+        with np.load(path, allow_pickle=False) as archive:
+            metadata = json.loads(str(archive["metadata"]))
+            arrays = {key: archive[key] for key in archive.files if key != "metadata"}
+        metadata["grid"].update(overrides)
+        np.savez_compressed(out, metadata=json.dumps(metadata), **arrays)
+
+    def test_float_drifted_grid_repaired_to_config(self, small_result, tmp_path):
+        """Sub-bin float drift in the stored grid is repaired on load."""
+        path = tmp_path / "campaign.npz"
+        save_campaign(small_result, path)
+        drifted = tmp_path / "drifted.npz"
+        grid = small_result.grid
+        self._rewrite_grid_metadata(path, drifted, start=grid.start + 1e-7)
+        loaded = load_campaign(drifted)
+        assert loaded.grid == loaded.config.grid()
+        before = [d.frequency for d in CarrierDetector().detect(small_result)]
+        after = [d.frequency for d in CarrierDetector().detect(loaded)]
+        assert before == after
+
+    def test_materially_different_grid_rejected(self, small_result, tmp_path):
+        path = tmp_path / "campaign.npz"
+        save_campaign(small_result, path)
+        broken = tmp_path / "broken.npz"
+        self._rewrite_grid_metadata(path, broken, resolution=small_result.grid.resolution * 2)
+        with pytest.raises(CampaignError):
+            load_campaign(broken)
+
     def test_bad_archive_rejected(self, tmp_path):
         path = tmp_path / "not_a_campaign.npz"
         np.savez(path, data=np.arange(4))

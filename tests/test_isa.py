@@ -75,7 +75,9 @@ class TestSpecs:
 
     def test_latency_ordering(self):
         """LLC-miss >> L2 hit > L1 hit > simple ALU."""
-        lat = lambda op: OP_SPECS[op].base_latency_cycles
+        def lat(op):
+            return OP_SPECS[op].base_latency_cycles
+
         assert lat(MicroOp.LDM) > 10 * lat(MicroOp.LDL2)
         assert lat(MicroOp.LDL2) > lat(MicroOp.LDL1)
         assert lat(MicroOp.LDL1) > lat(MicroOp.NOP)

@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.analysis.leakage import LeakageEstimate, estimate_leakage, rank_leaks
-from repro.errors import DetectionError
 
 
 class TestEstimate:

@@ -1,6 +1,5 @@
 """Near-field localization: finding the component behind a carrier."""
 
-import numpy as np
 import pytest
 
 from repro.analysis.localization import NearFieldProbe, localize_carrier

@@ -3,8 +3,7 @@
 import numpy as np
 import pytest
 
-from repro import FaseConfig, MeasurementCampaign, MicroOp
-from repro.core import CarrierDetector
+from repro import FaseConfig
 from repro.errors import SystemModelError
 from repro.mitigation import (
     AccessPacedRefreshEmitter,

@@ -6,16 +6,12 @@ import pytest
 from repro.system import (
     ALL_PRESETS,
     ConstantOnTimeRegulator,
-    CPUClockEmitter,
     DRAMClockEmitter,
     MemoryRefreshEmitter,
     SwitchingRegulator,
-    corei3_laptop,
     corei7_desktop,
-    pentium3m_laptop,
     turionx2_laptop,
 )
-from repro.system.domains import CORE, DRAM_POWER
 from repro.uarch.activity import AlternationActivity
 from repro.uarch.isa import MicroOp, activity_levels
 

@@ -1,6 +1,5 @@
 """Memory refresh emitter: the Section 4.2 inverted-modulation mechanism."""
 
-import numpy as np
 import pytest
 
 from repro.errors import SystemModelError

@@ -68,7 +68,6 @@ class TestSwitchingRegulator:
 
     def test_gaussian_carrier_shape(self):
         """RC oscillator -> Gaussian-looking hump (Figure 12)."""
-        reg = make_regulator(fractional_sigma=2e-3)
         power = make_regulator(fractional_sigma=2e-3).render(
             GRID, AlternationActivity.constant({DRAM_POWER: 0.5})
         )

@@ -5,7 +5,7 @@ import pathlib
 import numpy as np
 import pytest
 
-from repro.core.fmfase import FM_CARRIER, FmFaseScanner
+from repro.core.fmfase import FmFaseScanner
 from repro.spectrum.grid import FrequencyGrid
 from repro.system import build_environment, turionx2_laptop
 from repro.system.domains import CORE

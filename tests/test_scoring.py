@@ -1,0 +1,168 @@
+"""The vectorized scoring engine: cache semantics, reference agreement."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.campaign import MeasurementCampaign
+from repro.core.config import FaseConfig
+from repro.core.detect import CarrierDetector
+from repro.core.heuristic import HeuristicScorer
+from repro.core.scoring import ShiftedPowerCache, shift_valid_mask, shift_valid_range
+from repro.errors import DetectionError
+from repro.spectrum.grid import FrequencyGrid
+from repro.spectrum.trace import SpectrumTrace
+from repro.system import build_environment, corei7_desktop
+from repro.uarch.isa import MicroOp
+
+GRID = FrequencyGrid(0.0, 1e6, 100.0)
+FALTS = [43.3e3, 43.8e3, 44.3e3, 44.8e3, 45.3e3]
+
+
+def random_traces(n=5, seed=0, grid=GRID):
+    rng = np.random.default_rng(seed)
+    return [
+        SpectrumTrace(grid, rng.gamma(4.0, 0.25, grid.n_bins) * 1e-14)
+        for _ in range(n)
+    ]
+
+
+@pytest.fixture(scope="module")
+def seeded_result():
+    machine = corei7_desktop(
+        environment=build_environment(1e6, kind="quiet"), rng=np.random.default_rng(0)
+    )
+    config = FaseConfig(span_low=0.0, span_high=1e6, fres=100.0, name="scoring test")
+    campaign = MeasurementCampaign(machine, config, rng=np.random.default_rng(1))
+    return campaign.run(MicroOp.LDM, MicroOp.LDL1, label="LDM/LDL1")
+
+
+class TestShiftedPowerCache:
+    @given(shift=st.floats(min_value=-9.5e5, max_value=9.5e5))
+    @settings(max_examples=60, deadline=None)
+    def test_matches_direct_interp(self, shift):
+        """Property: the batched uniform-grid gather agrees with the naive
+        per-trace np.interp for any shift, inside and outside the span."""
+        traces = random_traces()
+        cache = ShiftedPowerCache(traces)
+        matrix = cache.shifted_all(shift)
+        for j, trace in enumerate(traces):
+            np.testing.assert_allclose(
+                matrix[j], trace.shifted_power(shift), rtol=1e-9, atol=1e-30
+            )
+
+    def test_exact_bin_multiple_shift_is_exact(self):
+        traces = random_traces()
+        cache = ShiftedPowerCache(traces)
+        shift = 7 * GRID.resolution
+        np.testing.assert_array_equal(
+            cache.shifted(0, shift)[:-7], traces[0].power_mw[7:]
+        )
+
+    def test_repeated_shift_hits_cache(self):
+        cache = ShiftedPowerCache(random_traces())
+        first = cache.shifted_all(12345.6)
+        second = cache.shifted_all(12345.6)
+        assert first is second
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_rows_match_shifted_all(self):
+        cache = ShiftedPowerCache(random_traces())
+        np.testing.assert_array_equal(cache.shifted(2, 500.0), cache.shifted_all(500.0)[2])
+
+    def test_lru_eviction(self):
+        cache = ShiftedPowerCache(random_traces(), max_entries=2)
+        cache.shifted_all(1.0)
+        cache.shifted_all(2.0)
+        cache.shifted_all(3.0)  # evicts shift=1.0
+        assert cache.misses == 3
+        cache.shifted_all(2.0)
+        assert cache.hits == 1
+        cache.shifted_all(1.0)
+        assert cache.misses == 4
+
+    def test_returned_matrix_read_only(self):
+        cache = ShiftedPowerCache(random_traces())
+        with pytest.raises(ValueError):
+            cache.shifted_all(100.0)[0, 0] = 1.0
+
+    def test_valid_mask_matches_module_helper(self):
+        cache = ShiftedPowerCache(random_traces())
+        for shift in (-43.3e3, 0.0, 43.3e3, 866 * GRID.resolution):
+            np.testing.assert_array_equal(
+                cache.valid_mask(shift), shift_valid_mask(GRID, shift)
+            )
+
+    @given(shift=st.floats(min_value=-1.5e6, max_value=1.5e6))
+    @settings(max_examples=60, deadline=None)
+    def test_valid_range_is_the_mask_support(self, shift):
+        """Property: the [lo, hi) range and the boolean mask describe the
+        same contiguous run of in-span bins."""
+        lo, hi = shift_valid_range(GRID, shift)
+        mask = shift_valid_mask(GRID, shift)
+        assert mask[lo:hi].all()
+        assert not mask[:lo].any() and not mask[hi:].any()
+
+    def test_valid_range_memoized(self):
+        cache = ShiftedPowerCache(random_traces())
+        assert cache.valid_range(43.3e3) == shift_valid_range(GRID, 43.3e3)
+        assert cache.valid_range(43.3e3) is cache.valid_range(43.3e3)
+
+    def test_needs_two_traces(self):
+        with pytest.raises(DetectionError):
+            ShiftedPowerCache(random_traces(n=1))
+
+    def test_mixed_grids_rejected(self):
+        other = FrequencyGrid(0.0, 1e6, 200.0)
+        bad = random_traces(n=1, grid=other)
+        with pytest.raises(DetectionError):
+            ShiftedPowerCache(random_traces(n=2) + bad)
+
+
+class TestVectorizedAgainstReference:
+    @given(seed=st.integers(min_value=0, max_value=2**16), harmonic=st.sampled_from([1, -1, 2, -3, 5]))
+    @settings(max_examples=25, deadline=None)
+    def test_subscores_agree(self, seed, harmonic):
+        """Property: vectorized and naive sub-scores agree bin for bin on
+        random spectra, for positive and negative harmonics."""
+        traces = random_traces(seed=seed)
+        reference = HeuristicScorer(vectorized=False)
+        fast = HeuristicScorer()
+        np.testing.assert_allclose(
+            fast.subscores(traces, FALTS, harmonic),
+            reference.subscores(traces, FALTS, harmonic),
+            rtol=1e-9,
+        )
+
+    def test_all_scores_agree_on_seeded_campaign(self, seeded_result):
+        reference = HeuristicScorer(vectorized=False).all_scores(seeded_result)
+        fast = HeuristicScorer().all_scores(seeded_result)
+        assert set(reference) == set(fast)
+        for harmonic in reference:
+            np.testing.assert_allclose(fast[harmonic], reference[harmonic], rtol=1e-9)
+
+    def test_detections_agree_on_seeded_campaign(self, seeded_result):
+        reference = CarrierDetector(scorer=HeuristicScorer(vectorized=False))
+        fast = CarrierDetector()
+        ref_detections = reference.detect(seeded_result)
+        fast_detections = fast.detect(seeded_result)
+        assert [d.frequency for d in ref_detections] == [
+            d.frequency for d in fast_detections
+        ]
+        for ref_d, fast_d in zip(ref_detections, fast_detections):
+            assert set(ref_d.harmonic_scores) == set(fast_d.harmonic_scores)
+            for h, score in ref_d.harmonic_scores.items():
+                assert fast_d.harmonic_scores[h] == pytest.approx(score, rel=1e-9)
+
+    def test_shared_cache_reused_across_scoring_calls(self, seeded_result):
+        scorer = HeuristicScorer()
+        cache = scorer.cache_for(seeded_result)
+        scorer.all_scores(seeded_result, cache=cache)
+        misses = cache.misses
+        assert misses > 0
+        scorer.all_scores(seeded_result, cache=cache)
+        assert cache.misses == misses  # second pass runs entirely from cache
+        assert cache.hits >= misses
+
+    def test_reference_scorer_builds_no_cache(self):
+        assert HeuristicScorer(vectorized=False).cache_for(random_traces()) is None

@@ -1,7 +1,5 @@
 """Rejection validation: the paper's manual cross-check, automated."""
 
-import numpy as np
-import pytest
 
 from repro.analysis.validation import strong_rejected_signals, validate_rejections
 

@@ -1,7 +1,6 @@
 """§4.1 design-space variants: per-core regulators and FIVR."""
 
 import numpy as np
-import pytest
 
 from repro import FaseConfig, MeasurementCampaign
 from repro.core import CarrierDetector
