@@ -44,6 +44,7 @@ from .core import (
     run_fase,
     pair_label,
 )
+from .faults import FaultPlan, RobustnessReport
 from .spectrum import FrequencyGrid, SpectrumTrace, SpectrumAnalyzer
 from .system import (
     SystemModel,
@@ -71,6 +72,8 @@ __all__ = [
     "FaseReport",
     "run_fase",
     "pair_label",
+    "FaultPlan",
+    "RobustnessReport",
     "FrequencyGrid",
     "SpectrumTrace",
     "SpectrumAnalyzer",

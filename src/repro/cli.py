@@ -24,6 +24,8 @@ from .core import (
     group_harmonics,
     run_fase,
 )
+from .errors import ReproError
+from .faults import FAULT_CLASSES, FaultPlan
 from .system import ALL_PRESETS
 from .uarch.activity import AlternationActivity
 from .uarch.isa import MicroOp, activity_levels
@@ -51,6 +53,7 @@ def _parse_span(args):
         falt1=args.falt1,
         f_delta=args.f_delta,
         n_workers=args.workers,
+        max_capture_retries=args.max_capture_retries,
         name="cli campaign",
     )
 
@@ -68,6 +71,32 @@ def _add_campaign_arguments(parser):
         help="captures (and activity pairs) run on this many threads; "
         ">1 uses per-measurement random streams",
     )
+    parser.add_argument(
+        "--faults",
+        default=None,
+        metavar="CLASSES",
+        help="enable fault injection: 'all' or a comma list of "
+        f"{','.join(sorted(FAULT_CLASSES))} (default severities); the run "
+        "screens, retries, and excludes bad captures and reports the damage",
+    )
+    parser.add_argument(
+        "--max-capture-retries",
+        type=int,
+        default=2,
+        help="degraded-mode retry budget per capture (with --faults)",
+    )
+
+
+def _parse_fault_plan(args):
+    if args.faults is None:
+        return None
+    classes = None
+    if args.faults.strip().lower() not in ("all", ""):
+        classes = tuple(name.strip() for name in args.faults.split(",") if name.strip())
+    try:
+        return FaultPlan.default(classes)
+    except ReproError as exc:
+        raise SystemExit(str(exc)) from exc
 
 
 def _parse_ops(text):
@@ -84,6 +113,9 @@ def cmd_scan(args):
     kwargs = {"config": config, "rng": np.random.default_rng(args.seed + 1)}
     if args.pair:
         kwargs["pairs"] = (_parse_ops(args.pair),)
+    plan = _parse_fault_plan(args)
+    if plan is not None:
+        kwargs["fault_plan"] = plan
     report = run_fase(machine, **kwargs)
     print(report.to_text())
     return 0
@@ -118,11 +150,18 @@ def cmd_localize(args):
 def cmd_record(args):
     machine = _build_machine(args)
     config = _parse_span(args)
-    campaign = MeasurementCampaign(machine, config, rng=np.random.default_rng(args.seed + 1))
+    campaign = MeasurementCampaign(
+        machine,
+        config,
+        rng=np.random.default_rng(args.seed + 1),
+        fault_plan=_parse_fault_plan(args),
+    )
     op_x, op_y = _parse_ops(args.pair)
     result = campaign.run(op_x, op_y, label=args.pair)
     campaign_io.save_campaign(result, args.output)
     print(f"recorded {len(result.measurements)} spectra to {args.output}")
+    if result.robustness is not None:
+        print(result.robustness.to_text())
     return 0
 
 
@@ -130,6 +169,11 @@ def cmd_analyze(args):
     result = campaign_io.load_campaign(args.input)
     detections = CarrierDetector().detect(result)
     print(f"{result.machine_name} / {result.activity_label}: {len(detections)} carriers")
+    if result.excluded_indices:
+        print(
+            f"  ({len(result.excluded_indices)} flagged capture(s) excluded "
+            f"from scoring: indices {result.excluded_indices})"
+        )
     for harmonic_set in group_harmonics(detections):
         print(f"  set {harmonic_set.describe()}")
         for order, detection in harmonic_set.members:

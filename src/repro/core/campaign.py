@@ -12,9 +12,9 @@ spectrum).
 from __future__ import annotations
 
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
-from ..errors import CampaignError
+from ..errors import CampaignError, CaptureFaultError, DegradedCampaignError
 from ..rng import child_rng, ensure_rng
 from ..spectrum.analyzer import SpectrumAnalyzer
 from ..uarch.activity import AlternationActivity
@@ -25,11 +25,20 @@ from .config import FaseConfig
 
 @dataclass(frozen=True)
 class CampaignMeasurement:
-    """One captured spectrum: the achieved falt, activity, and trace."""
+    """One captured spectrum: the achieved falt, activity, and trace.
+
+    ``flagged`` marks a capture the quality screen rejected after the
+    retry budget ran out; its trace is kept (for inspection and the
+    naive-vs-degraded detection delta) but the scoring path excludes it.
+    ``quality`` is the screen's :class:`CaptureQuality` verdict when the
+    capture was screened.
+    """
 
     falt: float
     activity: AlternationActivity
     trace: object  # SpectrumTrace
+    flagged: bool = False
+    quality: object = None  # CaptureQuality | None
 
 
 @dataclass
@@ -40,6 +49,7 @@ class CampaignResult:
     machine_name: str
     activity_label: str
     measurements: list = field(default_factory=list)
+    robustness: object = None  # RobustnessReport | None for fault-plan runs
 
     @property
     def traces(self):
@@ -48,6 +58,55 @@ class CampaignResult:
     @property
     def falts(self):
         return [m.falt for m in self.measurements]
+
+    @property
+    def included_measurements(self):
+        """Measurements the scoring path may use (not screen-flagged)."""
+        return [m for m in self.measurements if not m.flagged]
+
+    @property
+    def excluded_indices(self):
+        """Positions (into ``measurements``) of screen-flagged captures."""
+        return [i for i, m in enumerate(self.measurements) if m.flagged]
+
+    def scoring_view(self):
+        """The result the Eq. 1/2 scorer should see.
+
+        With no flagged captures this is ``self`` — bit-identical clean
+        behavior. Otherwise it is the leave-one-out view: a result over
+        the N-k unflagged measurements only, so Eq. 2's denominator
+        renormalizes over the remaining spectra. Raises
+        :class:`DegradedCampaignError` when fewer than two usable
+        captures remain.
+        """
+        included = self.included_measurements
+        if len(included) == len(self.measurements):
+            return self
+        if len(included) < 2:
+            raise DegradedCampaignError(
+                f"only {len(included)} usable capture(s) remain after exclusion; "
+                "the heuristic needs at least two",
+                robustness=self.robustness,
+            )
+        return CampaignResult(
+            config=self.config,
+            machine_name=self.machine_name,
+            activity_label=self.activity_label,
+            measurements=included,
+            robustness=self.robustness,
+        )
+
+    def with_flags_cleared(self):
+        """A view scoring *every* capture, flags ignored (delta baseline)."""
+        if not self.excluded_indices:
+            return self
+        return CampaignResult(
+            config=self.config,
+            machine_name=self.machine_name,
+            activity_label=self.activity_label,
+            measurements=[replace(m, flagged=False) for m in self.measurements],
+            robustness=self.robustness,
+        )
 
     @property
     def grid(self):
@@ -74,13 +133,24 @@ class CampaignResult:
 
 
 class MeasurementCampaign:
-    """Drives a system model through one FASE campaign."""
+    """Drives a system model through one FASE campaign.
 
-    def __init__(self, machine, config, latency_model=None, rng=None):
+    ``fault_plan`` (a :class:`~repro.faults.FaultPlan`) switches the
+    campaign onto the degraded-mode path: captures go through a
+    :class:`~repro.faults.FaultyAnalyzer`, every capture is screened
+    against the cohort, failed or flagged captures are retried up to
+    ``config.max_capture_retries`` times, and persistent failures are
+    flagged (quality) or omitted (drops) with a full
+    :class:`~repro.faults.RobustnessReport` on the result. Without a
+    plan the capture paths are exactly the clean serial/parallel ones.
+    """
+
+    def __init__(self, machine, config, latency_model=None, rng=None, fault_plan=None):
         self.machine = machine
         self.config = config
         self.latency_model = latency_model or LatencyModel()
         self.rng = ensure_rng(rng)
+        self.fault_plan = fault_plan
 
     def _analyzer(self):
         return SpectrumAnalyzer(
@@ -118,6 +188,19 @@ class MeasurementCampaign:
             activity_label=label or activities[0].label or "activity",
         )
         n_workers = min(self.config.n_workers, len(activities))
+        if self.fault_plan is not None:
+            measurements, robustness = self._capture_degraded(
+                activities, result.activity_label, grid, n_workers
+            )
+            result.measurements.extend(measurements)
+            result.robustness = robustness
+            if len(result.included_measurements) < 2:
+                raise DegradedCampaignError(
+                    f"only {len(result.included_measurements)} usable capture(s) out of "
+                    f"{len(activities)} survived fault screening",
+                    robustness=robustness,
+                )
+            return result.validate()
         if n_workers > 1:
             result.measurements.extend(
                 self._capture_parallel(activities, result.activity_label, grid, n_workers)
@@ -162,6 +245,159 @@ class MeasurementCampaign:
 
         with ThreadPoolExecutor(max_workers=n_workers) as pool:
             return list(pool.map(capture, range(len(activities))))
+
+    # ------------------------------------------------------------------
+    # Degraded mode: fault injection, screening, bounded retries.
+
+    def _degraded_attempt(self, activities, label, grid, index, attempt):
+        """One capture attempt of measurement ``index`` under the fault plan.
+
+        Noise and fault streams are both derived from (seed, index,
+        attempt) — never from a shared sequential stream — so the outcome
+        is a pure function of those three regardless of worker count or
+        scheduling. Attempt 0 reuses the clean parallel path's
+        ``analyzer:{index}`` stream, making a ``FaultPlan.none()`` run
+        byte-identical to the clean parallel capture path.
+
+        Returns ``(trace_or_None, events)``.
+        """
+        from ..faults.analyzer import FaultyAnalyzer
+
+        suffix = f"analyzer:{index}" if attempt == 0 else f"analyzer:{index}:retry{attempt}"
+        analyzer = FaultyAnalyzer(
+            SpectrumAnalyzer(n_averages=self.config.n_averages, rng=child_rng(self.rng, suffix)),
+            self.fault_plan,
+            child_rng(self.rng, f"faults:{index}:{attempt}"),
+            index=index,
+            attempt=attempt,
+        )
+        activity = activities[index]
+        scene = self.machine.scene(activity)
+        try:
+            trace = analyzer.capture(
+                scene, grid, label=f"{label} falt={activity.falt:.6g}Hz"
+            )
+        except CaptureFaultError:
+            return None, analyzer.events
+        return trace, analyzer.events
+
+    def _capture_degraded(self, activities, label, grid, n_workers):
+        """Capture every activity under the fault plan, screening and retrying.
+
+        Three deterministic stages: (1) capture every index, immediately
+        retrying drops; (2) screen the cohort and retry flagged captures
+        (the cohort reference is recomputed after each retry round, since
+        a recovered capture sharpens it); (3) flag whatever still fails
+        with its final quality verdict. Results are aggregated in index
+        order, so the report and the traces are identical for any
+        ``n_workers``.
+        """
+        from ..faults.robustness import RobustnessReport
+
+        plan = self.fault_plan
+        max_retries = self.config.max_capture_retries
+        n = len(activities)
+        attempts = [0] * n
+        traces = [None] * n
+        events = []
+        excluded = {}
+
+        def run_attempts(indices):
+            tasks = [(index, attempts[index]) for index in indices]
+            if n_workers > 1 and len(tasks) > 1:
+                with ThreadPoolExecutor(max_workers=min(n_workers, len(tasks))) as pool:
+                    outcomes = list(
+                        pool.map(
+                            lambda task: self._degraded_attempt(activities, label, grid, *task),
+                            tasks,
+                        )
+                    )
+            else:
+                outcomes = [
+                    self._degraded_attempt(activities, label, grid, index, attempt)
+                    for index, attempt in tasks
+                ]
+            for index, (trace, attempt_events) in zip(indices, outcomes):
+                events.extend(attempt_events)
+                traces[index] = trace
+
+        def capture_until_present(indices):
+            """Attempt each index once, immediately retrying drops while
+            the per-index budget lasts; budget-exhausted drops are
+            recorded as excluded."""
+            pending = list(indices)
+            while pending:
+                run_attempts(pending)
+                retry = []
+                for index in pending:
+                    if traces[index] is not None:
+                        continue
+                    if attempts[index] < max_retries:
+                        attempts[index] += 1
+                        retry.append(index)
+                    else:
+                        excluded[index] = (
+                            f"capture dropped on all {attempts[index] + 1} attempt(s)",
+                        )
+                pending = retry
+
+        # Stage 1: first capture of every index (drop retries inline).
+        capture_until_present(range(n))
+
+        # Stage 2: cohort screening with bounded retries of flagged
+        # captures; the reference is recomputed each round because a
+        # recovered capture sharpens it.
+        qualities = {}
+        while True:
+            present = [index for index in range(n) if traces[index] is not None]
+            if len(present) < 2:
+                break
+            reference = plan.screen.reference([traces[index] for index in present])
+            qualities = {
+                index: plan.screen.assess(traces[index], reference) for index in present
+            }
+            retry = [
+                index
+                for index in present
+                if not qualities[index].ok and attempts[index] < max_retries
+            ]
+            if not retry:
+                break
+            for index in retry:
+                attempts[index] += 1
+            capture_until_present(retry)
+
+        # Stage 3: assemble measurements; persistently bad captures are
+        # flagged (kept) and fully dropped ones omitted.
+        dropped = tuple(index for index in range(n) if traces[index] is None)
+        measurements = []
+        for index, activity in enumerate(activities):
+            trace = traces[index]
+            if trace is None:
+                continue
+            quality = qualities.get(index)
+            flagged = quality is not None and not quality.ok
+            if flagged:
+                excluded[index] = quality.reasons
+            measurements.append(
+                CampaignMeasurement(
+                    falt=activity.falt,
+                    activity=activity,
+                    trace=trace,
+                    flagged=flagged,
+                    quality=quality,
+                )
+            )
+        robustness = RobustnessReport(
+            plan_description=plan.describe(),
+            events=events,
+            retries={
+                index: attempts[index] for index in range(n) if attempts[index] > 0
+            },
+            excluded=excluded,
+            dropped=dropped,
+        )
+        return measurements, robustness
 
     def capture_steady(self, levels, label="steady"):
         """One averaged capture of a constant workload (e.g. Figure 14)."""

@@ -44,6 +44,11 @@ class FaseConfig:
     #: from per-measurement derived random streams, so results are
     #: reproducible for a given seed but differ from the serial stream.
     n_workers: int = 1
+    #: Degraded-mode retry budget: when a fault plan is active, a capture
+    #: that drops or fails quality screening is re-taken up to this many
+    #: extra times (each attempt on its own derived random streams)
+    #: before being excluded. Ignored without a fault plan.
+    max_capture_retries: int = 2
 
     def __post_init__(self):
         if self.span_high <= self.span_low:
@@ -63,6 +68,8 @@ class FaseConfig:
             raise CampaignError("n_averages must be >= 1")
         if self.n_workers < 1:
             raise CampaignError("n_workers must be >= 1")
+        if self.max_capture_retries < 0:
+            raise CampaignError("max_capture_retries must be >= 0")
         if not self.harmonics or 0 in self.harmonics:
             raise CampaignError("harmonics must be non-empty and exclude 0")
         if self.f_delta >= self.falt1:

@@ -110,7 +110,15 @@ class CarrierDetector:
         the Eq. 1/2 scoring pass and the movement-verification /
         characterization reads, so no spectrum is stacked or interpolated
         twice (reference-mode scorers skip the cache by design).
+
+        A degraded result (screen-flagged captures) is detected on its
+        leave-one-out view: flagged captures contribute neither scores
+        nor movement-fit points nor characterization reads. With no
+        flags the view *is* the result, so clean behavior is unchanged.
         """
+        view = getattr(result, "scoring_view", None)
+        if view is not None:
+            result = view()
         result.validate()
         cache_for = getattr(self.scorer, "cache_for", None)
         cache = cache_for(result) if cache_for is not None else None

@@ -36,6 +36,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..errors import DetectionError
+from .campaign import CampaignResult
 from .scoring import ShiftedPowerCache, shift_valid_mask
 
 #: Floor (mW) applied to shifted powers before ratios. Far below the
@@ -141,7 +142,16 @@ class HeuristicScorer:
         ``(H, N, n_bins)`` array and reduces it with a single log-space
         accumulation; pass ``cache`` to share shifted-power evaluations
         with other consumers (the detector's movement verification).
+
+        A degraded result (screen-flagged captures) is scored through its
+        leave-one-out view: the flagged falt indices are excluded and the
+        Eq. 2 denominator renormalizes over the remaining spectra. A
+        caller-supplied ``cache`` must already cover that view (the
+        detector builds its cache from the view for exactly this reason).
         """
+        view = getattr(result, "scoring_view", None)
+        if view is not None:
+            result = view()
         result.validate()
         harmonics = tuple(result.config.harmonics)
         if not self.vectorized:
@@ -157,6 +167,35 @@ class HeuristicScorer:
             self._subscores_vectorized(cache, result.falts, h, out=stack[k], scratch=scratch)
         scores = self._accumulate(stack, axis=1)
         return {h: scores[k] for k, h in enumerate(harmonics)}
+
+    def scores_excluding(self, result, exclude_index, cache=None):
+        """Leave-one-out scores: falt index ``exclude_index`` held out.
+
+        The excluded spectrum contributes neither a sub-score row nor a
+        term in any Eq. 2 denominator; the remaining N-1 spectra
+        renormalize exactly as if the campaign had never measured it.
+        A ``cache`` built over the *full* result is reused via
+        :meth:`ShiftedPowerCache.subset`, so ablation sweeps (hold out
+        each index in turn) pay for one trace stack, not N.
+        """
+        measurements = result.measurements
+        if not 0 <= exclude_index < len(measurements):
+            raise DetectionError(
+                f"exclude_index {exclude_index} outside 0..{len(measurements) - 1}"
+            )
+        kept = [i for i in range(len(measurements)) if i != exclude_index]
+        subset = CampaignResult(
+            config=result.config,
+            machine_name=result.machine_name,
+            activity_label=result.activity_label,
+            measurements=[measurements[i] for i in kept],
+        )
+        sub_cache = None
+        if self.vectorized:
+            sub_cache = (
+                cache.subset(kept) if cache is not None else ShiftedPowerCache.from_result(subset)
+            )
+        return self.all_scores(subset, cache=sub_cache)
 
     def _accumulate(self, subs, axis=0):
         """Eq. 1 product across traces, guarded against overflow.

@@ -34,6 +34,7 @@ def run_fase(
     latency_model=None,
     rng=None,
     n_workers=None,
+    fault_plan=None,
 ):
     """Run FASE on a machine for one or more X/Y activity pairs.
 
@@ -45,6 +46,14 @@ def run_fase(
     independent activity pairs across a thread pool; each pair's campaign
     draws from its own seed-derived random stream, so parallel runs are
     reproducible per seed but differ from the serial shared-stream run.
+
+    ``fault_plan`` (a :class:`~repro.faults.FaultPlan`) runs every
+    campaign on the degraded-mode path: captures are corrupted per the
+    plan, screened, retried up to ``config.max_capture_retries`` times,
+    and scored leave-one-out with flagged falt indices excluded. Each
+    activity's :class:`~repro.faults.RobustnessReport` lands on its
+    :class:`ActivityReport`, including the naive-vs-degraded detection
+    delta whenever a capture was actually excluded.
     """
     rng = ensure_rng(rng)
     config = config or campaign_low_band()
@@ -60,11 +69,18 @@ def run_fase(
     def scan_pair(op_x, op_y, pair_rng):
         label = pair_label(op_x, op_y)
         campaign = MeasurementCampaign(
-            machine, config, latency_model=latency_model, rng=pair_rng
+            machine, config, latency_model=latency_model, rng=pair_rng, fault_plan=fault_plan
         )
         result = campaign.run(op_x, op_y, label=label)
         detections = detector.detect(result)
-        return label, detections, group_harmonics(detections)
+        robustness = result.robustness
+        if robustness is not None and result.excluded_indices:
+            # What did excluding the flagged captures change? Score the
+            # same spectra once more with flags ignored and diff the
+            # carrier lists into the ledger.
+            naive = detector.detect(result.with_flags_cleared())
+            robustness.record_detection_delta(naive, detections)
+        return label, detections, group_harmonics(detections), robustness
 
     if n_workers > 1 and len(pairs) > 1:
         pair_rngs = [
@@ -80,9 +96,12 @@ def run_fase(
     else:
         outcomes = [scan_pair(op_x, op_y, rng) for op_x, op_y in pairs]
 
-    for (op_x, op_y), (label, detections, harmonic_sets) in zip(pairs, outcomes):
+    for (op_x, op_y), (label, detections, harmonic_sets, robustness) in zip(pairs, outcomes):
         report.activities[label] = ActivityReport(
-            activity_label=label, detections=detections, harmonic_sets=harmonic_sets
+            activity_label=label,
+            detections=detections,
+            harmonic_sets=harmonic_sets,
+            robustness=robustness,
         )
         sets_by_activity[label] = harmonic_sets
         is_memory_pair = (op_x in (MicroOp.LDM, MicroOp.STM)) != (

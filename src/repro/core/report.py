@@ -14,11 +14,17 @@ from ..units import format_frequency
 
 @dataclass
 class ActivityReport:
-    """Detections for one X/Y activity pair."""
+    """Detections for one X/Y activity pair.
+
+    ``robustness`` is the campaign's
+    :class:`~repro.faults.RobustnessReport` when the run used a fault
+    plan — degradation is part of the end product, never silent.
+    """
 
     activity_label: str
     detections: list
     harmonic_sets: list
+    robustness: object = None
 
     def to_text(self):
         lines = [f"activity {self.activity_label}: {len(self.detections)} carriers"]
@@ -26,6 +32,8 @@ class ActivityReport:
             lines.append(f"  set {harmonic_set.describe()}")
             for order, detection in harmonic_set.members:
                 lines.append(f"    [{order:>2}] {detection.describe()}")
+        if self.robustness is not None:
+            lines.extend("  " + line for line in self.robustness.to_text().splitlines())
         return "\n".join(lines)
 
 

@@ -105,6 +105,39 @@ class ShiftedPowerCache:
         """Build a cache over a :class:`CampaignResult`'s traces."""
         return cls(result.traces, max_entries=max_entries)
 
+    def subset(self, indices):
+        """A new cache over a row-subset of this cache's traces.
+
+        The degraded pipeline scores leave-one-out views (a flagged falt
+        index excluded, Eq. 2 renormalized over the rest); subsetting
+        reuses the already-stacked power matrix instead of restacking
+        the surviving traces. Memoized shifts are *not* carried over —
+        a shifted matrix of the full stack cannot be row-sliced into the
+        child without pinning its memory, and the child's shift set
+        differs anyway (different falts survive).
+        """
+        indices = [int(i) for i in indices]
+        if len(indices) < 2:
+            raise DetectionError("the scoring cache needs at least two traces")
+        if len(set(indices)) != len(indices):
+            raise DetectionError("subset indices must be distinct")
+        for i in indices:
+            if not 0 <= i < self.n_traces:
+                raise DetectionError(f"trace index {i} outside 0..{self.n_traces - 1}")
+        clone = object.__new__(type(self))
+        clone.grid = self.grid
+        clone.power = np.ascontiguousarray(self.power[indices])
+        clone.max_entries = self.max_entries
+        clone._shifted = OrderedDict()
+        clone._rows = {}
+        clone._totals = {}
+        clone._floored_sums = {}
+        clone._ranges = {}
+        clone._masks = {}
+        clone.hits = 0
+        clone.misses = 0
+        return clone
+
     @property
     def n_traces(self):
         return self.power.shape[0]

@@ -31,6 +31,37 @@ class CampaignError(ReproError):
     """A measurement campaign was configured inconsistently."""
 
 
+class CaptureFaultError(ReproError):
+    """A capture was lost to an acquisition fault (drop/timeout).
+
+    Raised by the fault-injection layer when a capture never produces a
+    trace. ``events`` carries the :class:`~repro.faults.FaultEvent`
+    records of everything injected into the attempt (including the drop
+    itself) so the campaign can account for them even though the capture
+    yielded no data.
+    """
+
+    def __init__(self, message, events=()):
+        super().__init__(message)
+        self.events = tuple(events)
+
+
+class DegradedCampaignError(CampaignError):
+    """Too few usable captures remain after fault screening/exclusion.
+
+    The degraded scoring path needs at least two clean spectra for the
+    Eq. 2 cross-normalization; when drops and exclusions leave fewer, the
+    campaign fails loudly instead of silently scoring garbage.
+    ``robustness`` (when available) is the run's
+    :class:`~repro.faults.RobustnessReport`, so callers can still see
+    what was injected and excluded.
+    """
+
+    def __init__(self, message, robustness=None):
+        super().__init__(message)
+        self.robustness = robustness
+
+
 class DetectionError(ReproError):
     """Carrier detection was invoked with invalid inputs."""
 

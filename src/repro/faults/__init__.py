@@ -1,0 +1,54 @@
+"""Fault injection and degraded-mode robustness for FASE campaigns.
+
+Real measurement campaigns fight hazards the clean simulator never
+produces; this package injects them on demand — seed-reproducibly — and
+provides the screening/accounting half of the graceful-degradation path
+in :mod:`repro.core`:
+
+* :mod:`~repro.faults.injectors` — the fault classes
+  (:class:`TransientInterference`, :class:`AdcClipping`,
+  :class:`FrequencyDrift`, :class:`CaptureDrop`, :class:`GlitchBins`)
+  and the :class:`FaultPlan` bundling them;
+* :mod:`~repro.faults.analyzer` — :class:`FaultyAnalyzer`, the wrapper
+  that corrupts captures as they are taken;
+* :mod:`~repro.faults.screening` — :class:`CaptureScreen`, the
+  cohort-relative per-capture quality checks;
+* :mod:`~repro.faults.robustness` — :class:`RobustnessReport`, the
+  per-run ledger of everything injected, retried, and excluded.
+
+The injector doubles as correctness tooling: the robustness test tier
+drives the same plans to assert both "detection survives fault X" and
+"degradation is reported, never silent".
+"""
+
+from .analyzer import FaultyAnalyzer
+from .injectors import (
+    FAULT_CLASSES,
+    AdcClipping,
+    CaptureDrop,
+    FaultEvent,
+    FaultInjector,
+    FaultPlan,
+    FrequencyDrift,
+    GlitchBins,
+    TransientInterference,
+)
+from .robustness import DetectionDelta, RobustnessReport
+from .screening import CaptureQuality, CaptureScreen
+
+__all__ = [
+    "FAULT_CLASSES",
+    "AdcClipping",
+    "CaptureDrop",
+    "CaptureQuality",
+    "CaptureScreen",
+    "DetectionDelta",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultyAnalyzer",
+    "FrequencyDrift",
+    "GlitchBins",
+    "RobustnessReport",
+    "TransientInterference",
+]

@@ -1,0 +1,46 @@
+"""A fault-injecting wrapper over the spectrum analyzer.
+
+:class:`FaultyAnalyzer` captures through a wrapped clean
+:class:`~repro.spectrum.analyzer.SpectrumAnalyzer` and then corrupts the
+result per a :class:`~repro.faults.injectors.FaultPlan`. Noise and faults
+draw from *separate* generators so enabling faults never perturbs the
+underlying capture's estimation noise: a campaign run under
+``FaultPlan.none()`` is byte-identical to the same campaign's parallel
+clean path.
+"""
+
+from __future__ import annotations
+
+from ..errors import CaptureFaultError
+from ..spectrum.trace import SpectrumTrace
+
+
+class FaultyAnalyzer:
+    """Capture a scene, then let the fault plan corrupt the trace.
+
+    ``index``/``attempt`` identify the capture for event bookkeeping;
+    ``rng`` is the fault stream (the wrapped analyzer keeps its own).
+    Injected events accumulate on :attr:`events`, including the events of
+    a capture that ended in a :class:`CaptureFaultError` drop.
+    """
+
+    def __init__(self, analyzer, plan, rng, index=0, attempt=0):
+        self.analyzer = analyzer
+        self.plan = plan
+        self.rng = rng
+        self.index = int(index)
+        self.attempt = int(attempt)
+        self.events = []
+
+    def capture(self, scene, grid, label=""):
+        trace = self.analyzer.capture(scene, grid, label=label)
+        power = trace.power_mw.copy()
+        try:
+            power, events = self.plan.corrupt(
+                power, grid, self.rng, index=self.index, attempt=self.attempt
+            )
+        except CaptureFaultError as fault:
+            self.events.extend(fault.events)
+            raise
+        self.events.extend(events)
+        return SpectrumTrace(grid, power, label=label)

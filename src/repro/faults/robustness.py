@@ -1,0 +1,115 @@
+"""The per-run robustness ledger: what was injected, what survived.
+
+Degradation must be *reported, never silent*: every fault the plan
+injected, every retry it forced, and every capture the screen excluded
+ends up here, plus (when the pipeline computes it) the detection delta
+between naive scoring over all captures and the degraded leave-one-out
+scoring. The report rides on the campaign result and is surfaced by
+:class:`~repro.core.report.FaseReport` and the CLI.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class DetectionDelta:
+    """Detections with flagged captures included vs. excluded.
+
+    ``naive`` scores every capture (flags ignored); ``degraded`` is the
+    shipping leave-one-out path. ``gained``/``lost`` are carrier
+    frequencies present in one set only — what the exclusion bought and
+    what it cost.
+    """
+
+    n_naive: int
+    n_degraded: int
+    gained: tuple
+    lost: tuple
+
+    def describe(self):
+        parts = [f"{self.n_naive} carriers naive -> {self.n_degraded} degraded"]
+        if self.gained:
+            parts.append("gained " + ", ".join(f"{f:.0f} Hz" for f in self.gained))
+        if self.lost:
+            parts.append("lost " + ", ".join(f"{f:.0f} Hz" for f in self.lost))
+        return "; ".join(parts)
+
+
+@dataclass
+class RobustnessReport:
+    """Ledger of one degraded-mode campaign run."""
+
+    plan_description: str
+    events: list = field(default_factory=list)  # FaultEvent
+    retries: dict = field(default_factory=dict)  # capture index -> extra attempts
+    excluded: dict = field(default_factory=dict)  # capture index -> tuple of reasons
+    dropped: tuple = ()  # indices that never yielded a trace
+    detection_delta: object = None  # DetectionDelta | None
+
+    # ------------------------------------------------------------------
+
+    def faults_by_class(self):
+        """{fault name: times injected} over every attempt of the run."""
+        return dict(Counter(event.fault for event in self.events))
+
+    @property
+    def n_injected(self):
+        return len(self.events)
+
+    @property
+    def n_retried(self):
+        return sum(1 for extra in self.retries.values() if extra > 0)
+
+    @property
+    def n_excluded(self):
+        return len(self.excluded)
+
+    def record_detection_delta(self, naive_detections, degraded_detections, rel_tol=0.01):
+        """Diff two detection lists by carrier frequency (relative match)."""
+
+        def unmatched(ours, theirs):
+            extras = []
+            for detection in ours:
+                if not any(
+                    abs(detection.frequency - other.frequency)
+                    <= rel_tol * max(detection.frequency, 1.0)
+                    for other in theirs
+                ):
+                    extras.append(round(detection.frequency, 3))
+            return tuple(extras)
+
+        self.detection_delta = DetectionDelta(
+            n_naive=len(naive_detections),
+            n_degraded=len(degraded_detections),
+            gained=unmatched(degraded_detections, naive_detections),
+            lost=unmatched(naive_detections, degraded_detections),
+        )
+        return self.detection_delta
+
+    # ------------------------------------------------------------------
+
+    def to_text(self):
+        lines = [f"robustness: {self.plan_description}"]
+        by_class = self.faults_by_class()
+        if by_class:
+            injected = ", ".join(f"{name} x{count}" for name, count in sorted(by_class.items()))
+            lines.append(f"  faults injected: {self.n_injected} ({injected})")
+        else:
+            lines.append("  faults injected: none")
+        if self.retries:
+            retried = ", ".join(
+                f"capture {index} x{extra}" for index, extra in sorted(self.retries.items())
+            )
+            lines.append(f"  captures retried: {retried}")
+        if self.excluded:
+            for index in sorted(self.excluded):
+                status = "dropped" if index in self.dropped else "excluded"
+                lines.append(f"  capture {index} {status}: {'; '.join(self.excluded[index])}")
+        else:
+            lines.append("  captures excluded: none")
+        if self.detection_delta is not None:
+            lines.append(f"  detection delta: {self.detection_delta.describe()}")
+        return "\n".join(lines)

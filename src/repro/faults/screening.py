@@ -1,0 +1,186 @@
+"""Per-capture quality screening for degraded-mode campaigns.
+
+The screen answers one question per capture: *is this spectrum consistent
+with being one of N sweeps of the same scene?* The N spectra of a FASE
+campaign are near-identical — they differ only in the (weak, few-bin)
+side-bands that move with falt and in the analyzer's averaged estimation
+noise — so cross-capture statistics give a sharp reference:
+
+* **power envelope** — the total received power of every sweep should
+  match the cohort median within a small factor. A transient interference
+  burst multiplies it; severe clipping divides it.
+* **outlier bins** — bins far above the cohort's per-bin median power.
+  Every capture legitimately has some (its own side-band positions), and
+  the count is stable across the cohort; an excess over the cohort's
+  typical count means impulsive glitches or a burst.
+* **clip ties** — several bins at the *identical* maximum power. Gamma
+  estimation noise makes exact ties vanishingly unlikely in a real
+  capture; a flat-topped maximum is the signature of front-end
+  saturation.
+* **drift lag** — the lag of the cross-correlation peak between this
+  capture's log-spectrum and the cohort median's. A healthy sweep
+  correlates best at lag zero; a drifted one at its bin offset.
+
+All thresholds are cohort-relative, so the screen needs no calibration
+per machine, span, or noise floor. The flip side: corruption that hits
+*every* capture identically (e.g. a fault probability of 1.0 with similar
+severity each sweep) shifts the reference along with the captures and is
+invisible to the screen — the cohort can only reveal captures that are
+anomalous *relative to their peers*. The robustness report still accounts
+for such faults through the injection events.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import SystemModelError
+
+#: Additive guard (mW) under logs and ratios; far below any physical bin power.
+_EPS = 1e-30
+
+
+@dataclass(frozen=True)
+class CaptureQuality:
+    """Verdict of the screen on one capture."""
+
+    ok: bool
+    reasons: tuple = ()
+
+    def describe(self):
+        return "ok" if self.ok else "; ".join(self.reasons)
+
+
+class CaptureScreen:
+    """Cross-capture quality checks with cohort-relative thresholds.
+
+    ``envelope_ratio`` bounds the total-power ratio against the cohort
+    median; ``outlier_ratio``/``extra_outlier_bins`` define the excess
+    outlier-bin budget (``extra_outlier_bins`` is a floor — the budget
+    widens to three robust spreads of the cohort's own per-capture counts
+    when those naturally disagree more); ``clip_tie_bins`` is the
+    flat-top tie count that
+    flags saturation; ``drift_tolerance_bins``/``max_drift_bins`` bound
+    the cross-correlation lag search. Defaults are loose enough that a
+    clean metropolitan capture never trips them (the no-false-positive
+    property the robustness tier asserts) while every default-severity
+    injector lands well past them.
+    """
+
+    def __init__(
+        self,
+        envelope_ratio=4.0,
+        outlier_ratio=50.0,
+        extra_outlier_bins=6,
+        clip_tie_bins=3,
+        drift_tolerance_bins=2,
+        max_drift_bins=64,
+    ):
+        if envelope_ratio <= 1.0:
+            raise SystemModelError("envelope_ratio must exceed 1")
+        if outlier_ratio <= 1.0:
+            raise SystemModelError("outlier_ratio must exceed 1")
+        if extra_outlier_bins < 1:
+            raise SystemModelError("extra_outlier_bins must be >= 1")
+        if clip_tie_bins < 2:
+            raise SystemModelError("clip_tie_bins must be >= 2")
+        if not 1 <= drift_tolerance_bins < max_drift_bins:
+            raise SystemModelError("need 1 <= drift_tolerance_bins < max_drift_bins")
+        self.envelope_ratio = float(envelope_ratio)
+        self.outlier_ratio = float(outlier_ratio)
+        self.extra_outlier_bins = int(extra_outlier_bins)
+        self.clip_tie_bins = int(clip_tie_bins)
+        self.drift_tolerance_bins = int(drift_tolerance_bins)
+        self.max_drift_bins = int(max_drift_bins)
+
+    # ------------------------------------------------------------------
+
+    def reference(self, traces):
+        """Cohort statistics the per-capture checks compare against."""
+        if len(traces) < 2:
+            raise SystemModelError("the screen needs at least two captures for a reference")
+        power = np.vstack([trace.power_mw for trace in traces])
+        median_bins = np.median(power, axis=0)
+        totals = power.sum(axis=1)
+        outlier_counts = np.count_nonzero(
+            power > self.outlier_ratio * (median_bins + _EPS)[None, :], axis=1
+        )
+        typical = float(np.median(outlier_counts))
+        # Robust spread of the per-capture counts: a cohort whose healthy
+        # captures naturally disagree about their outlier tally (many
+        # emitter lines near the ratio threshold) earns a wider budget,
+        # while a corrupted capture inflates its own count without moving
+        # the median-based spread.
+        spread = float(np.median(np.abs(outlier_counts - typical)))
+        return {
+            "median_bins": median_bins,
+            "median_total": float(np.median(totals)),
+            "typical_outliers": typical,
+            "outlier_spread": spread,
+            "log_median": self._centered_log(median_bins),
+        }
+
+    def assess(self, trace, reference):
+        """Screen one capture against a cohort reference."""
+        power = trace.power_mw
+        reasons = []
+
+        total = float(power.sum())
+        median_total = reference["median_total"]
+        if median_total > 0:
+            ratio = total / median_total
+            if ratio > self.envelope_ratio or ratio < 1.0 / self.envelope_ratio:
+                reasons.append(f"power envelope {ratio:.2g}x the cohort median")
+
+        outliers = int(
+            np.count_nonzero(power > self.outlier_ratio * (reference["median_bins"] + _EPS))
+        )
+        allowance = max(self.extra_outlier_bins, 3.0 * reference.get("outlier_spread", 0.0))
+        budget = reference["typical_outliers"] + allowance
+        if outliers > budget:
+            reasons.append(
+                f"{outliers} outlier bins (cohort typical "
+                f"{reference['typical_outliers']:.0f} + budget {allowance:.0f})"
+            )
+
+        peak = float(power.max())
+        if peak > 0:
+            ties = int(np.count_nonzero(power == peak))
+            if ties >= self.clip_tie_bins:
+                reasons.append(f"{ties} bins tied at the maximum (clipping)")
+
+        lag = self._drift_lag(power, reference["log_median"])
+        if abs(lag) > self.drift_tolerance_bins:
+            reasons.append(f"spectrum offset by {lag:+d} bins (drift)")
+
+        return CaptureQuality(ok=not reasons, reasons=tuple(reasons))
+
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _centered_log(power):
+        log_power = np.log(power + _EPS)
+        return log_power - log_power.mean()
+
+    def _drift_lag(self, power, log_reference):
+        """Lag (bins) of the cross-correlation peak within ±max_drift_bins.
+
+        Correlates log-power so strong and weak lines weigh comparably
+        (linear power would let the single strongest line dominate). The
+        full correlation is one FFT product; only the small ±max_drift
+        window is searched, so an unrelated long-range alignment cannot
+        win.
+        """
+        a = self._centered_log(power)
+        b = log_reference
+        n = len(a)
+        size = 2 * n
+        spectrum = np.fft.rfft(a, size) * np.conj(np.fft.rfft(b, size))
+        correlation = np.fft.irfft(spectrum, size)
+        max_lag = min(self.max_drift_bins, n - 1)
+        lags = np.arange(-max_lag, max_lag + 1)
+        # circular layout: lag k >= 0 at correlation[k], k < 0 at size + k.
+        window = correlation[lags % size]
+        return int(lags[int(np.argmax(window))])

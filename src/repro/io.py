@@ -16,6 +16,7 @@ import numpy as np
 from .core.campaign import CampaignMeasurement, CampaignResult
 from .core.config import FaseConfig
 from .errors import CampaignError
+from .faults.screening import CaptureQuality
 from .spectrum.grid import FrequencyGrid
 from .spectrum.trace import SpectrumTrace
 from .uarch.activity import AlternationActivity
@@ -36,13 +37,16 @@ def _config_to_dict(config):
         "harmonics": list(config.harmonics),
         "name": config.name,
         "n_workers": config.n_workers,
+        "max_capture_retries": config.max_capture_retries,
     }
 
 
 def _config_from_dict(data):
     data = dict(data)
     data["harmonics"] = tuple(data["harmonics"])
-    data.setdefault("n_workers", 1)  # archives written before the field existed
+    # Archives written before these fields existed.
+    data.setdefault("n_workers", 1)
+    data.setdefault("max_capture_retries", 2)
     return FaseConfig(**data)
 
 
@@ -102,6 +106,13 @@ def save_campaign(result, path):
         "falts": list(result.falts),
         "activities": [_activity_to_dict(m.activity) for m in result.measurements],
         "trace_labels": [m.trace.label for m in result.measurements],
+        # Degraded-mode provenance: which captures the screen flagged and
+        # why, so offline re-analysis excludes the same falt indices.
+        "flagged": [bool(m.flagged) for m in result.measurements],
+        "quality_reasons": [
+            list(m.quality.reasons) if m.quality is not None else None
+            for m in result.measurements
+        ],
     }
     arrays = {
         f"trace_{i}": measurement.trace.power_mw
@@ -129,16 +140,24 @@ def load_campaign(path):
             machine_name=metadata["machine_name"],
             activity_label=metadata["activity_label"],
         )
+        n_measurements = len(metadata["falts"])
+        flagged = metadata.get("flagged") or [False] * n_measurements
+        reasons = metadata.get("quality_reasons") or [None] * n_measurements
         for i, (falt, activity_data, label) in enumerate(
             zip(metadata["falts"], metadata["activities"], metadata["trace_labels"])
         ):
             power = archive[f"trace_{i}"]
             trace = SpectrumTrace(grid, power, label=label)
+            quality = None
+            if reasons[i] is not None:
+                quality = CaptureQuality(ok=not flagged[i], reasons=tuple(reasons[i]))
             result.measurements.append(
                 CampaignMeasurement(
                     falt=float(falt),
                     activity=_activity_from_dict(activity_data),
                     trace=trace,
+                    flagged=bool(flagged[i]),
+                    quality=quality,
                 )
             )
     return result.validate()

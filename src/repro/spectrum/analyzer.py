@@ -57,7 +57,14 @@ class SpectrumAnalyzer:
         # (per-bin noise power grows with RBW) while line total power is
         # conserved up to the same factor, as on the instrument.
         sigma_bins = (self.rbw / 2.355) / grid.resolution
-        halfwidth = max(int(np.ceil(4 * sigma_bins)), 1)
+        # An RBW wider than the span degenerates to "every bin sees the
+        # whole span"; capping the kernel at the grid length keeps the
+        # filter exact there while bounding the convolution cost (an
+        # uncapped 100 MHz RBW on a 50 Hz grid would build a multi-million
+        # point kernel for no extra information). The kernel must stay no
+        # longer than the trace: np.convolve(mode="same") returns the
+        # longer input's length.
+        halfwidth = min(max(int(np.ceil(4 * sigma_bins)), 1), (grid.n_bins - 1) // 2)
         offsets = np.arange(-halfwidth, halfwidth + 1)
         kernel = np.exp(-0.5 * (offsets / sigma_bins) ** 2)
         kernel *= (self.rbw / grid.resolution) / kernel.sum()

@@ -18,7 +18,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..errors import SystemModelError
-from ..rng import ensure_rng
+from ..rng import child_rng, ensure_rng, make_rng
 from ..signals.lineshape import DeltaLine, GaussianLine
 from ..signals.noise import BroadbandHills, CompositeNoise, PinkNoise, ThermalNoise
 from ..units import dbm_to_milliwatts
@@ -97,7 +97,15 @@ class SpuriousToneField(EnvironmentSource):
             raise SystemModelError("need 0 <= low < high")
         if n_tones < 0:
             raise SystemModelError("n_tones must be non-negative")
-        rng = ensure_rng(rng)
+        if rng is None:
+            # Without an explicit stream the field used to draw from fresh
+            # process entropy, so two environments assembled in the same
+            # process could never reproduce each other (or a rerun). Derive
+            # a fixed labeled stream instead, the same way campaign
+            # components do in rng.py.
+            rng = child_rng(make_rng(0), "spurious-tone-field")
+        else:
+            rng = ensure_rng(rng)
         self.frequencies = np.sort(rng.uniform(low, high, size=n_tones))
         self.powers_mw = dbm_to_milliwatts(
             rng.uniform(power_dbm_low, power_dbm_high, size=n_tones)

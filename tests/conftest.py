@@ -19,7 +19,11 @@ from repro import (
     turionx2_laptop,
 )
 from repro.core import CarrierDetector
-from repro.system import build_environment
+from repro.core.campaign import CampaignMeasurement, CampaignResult
+from repro.spectrum.grid import FrequencyGrid
+from repro.spectrum.trace import SpectrumTrace
+from repro.system import ALL_PRESETS, build_environment
+from repro.uarch.activity import AlternationActivity
 
 
 @pytest.fixture(scope="session")
@@ -75,6 +79,135 @@ def i7_detections(i7_ldm_ldl1):
 @pytest.fixture(scope="session")
 def i7_onchip_detections(i7_ldl2_ldl1):
     return CarrierDetector().detect(i7_ldl2_ldl1)
+
+
+@pytest.fixture(scope="session")
+def machine_factory():
+    """Cached preset-machine builder: ``machine_factory(preset, span, kind, ...)``.
+
+    Campaign tests used to copy-paste the same two lines — build an
+    environment with one seed, a preset with another — with tiny
+    variations. The factory centralizes that and caches by parameters, so
+    tests asking for the same machine share one instance (machines are
+    immutable during capture; sharing is safe).
+    """
+    cache = {}
+
+    def build(preset="corei7_desktop", span=2e6, kind="metropolitan", env_seed=0, seed=0):
+        key = (preset, span, kind, env_seed, seed)
+        if key not in cache:
+            environment = build_environment(span, kind=kind, rng=np.random.default_rng(env_seed))
+            cache[key] = ALL_PRESETS[preset](
+                environment=environment, rng=np.random.default_rng(seed)
+            )
+        return cache[key]
+
+    return build
+
+
+@pytest.fixture(scope="session")
+def campaign_factory(machine_factory):
+    """Cached campaign runner over factory-built machines.
+
+    ``campaign_factory(pair=(MicroOp.LDM, MicroOp.LDL1), span=2e6, ...)``
+    returns a :class:`CampaignResult`. Clean runs are cached by their full
+    parameter set; fault-plan runs are never cached (plans are stateful
+    and tests usually want fresh robustness reports). Extra keyword
+    arguments go to :class:`FaseConfig`.
+    """
+    cache = {}
+
+    def run(
+        pair=(MicroOp.LDM, MicroOp.LDL1),
+        preset="corei7_desktop",
+        span=2e6,
+        kind="metropolitan",
+        env_seed=0,
+        machine_seed=0,
+        seed=1,
+        label=None,
+        fault_plan=None,
+        **config_kwargs,
+    ):
+        machine = machine_factory(
+            preset=preset, span=span, kind=kind, env_seed=env_seed, seed=machine_seed
+        )
+        label = label or f"{pair[0].value}/{pair[1].value}"
+        key = None
+        if fault_plan is None:
+            key = (pair, preset, span, kind, env_seed, machine_seed, seed, label,
+                   tuple(sorted(config_kwargs.items())))
+            if key in cache:
+                return cache[key]
+        config_kwargs.setdefault("span_low", 0.0)
+        config_kwargs.setdefault("span_high", span)
+        config_kwargs.setdefault("fres", 100.0)
+        config_kwargs.setdefault("name", "test campaign")
+        config = FaseConfig(**config_kwargs)
+        campaign = MeasurementCampaign(
+            machine, config, rng=np.random.default_rng(seed), fault_plan=fault_plan
+        )
+        result = campaign.run(pair[0], pair[1], label=label)
+        if key is not None:
+            cache[key] = result
+        return result
+
+    return run
+
+
+@pytest.fixture(scope="session")
+def synthetic_campaign():
+    """Factory for campaign results built from hand-placed spectral features.
+
+    ``synthetic_campaign(carrier=500e3)`` plants side-bands that move with
+    each trace's falt; ``static_tone`` plants a strong line that does NOT
+    move; ``flagged`` marks measurement indices as screen-flagged (for
+    degraded-mode tests). The factory is pure (a fresh result per call, so
+    tests may mutate traces) and exposes ``.grid``, ``.falts`` and
+    ``.config`` for assertions.
+    """
+    grid = FrequencyGrid(0.0, 1e6, 100.0)
+    falts = (43.3e3, 43.8e3, 44.3e3, 44.8e3, 45.3e3)
+    config = FaseConfig(span_low=0.0, span_high=1e6, fres=100.0, name="synthetic")
+
+    def build(
+        carrier=None,
+        sideband_level=1e-11,
+        static_tone=None,
+        floor=1e-15,
+        seed=0,
+        flagged=(),
+        falts_override=None,
+    ):
+        rng = np.random.default_rng(seed)
+        use_falts = tuple(falts_override) if falts_override is not None else falts
+        measurements = []
+        for index, falt in enumerate(use_falts):
+            power = np.full(grid.n_bins, floor) * rng.gamma(4.0, 0.25, grid.n_bins)
+            if carrier is not None:
+                power[grid.index_of(carrier)] += 100 * sideband_level
+                for sign in (+1, -1):
+                    f = carrier + sign * falt
+                    if grid.contains(f):
+                        power[grid.index_of(f)] += sideband_level
+            if static_tone is not None:
+                power[grid.index_of(static_tone)] += 1e-9
+            trace = SpectrumTrace(grid, power)
+            activity = AlternationActivity(falt=falt, levels_x={}, levels_y={})
+            measurements.append(
+                CampaignMeasurement(
+                    falt=falt, activity=activity, trace=trace, flagged=index in flagged
+                )
+            )
+        return CampaignResult(
+            config=config, machine_name="synthetic", activity_label="synthetic",
+            measurements=measurements,
+        )
+
+    build.grid = grid
+    build.falts = falts
+    build.config = config
+    return build
 
 
 @pytest.fixture(scope="session")

@@ -84,6 +84,32 @@ class TestResolutionBandwidth:
         with pytest.raises(TraceError):
             SpectrumAnalyzer(rbw=0.0)
 
+    def test_rbw_wider_than_span_degenerates_gracefully(self):
+        """Regression: an RBW wider than the whole span used to build a
+        kernel of ~8*sigma bins regardless of the grid (a 100 MHz RBW on
+        this 100 kHz span would ask for a multi-million point kernel).
+        The kernel is capped at the grid length: every bin simply sees
+        the whole span and the capture stays cheap and finite."""
+        analyzer = SpectrumAnalyzer(n_averages=None, rbw=100e6)
+        trace = analyzer.capture(self._line_scene(), GRID)
+        assert trace.power_mw.shape == (GRID.n_bins,)
+        assert np.all(np.isfinite(trace.power_mw))
+        # the single line is smeared essentially flat across the span
+        interior = trace.power_mw[100:-100]
+        assert np.all(interior > 0)
+        assert interior.max() < 3 * interior.min()
+
+    def test_rbw_equal_to_span_keeps_grid_shape(self):
+        """Regression: a kernel longer than the trace used to make
+        np.convolve(mode='same') return the *kernel's* length and fail the
+        shape check downstream."""
+        span = GRID.stop - GRID.start
+        trace = SpectrumAnalyzer(n_averages=None, rbw=span).capture(self._line_scene(), GRID)
+        assert trace.power_mw.shape == (GRID.n_bins,)
+        assert np.all(np.isfinite(trace.power_mw))
+        # smeared wide: half the span is within a couple dB of the peak
+        assert np.count_nonzero(trace.power_mw > trace.power_mw.max() / 3) > GRID.n_bins // 3
+
 
 class TestValidation:
     def test_bad_averages(self):
@@ -106,6 +132,21 @@ class TestValidation:
     def test_bad_count(self):
         with pytest.raises(TraceError):
             SpectrumAnalyzer().capture_many(flat_scene(), GRID, 0)
+        with pytest.raises(TraceError):
+            SpectrumAnalyzer().capture_many(flat_scene(), GRID, -3)
+
+    def test_capture_many_returns_exactly_count(self):
+        traces = SpectrumAnalyzer(rng=np.random.default_rng(0)).capture_many(
+            flat_scene(), GRID, 4, label="rep"
+        )
+        assert len(traces) == 4
+        assert all(trace.label == "rep" for trace in traces)
+
+    def test_zero_averages_rejected_before_any_capture(self):
+        """n_averages=0 is neither 'exact mean' (None) nor a valid Gamma
+        shape; it must fail at construction, not mid-campaign."""
+        with pytest.raises(TraceError):
+            SpectrumAnalyzer(n_averages=0).capture_many(flat_scene(), GRID, 2)
 
 
 class TestAveragedCaptureLabels:

@@ -6,14 +6,13 @@ import pytest
 from repro.core.campaign import CampaignResult, MeasurementCampaign
 from repro.core.config import FaseConfig
 from repro.errors import CampaignError
-from repro.system import build_environment, corei7_desktop
 from repro.uarch.activity import AlternationActivity
 from repro.uarch.isa import MicroOp
 
 
 @pytest.fixture(scope="module")
-def machine():
-    return corei7_desktop(environment=build_environment(1e6, kind="quiet"), rng=np.random.default_rng(0))
+def machine(machine_factory):
+    return machine_factory(span=1e6, kind="quiet")
 
 
 @pytest.fixture(scope="module")

@@ -71,6 +71,20 @@ class TestSpuriousToneField:
         with pytest.raises(SystemModelError):
             SpuriousToneField(0.0, 1e6, -1)
 
+    def test_default_rng_reproducible(self):
+        """Regression: ``rng=None`` used to pull fresh process entropy, so
+        two fields built without an explicit stream could never reproduce
+        each other (or a rerun of the same script). The default is now a
+        fixed labeled stream."""
+        a = SpuriousToneField(0.0, 2e6, 50)
+        b = SpuriousToneField(0.0, 2e6, 50)
+        np.testing.assert_array_equal(a.frequencies, b.frequencies)
+        np.testing.assert_array_equal(a.powers_mw, b.powers_mw)
+
+    def test_zero_tones_is_silent(self):
+        field = SpuriousToneField(0.0, 2e6, 0)
+        np.testing.assert_array_equal(field.mean_power(GRID), 0.0)
+
 
 class TestRFEnvironment:
     def test_quiet_has_only_thermal_floor(self):
@@ -105,3 +119,31 @@ class TestRFEnvironment:
     def test_invalid_span(self):
         with pytest.raises(SystemModelError):
             RFEnvironment.metropolitan(0.0)
+
+    def test_empty_source_list_without_noise_is_silent(self):
+        env = RFEnvironment(sources=(), noise=None)
+        np.testing.assert_array_equal(env.mean_power(GRID), 0.0)
+
+    def test_metropolitan_with_all_source_counts_zero(self):
+        """Source counts of zero leave only the noise landscape — still a
+        valid environment with power in every bin."""
+        env = RFEnvironment.metropolitan(
+            2e6,
+            rng=np.random.default_rng(0),
+            n_am_stations=0,
+            n_spurious=0,
+            n_longwave=0,
+        )
+        power = env.mean_power(GRID)
+        assert np.all(power > 0)
+        # above the pink-noise knee the floor is smooth: no narrowband
+        # sources anywhere (the 1/f rise legitimately dominates near DC)
+        tail = power[GRID.index_of(100e3) :]
+        assert tail.max() < 100 * np.median(tail)
+
+    def test_metropolitan_span_below_every_band(self):
+        """A span under the long-wave band (60 kHz) skips stations and
+        long-wave transmitters entirely without crashing."""
+        env = RFEnvironment.metropolitan(50e3, rng=np.random.default_rng(0))
+        grid = FrequencyGrid(0.0, 50e3, 50.0)
+        assert env.mean_power(grid).sum() > 0

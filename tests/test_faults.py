@@ -1,0 +1,405 @@
+"""Robustness tier: fault injection, screening, and degraded campaigns.
+
+Two layers of guarantees:
+
+* unit — each injector corrupts a power array exactly as documented, and
+  the cohort screen catches each corruption class on synthetic cohorts;
+* acceptance — a Fig. 11-style campaign under each fault class at its
+  documented default severity still detects the seeded 315 kHz carrier,
+  and the robustness report accounts for every injected fault.
+
+Run just this tier with ``pytest -m robustness``.
+"""
+
+import numpy as np
+import pytest
+
+from repro import FaseConfig, FaultPlan, MeasurementCampaign, MicroOp, run_fase
+from repro.core import CarrierDetector
+from repro.errors import (
+    CaptureFaultError,
+    DegradedCampaignError,
+    SystemModelError,
+)
+from repro.faults import (
+    FAULT_CLASSES,
+    AdcClipping,
+    CaptureDrop,
+    CaptureScreen,
+    FaultyAnalyzer,
+    FrequencyDrift,
+    GlitchBins,
+    RobustnessReport,
+    TransientInterference,
+)
+from repro.spectrum.analyzer import SpectrumAnalyzer, StaticScene
+from repro.spectrum.grid import FrequencyGrid
+from repro.spectrum.trace import SpectrumTrace
+
+pytestmark = pytest.mark.robustness
+
+GRID = FrequencyGrid(0.0, 200e3, 100.0)
+
+
+def noise_power(seed, lines=((500, 1e-10), (1200, 3e-11), (1700, 2e-11))):
+    """A capture-like power array: Gamma noise floor plus a few lines."""
+    rng = np.random.default_rng(seed)
+    power = 1e-15 * rng.gamma(4.0, 0.25, GRID.n_bins)
+    for bin_index, level in lines:
+        power[bin_index] += level
+    return power
+
+
+class TestInjectors:
+    def test_probability_validated(self):
+        for bad in (-0.1, 1.5):
+            with pytest.raises(SystemModelError):
+                GlitchBins(probability=bad)
+
+    def test_fires_matches_probability_draw(self):
+        always = CaptureDrop(probability=1.0)
+        never = CaptureDrop(probability=0.0)
+        rng = np.random.default_rng(0)
+        assert always.fires(rng)
+        assert not never.fires(rng)
+
+    def test_interference_adds_localized_burst(self):
+        power = noise_power(0)
+        before = power.sum()
+        injector = TransientInterference(probability=1.0, power_dbm=-75.0, width_bins=5)
+        detail = injector.apply(power, GRID, np.random.default_rng(1))
+        added = power.sum() - before
+        assert added == pytest.approx(injector.power_mw, rel=1e-9)
+        assert "burst at" in detail
+
+    def test_clipping_flattens_above_ceiling(self):
+        power = noise_power(0)
+        injector = AdcClipping(probability=1.0, ceiling_dbm=-108.0)
+        detail = injector.apply(power, GRID, np.random.default_rng(1))
+        assert power.max() <= injector.ceiling_mw
+        assert "clipped" in detail
+
+    def test_drift_moves_features_by_bounded_offset(self):
+        spike_bin = 900
+        power = noise_power(0, lines=((spike_bin, 1e-9),))
+        injector = FrequencyDrift(probability=1.0, min_offset_bins=4, max_offset_bins=12)
+        injector.apply(power, GRID, np.random.default_rng(2))
+        landed = int(np.argmax(power))
+        assert 4 <= abs(landed - spike_bin) <= 12
+
+    def test_glitch_spikes_bounded_bin_count(self):
+        power = noise_power(0, lines=())
+        injector = GlitchBins(probability=1.0, min_bins=8, max_bins=24, power_dbm=-80.0)
+        injector.apply(power, GRID, np.random.default_rng(3))
+        spiked = int(np.count_nonzero(power > injector.power_mw * 0.5))
+        assert 8 <= spiked <= 24
+
+    def test_plan_default_covers_registry_in_order(self):
+        plan = FaultPlan.default()
+        assert [injector.name for injector in plan.injectors] == list(FAULT_CLASSES)
+
+    def test_plan_subset_and_unknown_class(self):
+        plan = FaultPlan.default(("glitch", "drop"))
+        # canonical order regardless of how the caller named them
+        assert [injector.name for injector in plan.injectors] == ["drop", "glitch"]
+        with pytest.raises(SystemModelError):
+            FaultPlan.default(("gremlins",))
+
+    def test_plan_rejects_duplicate_classes(self):
+        with pytest.raises(SystemModelError):
+            FaultPlan([GlitchBins(), GlitchBins()])
+
+    def test_corrupt_records_events(self):
+        plan = FaultPlan([GlitchBins(probability=1.0)])
+        power = noise_power(0)
+        _, events = plan.corrupt(power, GRID, np.random.default_rng(0), index=3, attempt=1)
+        assert len(events) == 1
+        assert events[0].fault == "glitch"
+        assert events[0].index == 3 and events[0].attempt == 1
+        assert "glitch" in events[0].describe()
+
+    def test_drop_raises_with_events_so_far(self):
+        plan = FaultPlan([CaptureDrop(probability=1.0)])
+        with pytest.raises(CaptureFaultError) as excinfo:
+            plan.corrupt(noise_power(0), GRID, np.random.default_rng(0), index=2)
+        assert excinfo.value.events[0].fault == "drop"
+
+
+class TestCaptureScreen:
+    def cohort(self, n=5):
+        return [SpectrumTrace(GRID, noise_power(seed)) for seed in range(n)]
+
+    def test_clean_cohort_passes(self):
+        screen = CaptureScreen()
+        traces = self.cohort()
+        reference = screen.reference(traces)
+        for trace in traces:
+            assert screen.assess(trace, reference).ok
+
+    def corrupted_flagged(self, injector, expect):
+        screen = CaptureScreen()
+        traces = self.cohort()
+        injector.apply(traces[2].power_mw, GRID, np.random.default_rng(9))
+        reference = screen.reference(traces)
+        quality = screen.assess(traces[2], reference)
+        assert not quality.ok
+        assert any(expect in reason for reason in quality.reasons), quality.reasons
+
+    def test_burst_flagged(self):
+        self.corrupted_flagged(
+            TransientInterference(probability=1.0, power_dbm=-75.0), "envelope"
+        )
+
+    def test_glitches_flagged(self):
+        self.corrupted_flagged(GlitchBins(probability=1.0), "outlier bins")
+
+    def test_clipping_flagged(self):
+        self.corrupted_flagged(AdcClipping(probability=1.0, ceiling_dbm=-108.0), "clipping")
+
+    def test_drift_flagged(self):
+        self.corrupted_flagged(FrequencyDrift(probability=1.0), "drift")
+
+    def test_reference_needs_two_captures(self):
+        with pytest.raises(SystemModelError):
+            CaptureScreen().reference(self.cohort(1))
+
+    def test_threshold_validation(self):
+        with pytest.raises(SystemModelError):
+            CaptureScreen(envelope_ratio=0.5)
+        with pytest.raises(SystemModelError):
+            CaptureScreen(clip_tie_bins=1)
+        with pytest.raises(SystemModelError):
+            CaptureScreen(drift_tolerance_bins=64, max_drift_bins=64)
+
+
+class TestFaultyAnalyzer:
+    def test_events_accumulate_and_grid_preserved(self):
+        scene = StaticScene(noise_power(0))
+        analyzer = FaultyAnalyzer(
+            SpectrumAnalyzer(rng=np.random.default_rng(0)),
+            FaultPlan([GlitchBins(probability=1.0)]),
+            np.random.default_rng(1),
+            index=4,
+        )
+        trace = analyzer.capture(scene, GRID, label="x")
+        assert trace.grid == GRID
+        assert [event.fault for event in analyzer.events] == ["glitch"]
+        assert analyzer.events[0].index == 4
+
+    def test_drop_reraises_but_keeps_events(self):
+        scene = StaticScene(noise_power(0))
+        analyzer = FaultyAnalyzer(
+            SpectrumAnalyzer(rng=np.random.default_rng(0)),
+            FaultPlan([CaptureDrop(probability=1.0)]),
+            np.random.default_rng(1),
+        )
+        with pytest.raises(CaptureFaultError):
+            analyzer.capture(scene, GRID)
+        assert [event.fault for event in analyzer.events] == ["drop"]
+
+
+class TestDegradedCampaign:
+    def test_none_plan_matches_clean_parallel_bytes(self, machine_factory):
+        """The degraded path with no injectors must reproduce the clean
+        parallel capture path bit-for-bit (same per-index streams)."""
+        machine = machine_factory(span=1e6, kind="quiet")
+        config = FaseConfig(span_low=0.0, span_high=1e6, fres=100.0, n_workers=2, name="x")
+        degraded = MeasurementCampaign(
+            machine, config, rng=np.random.default_rng(5), fault_plan=FaultPlan.none()
+        ).run(MicroOp.LDM, MicroOp.LDL1)
+        clean = MeasurementCampaign(machine, config, rng=np.random.default_rng(5)).run(
+            MicroOp.LDM, MicroOp.LDL1
+        )
+        for a, b in zip(degraded.measurements, clean.measurements):
+            np.testing.assert_array_equal(a.trace.power_mw, b.trace.power_mw)
+        assert degraded.robustness.n_injected == 0
+        assert degraded.robustness.n_excluded == 0
+
+    def test_all_captures_dropped_raises(self, machine_factory):
+        machine = machine_factory(span=1e6, kind="quiet")
+        config = FaseConfig(span_low=0.0, span_high=1e6, fres=100.0, name="x")
+        campaign = MeasurementCampaign(
+            machine,
+            config,
+            rng=np.random.default_rng(1),
+            fault_plan=FaultPlan([CaptureDrop(probability=1.0)]),
+        )
+        with pytest.raises(DegradedCampaignError) as excinfo:
+            campaign.run(MicroOp.LDM, MicroOp.LDL1)
+        # the error carries the ledger: every attempt of every index dropped
+        robustness = excinfo.value.robustness
+        assert robustness.dropped == (0, 1, 2, 3, 4)
+        assert robustness.faults_by_class() == {"drop": 5 * (config.max_capture_retries + 1)}
+
+    def test_partial_drops_keep_campaign_alive(self, machine_factory):
+        machine = machine_factory(span=1e6, kind="quiet")
+        config = FaseConfig(span_low=0.0, span_high=1e6, fres=100.0, name="x")
+        campaign = MeasurementCampaign(
+            machine,
+            config,
+            rng=np.random.default_rng(3),
+            fault_plan=FaultPlan([CaptureDrop(probability=0.5)]),
+        )
+        result = campaign.run(MicroOp.LDM, MicroOp.LDL1)
+        robustness = result.robustness
+        assert len(result.measurements) + len(robustness.dropped) == 5
+        for index in robustness.dropped:
+            assert "dropped" in robustness.excluded[index][0]
+        # a drop consumes the whole retry budget before exclusion
+        for index in robustness.dropped:
+            assert robustness.retries[index] == config.max_capture_retries
+
+    def test_retry_accounting_consistent(self, campaign_factory):
+        result = campaign_factory(fault_plan=FaultPlan.default(), seed=7)
+        robustness = result.robustness
+        # every retry was forced by something: a fault event or a screen flag
+        for index, extra in robustness.retries.items():
+            assert extra >= 1
+            culprits = [event for event in robustness.events if event.index == index]
+            assert culprits or index in robustness.excluded
+        # events on attempt k imply at least k extra attempts were granted
+        for event in robustness.events:
+            if event.attempt > 0:
+                assert robustness.retries[event.index] >= event.attempt
+
+    def test_worker_count_invariance_with_faults(self, machine_factory):
+        machine = machine_factory(span=2e6)
+        outcomes = []
+        for n_workers in (1, 4):
+            config = FaseConfig(
+                span_low=0.0, span_high=2e6, fres=100.0, n_workers=n_workers, name="x"
+            )
+            campaign = MeasurementCampaign(
+                machine, config, rng=np.random.default_rng(7), fault_plan=FaultPlan.default()
+            )
+            outcomes.append(campaign.run(MicroOp.LDM, MicroOp.LDL1))
+        serial, parallel = outcomes
+        assert serial.robustness.events == parallel.robustness.events
+        assert serial.robustness.excluded == parallel.robustness.excluded
+        for a, b in zip(serial.measurements, parallel.measurements):
+            assert a.flagged == b.flagged
+            np.testing.assert_array_equal(a.trace.power_mw, b.trace.power_mw)
+
+    def test_scoring_view_needs_two_usable(self, synthetic_campaign):
+        starved = synthetic_campaign(flagged=(0, 1, 2, 3))
+        with pytest.raises(DegradedCampaignError):
+            starved.scoring_view()
+
+    def test_with_flags_cleared_restores_full_cohort(self, synthetic_campaign):
+        flagged = synthetic_campaign(carrier=500e3, flagged=(1, 3))
+        cleared = flagged.with_flags_cleared()
+        assert cleared.excluded_indices == []
+        assert len(cleared.measurements) == 5
+
+
+class TestAcceptancePerFaultClass:
+    """Fig. 11 campaign (LDM/LDL1 on the i7, metropolitan lab) per class."""
+
+    @pytest.mark.parametrize("fault_class", sorted(FAULT_CLASSES))
+    def test_default_severity_keeps_dram_regulator(self, campaign_factory, fault_class):
+        result = campaign_factory(fault_plan=FaultPlan.default((fault_class,)), seed=11)
+        detections = CarrierDetector().detect(result)
+        assert any(abs(d.frequency - 315e3) < 2e3 for d in detections), (
+            f"{fault_class}: DRAM regulator lost"
+        )
+        robustness = result.robustness
+        assert robustness is not None
+        # the ledger accounts for every injected fault of exactly this class
+        assert set(robustness.faults_by_class()) <= {fault_class}
+        assert robustness.n_injected == len(robustness.events)
+        for event in robustness.events:
+            assert event.fault == fault_class
+
+    def test_full_plan_heavy_damage_still_finds_carrier(self, campaign_factory):
+        """Seed 7 corrupts enough captures that the screen excludes most of
+        the cohort; the leave-one-out path still finds the 315 kHz carrier
+        from the two clean spectra that survive."""
+        result = campaign_factory(fault_plan=FaultPlan.default(), seed=7)
+        assert result.robustness.n_excluded > 0
+        detections = CarrierDetector().detect(result)
+        assert any(abs(d.frequency - 315e3) < 2e3 for d in detections)
+
+
+class TestRobustnessReport:
+    def test_text_accounts_for_everything(self, campaign_factory):
+        result = campaign_factory(fault_plan=FaultPlan.default(), seed=7)
+        text = result.robustness.to_text()
+        assert "fault plan:" in text
+        assert f"faults injected: {result.robustness.n_injected}" in text
+        for index in result.robustness.excluded:
+            assert f"capture {index}" in text
+
+    def test_detection_delta_diffs_by_frequency(self):
+        class Fake:
+            def __init__(self, frequency):
+                self.frequency = frequency
+
+        report = RobustnessReport(plan_description="fault plan: test")
+        delta = report.record_detection_delta(
+            [Fake(315e3), Fake(450e3)], [Fake(315.1e3), Fake(512e3)]
+        )
+        assert delta.lost == (450e3,)
+        assert delta.gained == (512e3,)
+        assert "lost" in delta.describe() and "gained" in delta.describe()
+        assert "detection delta" in report.to_text()
+
+
+class TestPipelineAndPersistence:
+    def test_run_fase_surfaces_robustness(self, machine_factory):
+        machine = machine_factory(span=2e6)
+        config = FaseConfig(span_low=0.0, span_high=2e6, fres=100.0, name="pipeline")
+        report = run_fase(
+            machine,
+            pairs=((MicroOp.LDM, MicroOp.LDL1),),
+            config=config,
+            rng=np.random.default_rng(7),
+            fault_plan=FaultPlan.default(),
+        )
+        activity = report.activities["LDM/LDL1"]
+        assert activity.robustness is not None
+        assert "robustness:" in report.to_text()
+
+    def test_io_round_trip_preserves_flags(self, campaign_factory, tmp_path):
+        from repro import io as campaign_io
+
+        result = campaign_factory(fault_plan=FaultPlan.default(), seed=7)
+        assert result.excluded_indices  # the interesting case
+        path = tmp_path / "degraded.npz"
+        campaign_io.save_campaign(result, path)
+        loaded = campaign_io.load_campaign(path)
+        assert loaded.excluded_indices == result.excluded_indices
+        for original, restored in zip(result.measurements, loaded.measurements):
+            assert restored.flagged == original.flagged
+            if original.quality is not None:
+                assert restored.quality.reasons == original.quality.reasons
+        # offline re-analysis excludes the same falt indices
+        original_detections = CarrierDetector().detect(result)
+        loaded_detections = CarrierDetector().detect(loaded)
+        assert [round(d.frequency) for d in loaded_detections] == [
+            round(d.frequency) for d in original_detections
+        ]
+
+
+class TestCLI:
+    def test_record_with_faults_and_analyze(self, tmp_path):
+        from repro.cli import main
+
+        out = tmp_path / "campaign.npz"
+        code = main(
+            [
+                "record",
+                "--span-high", "1e6",
+                "--faults", "all",
+                "--seed", "7",
+                str(out),
+            ]
+        )
+        assert code == 0
+        assert out.exists()
+        assert main(["analyze", str(out)]) == 0
+
+    def test_unknown_fault_class_exits(self):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit):
+            main(["scan", "--faults", "gremlins"])

@@ -1,115 +1,85 @@
-"""The Eq. 1/2 heuristic on synthetic, precisely controlled spectra."""
+"""The Eq. 1/2 heuristic on synthetic, precisely controlled spectra.
+
+The synthetic campaigns come from the shared ``synthetic_campaign``
+factory fixture in ``conftest.py`` (hand-placed side-bands that move with
+falt, static interferer tones, flat Gamma noise).
+"""
 
 import numpy as np
 import pytest
 
-from repro.core.campaign import CampaignMeasurement, CampaignResult
-from repro.core.config import FaseConfig
 from repro.core.heuristic import HeuristicScorer
 from repro.errors import DetectionError
-from repro.spectrum.grid import FrequencyGrid
-from repro.spectrum.trace import SpectrumTrace
-from repro.uarch.activity import AlternationActivity
-
-GRID = FrequencyGrid(0.0, 1e6, 100.0)
-FALTS = [43.3e3, 43.8e3, 44.3e3, 44.8e3, 45.3e3]
-CONFIG = FaseConfig(span_low=0.0, span_high=1e6, fres=100.0, name="synthetic")
-
-
-def synthetic_result(carrier=None, sideband_level=1e-11, static_tone=None, floor=1e-15, seed=0):
-    """Build a campaign result from hand-placed spectral features.
-
-    ``carrier``: frequency whose side-bands move with each trace's falt.
-    ``static_tone``: frequency of a strong line that does NOT move.
-    """
-    rng = np.random.default_rng(seed)
-    measurements = []
-    for falt in FALTS:
-        power = np.full(GRID.n_bins, floor) * rng.gamma(4.0, 0.25, GRID.n_bins)
-        if carrier is not None:
-            power[GRID.index_of(carrier)] += 100 * sideband_level
-            for sign in (+1, -1):
-                f = carrier + sign * falt
-                if GRID.contains(f):
-                    power[GRID.index_of(f)] += sideband_level
-        if static_tone is not None:
-            power[GRID.index_of(static_tone)] += 1e-9
-        trace = SpectrumTrace(GRID, power)
-        activity = AlternationActivity(falt=falt, levels_x={}, levels_y={})
-        measurements.append(CampaignMeasurement(falt=falt, activity=activity, trace=trace))
-    return CampaignResult(
-        config=CONFIG, machine_name="synthetic", activity_label="synthetic",
-        measurements=measurements,
-    )
 
 
 class TestEquationTwo:
-    def test_score_near_one_on_flat_noise(self):
+    def test_score_near_one_on_flat_noise(self, synthetic_campaign):
         """Off-carrier the product hovers near 1 (slightly below: the ratio
         of Gamma fluctuations has a median under its mean)."""
-        result = synthetic_result()
+        result = synthetic_campaign()
         score = HeuristicScorer().harmonic_score(result.traces, result.falts, 1)
         assert 0.3 < np.median(score) < 1.5
         # and no large spurious spikes on pure noise
         assert score.max() < 1e4
 
-    def test_moving_sideband_scores_high_at_carrier(self):
-        result = synthetic_result(carrier=500e3)
+    def test_moving_sideband_scores_high_at_carrier(self, synthetic_campaign):
+        result = synthetic_campaign(carrier=500e3)
         score = HeuristicScorer().harmonic_score(result.traces, result.falts, 1)
-        idx = GRID.index_of(500e3)
+        idx = synthetic_campaign.grid.index_of(500e3)
         assert score[idx] > 100.0
 
-    def test_score_reported_at_carrier_not_sideband(self):
-        result = synthetic_result(carrier=500e3)
+    def test_score_reported_at_carrier_not_sideband(self, synthetic_campaign):
+        result = synthetic_campaign(carrier=500e3)
         score = HeuristicScorer().harmonic_score(result.traces, result.falts, 1)
-        sideband_idx = GRID.index_of(500e3 + FALTS[0])
+        sideband_idx = synthetic_campaign.grid.index_of(500e3 + synthetic_campaign.falts[0])
         assert score[sideband_idx] < 10.0
 
-    def test_static_tone_normalizes_away(self):
+    def test_static_tone_normalizes_away(self, synthetic_campaign):
         """Radio stations and unmodulated combs cancel to ~1 (the paper's
         central robustness claim)."""
-        result = synthetic_result(static_tone=700e3)
+        result = synthetic_campaign(static_tone=700e3)
         score = HeuristicScorer().harmonic_score(result.traces, result.falts, 1)
         # everywhere the tone could contribute: f = 700k - falt_i
-        for falt in FALTS:
-            idx = GRID.index_of(700e3 - falt)
+        for falt in synthetic_campaign.falts:
+            idx = synthetic_campaign.grid.index_of(700e3 - falt)
             assert score[idx] < 20.0
 
-    def test_negative_harmonic_mirror(self):
-        result = synthetic_result(carrier=500e3)
+    def test_negative_harmonic_mirror(self, synthetic_campaign):
+        result = synthetic_campaign(carrier=500e3)
         score = HeuristicScorer().harmonic_score(result.traces, result.falts, -1)
-        assert score[GRID.index_of(500e3)] > 100.0
+        assert score[synthetic_campaign.grid.index_of(500e3)] > 100.0
 
-    def test_wrong_harmonic_does_not_fire(self):
-        result = synthetic_result(carrier=500e3)
+    def test_wrong_harmonic_does_not_fire(self, synthetic_campaign):
+        result = synthetic_campaign(carrier=500e3)
         score = HeuristicScorer().harmonic_score(result.traces, result.falts, 3)
-        assert score[GRID.index_of(500e3)] < 10.0
+        assert score[synthetic_campaign.grid.index_of(500e3)] < 10.0
 
-    def test_obscured_sidebands_weaken_but_do_not_kill(self):
+    def test_obscured_sidebands_weaken_but_do_not_kill(self, synthetic_campaign):
         """'If only some side-band signals are present ... the remaining
         sub-scores will still increase the overall score significantly.'"""
-        result = synthetic_result(carrier=500e3)
+        grid = synthetic_campaign.grid
+        result = synthetic_campaign(carrier=500e3)
         # bury two of the five right side-bands under strong *static* tones
         # (present in every capture, like a real interferer)
         for i in (1, 3):
             f = 500e3 + result.falts[i]
             for measurement in result.measurements:
                 trace = measurement.trace
-                trace.power_mw[GRID.index_of(f) - 2 : GRID.index_of(f) + 3] = 1e-9
+                trace.power_mw[grid.index_of(f) - 2 : grid.index_of(f) + 3] = 1e-9
         score = HeuristicScorer().harmonic_score(result.traces, result.falts, 1)
-        full = synthetic_result(carrier=500e3)
+        full = synthetic_campaign(carrier=500e3)
         full_score = HeuristicScorer().harmonic_score(full.traces, full.falts, 1)
-        idx = GRID.index_of(500e3)
+        idx = grid.index_of(500e3)
         assert score[idx] > 5.0
         assert score[idx] < full_score[idx]
 
-    def test_subscores_shape(self):
-        result = synthetic_result(carrier=500e3)
+    def test_subscores_shape(self, synthetic_campaign):
+        result = synthetic_campaign(carrier=500e3)
         subs = HeuristicScorer().subscores(result.traces, result.falts, 1)
-        assert subs.shape == (5, GRID.n_bins)
+        assert subs.shape == (5, synthetic_campaign.grid.n_bins)
 
-    def test_edge_bins_forced_to_one(self):
-        result = synthetic_result()
+    def test_edge_bins_forced_to_one(self, synthetic_campaign):
+        result = synthetic_campaign()
         subs = HeuristicScorer().subscores(result.traces, result.falts, 5)
         # the last 5*falt worth of bins cannot be evaluated for h=+5
         assert np.all(subs[:, -100:] == 1.0)
@@ -119,6 +89,9 @@ class TestEquationTwo:
         """Regression: when h*falt is an exact multiple of fres, float
         rounding in the strict span bounds used to flip the last in-span
         bin out of the validity mask, silently zeroing its evidence."""
+        from repro.spectrum.grid import FrequencyGrid
+        from repro.spectrum.trace import SpectrumTrace
+
         grid = FrequencyGrid(0.0, 300.0, 0.3)  # 1000 bins, inexact centers
         falts = [866 * 0.3, 886 * 0.3]  # shifts are exact fres multiples
         floor = np.full(grid.n_bins, 1e-15)
@@ -133,40 +106,79 @@ class TestEquationTwo:
 
 
 class TestZScores:
-    def test_noise_zscore_standardized(self):
-        result = synthetic_result()
+    def test_noise_zscore_standardized(self, synthetic_campaign):
+        result = synthetic_campaign()
         scorer = HeuristicScorer()
         z = scorer.zscore(scorer.harmonic_score(result.traces, result.falts, 1))
         assert abs(np.median(z)) < 0.1
         assert np.percentile(z, 84) - np.percentile(z, 16) == pytest.approx(2.0, rel=0.4)
 
-    def test_combined_rss_keeps_single_strong_harmonic(self):
-        result = synthetic_result(carrier=500e3)
+    def test_combined_rss_keeps_single_strong_harmonic(self, synthetic_campaign):
+        result = synthetic_campaign(carrier=500e3)
         scorer = HeuristicScorer()
         combined = scorer.combined_zscore(result)
-        idx = GRID.index_of(500e3)
+        idx = synthetic_campaign.grid.index_of(500e3)
         zs = scorer.harmonic_zscores(result)
         assert combined[idx] >= max(z[idx] for z in zs.values()) - 1e-9
 
-    def test_all_scores_keyed_by_config_harmonics(self):
-        result = synthetic_result(carrier=500e3)
+    def test_all_scores_keyed_by_config_harmonics(self, synthetic_campaign):
+        result = synthetic_campaign(carrier=500e3)
         scores = HeuristicScorer().all_scores(result)
-        assert set(scores) == set(CONFIG.harmonics)
+        assert set(scores) == set(synthetic_campaign.config.harmonics)
+
+
+class TestLeaveOneOut:
+    def test_scores_excluding_matches_manual_subset(self, synthetic_campaign):
+        """Holding out index k must equal scoring a campaign that never
+        measured it: no sub-score row, renormalized Eq. 2 denominators."""
+        result = synthetic_campaign(carrier=500e3)
+        scorer = HeuristicScorer()
+        held_out = scorer.scores_excluding(result, 2)
+        manual = synthetic_campaign(carrier=500e3)
+        del manual.measurements[2]
+        expected = scorer.all_scores(manual)
+        for h in expected:
+            np.testing.assert_allclose(held_out[h], expected[h])
+
+    def test_scores_excluding_reuses_full_cache(self, synthetic_campaign):
+        result = synthetic_campaign(carrier=500e3)
+        scorer = HeuristicScorer()
+        cache = scorer.cache_for(result)
+        with_cache = scorer.scores_excluding(result, 0, cache=cache)
+        without = scorer.scores_excluding(result, 0)
+        for h in without:
+            np.testing.assert_allclose(with_cache[h], without[h])
+
+    def test_scores_excluding_bad_index(self, synthetic_campaign):
+        result = synthetic_campaign()
+        with pytest.raises(DetectionError):
+            HeuristicScorer().scores_excluding(result, 5)
+
+    def test_flagged_measurements_excluded_from_all_scores(self, synthetic_campaign):
+        """A degraded result scores through its leave-one-out view."""
+        flagged = synthetic_campaign(carrier=500e3, flagged=(1,))
+        manual = synthetic_campaign(carrier=500e3)
+        del manual.measurements[1]
+        scorer = HeuristicScorer()
+        degraded = scorer.all_scores(flagged)
+        expected = scorer.all_scores(manual)
+        for h in expected:
+            np.testing.assert_allclose(degraded[h], expected[h])
 
 
 class TestValidation:
-    def test_zero_harmonic_rejected(self):
-        result = synthetic_result()
+    def test_zero_harmonic_rejected(self, synthetic_campaign):
+        result = synthetic_campaign()
         with pytest.raises(DetectionError):
             HeuristicScorer().harmonic_score(result.traces, result.falts, 0)
 
-    def test_mismatched_lengths(self):
-        result = synthetic_result()
+    def test_mismatched_lengths(self, synthetic_campaign):
+        result = synthetic_campaign()
         with pytest.raises(DetectionError):
             HeuristicScorer().harmonic_score(result.traces, result.falts[:3], 1)
 
-    def test_needs_two_spectra(self):
-        result = synthetic_result()
+    def test_needs_two_spectra(self, synthetic_campaign):
+        result = synthetic_campaign()
         with pytest.raises(DetectionError):
             HeuristicScorer().harmonic_score(result.traces[:1], result.falts[:1], 1)
 

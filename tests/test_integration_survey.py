@@ -10,21 +10,18 @@ from repro.system import (
     DRAMClockEmitter,
     MemoryRefreshEmitter,
     SwitchingRegulator,
-    build_environment,
 )
 
 
 @pytest.mark.parametrize("preset_name", sorted(ALL_PRESETS))
-def test_low_band_survey_finds_memory_side_signals(preset_name):
+def test_low_band_survey_finds_memory_side_signals(preset_name, machine_factory, campaign_factory):
     """On every modeled system the LDM/LDL1 campaign reports the memory
     regulator and the refresh comb (the DRAM clock lives in the high band,
     covered by the campaign-3 tests)."""
-    machine = ALL_PRESETS[preset_name](
-        environment=build_environment(2e6, kind="quiet"), rng=np.random.default_rng(0)
+    machine = machine_factory(preset=preset_name, span=2e6, kind="quiet")
+    result = campaign_factory(
+        preset=preset_name, span=2e6, kind="quiet", name="survey window"
     )
-    config = FaseConfig(span_low=0.0, span_high=2e6, fres=100.0, name="survey window")
-    campaign = MeasurementCampaign(machine, config, rng=np.random.default_rng(1))
-    result = campaign.run(MicroOp.LDM, MicroOp.LDL1, label="LDM/LDL1")
     detections = CarrierDetector().detect(result)
     detected = np.array([d.frequency for d in detections])
     assert detected.size > 0
@@ -50,12 +47,10 @@ def test_low_band_survey_finds_memory_side_signals(preset_name):
 
 
 @pytest.mark.parametrize("preset_name", sorted(ALL_PRESETS))
-def test_dram_clock_detected_on_every_system(preset_name):
+def test_dram_clock_detected_on_every_system(preset_name, machine_factory):
     """The spread-spectrum memory clock is found (as edge carriers) on all
     four systems using campaign-3 style parameters."""
-    machine = ALL_PRESETS[preset_name](
-        environment=build_environment(1e9, kind="quiet"), rng=np.random.default_rng(0)
-    )
+    machine = machine_factory(preset=preset_name, span=1e9, kind="quiet")
     clock = next(e for e in machine.emitters if isinstance(e, DRAMClockEmitter))
     low, high = clock.band_edges()
     config = FaseConfig(

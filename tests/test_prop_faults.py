@@ -1,0 +1,130 @@
+"""Property-based guarantees of the degraded-mode scoring path.
+
+Three invariants, searched over seeds/indices/fault classes instead of
+hand-picked cases:
+
+* excluding a *clean* capture (leave-one-out over N-1 spectra) never
+  flips detection of a well-seeded carrier;
+* a corrupted capture, once flagged, has *zero* influence: the degraded
+  scores equal those of the same campaign with a clean capture flagged at
+  the same index (the excluded trace's content is irrelevant);
+* fault-plan campaigns are byte-reproducible across worker counts.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import FaseConfig, FaultPlan, MeasurementCampaign, MicroOp
+from repro.core import CarrierDetector, HeuristicScorer
+from repro.core.campaign import CampaignMeasurement, CampaignResult
+from repro.faults import FAULT_CLASSES
+from repro.spectrum.grid import FrequencyGrid
+from repro.spectrum.trace import SpectrumTrace
+from repro.system import build_environment, corei7_desktop
+from repro.uarch.activity import AlternationActivity
+
+pytestmark = pytest.mark.robustness
+
+GRID = FrequencyGrid(0.0, 1e6, 100.0)
+FALTS = (43.3e3, 43.8e3, 44.3e3, 44.8e3, 45.3e3)
+CONFIG = FaseConfig(span_low=0.0, span_high=1e6, fres=100.0, name="synthetic")
+CARRIER = 500e3
+
+#: One quiet machine shared by the campaign property (immutable during capture).
+MACHINE = corei7_desktop(
+    environment=build_environment(1e6, kind="quiet", rng=np.random.default_rng(0)),
+    rng=np.random.default_rng(0),
+)
+
+
+def synthetic(seed, flagged=()):
+    """A clean synthetic campaign with a carrier seeded at 500 kHz."""
+    rng = np.random.default_rng(seed)
+    measurements = []
+    for index, falt in enumerate(FALTS):
+        power = np.full(GRID.n_bins, 1e-15) * rng.gamma(4.0, 0.25, GRID.n_bins)
+        power[GRID.index_of(CARRIER)] += 1e-9
+        for sign in (+1, -1):
+            power[GRID.index_of(CARRIER + sign * falt)] += 1e-11
+        measurements.append(
+            CampaignMeasurement(
+                falt=falt,
+                activity=AlternationActivity(falt=falt, levels_x={}, levels_y={}),
+                trace=SpectrumTrace(GRID, power),
+                flagged=index in flagged,
+            )
+        )
+    return CampaignResult(
+        config=CONFIG, machine_name="synthetic", activity_label="synthetic",
+        measurements=measurements,
+    )
+
+
+def detects_carrier(result):
+    return any(
+        abs(d.frequency - CARRIER) < 1e3 for d in CarrierDetector().detect(result)
+    )
+
+
+@given(seed=st.integers(0, 2**16), flagged_index=st.integers(0, 4))
+@settings(max_examples=25, deadline=None)
+def test_clean_exclusion_never_flips_detection(seed, flagged_index):
+    """Dropping any one clean spectrum from Eq. 1/2 must not lose a
+    strongly seeded carrier (four sub-scores are plenty of evidence)."""
+    assert detects_carrier(synthetic(seed))
+    assert detects_carrier(synthetic(seed, flagged=(flagged_index,)))
+
+
+@given(
+    seed=st.integers(0, 2**16),
+    corrupt_index=st.integers(0, 4),
+    fault_class=st.sampled_from(sorted(set(FAULT_CLASSES) - {"drop"})),
+)
+@settings(max_examples=25, deadline=None)
+def test_excluded_fault_has_zero_influence(seed, corrupt_index, fault_class):
+    """Once the screen flags a capture, its *content* must be irrelevant:
+    scores of the degraded campaign equal those of the same campaign with
+    a clean capture flagged at the same index."""
+    corrupted = synthetic(seed, flagged=(corrupt_index,))
+    FAULT_CLASSES[fault_class](probability=1.0).apply(
+        corrupted.measurements[corrupt_index].trace.power_mw,
+        GRID,
+        np.random.default_rng(seed + 1),
+    )
+    clean = synthetic(seed, flagged=(corrupt_index,))
+    scorer = HeuristicScorer()
+    degraded_scores = scorer.all_scores(corrupted)
+    clean_scores = scorer.all_scores(clean)
+    for harmonic in clean_scores:
+        np.testing.assert_allclose(
+            degraded_scores[harmonic], clean_scores[harmonic], rtol=1e-12
+        )
+    # and detection agrees with the clean-flagged run
+    assert detects_carrier(corrupted) == detects_carrier(clean)
+
+
+@given(seed=st.integers(0, 2**10))
+@settings(max_examples=5, deadline=None)
+def test_fault_campaign_reproducible_across_workers(seed):
+    """Traces, events, flags, and the ledger are functions of the seed
+    alone — never of the thread schedule or worker count."""
+    results = []
+    for n_workers in (1, 3):
+        config = FaseConfig(
+            span_low=0.0, span_high=1e6, fres=100.0, n_workers=n_workers, name="prop"
+        )
+        campaign = MeasurementCampaign(
+            MACHINE, config, rng=np.random.default_rng(seed), fault_plan=FaultPlan.default()
+        )
+        results.append(campaign.run(MicroOp.LDM, MicroOp.LDL1))
+    serial, parallel = results
+    assert serial.robustness.events == parallel.robustness.events
+    assert serial.robustness.retries == parallel.robustness.retries
+    assert serial.robustness.excluded == parallel.robustness.excluded
+    assert serial.robustness.dropped == parallel.robustness.dropped
+    assert len(serial.measurements) == len(parallel.measurements)
+    for a, b in zip(serial.measurements, parallel.measurements):
+        assert a.falt == b.falt
+        assert a.flagged == b.flagged
+        np.testing.assert_array_equal(a.trace.power_mw, b.trace.power_mw)
