@@ -45,6 +45,7 @@ from .core import (
     pair_label,
 )
 from .faults import FaultPlan, RobustnessReport
+from .runner import CampaignJournal, DurableCampaign, recover_campaign
 from .spectrum import FrequencyGrid, SpectrumTrace, SpectrumAnalyzer
 from .system import (
     SystemModel,
@@ -74,6 +75,9 @@ __all__ = [
     "pair_label",
     "FaultPlan",
     "RobustnessReport",
+    "CampaignJournal",
+    "DurableCampaign",
+    "recover_campaign",
     "FrequencyGrid",
     "SpectrumTrace",
     "SpectrumAnalyzer",

@@ -54,6 +54,8 @@ def _parse_span(args):
         f_delta=args.f_delta,
         n_workers=args.workers,
         max_capture_retries=args.max_capture_retries,
+        capture_timeout_s=args.capture_timeout,
+        retry_backoff_s=args.retry_backoff,
         name="cli campaign",
     )
 
@@ -83,7 +85,38 @@ def _add_campaign_arguments(parser):
         "--max-capture-retries",
         type=int,
         default=2,
-        help="degraded-mode retry budget per capture (with --faults)",
+        help="retry budget per capture (degraded mode and durable execution)",
+    )
+    parser.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        metavar="DIR",
+        help="durable execution: checkpoint each completed capture to a "
+        "journal under DIR so a killed run can resume from the last good "
+        "capture (see --resume)",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="with --checkpoint-dir: continue an existing journal instead "
+        "of refusing to touch it",
+    )
+    parser.add_argument(
+        "--capture-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="durable execution: wall-clock deadline per capture attempt; "
+        "a hung capture is abandoned, retried with backoff, and finally "
+        "dropped (requires --checkpoint-dir)",
+    )
+    parser.add_argument(
+        "--retry-backoff",
+        type=float,
+        default=0.5,
+        metavar="SECONDS",
+        help="base of the bounded exponential backoff between capture "
+        "retries on the durable path (default 0.5)",
     )
 
 
@@ -116,7 +149,13 @@ def cmd_scan(args):
     plan = _parse_fault_plan(args)
     if plan is not None:
         kwargs["fault_plan"] = plan
-    report = run_fase(machine, **kwargs)
+    if args.checkpoint_dir is not None:
+        kwargs["checkpoint_dir"] = args.checkpoint_dir
+        kwargs["resume"] = args.resume
+    try:
+        report = run_fase(machine, **kwargs)
+    except ReproError as exc:
+        raise SystemExit(str(exc)) from exc
     print(report.to_text())
     return 0
 
@@ -150,23 +189,44 @@ def cmd_localize(args):
 def cmd_record(args):
     machine = _build_machine(args)
     config = _parse_span(args)
-    campaign = MeasurementCampaign(
-        machine,
-        config,
-        rng=np.random.default_rng(args.seed + 1),
-        fault_plan=_parse_fault_plan(args),
-    )
     op_x, op_y = _parse_ops(args.pair)
-    result = campaign.run(op_x, op_y, label=args.pair)
-    campaign_io.save_campaign(result, args.output)
-    print(f"recorded {len(result.measurements)} spectra to {args.output}")
+    if args.checkpoint_dir is not None:
+        from .runner import DurableCampaign
+
+        campaign = DurableCampaign(
+            machine,
+            config,
+            journal_dir=args.checkpoint_dir,
+            rng=np.random.default_rng(args.seed + 1),
+            fault_plan=_parse_fault_plan(args),
+            resume=args.resume,
+        )
+    else:
+        campaign = MeasurementCampaign(
+            machine,
+            config,
+            rng=np.random.default_rng(args.seed + 1),
+            fault_plan=_parse_fault_plan(args),
+        )
+    try:
+        result = campaign.run(op_x, op_y, label=args.pair)
+    except ReproError as exc:
+        raise SystemExit(str(exc)) from exc
+    saved = campaign_io.save_campaign(result, args.output)
+    resumed = getattr(campaign, "resumed_indices", ())
+    if resumed:
+        print(f"resumed {len(resumed)} capture(s) from {args.checkpoint_dir}")
+    print(f"recorded {len(result.measurements)} spectra to {saved}")
     if result.robustness is not None:
         print(result.robustness.to_text())
     return 0
 
 
 def cmd_analyze(args):
-    result = campaign_io.load_campaign(args.input)
+    try:
+        result = campaign_io.load_campaign(args.input, journal=args.journal)
+    except ReproError as exc:
+        raise SystemExit(str(exc)) from exc
     detections = CarrierDetector().detect(result)
     print(f"{result.machine_name} / {result.activity_label}: {len(detections)} carriers")
     if result.excluded_indices:
@@ -215,6 +275,13 @@ def build_parser():
 
     analyze = sub.add_parser("analyze", help="detect carriers in a recording")
     analyze.add_argument("input", help="input .npz path")
+    analyze.add_argument(
+        "--journal",
+        default=None,
+        metavar="DIR",
+        help="campaign journal directory to recover from when the archive "
+        "is truncated or corrupted",
+    )
     analyze.set_defaults(handler=cmd_analyze)
 
     return parser

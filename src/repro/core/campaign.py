@@ -157,6 +157,30 @@ class MeasurementCampaign:
             n_averages=self.config.n_averages, rng=child_rng(self.rng, "analyzer")
         )
 
+    def _indexed_analyzer(self, index, attempt=0):
+        """A clean analyzer on the per-measurement derived noise stream.
+
+        Attempt 0 is the ``analyzer:{index}`` stream of the parallel clean
+        path; retries get their own ``analyzer:{index}:retry{a}`` stream.
+        Every consumer of indexed captures (the parallel path, the
+        degraded fault path, and :class:`repro.runner.DurableCampaign`)
+        derives analyzers here, so their outputs are pure functions of
+        (seed, index, attempt) and agree byte-for-byte with each other.
+        """
+        suffix = f"analyzer:{index}" if attempt == 0 else f"analyzer:{index}:retry{attempt}"
+        return SpectrumAnalyzer(
+            n_averages=self.config.n_averages, rng=child_rng(self.rng, suffix)
+        )
+
+    def capture_index(self, activities, label, grid, index, attempt=0):
+        """One clean indexed capture as a :class:`CampaignMeasurement`."""
+        activity = activities[index]
+        scene = self.machine.scene(activity)
+        trace = self._indexed_analyzer(index, attempt).capture(
+            scene, grid, label=f"{label} falt={activity.falt:.6g}Hz"
+        )
+        return CampaignMeasurement(falt=activity.falt, activity=activity, trace=trace)
+
     def run(self, op_x, op_y, label=None):
         """Calibrate and measure at every alternation frequency.
 
@@ -227,21 +251,9 @@ class MeasurementCampaign:
         Scene rendering is pure and emitters are immutable during render,
         so sharing the machine across threads is safe.
         """
-        analyzers = [
-            SpectrumAnalyzer(
-                n_averages=self.config.n_averages,
-                rng=child_rng(self.rng, f"analyzer:{index}"),
-            )
-            for index in range(len(activities))
-        ]
 
         def capture(index):
-            activity = activities[index]
-            scene = self.machine.scene(activity)
-            trace = analyzers[index].capture(
-                scene, grid, label=f"{label} falt={activity.falt:.6g}Hz"
-            )
-            return CampaignMeasurement(falt=activity.falt, activity=activity, trace=trace)
+            return self.capture_index(activities, label, grid, index)
 
         with ThreadPoolExecutor(max_workers=n_workers) as pool:
             return list(pool.map(capture, range(len(activities))))
@@ -263,9 +275,8 @@ class MeasurementCampaign:
         """
         from ..faults.analyzer import FaultyAnalyzer
 
-        suffix = f"analyzer:{index}" if attempt == 0 else f"analyzer:{index}:retry{attempt}"
         analyzer = FaultyAnalyzer(
-            SpectrumAnalyzer(n_averages=self.config.n_averages, rng=child_rng(self.rng, suffix)),
+            self._indexed_analyzer(index, attempt),
             self.fault_plan,
             child_rng(self.rng, f"faults:{index}:{attempt}"),
             index=index,

@@ -49,6 +49,16 @@ class FaseConfig:
     #: extra times (each attempt on its own derived random streams)
     #: before being excluded. Ignored without a fault plan.
     max_capture_retries: int = 2
+    #: Durable-execution wall-clock deadline per capture attempt, in
+    #: seconds. ``None`` disables the watchdog. Only the
+    #: :class:`repro.runner.DurableCampaign` path enforces it; a capture
+    #: exceeding the deadline is retried (with backoff) up to
+    #: ``max_capture_retries`` extra times and then dropped.
+    capture_timeout_s: object = None  # float | None
+    #: Base delay of the durable path's bounded exponential backoff:
+    #: retry k of a timed-out/failed capture waits
+    #: ``retry_backoff_s * 2**(k-1)`` seconds (capped at 30 s).
+    retry_backoff_s: float = 0.5
 
     def __post_init__(self):
         if self.span_high <= self.span_low:
@@ -70,6 +80,10 @@ class FaseConfig:
             raise CampaignError("n_workers must be >= 1")
         if self.max_capture_retries < 0:
             raise CampaignError("max_capture_retries must be >= 0")
+        if self.capture_timeout_s is not None and self.capture_timeout_s <= 0:
+            raise CampaignError("capture_timeout_s must be positive (or None to disable)")
+        if self.retry_backoff_s < 0:
+            raise CampaignError("retry_backoff_s must be >= 0")
         if not self.harmonics or 0 in self.harmonics:
             raise CampaignError("harmonics must be non-empty and exclude 0")
         if self.f_delta >= self.falt1:

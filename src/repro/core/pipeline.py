@@ -26,6 +26,11 @@ def pair_label(op_x, op_y):
     return f"{op_x.value}/{op_y.value}"
 
 
+def _journal_dirname(label):
+    """A filesystem-safe journal directory name for one activity pair."""
+    return "".join(ch if ch.isalnum() or ch in "._-" else "-" for ch in label)
+
+
 def run_fase(
     machine,
     pairs=((MicroOp.LDM, MicroOp.LDL1), (MicroOp.LDL2, MicroOp.LDL1)),
@@ -35,6 +40,8 @@ def run_fase(
     rng=None,
     n_workers=None,
     fault_plan=None,
+    checkpoint_dir=None,
+    resume=True,
 ):
     """Run FASE on a machine for one or more X/Y activity pairs.
 
@@ -54,6 +61,16 @@ def run_fase(
     activity's :class:`~repro.faults.RobustnessReport` lands on its
     :class:`ActivityReport`, including the naive-vs-degraded detection
     delta whenever a capture was actually excluded.
+
+    ``checkpoint_dir`` switches every campaign onto the durable execution
+    path (:class:`~repro.runner.DurableCampaign`): each pair checkpoints
+    completed captures to a journal under this directory, captures run
+    under ``config.capture_timeout_s`` watchdog deadlines, and a killed
+    run re-invoked with the same arguments resumes from the journals
+    (``resume=False`` refuses an existing journal instead). Durable
+    captures use the per-measurement derived streams, so a checkpointed
+    run equals a clean ``n_workers > 1`` run trace-for-trace, not the
+    serial shared-stream run.
     """
     rng = ensure_rng(rng)
     config = config or campaign_low_band()
@@ -66,11 +83,28 @@ def run_fase(
     onchip_labels = []
     pairs = tuple(pairs)
 
-    def scan_pair(op_x, op_y, pair_rng):
-        label = pair_label(op_x, op_y)
-        campaign = MeasurementCampaign(
+    def build_campaign(label, pair_rng):
+        if checkpoint_dir is not None:
+            from pathlib import Path
+
+            from ..runner import DurableCampaign
+
+            return DurableCampaign(
+                machine,
+                config,
+                journal_dir=Path(checkpoint_dir) / _journal_dirname(label),
+                latency_model=latency_model,
+                rng=pair_rng,
+                fault_plan=fault_plan,
+                resume=resume,
+            )
+        return MeasurementCampaign(
             machine, config, latency_model=latency_model, rng=pair_rng, fault_plan=fault_plan
         )
+
+    def scan_pair(op_x, op_y, pair_rng):
+        label = pair_label(op_x, op_y)
+        campaign = build_campaign(label, pair_rng)
         result = campaign.run(op_x, op_y, label=label)
         detections = detector.detect(result)
         robustness = result.robustness

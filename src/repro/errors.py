@@ -31,6 +31,42 @@ class CampaignError(ReproError):
     """A measurement campaign was configured inconsistently."""
 
 
+class CampaignArchiveError(CampaignError):
+    """A campaign archive on disk is truncated, corrupted, or incomplete.
+
+    Raised by :mod:`repro.io` when an ``.npz`` archive cannot be read back
+    (bad zip, truncated member, missing ``trace_{i}`` array). Distinct
+    from plain :class:`CampaignError` so callers — and
+    :func:`repro.io.load_campaign`'s journal-recovery fallback — can tell
+    "this file is damaged" apart from "this campaign is inconsistent".
+    """
+
+
+class JournalError(CampaignError):
+    """A campaign journal is missing, incompatible, or refused an operation.
+
+    Raised by :class:`repro.runner.CampaignJournal` when a journal
+    directory holds a different campaign (fingerprint mismatch), an
+    unsupported format, or when resuming was not permitted.
+    """
+
+
+class CaptureTimeoutError(ReproError):
+    """A capture attempt exceeded its wall-clock deadline.
+
+    Raised by the :class:`repro.runner.CaptureWatchdog` when one analyzer
+    call runs past ``FaseConfig.capture_timeout_s``. ``index``/``attempt``
+    identify the capture for the robustness ledger. The hung call itself
+    cannot be forcibly killed in-process; the watchdog abandons it on a
+    daemon thread and the campaign moves on.
+    """
+
+    def __init__(self, message, index=None, attempt=None):
+        super().__init__(message)
+        self.index = index
+        self.attempt = attempt
+
+
 class CaptureFaultError(ReproError):
     """A capture was lost to an acquisition fault (drop/timeout).
 

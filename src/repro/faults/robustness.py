@@ -6,12 +6,22 @@ ends up here, plus (when the pipeline computes it) the detection delta
 between naive scoring over all captures and the degraded leave-one-out
 scoring. The report rides on the campaign result and is surfaced by
 :class:`~repro.core.report.FaseReport` and the CLI.
+
+The durable execution path (:class:`~repro.runner.DurableCampaign`)
+ledgers through the same report: a capture attempt abandoned by the
+watchdog joins :attr:`RobustnessReport.events` as a
+``"capture-timeout"`` event, counted separately from injected faults in
+:attr:`~RobustnessReport.n_timeouts` and the text rendering.
 """
 
 from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
+
+#: Event class of a watchdog-abandoned capture attempt (not an injected
+#: fault — the hazard came from the execution environment).
+TIMEOUT_FAULT = "capture-timeout"
 
 
 @dataclass(frozen=True)
@@ -57,11 +67,17 @@ class RobustnessReport:
 
     @property
     def n_injected(self):
-        return len(self.events)
+        """Injected-fault events (watchdog timeouts counted separately)."""
+        return sum(1 for event in self.events if event.fault != TIMEOUT_FAULT)
 
     @property
     def n_retried(self):
         return sum(1 for extra in self.retries.values() if extra > 0)
+
+    @property
+    def n_timeouts(self):
+        """Capture attempts the watchdog abandoned at their deadline."""
+        return sum(1 for event in self.events if event.fault == TIMEOUT_FAULT)
 
     @property
     def n_excluded(self):
@@ -93,12 +109,18 @@ class RobustnessReport:
 
     def to_text(self):
         lines = [f"robustness: {self.plan_description}"]
-        by_class = self.faults_by_class()
+        by_class = {
+            name: count
+            for name, count in self.faults_by_class().items()
+            if name != TIMEOUT_FAULT
+        }
         if by_class:
             injected = ", ".join(f"{name} x{count}" for name, count in sorted(by_class.items()))
-            lines.append(f"  faults injected: {self.n_injected} ({injected})")
+            lines.append(f"  faults injected: {sum(by_class.values())} ({injected})")
         else:
             lines.append("  faults injected: none")
+        if self.n_timeouts:
+            lines.append(f"  capture timeouts: {self.n_timeouts} (watchdog-abandoned attempts)")
         if self.retries:
             retried = ", ".join(
                 f"capture {index} x{extra}" for index, extra in sorted(self.retries.items())

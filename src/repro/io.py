@@ -5,17 +5,31 @@ this module round-trips :class:`~repro.core.campaign.CampaignResult`
 bundles through a single ``.npz`` file (numpy's zipped archive), keeping
 the traces, the achieved falts, the activity metadata, and the campaign
 configuration.
+
+Writes are crash-safe and deterministic: :func:`save_campaign` builds the
+archive with fixed zip timestamps (identical campaigns produce identical
+bytes — what the resume tests compare), writes it to a sibling temporary
+file, fsyncs, and ``os.replace``\\ s it over the final name, so a kill
+mid-write leaves either the old archive or the new one, never a
+truncated hybrid. :func:`load_campaign` raises
+:class:`~repro.errors.CampaignArchiveError` on a damaged archive and can
+recover the campaign from its :class:`~repro.runner.CampaignJournal`
+checkpoints instead.
 """
 
 from __future__ import annotations
 
+import io as _io
 import json
+import os
+import zipfile
+import zlib
 
 import numpy as np
 
 from .core.campaign import CampaignMeasurement, CampaignResult
 from .core.config import FaseConfig
-from .errors import CampaignError
+from .errors import CampaignArchiveError, CampaignError
 from .faults.screening import CaptureQuality
 from .spectrum.grid import FrequencyGrid
 from .spectrum.trace import SpectrumTrace
@@ -38,6 +52,8 @@ def _config_to_dict(config):
         "name": config.name,
         "n_workers": config.n_workers,
         "max_capture_retries": config.max_capture_retries,
+        "capture_timeout_s": config.capture_timeout_s,
+        "retry_backoff_s": config.retry_backoff_s,
     }
 
 
@@ -47,6 +63,8 @@ def _config_from_dict(data):
     # Archives written before these fields existed.
     data.setdefault("n_workers", 1)
     data.setdefault("max_capture_retries", 2)
+    data.setdefault("capture_timeout_s", None)
+    data.setdefault("retry_backoff_s", 0.5)
     return FaseConfig(**data)
 
 
@@ -92,8 +110,55 @@ def _restore_grid(grid_data, config, path):
     return expected
 
 
+def _fsync_directory(directory):
+    """Flush a directory's metadata (a rename) to disk where supported."""
+    try:
+        fd = os.open(directory or ".", os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+#: Fixed zip member timestamp (the DOS epoch) so identical campaigns
+#: produce identical archive bytes — resume correctness is asserted by
+#: byte-comparing archives, which real timestamps would defeat.
+_ZIP_EPOCH = (1980, 1, 1, 0, 0, 0)
+
+
+def _write_npz_deterministic(handle, arrays):
+    """Write an ``np.load``-compatible compressed archive with fixed metadata."""
+    with zipfile.ZipFile(
+        handle, "w", compression=zipfile.ZIP_DEFLATED, allowZip64=True
+    ) as zf:
+        for name, value in arrays.items():
+            buffer = _io.BytesIO()
+            np.lib.format.write_array(buffer, np.asanyarray(value), allow_pickle=False)
+            info = zipfile.ZipInfo(name + ".npy", date_time=_ZIP_EPOCH)
+            info.compress_type = zipfile.ZIP_DEFLATED
+            info.external_attr = 0o600 << 16
+            zf.writestr(info, buffer.getvalue())
+
+
 def save_campaign(result, path):
-    """Write a campaign result to ``path`` (a ``.npz`` archive)."""
+    """Write a campaign result to ``path`` (a ``.npz`` archive).
+
+    Returns the real on-disk path as a :class:`pathlib.Path`: like
+    ``np.savez``, a missing ``.npz`` suffix is appended, so the caller's
+    ``path`` is not always the file that exists afterwards — use the
+    return value.
+
+    The write is crash-safe (temporary sibling file, fsync,
+    ``os.replace``, directory fsync) and deterministic (fixed zip
+    timestamps): a kill mid-save leaves the previous archive intact, and
+    two saves of the same campaign are byte-identical.
+    """
+    from pathlib import Path
+
     if not result.measurements:
         raise CampaignError("refusing to save an empty campaign result")
     grid = result.grid
@@ -114,21 +179,64 @@ def save_campaign(result, path):
             for m in result.measurements
         ],
     }
-    arrays = {
-        f"trace_{i}": measurement.trace.power_mw
-        for i, measurement in enumerate(result.measurements)
-    }
-    np.savez_compressed(path, metadata=json.dumps(metadata), **arrays)
-    return path
+    arrays = {"metadata": json.dumps(metadata)}
+    for i, measurement in enumerate(result.measurements):
+        arrays[f"trace_{i}"] = measurement.trace.power_mw
+    real_path = os.fspath(path)
+    if not real_path.endswith(".npz"):
+        real_path += ".npz"
+    tmp_path = real_path + ".tmp"
+    with open(tmp_path, "wb") as handle:
+        _write_npz_deterministic(handle, arrays)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp_path, real_path)
+    _fsync_directory(os.path.dirname(real_path))
+    return Path(real_path)
 
 
-def load_campaign(path):
-    """Read a campaign result previously written by :func:`save_campaign`."""
-    with np.load(path, allow_pickle=False) as archive:
+#: Failure modes of reading a damaged zip/npy stream.
+_ARCHIVE_READ_ERRORS = (zipfile.BadZipFile, OSError, ValueError, EOFError, zlib.error)
+
+
+def load_campaign(path, journal=None):
+    """Read a campaign result previously written by :func:`save_campaign`.
+
+    A truncated, corrupted, or incomplete archive raises
+    :class:`~repro.errors.CampaignArchiveError`. When ``journal`` is
+    given — a campaign journal directory (or
+    :class:`~repro.runner.CampaignJournal`) written by the durable
+    runner — such damage is repaired instead: the campaign is rebuilt
+    from the journal's checkpointed captures.
+    """
+    try:
+        return _load_archive(path)
+    except CampaignArchiveError:
+        if journal is None:
+            raise
+        from .runner import recover_campaign
+
+        return recover_campaign(getattr(journal, "directory", journal))
+
+
+def _load_archive(path):
+    try:
+        archive = np.load(path, allow_pickle=False)
+    except _ARCHIVE_READ_ERRORS as exc:
+        raise CampaignArchiveError(
+            f"{str(path)!r} is unreadable as a campaign archive: {exc}"
+        ) from exc
+    with archive:
         try:
             metadata = json.loads(str(archive["metadata"]))
         except KeyError as exc:
-            raise CampaignError(f"{path!r} is not a FASE campaign archive") from exc
+            raise CampaignArchiveError(
+                f"{str(path)!r} is not a FASE campaign archive (no metadata member)"
+            ) from exc
+        except _ARCHIVE_READ_ERRORS as exc:
+            raise CampaignArchiveError(
+                f"{str(path)!r} has a damaged metadata member: {exc}"
+            ) from exc
         if metadata.get("format") != _FORMAT:
             raise CampaignError(
                 f"unsupported campaign format {metadata.get('format')!r}"
@@ -146,7 +254,18 @@ def load_campaign(path):
         for i, (falt, activity_data, label) in enumerate(
             zip(metadata["falts"], metadata["activities"], metadata["trace_labels"])
         ):
-            power = archive[f"trace_{i}"]
+            try:
+                power = archive[f"trace_{i}"]
+            except KeyError as exc:
+                raise CampaignArchiveError(
+                    f"{str(path)!r} is missing array 'trace_{i}' (capture {i} of "
+                    f"{n_measurements}); the archive is incomplete"
+                ) from exc
+            except _ARCHIVE_READ_ERRORS as exc:
+                raise CampaignArchiveError(
+                    f"{str(path)!r} has a damaged 'trace_{i}' member (capture {i} of "
+                    f"{n_measurements}): {exc}"
+                ) from exc
             trace = SpectrumTrace(grid, power, label=label)
             quality = None
             if reasons[i] is not None:

@@ -1,0 +1,323 @@
+"""Durable campaign execution: checkpoint, resume, watchdog, salvage.
+
+:class:`DurableCampaign` is a :class:`~repro.core.campaign.MeasurementCampaign`
+whose execution survives the three ways an hours-long run dies in
+practice:
+
+* **a crash or kill** — every completed capture is checkpointed to a
+  :class:`~repro.runner.journal.CampaignJournal` the moment the analyzer
+  returns; rerunning the same campaign over the same journal resumes from
+  the last good capture and, for the same seed, produces a result
+  byte-identical to an uninterrupted run;
+* **a hung capture** — every attempt runs under a
+  :class:`~repro.runner.watchdog.CaptureWatchdog` wall-clock deadline
+  (``FaseConfig.capture_timeout_s``); a timed-out attempt is abandoned
+  and retried on a fresh derived stream after a bounded exponential
+  backoff (``FaseConfig.retry_backoff_s``), up to
+  ``FaseConfig.max_capture_retries`` extra attempts;
+* **persistent per-capture failure** — a capture that exhausts its
+  budget is dropped, and the campaign is *salvaged*: as long as at least
+  ``min_good_captures`` usable falts remain, the run completes with the
+  damage ledgered in ``result.robustness`` and scoring running
+  leave-one-out, instead of aborting.
+
+Byte-identical resume is possible because durable captures run on the
+per-measurement derived random streams (``analyzer:{index}``) — exactly
+the clean parallel path's streams — so every capture is a pure function
+of (seed, index, attempt) regardless of where a previous run died. The
+serial shared-stream path cannot be resumed mid-way and is therefore not
+used here; an uninterrupted durable run equals the ``n_workers > 1``
+clean run trace-for-trace.
+"""
+
+from __future__ import annotations
+
+import time
+
+from ..core.campaign import CampaignMeasurement, CampaignResult, MeasurementCampaign
+from ..errors import CampaignError, CaptureTimeoutError, DegradedCampaignError, JournalError
+from ..faults.injectors import FaultEvent
+from ..faults.robustness import RobustnessReport
+from .journal import CampaignJournal, campaign_fingerprint
+from .watchdog import CaptureWatchdog, backoff_delay
+
+
+class DurableCampaign(MeasurementCampaign):
+    """A measurement campaign with checkpoint/resume and per-capture timeouts.
+
+    ``journal_dir`` is the checkpoint directory for this one campaign
+    (one journal per campaign — ``run_fase`` derives one per activity
+    pair under its ``checkpoint_dir``). ``resume=True`` (default)
+    continues an existing journal after verifying its fingerprint;
+    ``resume=False`` refuses to touch an existing journal so a stale
+    checkpoint is never silently overwritten. ``min_good_captures``
+    bounds salvage: fewer usable captures than this raises
+    :class:`DegradedCampaignError` (the Eq. 2 cross-normalization needs
+    at least two). ``sleep`` is injectable for tests.
+
+    Composes with ``fault_plan``: attempts go through the fault-injecting
+    analyzer and cohort screening exactly as on the degraded path, with
+    each successful capture journaled as it lands.
+    """
+
+    def __init__(
+        self,
+        machine,
+        config,
+        journal_dir,
+        latency_model=None,
+        rng=None,
+        fault_plan=None,
+        resume=True,
+        min_good_captures=2,
+        sleep=None,
+    ):
+        super().__init__(
+            machine, config, latency_model=latency_model, rng=rng, fault_plan=fault_plan
+        )
+        if min_good_captures < 2:
+            raise CampaignError("min_good_captures must be >= 2 (Eq. 2 needs two spectra)")
+        self.journal = CampaignJournal(journal_dir)
+        self.resume = bool(resume)
+        self.min_good_captures = int(min_good_captures)
+        self._sleep = sleep if sleep is not None else time.sleep
+        #: Capture indices restored from the journal by the last run.
+        self.resumed_indices = ()
+
+    # ------------------------------------------------------------------
+
+    def run_with_activities(self, activities, label=None):
+        if len(activities) < 2:
+            raise CampaignError("need at least two activities (one per falt)")
+        grid = self.config.grid()
+        label = label or activities[0].label or "activity"
+        self._open_or_create_journal(activities, label)
+
+        n = len(activities)
+        max_retries = self.config.max_capture_retries
+        traces = [None] * n
+        attempts = [0] * n
+        index_events = [[] for _ in range(n)]
+        excluded = {}
+
+        # Restore journaled captures. A record whose falt disagrees with
+        # the planned activity is stale (the fingerprint guards against
+        # this, but a damaged header could let one through) and is redone.
+        resumed = []
+        for index, record in sorted(self.journal.records(grid).items()):
+            if index >= n:
+                continue
+            planned = activities[index].falt
+            if abs(record.activity.falt - planned) > 1e-9 * max(abs(planned), 1.0):
+                continue
+            traces[index] = record.trace
+            attempts[index] = record.attempt
+            index_events[index] = list(record.events)
+            resumed.append(index)
+        self.resumed_indices = tuple(resumed)
+
+        watchdog = CaptureWatchdog(self.config.capture_timeout_s)
+
+        def one_attempt(index):
+            """One watchdogged capture attempt; returns a trace or None."""
+            attempt = attempts[index]
+            try:
+                if self.fault_plan is not None:
+                    trace, events = watchdog.run(
+                        lambda: self._degraded_attempt(activities, label, grid, index, attempt),
+                        index=index,
+                        attempt=attempt,
+                    )
+                    index_events[index].extend(events)
+                    return trace
+                measurement = watchdog.run(
+                    lambda: self.capture_index(activities, label, grid, index, attempt),
+                    index=index,
+                    attempt=attempt,
+                )
+                return measurement.trace
+            except CaptureTimeoutError:
+                index_events[index].append(
+                    FaultEvent(
+                        fault="capture-timeout",
+                        index=index,
+                        attempt=attempt,
+                        detail=(
+                            f"exceeded {self.config.capture_timeout_s:g} s wall clock; "
+                            "attempt abandoned"
+                        ),
+                    )
+                )
+                return None
+
+        def capture_with_retries(index):
+            """Attempt until a trace lands or the budget runs out.
+
+            Journals the capture on success; on exhaustion records the
+            exclusion and leaves ``traces[index]`` as-is (``None`` in the
+            first stage; the last journaled trace during screening
+            retries, mirroring the degraded path's drop semantics there).
+            """
+            while True:
+                trace = one_attempt(index)
+                if trace is not None:
+                    traces[index] = trace
+                    self.journal.append(
+                        index, attempts[index], activities[index], trace,
+                        events=index_events[index],
+                    )
+                    return True
+                if attempts[index] >= max_retries:
+                    traces[index] = None
+                    excluded[index] = (
+                        f"capture failed on all {attempts[index] + 1} attempt(s)",
+                    )
+                    return False
+                attempts[index] += 1
+                delay = backoff_delay(attempts[index], self.config.retry_backoff_s)
+                if delay > 0:
+                    self._sleep(delay)
+
+        # Stage 1: capture every index not restored from the journal.
+        for index in range(n):
+            if traces[index] is None:
+                capture_with_retries(index)
+
+        # Stage 2 (fault plan only): cohort screening with bounded
+        # retries, recomputing the reference after each retry round. Pure
+        # in the traces, so a resumed run replays it identically.
+        qualities = {}
+        if self.fault_plan is not None:
+            screen = self.fault_plan.screen
+            while True:
+                present = [index for index in range(n) if traces[index] is not None]
+                if len(present) < 2:
+                    break
+                reference = screen.reference([traces[index] for index in present])
+                qualities = {
+                    index: screen.assess(traces[index], reference) for index in present
+                }
+                retry = [
+                    index
+                    for index in present
+                    if not qualities[index].ok and attempts[index] < max_retries
+                ]
+                if not retry:
+                    break
+                for index in retry:
+                    attempts[index] += 1
+                    delay = backoff_delay(attempts[index], self.config.retry_backoff_s)
+                    if delay > 0:
+                        self._sleep(delay)
+                    capture_with_retries(index)
+
+        # Stage 3: assemble, salvage, report.
+        measurements = []
+        for index, activity in enumerate(activities):
+            trace = traces[index]
+            if trace is None:
+                continue
+            quality = qualities.get(index)
+            flagged = quality is not None and not quality.ok
+            if flagged:
+                excluded[index] = quality.reasons
+            measurements.append(
+                CampaignMeasurement(
+                    falt=activity.falt,
+                    activity=activity,
+                    trace=trace,
+                    flagged=flagged,
+                    quality=quality,
+                )
+            )
+        dropped = tuple(index for index in range(n) if traces[index] is None)
+        events = [event for per_index in index_events for event in per_index]
+        retries = {index: attempts[index] for index in range(n) if attempts[index] > 0}
+
+        robustness = None
+        if self.fault_plan is not None or events or retries or excluded:
+            plan_description = (
+                self.fault_plan.describe()
+                if self.fault_plan is not None
+                else "durable execution (no fault plan)"
+            )
+            robustness = RobustnessReport(
+                plan_description=plan_description,
+                events=events,
+                retries=retries,
+                excluded=excluded,
+                dropped=dropped,
+            )
+
+        result = CampaignResult(
+            config=self.config,
+            machine_name=self.machine.name,
+            activity_label=label,
+            measurements=measurements,
+            robustness=robustness,
+        )
+        usable = len(result.included_measurements)
+        if usable < self.min_good_captures:
+            raise DegradedCampaignError(
+                f"only {usable} usable capture(s) of {n} survived durable execution "
+                f"(minimum {self.min_good_captures})",
+                robustness=robustness,
+            )
+        return result.validate()
+
+    # ------------------------------------------------------------------
+
+    def _open_or_create_journal(self, activities, label):
+        fingerprint = campaign_fingerprint(self.config, self.machine.name, label, self.rng)
+        if self.journal.exists():
+            if not self.resume:
+                raise JournalError(
+                    f"a campaign journal already exists at "
+                    f"{str(self.journal.directory)!r}; pass resume=True "
+                    "(CLI: --resume) to continue it, or remove the directory"
+                )
+            self.journal.open(fingerprint)
+        else:
+            self.journal.create(
+                fingerprint,
+                self.config,
+                self.machine.name,
+                label,
+                [activity.falt for activity in activities],
+            )
+
+
+def recover_campaign(journal_dir):
+    """Rebuild a :class:`CampaignResult` from a journal alone.
+
+    The recovery half of crash-safe persistence: when the final ``.npz``
+    archive is lost or corrupted, the journal's checkpointed captures are
+    enough to reconstruct the campaign (config, machine, activities, and
+    every valid trace — screening flags are not journaled, so recovered
+    measurements come back unflagged). Raises :class:`JournalError` when
+    fewer than two captures are recoverable.
+    """
+    journal = CampaignJournal(journal_dir).open()
+    config = journal.config()
+    grid = config.grid()
+    records = journal.records(grid)
+    if len(records) < 2:
+        raise JournalError(
+            f"journal at {str(journal.directory)!r} holds only {len(records)} "
+            "recoverable capture(s); the heuristic needs at least two"
+        )
+    result = CampaignResult(
+        config=config,
+        machine_name=journal.header["machine_name"],
+        activity_label=journal.header["activity_label"],
+    )
+    for index in sorted(records):
+        record = records[index]
+        result.measurements.append(
+            CampaignMeasurement(
+                falt=float(record.activity.falt),
+                activity=record.activity,
+                trace=record.trace,
+            )
+        )
+    return result.validate()

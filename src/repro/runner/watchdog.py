@@ -1,0 +1,85 @@
+"""Per-capture wall-clock timeouts and bounded exponential backoff.
+
+A hung capture — an analyzer call that never returns — would otherwise
+stall an hours-long campaign forever. :class:`CaptureWatchdog` runs each
+capture attempt on its own watchdog worker thread and enforces a
+wall-clock deadline: past the deadline the attempt is *abandoned* and
+:class:`~repro.errors.CaptureTimeoutError` raised to the caller, which
+retries on a fresh stream or drops the capture.
+
+Python cannot forcibly kill a thread, so "cancel" here means abandon:
+the hung call keeps running on a daemon thread, its eventual result (if
+any) is discarded, and the process can still exit cleanly. Each attempt
+gets a fresh worker thread precisely so an abandoned hang can never
+poison a shared pool slot and starve later captures.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from ..errors import CaptureTimeoutError
+
+#: Ceiling on any single backoff delay, seconds.
+MAX_BACKOFF_S = 30.0
+
+
+def backoff_delay(retry, base_s, cap_s=MAX_BACKOFF_S):
+    """Delay before retry number ``retry`` (1-based): base · 2^(retry-1), capped."""
+    if base_s <= 0 or retry < 1:
+        return 0.0
+    return float(min(base_s * (2.0 ** (retry - 1)), cap_s))
+
+
+class CaptureWatchdog:
+    """Run capture callables under a wall-clock deadline.
+
+    ``timeout_s=None`` disables the watchdog (direct call, zero
+    overhead) — the default for campaigns that never hang, and the
+    byte-identical baseline for ones that do: the watchdog never touches
+    random streams, so a run that stays under its deadlines returns
+    exactly what an unwatched run would.
+    """
+
+    def __init__(self, timeout_s=None):
+        if timeout_s is not None and timeout_s <= 0:
+            raise ValueError("watchdog timeout must be positive (or None to disable)")
+        self.timeout_s = timeout_s
+
+    def run(self, fn, index=None, attempt=None):
+        """Call ``fn()``; raise :class:`CaptureTimeoutError` past the deadline.
+
+        Exceptions from ``fn`` propagate unchanged (a fault-plan drop must
+        still look like a drop). On timeout the worker thread is abandoned
+        and keeps running detached until the process exits.
+        """
+        if self.timeout_s is None:
+            return fn()
+        outcome = []
+        done = threading.Event()
+
+        def worker():
+            try:
+                outcome.append(("ok", fn()))
+            except BaseException as exc:  # delivered to the caller below
+                outcome.append(("raised", exc))
+            finally:
+                done.set()
+
+        thread = threading.Thread(
+            target=worker,
+            daemon=True,
+            name=f"fase-capture-{index}-a{attempt}",
+        )
+        thread.start()
+        if not done.wait(self.timeout_s):
+            raise CaptureTimeoutError(
+                f"capture {index} attempt {attempt} exceeded the "
+                f"{self.timeout_s:g} s wall-clock deadline",
+                index=index,
+                attempt=attempt,
+            )
+        kind, value = outcome[0]
+        if kind == "raised":
+            raise value
+        return value

@@ -6,7 +6,7 @@ import pytest
 from repro import FaseConfig, MeasurementCampaign, MicroOp
 from repro.cli import main
 from repro.core import CarrierDetector
-from repro.errors import CampaignError
+from repro.errors import CampaignArchiveError, CampaignError
 from repro.io import load_campaign, save_campaign
 from repro.system import build_environment, corei7_desktop
 
@@ -101,6 +101,130 @@ class TestCampaignIO:
             save_campaign(empty, tmp_path / "empty.npz")
 
 
+class TestSavePath:
+    def test_missing_suffix_appended_and_returned(self, small_result, tmp_path):
+        """Regression: save_campaign used to echo the caller's path verbatim
+        while numpy appended ``.npz`` on disk, so the returned path did not
+        exist."""
+        returned = save_campaign(small_result, tmp_path / "campaign")
+        assert returned == tmp_path / "campaign.npz"
+        assert returned.exists()
+        assert not (tmp_path / "campaign").exists()
+        load_campaign(returned)
+
+    def test_explicit_suffix_unchanged(self, small_result, tmp_path):
+        returned = save_campaign(small_result, tmp_path / "named.npz")
+        assert returned == tmp_path / "named.npz"
+        assert returned.exists()
+
+    def test_identical_campaigns_save_identical_bytes(self, small_result, tmp_path):
+        first = save_campaign(small_result, tmp_path / "a.npz")
+        second = save_campaign(small_result, tmp_path / "b.npz")
+        assert first.read_bytes() == second.read_bytes()
+
+    def test_no_tmp_file_left_behind(self, small_result, tmp_path):
+        save_campaign(small_result, tmp_path / "clean.npz")
+        assert sorted(p.name for p in tmp_path.iterdir()) == ["clean.npz"]
+
+
+class TestArchiveDamage:
+    def _drop_member(self, path, out, member):
+        import json
+
+        with np.load(path, allow_pickle=False) as archive:
+            metadata = json.loads(str(archive["metadata"]))
+            arrays = {
+                key: archive[key]
+                for key in archive.files
+                if key not in ("metadata", member)
+            }
+        np.savez_compressed(out, metadata=json.dumps(metadata), **arrays)
+
+    def test_missing_trace_member_names_path_and_index(self, small_result, tmp_path):
+        """Regression: a missing ``trace_{i}`` member used to surface as a
+        raw ``KeyError`` from numpy's archive object."""
+        path = save_campaign(small_result, tmp_path / "full.npz")
+        damaged = tmp_path / "damaged.npz"
+        self._drop_member(path, damaged, "trace_2")
+        with pytest.raises(CampaignArchiveError) as info:
+            load_campaign(damaged)
+        message = str(info.value)
+        assert "trace_2" in message
+        assert str(damaged) in message
+
+    def test_truncated_archive_detected(self, small_result, tmp_path):
+        path = save_campaign(small_result, tmp_path / "whole.npz")
+        path.write_bytes(path.read_bytes()[:1000])
+        with pytest.raises(CampaignArchiveError):
+            load_campaign(path)
+
+    def test_archive_error_is_a_campaign_error(self):
+        assert issubclass(CampaignArchiveError, CampaignError)
+
+    def test_truncated_archive_recovered_from_journal(self, small_result, tmp_path):
+        from repro import DurableCampaign
+
+        machine = corei7_desktop(
+            environment=build_environment(1e6, kind="quiet"), rng=np.random.default_rng(0)
+        )
+        campaign = DurableCampaign(
+            machine, small_result.config, journal_dir=tmp_path / "journal",
+            rng=np.random.default_rng(1),
+        )
+        result = campaign.run(MicroOp.LDM, MicroOp.LDL1, label="LDM/LDL1")
+        path = save_campaign(result, tmp_path / "archived.npz")
+        path.write_bytes(path.read_bytes()[:1000])
+        recovered = load_campaign(path, journal=tmp_path / "journal")
+        assert tuple(recovered.falts) == tuple(result.falts)
+        for ours, theirs in zip(recovered.measurements, result.measurements):
+            np.testing.assert_array_equal(ours.trace.power_mw, theirs.trace.power_mw)
+
+    def test_journal_does_not_mask_an_intact_archive(self, small_result, tmp_path):
+        path = save_campaign(small_result, tmp_path / "good.npz")
+        loaded = load_campaign(path, journal=tmp_path / "nonexistent-journal")
+        assert tuple(loaded.falts) == tuple(small_result.falts)
+
+
+class TestDegradedRoundTrip:
+    def _degraded(self, synthetic_campaign):
+        import dataclasses
+
+        from repro.faults.screening import CaptureQuality
+
+        result = synthetic_campaign(carrier=500e3, flagged=(1, 3))
+        for index in (1, 3):
+            result.measurements[index] = dataclasses.replace(
+                result.measurements[index],
+                quality=CaptureQuality(
+                    ok=False, reasons=(f"synthetic damage on capture {index}",)
+                ),
+            )
+        return result
+
+    def test_flags_and_reasons_survive_reload(self, synthetic_campaign, tmp_path):
+        result = self._degraded(synthetic_campaign)
+        loaded = load_campaign(save_campaign(result, tmp_path / "degraded.npz"))
+        assert loaded.excluded_indices == [1, 3]
+        for index in (1, 3):
+            assert loaded.measurements[index].flagged
+            assert loaded.measurements[index].quality.reasons == (
+                f"synthetic damage on capture {index}",
+            )
+        assert not loaded.measurements[0].flagged
+        assert loaded.measurements[0].quality is None
+
+    def test_scoring_view_equivalent_after_reload(self, synthetic_campaign, tmp_path):
+        result = self._degraded(synthetic_campaign)
+        loaded = load_campaign(save_campaign(result, tmp_path / "degraded.npz"))
+        before, after = result.scoring_view(), loaded.scoring_view()
+        assert tuple(before.falts) == tuple(after.falts)
+        for ours, theirs in zip(before.measurements, after.measurements):
+            np.testing.assert_array_equal(ours.trace.power_mw, theirs.trace.power_mw)
+        assert [d.frequency for d in CarrierDetector().detect(result)] == [
+            d.frequency for d in CarrierDetector().detect(loaded)
+        ]
+
+
 class TestCli:
     def test_scan_prints_report(self, capsys):
         code = main(
@@ -143,3 +267,57 @@ class TestCli:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestCliDurable:
+    def _record(self, tmp_path, *extra):
+        return main(
+            [
+                "record", "--machine", "corei7_desktop", "--span-high", "1e6",
+                "--fres", "100", "--pair", "LDM/LDL1",
+                "--checkpoint-dir", str(tmp_path / "journal"),
+                *extra,
+                str(tmp_path / "rec.npz"),
+            ]
+        )
+
+    def test_record_checkpoints_then_resumes(self, tmp_path, capsys):
+        assert self._record(tmp_path) == 0
+        assert (tmp_path / "journal" / "HEADER.json").is_file()
+        first = (tmp_path / "rec.npz").read_bytes()
+        capsys.readouterr()
+        assert self._record(tmp_path, "--resume") == 0
+        out = capsys.readouterr().out
+        assert "resumed 5 capture(s)" in out
+        assert (tmp_path / "rec.npz").read_bytes() == first
+
+    def test_record_refuses_stale_journal_without_resume(self, tmp_path, capsys):
+        assert self._record(tmp_path) == 0
+        with pytest.raises(SystemExit, match="--resume"):
+            self._record(tmp_path)
+
+    def test_analyze_recovers_from_journal(self, tmp_path, capsys):
+        assert self._record(tmp_path) == 0
+        archive = tmp_path / "rec.npz"
+        archive.write_bytes(archive.read_bytes()[:1000])
+        with pytest.raises(SystemExit):
+            main(["analyze", str(archive)])
+        capsys.readouterr()
+        code = main(["analyze", str(archive), "--journal", str(tmp_path / "journal")])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "carriers" in out
+
+    def test_scan_accepts_checkpoint_dir(self, tmp_path, capsys):
+        code = main(
+            [
+                "scan", "--machine", "corei7_desktop", "--span-high", "1e6",
+                "--fres", "100", "--pair", "LDM/LDL1",
+                "--checkpoint-dir", str(tmp_path / "ckpt"),
+                "--capture-timeout", "30", "--retry-backoff", "0.01",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "FASE report" in out
+        assert (tmp_path / "ckpt" / "LDM-LDL1" / "HEADER.json").is_file()

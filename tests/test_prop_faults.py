@@ -17,6 +17,7 @@ from hypothesis import given, settings, strategies as st
 
 from repro import FaseConfig, FaultPlan, MeasurementCampaign, MicroOp
 from repro.core import CarrierDetector, HeuristicScorer
+from repro.errors import DegradedCampaignError
 from repro.core.campaign import CampaignMeasurement, CampaignResult
 from repro.faults import FAULT_CLASSES
 from repro.spectrum.grid import FrequencyGrid
@@ -104,11 +105,20 @@ def test_excluded_fault_has_zero_influence(seed, corrupt_index, fault_class):
     assert detects_carrier(corrupted) == detects_carrier(clean)
 
 
+def _same_ledger(a, b):
+    assert a.events == b.events
+    assert a.retries == b.retries
+    assert a.excluded == b.excluded
+    assert a.dropped == b.dropped
+
+
 @given(seed=st.integers(0, 2**10))
 @settings(max_examples=5, deadline=None)
 def test_fault_campaign_reproducible_across_workers(seed):
     """Traces, events, flags, and the ledger are functions of the seed
-    alone — never of the thread schedule or worker count."""
+    alone — never of the thread schedule or worker count. An unlucky seed
+    may legitimately degrade below two usable captures; the invariant then
+    is that the *failure* (and its ledger) reproduces across workers."""
     results = []
     for n_workers in (1, 3):
         config = FaseConfig(
@@ -117,12 +127,18 @@ def test_fault_campaign_reproducible_across_workers(seed):
         campaign = MeasurementCampaign(
             MACHINE, config, rng=np.random.default_rng(seed), fault_plan=FaultPlan.default()
         )
-        results.append(campaign.run(MicroOp.LDM, MicroOp.LDL1))
+        try:
+            results.append(campaign.run(MicroOp.LDM, MicroOp.LDL1))
+        except DegradedCampaignError as exc:
+            results.append(exc)
     serial, parallel = results
-    assert serial.robustness.events == parallel.robustness.events
-    assert serial.robustness.retries == parallel.robustness.retries
-    assert serial.robustness.excluded == parallel.robustness.excluded
-    assert serial.robustness.dropped == parallel.robustness.dropped
+    assert isinstance(serial, DegradedCampaignError) == isinstance(
+        parallel, DegradedCampaignError
+    )
+    if isinstance(serial, DegradedCampaignError):
+        _same_ledger(serial.robustness, parallel.robustness)
+        return
+    _same_ledger(serial.robustness, parallel.robustness)
     assert len(serial.measurements) == len(parallel.measurements)
     for a, b in zip(serial.measurements, parallel.measurements):
         assert a.falt == b.falt

@@ -1,0 +1,51 @@
+"""Property: a journaled campaign killed after ANY prefix resumes identically.
+
+Hypothesis drives the kill point (and the campaign's seed) instead of a
+hand-picked parametrization: for every (seed, k) it finds, interrupting
+the run after k completed captures and re-running over the same journal
+must reproduce the uninterrupted run's result exactly — same falts, same
+trace bytes, no spurious robustness ledger.
+"""
+
+from __future__ import annotations
+
+import shutil
+import tempfile
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from tests.test_runner import (
+    FALTS,
+    KillAfter,
+    StubMachine,
+    assert_same_result,
+    durable,
+    make_activities,
+)
+
+pytestmark = pytest.mark.runner
+
+
+@given(seed=st.integers(min_value=0, max_value=2**32 - 1),
+       kill_after=st.integers(min_value=0, max_value=len(FALTS) - 1))
+@settings(max_examples=15, deadline=None)
+def test_resume_equals_uninterrupted_for_any_prefix(seed, kill_after):
+    root = Path(tempfile.mkdtemp(prefix="fase-prop-runner-"))
+    try:
+        reference = durable(root / "ref", seed=seed).run_with_activities(
+            make_activities(), label="pair"
+        )
+        with pytest.raises(KeyboardInterrupt):
+            durable(
+                root / "j", machine=KillAfter(StubMachine(), kill_after), seed=seed
+            ).run_with_activities(make_activities(), label="pair")
+        campaign = durable(root / "j", seed=seed)
+        resumed = campaign.run_with_activities(make_activities(), label="pair")
+        assert campaign.resumed_indices == tuple(range(kill_after))
+        assert resumed.robustness is None
+        assert_same_result(resumed, reference)
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
