@@ -19,7 +19,9 @@ substitute; see DESIGN.md for the substitution argument):
 * :mod:`repro.core` — the FASE campaigns, the Eq. 1/2 heuristic, carrier
   detection, harmonic grouping, and source classification;
 * :mod:`repro.analysis` — near-field localization, modulation-depth
-  sweeps, rejection validation, and FM confirmation.
+  sweeps, rejection validation, and FM confirmation;
+* :mod:`repro.telemetry` — opt-in tracing, metrics, and per-stage
+  profiling for every campaign (off by default, zero overhead).
 
 Quickstart::
 
@@ -47,6 +49,20 @@ from .core import (
 from .faults import FaultPlan, RobustnessReport
 from .runner import CampaignJournal, DurableCampaign, recover_campaign
 from .spectrum import FrequencyGrid, SpectrumTrace, SpectrumAnalyzer
+from .telemetry import (
+    Telemetry,
+    NullTelemetry,
+    NULL_TELEMETRY,
+    current_telemetry,
+    use_telemetry,
+    set_telemetry,
+    MetricsRegistry,
+    MetricsSnapshot,
+    StageProfiler,
+    Recorder,
+    JsonlSink,
+    read_jsonl,
+)
 from .system import (
     SystemModel,
     corei7_desktop,
@@ -78,6 +94,18 @@ __all__ = [
     "CampaignJournal",
     "DurableCampaign",
     "recover_campaign",
+    "Telemetry",
+    "NullTelemetry",
+    "NULL_TELEMETRY",
+    "current_telemetry",
+    "use_telemetry",
+    "set_telemetry",
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "StageProfiler",
+    "Recorder",
+    "JsonlSink",
+    "read_jsonl",
     "FrequencyGrid",
     "SpectrumTrace",
     "SpectrumAnalyzer",

@@ -26,7 +26,9 @@ from .core import (
 )
 from .errors import ReproError
 from .faults import FAULT_CLASSES, FaultPlan
+from .runner import DurableCampaign
 from .system import ALL_PRESETS
+from .telemetry import JsonlSink, Telemetry, use_telemetry
 from .uarch.activity import AlternationActivity
 from .uarch.isa import MicroOp, activity_levels
 
@@ -118,6 +120,19 @@ def _add_campaign_arguments(parser):
         help="base of the bounded exponential backoff between capture "
         "retries on the durable path (default 0.5)",
     )
+    parser.add_argument(
+        "--telemetry-jsonl",
+        default=None,
+        metavar="PATH",
+        help="append every telemetry record (spans, events, final metrics "
+        "snapshot) to PATH as one JSON object per line",
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="attribute campaign wall-clock to capture/average/score/detect "
+        "stages and print the breakdown after the run",
+    )
 
 
 def _parse_fault_plan(args):
@@ -137,7 +152,27 @@ def _parse_ops(text):
         x, y = text.split("/")
         return MicroOp(x.strip().upper()), MicroOp(y.strip().upper())
     except (ValueError, KeyError) as exc:
-        raise SystemExit(f"invalid activity pair {text!r}; use e.g. LDM/LDL1") from exc
+        valid = ", ".join(sorted(op.value for op in MicroOp))
+        raise SystemExit(
+            f"invalid activity pair {text!r}; expected X/Y with each of X, Y "
+            f"one of: {valid} (e.g. LDM/LDL1)"
+        ) from exc
+
+
+def _build_telemetry(args):
+    """A :class:`Telemetry` per the CLI flags, or ``None`` when both are off."""
+    if not args.telemetry_jsonl and not args.profile:
+        return None
+    sinks = [JsonlSink(args.telemetry_jsonl)] if args.telemetry_jsonl else []
+    return Telemetry(sinks=sinks, profile=args.profile)
+
+
+def _finish_telemetry(telemetry):
+    if telemetry is None:
+        return
+    if telemetry.profiler is not None:
+        print(telemetry.profiler.to_text())
+    telemetry.close()
 
 
 def cmd_scan(args):
@@ -152,11 +187,20 @@ def cmd_scan(args):
     if args.checkpoint_dir is not None:
         kwargs["checkpoint_dir"] = args.checkpoint_dir
         kwargs["resume"] = args.resume
+    telemetry = _build_telemetry(args)
+    if telemetry is not None:
+        kwargs["telemetry"] = telemetry
     try:
         report = run_fase(machine, **kwargs)
     except ReproError as exc:
+        if telemetry is not None:
+            # The run died; still flush what the ledger saw so the JSONL
+            # stream explains the failure.
+            telemetry.emit_snapshot(label="metrics-at-failure")
+        _finish_telemetry(telemetry)
         raise SystemExit(str(exc)) from exc
     print(report.to_text())
+    _finish_telemetry(telemetry)
     return 0
 
 
@@ -191,8 +235,6 @@ def cmd_record(args):
     config = _parse_span(args)
     op_x, op_y = _parse_ops(args.pair)
     if args.checkpoint_dir is not None:
-        from .runner import DurableCampaign
-
         campaign = DurableCampaign(
             machine,
             config,
@@ -208,9 +250,18 @@ def cmd_record(args):
             rng=np.random.default_rng(args.seed + 1),
             fault_plan=_parse_fault_plan(args),
         )
+    telemetry = _build_telemetry(args)
     try:
-        result = campaign.run(op_x, op_y, label=args.pair)
+        if telemetry is not None:
+            with use_telemetry(telemetry):
+                result = campaign.run(op_x, op_y, label=args.pair)
+            telemetry.emit_snapshot()
+        else:
+            result = campaign.run(op_x, op_y, label=args.pair)
     except ReproError as exc:
+        if telemetry is not None:
+            telemetry.emit_snapshot(label="metrics-at-failure")
+        _finish_telemetry(telemetry)
         raise SystemExit(str(exc)) from exc
     saved = campaign_io.save_campaign(result, args.output)
     resumed = getattr(campaign, "resumed_indices", ())
@@ -219,6 +270,7 @@ def cmd_record(args):
     print(f"recorded {len(result.measurements)} spectra to {saved}")
     if result.robustness is not None:
         print(result.robustness.to_text())
+    _finish_telemetry(telemetry)
     return 0
 
 
@@ -238,6 +290,10 @@ def cmd_analyze(args):
         print(f"  set {harmonic_set.describe()}")
         for order, detection in harmonic_set.members:
             print(f"    [{order:>2}] {detection.describe()}")
+    if result.robustness is not None:
+        # Present for journal recoveries (how each capture was earned:
+        # retries, faults, timeouts) and for archives of degraded runs.
+        print(result.robustness.to_text())
     return 0
 
 

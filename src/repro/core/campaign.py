@@ -17,6 +17,7 @@ from dataclasses import dataclass, field, replace
 from ..errors import CampaignError, CaptureFaultError, DegradedCampaignError
 from ..rng import child_rng, ensure_rng
 from ..spectrum.analyzer import SpectrumAnalyzer
+from ..telemetry import current_telemetry, record_campaign_ledger
 from ..uarch.activity import AlternationActivity
 from ..uarch.microbench import AlternationMicrobenchmark
 from ..uarch.timing import LatencyModel
@@ -175,10 +176,13 @@ class MeasurementCampaign:
     def capture_index(self, activities, label, grid, index, attempt=0):
         """One clean indexed capture as a :class:`CampaignMeasurement`."""
         activity = activities[index]
-        scene = self.machine.scene(activity)
-        trace = self._indexed_analyzer(index, attempt).capture(
-            scene, grid, label=f"{label} falt={activity.falt:.6g}Hz"
-        )
+        with current_telemetry().span(
+            "capture", stage="capture", index=index, attempt=attempt, falt=activity.falt
+        ):
+            scene = self.machine.scene(activity)
+            trace = self._indexed_analyzer(index, attempt).capture(
+                scene, grid, label=f"{label} falt={activity.falt:.6g}Hz"
+            )
         return CampaignMeasurement(falt=activity.falt, activity=activity, trace=trace)
 
     def run(self, op_x, op_y, label=None):
@@ -211,34 +215,45 @@ class MeasurementCampaign:
             machine_name=self.machine.name,
             activity_label=label or activities[0].label or "activity",
         )
+        telemetry = current_telemetry()
         n_workers = min(self.config.n_workers, len(activities))
-        if self.fault_plan is not None:
-            measurements, robustness = self._capture_degraded(
-                activities, result.activity_label, grid, n_workers
-            )
-            result.measurements.extend(measurements)
-            result.robustness = robustness
-            if len(result.included_measurements) < 2:
-                raise DegradedCampaignError(
-                    f"only {len(result.included_measurements)} usable capture(s) out of "
-                    f"{len(activities)} survived fault screening",
-                    robustness=robustness,
+        with telemetry.span(
+            "campaign", label=result.activity_label, n_falts=len(activities)
+        ):
+            if self.fault_plan is not None:
+                measurements, robustness = self._capture_degraded(
+                    activities, result.activity_label, grid, n_workers
                 )
-            return result.validate()
-        if n_workers > 1:
-            result.measurements.extend(
-                self._capture_parallel(activities, result.activity_label, grid, n_workers)
-            )
-        else:
-            analyzer = self._analyzer()
-            for activity in activities:
-                scene = self.machine.scene(activity)
-                trace = analyzer.capture(
-                    scene, grid, label=f"{result.activity_label} falt={activity.falt:.6g}Hz"
+                result.measurements.extend(measurements)
+                result.robustness = robustness
+                record_campaign_ledger(telemetry, result.measurements, robustness)
+                if len(result.included_measurements) < 2:
+                    raise DegradedCampaignError(
+                        f"only {len(result.included_measurements)} usable capture(s) out of "
+                        f"{len(activities)} survived fault screening",
+                        robustness=robustness,
+                    )
+                return result.validate()
+            if n_workers > 1:
+                result.measurements.extend(
+                    self._capture_parallel(activities, result.activity_label, grid, n_workers)
                 )
-                result.measurements.append(
-                    CampaignMeasurement(falt=activity.falt, activity=activity, trace=trace)
-                )
+            else:
+                analyzer = self._analyzer()
+                for index, activity in enumerate(activities):
+                    with telemetry.span(
+                        "capture", stage="capture", index=index, attempt=0, falt=activity.falt
+                    ):
+                        scene = self.machine.scene(activity)
+                        trace = analyzer.capture(
+                            scene,
+                            grid,
+                            label=f"{result.activity_label} falt={activity.falt:.6g}Hz",
+                        )
+                    result.measurements.append(
+                        CampaignMeasurement(falt=activity.falt, activity=activity, trace=trace)
+                    )
+            record_campaign_ledger(telemetry, result.measurements, None)
         return result.validate()
 
     def _capture_parallel(self, activities, label, grid, n_workers):
@@ -283,13 +298,17 @@ class MeasurementCampaign:
             attempt=attempt,
         )
         activity = activities[index]
-        scene = self.machine.scene(activity)
-        try:
-            trace = analyzer.capture(
-                scene, grid, label=f"{label} falt={activity.falt:.6g}Hz"
-            )
-        except CaptureFaultError:
-            return None, analyzer.events
+        with current_telemetry().span(
+            "capture", stage="capture", index=index, attempt=attempt, falt=activity.falt
+        ) as capture_span:
+            scene = self.machine.scene(activity)
+            try:
+                trace = analyzer.capture(
+                    scene, grid, label=f"{label} falt={activity.falt:.6g}Hz"
+                )
+            except CaptureFaultError:
+                capture_span.set(dropped=True)
+                return None, analyzer.events
         return trace, analyzer.events
 
     def _capture_degraded(self, activities, label, grid, n_workers):
@@ -390,6 +409,9 @@ class MeasurementCampaign:
             flagged = quality is not None and not quality.ok
             if flagged:
                 excluded[index] = quality.reasons
+                current_telemetry().event(
+                    "screen-rejection", index=index, reasons=list(quality.reasons)
+                )
             measurements.append(
                 CampaignMeasurement(
                     falt=activity.falt,

@@ -35,6 +35,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..errors import DetectionError
+from ..telemetry import current_telemetry
 from ..units import format_frequency, milliwatts_to_dbm
 from .heuristic import HeuristicScorer
 
@@ -120,32 +121,42 @@ class CarrierDetector:
         if view is not None:
             result = view()
         result.validate()
-        cache_for = getattr(self.scorer, "cache_for", None)
-        cache = cache_for(result) if cache_for is not None else None
-        if cache is not None:
-            scores = self.scorer.all_scores(result, cache=cache)
-        else:
-            scores = self.scorer.all_scores(result)
-        zscores = self.scorer.harmonic_zscores(result, scores=scores)
-        combined = self.scorer.combined_zscore(result, zscores=zscores)
-        smoothed = self._smooth(combined)
-        grid = result.grid
-        min_separation_bins = max(int(round(self.min_separation_hz / grid.resolution)), 2)
-        detections = []
-        for start, stop in self._cluster_runs(smoothed, min_separation_bins):
-            for index in self._cluster_candidates(smoothed, start, stop, min_separation_bins):
-                detection = self._build_detection(
-                    result, scores, zscores, smoothed, index, cache=cache
-                )
-                if detection is None:
-                    continue
-                if any(
-                    abs(detection.frequency - other.frequency) < self.min_separation_hz
-                    for other in detections
+        telemetry = current_telemetry()
+        with telemetry.span(
+            "detect", stage="detect", label=result.activity_label
+        ) as detect_span:
+            cache_for = getattr(self.scorer, "cache_for", None)
+            cache = cache_for(result) if cache_for is not None else None
+            if cache is not None:
+                scores = self.scorer.all_scores(result, cache=cache)
+            else:
+                scores = self.scorer.all_scores(result)
+            zscores = self.scorer.harmonic_zscores(result, scores=scores)
+            combined = self.scorer.combined_zscore(result, zscores=zscores)
+            smoothed = self._smooth(combined)
+            grid = result.grid
+            min_separation_bins = max(int(round(self.min_separation_hz / grid.resolution)), 2)
+            detections = []
+            for start, stop in self._cluster_runs(smoothed, min_separation_bins):
+                for index in self._cluster_candidates(
+                    smoothed, start, stop, min_separation_bins
                 ):
-                    continue  # same carrier reached from a second candidate
-                detections.append(detection)
-        detections.sort(key=lambda d: d.frequency)
+                    detection = self._build_detection(
+                        result, scores, zscores, smoothed, index, cache=cache
+                    )
+                    if detection is None:
+                        continue
+                    if any(
+                        abs(detection.frequency - other.frequency) < self.min_separation_hz
+                        for other in detections
+                    ):
+                        continue  # same carrier reached from a second candidate
+                    detections.append(detection)
+            detections.sort(key=lambda d: d.frequency)
+            detect_span.set(n_detections=len(detections))
+            if cache is not None:
+                telemetry.count("scoring_cache_hits", cache.hits)
+                telemetry.count("scoring_cache_misses", cache.misses)
         return detections
 
     # ------------------------------------------------------------------

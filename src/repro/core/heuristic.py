@@ -36,6 +36,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..errors import DetectionError
+from ..telemetry import current_telemetry
 from .campaign import CampaignResult
 from .scoring import ShiftedPowerCache, shift_valid_mask
 
@@ -154,19 +155,31 @@ class HeuristicScorer:
             result = view()
         result.validate()
         harmonics = tuple(result.config.harmonics)
-        if not self.vectorized:
-            return {
-                h: self.harmonic_score(result.traces, result.falts, h)
-                for h in harmonics
-            }
-        if cache is None:
-            cache = ShiftedPowerCache.from_result(result)
-        stack = np.empty((len(harmonics), cache.n_traces, cache.n_bins), dtype=float)
-        scratch = np.empty(cache.n_bins, dtype=float)
-        for k, h in enumerate(harmonics):
-            self._subscores_vectorized(cache, result.falts, h, out=stack[k], scratch=scratch)
-        scores = self._accumulate(stack, axis=1)
-        return {h: scores[k] for k, h in enumerate(harmonics)}
+        telemetry = current_telemetry()
+        with telemetry.span(
+            "score", stage="score", label=result.activity_label, n_harmonics=len(harmonics)
+        ):
+            if not self.vectorized:
+                return {
+                    h: self.harmonic_score(result.traces, result.falts, h)
+                    for h in harmonics
+                }
+            owns_cache = cache is None
+            if owns_cache:
+                cache = ShiftedPowerCache.from_result(result)
+            stack = np.empty((len(harmonics), cache.n_traces, cache.n_bins), dtype=float)
+            scratch = np.empty(cache.n_bins, dtype=float)
+            for k, h in enumerate(harmonics):
+                self._subscores_vectorized(
+                    cache, result.falts, h, out=stack[k], scratch=scratch
+                )
+            scores = self._accumulate(stack, axis=1)
+            if owns_cache:
+                # Whoever builds the cache flushes its counters; a shared
+                # cache is flushed by its owner (the detector) instead.
+                telemetry.count("scoring_cache_hits", cache.hits)
+                telemetry.count("scoring_cache_misses", cache.misses)
+            return {h: scores[k] for k, h in enumerate(harmonics)}
 
     def scores_excluding(self, result, exclude_index, cache=None):
         """Leave-one-out scores: falt index ``exclude_index`` held out.

@@ -10,8 +10,12 @@ modulate them.
 from __future__ import annotations
 
 from concurrent.futures import ThreadPoolExecutor
+from contextlib import ExitStack
+from pathlib import Path
 
 from ..rng import child_rng, ensure_rng
+from ..runner import DurableCampaign
+from ..telemetry import current_telemetry, use_telemetry
 from ..uarch.isa import MicroOp
 from .campaign import MeasurementCampaign
 from .classify import classify_sources
@@ -42,6 +46,7 @@ def run_fase(
     fault_plan=None,
     checkpoint_dir=None,
     resume=True,
+    telemetry=None,
 ):
     """Run FASE on a machine for one or more X/Y activity pairs.
 
@@ -71,6 +76,13 @@ def run_fase(
     captures use the per-measurement derived streams, so a checkpointed
     run equals a clean ``n_workers > 1`` run trace-for-trace, not the
     serial shared-stream run.
+
+    ``telemetry`` (a :class:`~repro.telemetry.Telemetry`) is installed as
+    the ambient pipeline for the duration of the run: every campaign,
+    capture, scoring, and detection stage below emits spans, events, and
+    counters into it, and the final metrics snapshot lands on
+    ``report.telemetry``. ``None`` (the default) leaves the ambient
+    telemetry untouched — the no-op default adds no overhead.
     """
     rng = ensure_rng(rng)
     config = config or campaign_low_band()
@@ -85,10 +97,6 @@ def run_fase(
 
     def build_campaign(label, pair_rng):
         if checkpoint_dir is not None:
-            from pathlib import Path
-
-            from ..runner import DurableCampaign
-
             return DurableCampaign(
                 machine,
                 config,
@@ -104,47 +112,67 @@ def run_fase(
 
     def scan_pair(op_x, op_y, pair_rng):
         label = pair_label(op_x, op_y)
-        campaign = build_campaign(label, pair_rng)
-        result = campaign.run(op_x, op_y, label=label)
-        detections = detector.detect(result)
-        robustness = result.robustness
-        if robustness is not None and result.excluded_indices:
-            # What did excluding the flagged captures change? Score the
-            # same spectra once more with flags ignored and diff the
-            # carrier lists into the ledger.
-            naive = detector.detect(result.with_flags_cleared())
-            robustness.record_detection_delta(naive, detections)
-        return label, detections, group_harmonics(detections), robustness
-
-    if n_workers > 1 and len(pairs) > 1:
-        pair_rngs = [
-            child_rng(rng, f"pair:{pair_label(op_x, op_y)}") for op_x, op_y in pairs
-        ]
-        with ThreadPoolExecutor(max_workers=min(n_workers, len(pairs))) as pool:
-            outcomes = list(
-                pool.map(
-                    lambda item: scan_pair(item[0][0], item[0][1], item[1]),
-                    zip(pairs, pair_rngs),
+        tel = current_telemetry()
+        with tel.span("pair", label=label):
+            campaign = build_campaign(label, pair_rng)
+            result = campaign.run(op_x, op_y, label=label)
+            resumed = getattr(campaign, "resumed_indices", ())
+            if resumed:
+                tel.event(
+                    "campaign-resumed",
+                    label=label,
+                    n_resumed=len(resumed),
+                    indices=list(resumed),
                 )
-            )
-    else:
-        outcomes = [scan_pair(op_x, op_y, rng) for op_x, op_y in pairs]
+            detections = detector.detect(result)
+            robustness = result.robustness
+            if robustness is not None and result.excluded_indices:
+                # What did excluding the flagged captures change? Score the
+                # same spectra once more with flags ignored and diff the
+                # carrier lists into the ledger.
+                naive = detector.detect(result.with_flags_cleared())
+                robustness.record_detection_delta(naive, detections)
+            return label, detections, group_harmonics(detections), robustness
 
-    for (op_x, op_y), (label, detections, harmonic_sets, robustness) in zip(pairs, outcomes):
-        report.activities[label] = ActivityReport(
-            activity_label=label,
-            detections=detections,
-            harmonic_sets=harmonic_sets,
-            robustness=robustness,
-        )
-        sets_by_activity[label] = harmonic_sets
-        is_memory_pair = (op_x in (MicroOp.LDM, MicroOp.STM)) != (
-            op_y in (MicroOp.LDM, MicroOp.STM)
-        )
-        (memory_labels if is_memory_pair else onchip_labels).append(label)
-    report.sources = classify_sources(
-        sets_by_activity,
-        memory_labels=tuple(memory_labels),
-        onchip_labels=tuple(onchip_labels),
-    )
+    with ExitStack() as stack:
+        if telemetry is not None:
+            stack.enter_context(use_telemetry(telemetry))
+        tel = current_telemetry()
+        with tel.span("run_fase", machine=machine.name, n_pairs=len(pairs)):
+            if n_workers > 1 and len(pairs) > 1:
+                pair_rngs = [
+                    child_rng(rng, f"pair:{pair_label(op_x, op_y)}") for op_x, op_y in pairs
+                ]
+                with ThreadPoolExecutor(max_workers=min(n_workers, len(pairs))) as pool:
+                    outcomes = list(
+                        pool.map(
+                            lambda item: scan_pair(item[0][0], item[0][1], item[1]),
+                            zip(pairs, pair_rngs),
+                        )
+                    )
+            else:
+                outcomes = [scan_pair(op_x, op_y, rng) for op_x, op_y in pairs]
+
+            for (op_x, op_y), (label, detections, harmonic_sets, robustness) in zip(
+                pairs, outcomes
+            ):
+                report.activities[label] = ActivityReport(
+                    activity_label=label,
+                    detections=detections,
+                    harmonic_sets=harmonic_sets,
+                    robustness=robustness,
+                )
+                sets_by_activity[label] = harmonic_sets
+                is_memory_pair = (op_x in (MicroOp.LDM, MicroOp.STM)) != (
+                    op_y in (MicroOp.LDM, MicroOp.STM)
+                )
+                (memory_labels if is_memory_pair else onchip_labels).append(label)
+            report.sources = classify_sources(
+                sets_by_activity,
+                memory_labels=tuple(memory_labels),
+                onchip_labels=tuple(onchip_labels),
+            )
+        if telemetry is not None and telemetry.enabled:
+            report.telemetry = telemetry.snapshot().to_dict()
+            telemetry.emit_snapshot()
     return report

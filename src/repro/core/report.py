@@ -39,12 +39,18 @@ class ActivityReport:
 
 @dataclass
 class FaseReport:
-    """Full FASE run over one machine: per-activity results + classification."""
+    """Full FASE run over one machine: per-activity results + classification.
+
+    ``telemetry`` holds the run's final metrics snapshot as a plain dict
+    (see :meth:`repro.telemetry.MetricsSnapshot.to_dict`) when the run
+    was handed a :class:`~repro.telemetry.Telemetry`; ``None`` otherwise.
+    """
 
     machine_name: str
     config_description: str
     activities: dict = field(default_factory=dict)  # label -> ActivityReport
     sources: list = field(default_factory=list)  # ClassifiedSource
+    telemetry: object = None
 
     def detections_for(self, label):
         return self.activities[label].detections

@@ -102,5 +102,15 @@ class DetectionError(ReproError):
     """Carrier detection was invoked with invalid inputs."""
 
 
+class TelemetryError(ReproError):
+    """A telemetry pipeline was configured or combined inconsistently.
+
+    Raised by :mod:`repro.telemetry` for invalid histogram bucket
+    definitions and snapshot merges across incompatible bucket layouts.
+    Never raised on the instrumentation fast path — a disabled pipeline
+    cannot fail.
+    """
+
+
 class SystemModelError(ReproError):
     """A system model (emitters/domains/layout) is inconsistent."""

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from ..errors import CaptureFaultError
 from ..spectrum.trace import SpectrumTrace
+from ..telemetry import current_telemetry
 
 
 class FaultyAnalyzer:
@@ -41,6 +42,21 @@ class FaultyAnalyzer:
             )
         except CaptureFaultError as fault:
             self.events.extend(fault.events)
+            self._emit(fault.events, dropped=True)
             raise
         self.events.extend(events)
+        self._emit(events, dropped=False)
         return SpectrumTrace(grid, power, label=label)
+
+    def _emit(self, events, dropped):
+        telemetry = current_telemetry()
+        if not telemetry.enabled:
+            return
+        for event in events:
+            telemetry.event(
+                "fault-injected",
+                fault=event.fault,
+                index=event.index,
+                attempt=event.attempt,
+                dropped=dropped,
+            )

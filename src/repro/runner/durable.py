@@ -37,7 +37,8 @@ import time
 from ..core.campaign import CampaignMeasurement, CampaignResult, MeasurementCampaign
 from ..errors import CampaignError, CaptureTimeoutError, DegradedCampaignError, JournalError
 from ..faults.injectors import FaultEvent
-from ..faults.robustness import RobustnessReport
+from ..faults.robustness import TIMEOUT_FAULT, RobustnessReport
+from ..telemetry import current_telemetry, record_campaign_ledger
 from .journal import CampaignJournal, campaign_fingerprint
 from .watchdog import CaptureWatchdog, backoff_delay
 
@@ -92,7 +93,12 @@ class DurableCampaign(MeasurementCampaign):
         grid = self.config.grid()
         label = label or activities[0].label or "activity"
         self._open_or_create_journal(activities, label)
+        with current_telemetry().span(
+            "campaign", label=label, n_falts=len(activities), durable=True
+        ):
+            return self._run_durable(activities, label, grid)
 
+    def _run_durable(self, activities, label, grid):
         n = len(activities)
         max_retries = self.config.max_capture_retries
         traces = [None] * n
@@ -103,6 +109,7 @@ class DurableCampaign(MeasurementCampaign):
         # Restore journaled captures. A record whose falt disagrees with
         # the planned activity is stale (the fingerprint guards against
         # this, but a damaged header could let one through) and is redone.
+        telemetry = current_telemetry()
         resumed = []
         for index, record in sorted(self.journal.records(grid).items()):
             if index >= n:
@@ -114,6 +121,12 @@ class DurableCampaign(MeasurementCampaign):
             attempts[index] = record.attempt
             index_events[index] = list(record.events)
             resumed.append(index)
+            telemetry.event(
+                "capture-resumed",
+                index=index,
+                attempt=record.attempt,
+                n_journaled_events=len(record.events),
+            )
         self.resumed_indices = tuple(resumed)
 
         watchdog = CaptureWatchdog(self.config.capture_timeout_s)
@@ -139,7 +152,7 @@ class DurableCampaign(MeasurementCampaign):
             except CaptureTimeoutError:
                 index_events[index].append(
                     FaultEvent(
-                        fault="capture-timeout",
+                        fault=TIMEOUT_FAULT,
                         index=index,
                         attempt=attempt,
                         detail=(
@@ -147,6 +160,12 @@ class DurableCampaign(MeasurementCampaign):
                             "attempt abandoned"
                         ),
                     )
+                )
+                telemetry.event(
+                    "capture-timeout",
+                    index=index,
+                    attempt=attempt,
+                    deadline_s=self.config.capture_timeout_s,
                 )
                 return None
 
@@ -221,6 +240,9 @@ class DurableCampaign(MeasurementCampaign):
             flagged = quality is not None and not quality.ok
             if flagged:
                 excluded[index] = quality.reasons
+                telemetry.event(
+                    "screen-rejection", index=index, reasons=list(quality.reasons)
+                )
             measurements.append(
                 CampaignMeasurement(
                     falt=activity.falt,
@@ -255,6 +277,9 @@ class DurableCampaign(MeasurementCampaign):
             activity_label=label,
             measurements=measurements,
             robustness=robustness,
+        )
+        record_campaign_ledger(
+            telemetry, measurements, robustness, resumed=self.resumed_indices
         )
         usable = len(result.included_measurements)
         if usable < self.min_good_captures:
@@ -296,6 +321,12 @@ def recover_campaign(journal_dir):
     every valid trace — screening flags are not journaled, so recovered
     measurements come back unflagged). Raises :class:`JournalError` when
     fewer than two captures are recoverable.
+
+    The journaled per-capture history (fault and timeout events, retry
+    attempts) is replayed into a :class:`RobustnessReport` on
+    ``result.robustness`` whenever any capture recorded one, so a
+    recovered campaign still accounts for how its captures were earned —
+    this is what ``repro analyze --journal`` prints as resume context.
     """
     journal = CampaignJournal(journal_dir).open()
     config = journal.config()
@@ -311,6 +342,9 @@ def recover_campaign(journal_dir):
         machine_name=journal.header["machine_name"],
         activity_label=journal.header["activity_label"],
     )
+    events = []
+    retries = {}
+    telemetry = current_telemetry()
     for index in sorted(records):
         record = records[index]
         result.measurements.append(
@@ -319,5 +353,23 @@ def recover_campaign(journal_dir):
                 activity=record.activity,
                 trace=record.trace,
             )
+        )
+        events.extend(record.events)
+        if record.attempt > 0:
+            retries[index] = record.attempt
+        telemetry.event(
+            "capture-recovered",
+            index=index,
+            attempt=record.attempt,
+            n_journaled_events=len(record.events),
+        )
+    if events or retries:
+        result.robustness = RobustnessReport(
+            plan_description=(
+                f"recovered from journal {str(journal.directory)!r} "
+                f"({len(records)} checkpointed capture(s))"
+            ),
+            events=events,
+            retries=retries,
         )
     return result.validate()

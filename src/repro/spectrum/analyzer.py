@@ -22,6 +22,7 @@ import numpy as np
 
 from ..errors import TraceError
 from ..rng import ensure_rng
+from ..telemetry import current_telemetry
 from .grid import FrequencyGrid
 from .trace import SpectrumTrace
 
@@ -77,12 +78,15 @@ class SpectrumAnalyzer:
         mean_power = np.asarray(scene.mean_bin_power(grid), dtype=float)
         if mean_power.shape != (grid.n_bins,):
             raise TraceError("scene returned a power array of the wrong shape")
-        mean_power = self._apply_rbw(mean_power, grid)
-        if self.n_averages is None:
-            return SpectrumTrace(grid, mean_power, label=label)
-        k = float(self.n_averages)
-        fluctuation = self.rng.gamma(shape=k, scale=1.0 / k, size=grid.n_bins)
-        return SpectrumTrace(grid, mean_power * fluctuation, label=label)
+        with current_telemetry().span(
+            "average", stage="average", n_averages=self.n_averages, n_bins=grid.n_bins
+        ):
+            mean_power = self._apply_rbw(mean_power, grid)
+            if self.n_averages is None:
+                return SpectrumTrace(grid, mean_power, label=label)
+            k = float(self.n_averages)
+            fluctuation = self.rng.gamma(shape=k, scale=1.0 / k, size=grid.n_bins)
+            return SpectrumTrace(grid, mean_power * fluctuation, label=label)
 
     def capture_many(self, scene, grid, count, label=""):
         """Several independent averaged captures (e.g. for variance studies)."""

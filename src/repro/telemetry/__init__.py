@@ -1,0 +1,257 @@
+"""repro.telemetry: tracing, metrics, and profiling for FASE campaigns.
+
+A real FASE survey is an hours-long measurement campaign with parallel
+captures, fault-injected retries, watchdog timeouts, and checkpoint
+resume. This package records *where time and captures went*:
+
+* **spans** (:mod:`repro.telemetry.spans`) — nested, monotonic-clock
+  timed units of work with seed-stable ids, emitted to pluggable sinks;
+* **metrics** (:mod:`repro.telemetry.metrics`) — thread-safe counters,
+  gauges, and fixed-bucket histograms with a snapshot/merge API
+  (``captures_total``, ``capture_retries``, ``capture_timeouts``,
+  ``screen_rejections``, ``scoring_cache_hits``/``misses``, per-stage
+  wall-clock histograms);
+* **profiling** (:mod:`repro.telemetry.profiler`) — opt-in attribution
+  of campaign wall-clock to capture / average / score / detect stages;
+* **sinks** (:mod:`repro.telemetry.sinks`) — in-memory
+  :class:`Recorder`, crash-tolerant append-only :class:`JsonlSink`, and
+  the discard-everything base.
+
+The default is **off**: the ambient pipeline is :data:`NULL_TELEMETRY`,
+whose every operation is a no-op, so uninstrumented runs pay nothing
+(the PR-1 scoring benchmark guards this). Instrumented code asks for the
+ambient pipeline at the instant it needs it::
+
+    from repro.telemetry import current_telemetry
+    with current_telemetry().span("capture", index=i, stage="capture"):
+        ...
+
+and callers opt in either per call (``run_fase(..., telemetry=...)``),
+ambiently (:func:`use_telemetry`), or from the CLI
+(``--telemetry-jsonl``, ``--profile``).
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+
+from .metrics import (
+    DEFAULT_TIME_BUCKETS,
+    HistogramSnapshot,
+    MetricsRegistry,
+    MetricsSnapshot,
+)
+from .profiler import StageProfiler
+from .sinks import JsonlSink, Recorder, TelemetrySink, read_jsonl
+from .spans import SpanHandle, Tracer
+
+__all__ = [
+    "Telemetry",
+    "NullTelemetry",
+    "NULL_TELEMETRY",
+    "current_telemetry",
+    "use_telemetry",
+    "set_telemetry",
+    "record_campaign_ledger",
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "HistogramSnapshot",
+    "DEFAULT_TIME_BUCKETS",
+    "StageProfiler",
+    "TelemetrySink",
+    "Recorder",
+    "JsonlSink",
+    "read_jsonl",
+    "SpanHandle",
+    "Tracer",
+]
+
+
+class _NullSpanContext:
+    """Reusable no-op span context (one shared instance, zero allocation)."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return _NULL_HANDLE
+
+    def __exit__(self, exc_type, exc, tb):
+        return False
+
+
+class _NullHandle:
+    __slots__ = ()
+    span_id = None
+
+    def set(self, **attrs):
+        return self
+
+
+_NULL_HANDLE = _NullHandle()
+_NULL_SPAN = _NullSpanContext()
+
+
+class NullTelemetry:
+    """The disabled pipeline: every operation is a cheap no-op.
+
+    This is what :func:`current_telemetry` returns until something is
+    installed, so instrumentation sites never need an ``if`` guard.
+    """
+
+    enabled = False
+    profiler = None
+
+    def span(self, name, stage=None, parent_id=None, **attrs):
+        return _NULL_SPAN
+
+    def event(self, name, **attrs):
+        return None
+
+    def count(self, name, n=1):
+        pass
+
+    def gauge(self, name, value):
+        pass
+
+    def observe(self, name, value):
+        pass
+
+    def snapshot(self):
+        return MetricsSnapshot(counters={}, gauges={}, histograms={})
+
+    def emit_snapshot(self, label="metrics"):
+        return None
+
+    def close(self):
+        pass
+
+
+NULL_TELEMETRY = NullTelemetry()
+
+
+class Telemetry:
+    """One observability pipeline: tracer + metrics + sinks (+ profiler).
+
+    ``sinks`` is any iterable of :class:`TelemetrySink`; ``profile=True``
+    attaches a :class:`StageProfiler` fed with every closed span's
+    exclusive time. Span durations with a ``stage`` also land in the
+    ``stage_{stage}_seconds`` histogram (inclusive duration), so metrics
+    snapshots carry the per-stage wall-clock distribution even without
+    the profiler.
+    """
+
+    enabled = True
+
+    def __init__(self, sinks=(), profile=False, metrics=None):
+        self.sinks = tuple(sinks)
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.profiler = StageProfiler() if profile else None
+        self.tracer = Tracer(self._emit, on_close=self._on_span_close)
+
+    # ------------------------------------------------------------------
+
+    def _emit(self, record):
+        for sink in self.sinks:
+            sink.emit(record)
+
+    def _on_span_close(self, stage, duration_s, self_s):
+        if stage is not None:
+            self.metrics.observe(f"stage_{stage}_seconds", duration_s)
+            if self.profiler is not None:
+                self.profiler.add(stage, self_s)
+
+    # ------------------------------------------------------------------
+
+    def span(self, name, stage=None, parent_id=None, **attrs):
+        """Context manager timing one unit of work (see :class:`Tracer`)."""
+        return self.tracer.span(name, stage=stage, parent_id=parent_id, **attrs)
+
+    def event(self, name, **attrs):
+        """Emit a zero-duration point record to the sinks."""
+        return self.tracer.event(name, **attrs)
+
+    def count(self, name, n=1):
+        self.metrics.count(name, n)
+
+    def gauge(self, name, value):
+        self.metrics.gauge(name, value)
+
+    def observe(self, name, value):
+        self.metrics.observe(name, value)
+
+    def snapshot(self):
+        """The pipeline's :class:`MetricsSnapshot` so far."""
+        return self.metrics.snapshot()
+
+    def emit_snapshot(self, label="metrics"):
+        """Write the current metrics state to the sinks as one record."""
+        record = {"kind": "metrics", "name": label}
+        record.update(self.snapshot().to_dict())
+        self._emit(record)
+        return record
+
+    def close(self):
+        """Close every sink (flush + fsync for file sinks)."""
+        for sink in self.sinks:
+            sink.close()
+
+
+# ----------------------------------------------------------------------
+# The ambient pipeline. A plain module global (not a contextvar): worker
+# threads spawned by campaign pools must see the same pipeline as the
+# thread that installed it, and contextvars do not flow into pool workers.
+
+_active = NULL_TELEMETRY
+_active_lock = threading.Lock()
+
+
+def current_telemetry():
+    """The ambient pipeline (:data:`NULL_TELEMETRY` unless installed)."""
+    return _active
+
+
+def set_telemetry(telemetry):
+    """Install ``telemetry`` (or ``None`` → off) ambiently; returns the old one."""
+    global _active
+    with _active_lock:
+        previous = _active
+        _active = telemetry if telemetry is not None else NULL_TELEMETRY
+    return previous
+
+
+@contextmanager
+def use_telemetry(telemetry):
+    """Install a pipeline for the duration of a ``with`` block."""
+    previous = set_telemetry(telemetry)
+    try:
+        yield telemetry if telemetry is not None else NULL_TELEMETRY
+    finally:
+        set_telemetry(previous)
+
+
+# ----------------------------------------------------------------------
+
+
+def record_campaign_ledger(telemetry, measurements, robustness, resumed=()):
+    """Fold one finished campaign's ledger into the metrics registry.
+
+    Counter totals are derived from the same objects the
+    :class:`~repro.faults.RobustnessReport` renders, in exactly one place
+    per campaign, so the telemetry stream and the report can never
+    disagree — the acceptance invariant of the subsystem. ``resumed`` is
+    the durable runner's restored-capture index tuple.
+    """
+    telemetry.count("captures_total", len(measurements))
+    if resumed:
+        telemetry.count("captures_resumed", len(resumed))
+    if robustness is None:
+        return
+    telemetry.count("faults_injected", robustness.n_injected)
+    telemetry.count("capture_timeouts", robustness.n_timeouts)
+    telemetry.count("capture_retries", sum(robustness.retries.values()))
+    telemetry.count("captures_excluded", robustness.n_excluded)
+    telemetry.count("captures_dropped", len(robustness.dropped))
+    telemetry.count(
+        "screen_rejections", sum(1 for m in measurements if getattr(m, "flagged", False))
+    )

@@ -1,0 +1,176 @@
+"""Thread-safe metrics: counters, gauges, and fixed-bucket histograms.
+
+One :class:`MetricsRegistry` rides on each
+:class:`~repro.telemetry.Telemetry` pipeline and is shared by every
+thread of a campaign (``n_workers`` capture threads, ``run_fase``'s pair
+pool). Updates are lock-protected — metric updates happen at capture
+granularity (a handful per campaign stage), never inside the scoring
+inner loops, so one lock is plenty.
+
+:meth:`MetricsRegistry.snapshot` freezes the current state into a
+:class:`MetricsSnapshot` — a plain-data view safe to hand across
+threads, serialize to JSON (``to_dict``), or combine with another run's
+snapshot (``merge``). Merging is exact for counters and histograms
+(both are sums) and last-writer-wins for gauges.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+from ..errors import TelemetryError
+
+#: Default histogram bucket upper bounds, in seconds: wide enough to span
+#: a single fast capture (~ms) through an hours-long campaign stage.
+DEFAULT_TIME_BUCKETS = (
+    0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 30.0, 60.0, 300.0, 1800.0,
+)
+
+
+@dataclass(frozen=True)
+class HistogramSnapshot:
+    """Frozen state of one fixed-bucket histogram.
+
+    ``buckets`` holds the upper bound of each bucket (``value <= bound``
+    lands in it); ``counts`` has one entry per bucket plus a final
+    overflow bucket for values above the last bound.
+    """
+
+    buckets: tuple
+    counts: tuple
+    count: int
+    sum: float
+
+    @property
+    def mean(self):
+        return self.sum / self.count if self.count else 0.0
+
+
+class _Histogram:
+    __slots__ = ("buckets", "counts", "count", "sum")
+
+    def __init__(self, buckets):
+        buckets = tuple(float(b) for b in buckets)
+        if not buckets or any(b <= a for b, a in zip(buckets[1:], buckets)):
+            raise TelemetryError("histogram buckets must be a non-empty increasing sequence")
+        self.buckets = buckets
+        self.counts = [0] * (len(buckets) + 1)  # +1: overflow
+        self.count = 0
+        self.sum = 0.0
+
+    def observe(self, value):
+        value = float(value)
+        slot = len(self.buckets)
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                slot = i
+                break
+        self.counts[slot] += 1
+        self.count += 1
+        self.sum += value
+
+    def freeze(self):
+        return HistogramSnapshot(
+            buckets=self.buckets,
+            counts=tuple(self.counts),
+            count=self.count,
+            sum=self.sum,
+        )
+
+
+@dataclass(frozen=True)
+class MetricsSnapshot:
+    """Immutable point-in-time state of a :class:`MetricsRegistry`."""
+
+    counters: dict
+    gauges: dict
+    histograms: dict  # name -> HistogramSnapshot
+
+    def counter(self, name, default=0):
+        return self.counters.get(name, default)
+
+    def merge(self, other):
+        """Combine with another snapshot: counters/histograms add, gauges
+        take the other side's value on conflict (last writer wins)."""
+        counters = dict(self.counters)
+        for name, value in other.counters.items():
+            counters[name] = counters.get(name, 0) + value
+        gauges = dict(self.gauges)
+        gauges.update(other.gauges)
+        histograms = dict(self.histograms)
+        for name, theirs in other.histograms.items():
+            ours = histograms.get(name)
+            if ours is None:
+                histograms[name] = theirs
+            else:
+                if ours.buckets != theirs.buckets:
+                    raise TelemetryError(
+                        f"cannot merge histogram {name!r}: bucket bounds differ"
+                    )
+                histograms[name] = HistogramSnapshot(
+                    buckets=ours.buckets,
+                    counts=tuple(a + b for a, b in zip(ours.counts, theirs.counts)),
+                    count=ours.count + theirs.count,
+                    sum=ours.sum + theirs.sum,
+                )
+        return MetricsSnapshot(counters=counters, gauges=gauges, histograms=histograms)
+
+    def to_dict(self):
+        """Plain JSON-serializable dict (the ``FaseReport.telemetry`` form)."""
+        return {
+            "counters": dict(self.counters),
+            "gauges": dict(self.gauges),
+            "histograms": {
+                name: {
+                    "buckets": list(h.buckets),
+                    "counts": list(h.counts),
+                    "count": h.count,
+                    "sum": h.sum,
+                }
+                for name, h in self.histograms.items()
+            },
+        }
+
+
+class MetricsRegistry:
+    """Named counters, gauges, and histograms behind one lock."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._counters = {}
+        self._gauges = {}
+        self._histograms = {}
+
+    def count(self, name, n=1):
+        """Add ``n`` to counter ``name`` (created at zero on first use)."""
+        n = int(n)
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + n
+
+    def gauge(self, name, value):
+        """Set gauge ``name`` to ``value`` (last write wins)."""
+        with self._lock:
+            self._gauges[name] = float(value)
+
+    def observe(self, name, value, buckets=DEFAULT_TIME_BUCKETS):
+        """Record ``value`` into fixed-bucket histogram ``name``.
+
+        The bucket bounds are fixed by the histogram's *first* observation;
+        later calls may omit ``buckets``.
+        """
+        with self._lock:
+            histogram = self._histograms.get(name)
+            if histogram is None:
+                histogram = _Histogram(buckets)
+                self._histograms[name] = histogram
+            histogram.observe(value)
+
+    def snapshot(self):
+        """A :class:`MetricsSnapshot` of everything recorded so far."""
+        with self._lock:
+            return MetricsSnapshot(
+                counters=dict(self._counters),
+                gauges=dict(self._gauges),
+                histograms={name: h.freeze() for name, h in self._histograms.items()},
+            )

@@ -1,0 +1,59 @@
+"""Opt-in per-stage profiler: where did the campaign's wall-clock go?
+
+The profiler consumes span closures (via the tracer's ``on_close`` hook)
+and attributes each span's *exclusive* time — children subtracted — to
+its ``stage`` (capture / average / score / detect, plus whatever other
+stages instrumentation declares). Because attribution is exclusive, the
+per-stage totals partition the instrumented time and the rendered shares
+sum to ~100% instead of counting a nested stage twice.
+
+``to_text()`` renders the attribution as a fixed-width table, the thing
+``repro scan --profile`` prints after the report.
+"""
+
+from __future__ import annotations
+
+import threading
+
+
+class StageProfiler:
+    """Accumulates per-stage call counts and exclusive seconds."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._stages = {}  # stage -> [calls, exclusive_seconds]
+
+    def add(self, stage, seconds):
+        """Attribute ``seconds`` of exclusive time to ``stage``."""
+        with self._lock:
+            entry = self._stages.get(stage)
+            if entry is None:
+                self._stages[stage] = [1, float(seconds)]
+            else:
+                entry[0] += 1
+                entry[1] += float(seconds)
+
+    def totals(self):
+        """{stage: (calls, exclusive_seconds)}, a snapshot."""
+        with self._lock:
+            return {stage: (entry[0], entry[1]) for stage, entry in self._stages.items()}
+
+    def total_seconds(self):
+        with self._lock:
+            return sum(entry[1] for entry in self._stages.values())
+
+    def to_text(self):
+        totals = self.totals()
+        if not totals:
+            return "profile: no instrumented stages ran"
+        grand = sum(seconds for _, seconds in totals.values()) or 1.0
+        lines = ["profile: campaign time by stage (exclusive)"]
+        lines.append(f"  {'stage':<12} {'calls':>6} {'seconds':>10} {'share':>7}")
+        for stage, (calls, seconds) in sorted(
+            totals.items(), key=lambda item: item[1][1], reverse=True
+        ):
+            lines.append(
+                f"  {stage:<12} {calls:>6} {seconds:>10.3f} {100.0 * seconds / grand:>6.1f}%"
+            )
+        lines.append(f"  {'total':<12} {'':>6} {grand:>10.3f} {'100.0%':>7}")
+        return "\n".join(lines)

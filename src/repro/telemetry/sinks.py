@@ -1,0 +1,123 @@
+"""Telemetry sinks: where span and event records go.
+
+A sink receives plain-dict records (spans, events, metrics snapshots) —
+one :meth:`~TelemetrySink.emit` call per record — and is shared by every
+thread of a run, so implementations must be thread-safe.
+
+Three implementations cover the subsystem's needs:
+
+* :class:`TelemetrySink` — the no-op base; with no sink configured the
+  whole telemetry layer stays a no-op.
+* :class:`Recorder` — in-memory list, for tests and programmatic
+  inspection.
+* :class:`JsonlSink` — an append-only JSON-Lines file following the
+  campaign journal's durability discipline: every record is written as
+  one complete line and flushed to the OS immediately, the file is
+  fsync'd on :meth:`~JsonlSink.close` (and optionally per record), and
+  the reader side (:func:`read_jsonl`) skips a torn trailing line, so a
+  kill mid-write loses at most the record being written — exactly the
+  journal's "old state or new state, never half" guarantee at
+  line granularity.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from pathlib import Path
+
+
+class TelemetrySink:
+    """Base sink: discards everything. Subclass and override ``emit``."""
+
+    def emit(self, record):
+        """Receive one record (a JSON-serializable dict)."""
+
+    def close(self):
+        """Flush and release resources; further emits are undefined."""
+
+
+class Recorder(TelemetrySink):
+    """In-memory sink: keeps every record, in emission order."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.records = []
+
+    def emit(self, record):
+        with self._lock:
+            self.records.append(record)
+
+    def spans(self, name=None):
+        """Recorded span records, optionally filtered by span name."""
+        return [
+            r
+            for r in self.records
+            if r.get("kind") == "span" and (name is None or r.get("name") == name)
+        ]
+
+    def events(self, name=None):
+        """Recorded event records, optionally filtered by event name."""
+        return [
+            r
+            for r in self.records
+            if r.get("kind") == "event" and (name is None or r.get("name") == name)
+        ]
+
+
+class JsonlSink(TelemetrySink):
+    """Append-only JSONL file sink (crash-tolerant, see module docstring).
+
+    ``fsync_every`` forces an ``os.fsync`` after every record — the
+    maximum-durability mode for runs expected to be killed; the default
+    flushes each line to the OS (surviving process death) and fsyncs only
+    on close (surviving machine death up to the last close).
+    """
+
+    def __init__(self, path, fsync_every=False):
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._handle = open(self.path, "a", encoding="utf-8")
+        self._lock = threading.Lock()
+        self.fsync_every = bool(fsync_every)
+
+    def emit(self, record):
+        line = json.dumps(record, sort_keys=True, default=str)
+        with self._lock:
+            if self._handle.closed:
+                return
+            self._handle.write(line + "\n")
+            self._handle.flush()
+            if self.fsync_every:
+                os.fsync(self._handle.fileno())
+
+    def close(self):
+        with self._lock:
+            if self._handle.closed:
+                return
+            self._handle.flush()
+            os.fsync(self._handle.fileno())
+            self._handle.close()
+
+
+def read_jsonl(path):
+    """Parse a :class:`JsonlSink` file back into a list of records.
+
+    A torn trailing line (the run was killed mid-write) is skipped, like
+    the journal skips a record that never became durable; a damaged line
+    anywhere else raises ``ValueError`` — that is corruption, not a kill.
+    """
+    records = []
+    with open(path, encoding="utf-8") as handle:
+        lines = handle.read().split("\n")
+    for i, line in enumerate(lines):
+        if not line.strip():
+            continue
+        try:
+            records.append(json.loads(line))
+        except ValueError:
+            if i == len(lines) - 1 or (i == len(lines) - 2 and not lines[-1].strip()):
+                break  # torn tail: the kill interrupted this write
+            raise
+    return records

@@ -1,0 +1,45 @@
+"""Smoke tier: every example script must run to completion.
+
+Each ``examples/*.py`` is executed as a subprocess exactly the way the
+README tells a reader to run it (``PYTHONPATH=src python examples/...``),
+in a temporary working directory so scripts that write output files never
+dirty the repo. The only assertion is exit code 0 — examples are living
+documentation, and a crashing example is a broken doc.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+pytestmark = pytest.mark.examples
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+EXAMPLES = sorted((REPO_ROOT / "examples").glob("*.py"))
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda path: path.stem)
+def test_example_runs_clean(script, tmp_path):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    completed = subprocess.run(
+        [sys.executable, str(script)],
+        cwd=tmp_path,
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert completed.returncode == 0, (
+        f"{script.name} exited {completed.returncode}\n"
+        f"--- stdout ---\n{completed.stdout[-2000:]}\n"
+        f"--- stderr ---\n{completed.stderr[-2000:]}"
+    )
+
+
+def test_every_example_is_collected():
+    assert len(EXAMPLES) >= 9  # the suite must notice a new script vanishing

@@ -261,8 +261,27 @@ class TestCli:
         assert "315" in out
 
     def test_invalid_pair_rejected(self):
-        with pytest.raises(SystemExit):
+        with pytest.raises(SystemExit) as excinfo:
             main(["scan", "--pair", "FOO/BAR"])
+        message = str(excinfo.value)
+        assert "invalid activity pair" in message
+        assert "'FOO/BAR'" in message
+
+    def test_invalid_pair_unknown_op_names_valid_ops(self):
+        # Regression: an unknown op token must exit with a clean message
+        # that lists the valid micro-ops, not a traceback.
+        with pytest.raises(SystemExit) as excinfo:
+            main(["scan", "--pair", "LDM/BOGUS"])
+        message = str(excinfo.value)
+        assert "invalid activity pair" in message
+        assert "'LDM/BOGUS'" in message
+        for op in ("LDM", "LDL1", "LDL2", "STM"):
+            assert op in message
+
+    def test_invalid_pair_rejected_on_record(self, tmp_path):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["record", "--pair", "LDM/BOGUS", str(tmp_path / "out.npz")])
+        assert "invalid activity pair" in str(excinfo.value)
 
     def test_requires_command(self):
         with pytest.raises(SystemExit):
