@@ -21,7 +21,10 @@ substitute; see DESIGN.md for the substitution argument):
 * :mod:`repro.analysis` — near-field localization, modulation-depth
   sweeps, rejection validation, and FM confirmation;
 * :mod:`repro.telemetry` — opt-in tracing, metrics, and per-stage
-  profiling for every campaign (off by default, zero overhead).
+  profiling for every campaign (off by default, zero overhead);
+* :mod:`repro.survey` — the sharded, process-parallel multi-machine
+  survey engine with worker-death recovery and cross-machine source
+  comparison.
 
 Quickstart::
 
@@ -63,6 +66,7 @@ from .telemetry import (
     JsonlSink,
     read_jsonl,
 )
+from .survey import SurveyLedger, SurveyReport, run_survey
 from .system import (
     SystemModel,
     corei7_desktop,
@@ -94,6 +98,9 @@ __all__ = [
     "CampaignJournal",
     "DurableCampaign",
     "recover_campaign",
+    "SurveyLedger",
+    "SurveyReport",
+    "run_survey",
     "Telemetry",
     "NullTelemetry",
     "NULL_TELEMETRY",

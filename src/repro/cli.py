@@ -3,7 +3,7 @@
 Commands:
 
 * ``scan``      run FASE on a preset machine and print the report
-* ``survey``    run the LDM/LDL1 scan on every preset machine
+* ``survey``    run FASE over many machines on process-parallel shards
 * ``localize``  near-field-localize a carrier on a preset machine
 * ``record``    run a campaign and save the raw spectra to a .npz file
 * ``analyze``   detect carriers in a previously recorded campaign
@@ -27,6 +27,7 @@ from .core import (
 from .errors import ReproError
 from .faults import FAULT_CLASSES, FaultPlan
 from .runner import DurableCampaign
+from .survey import DEFAULT_PAIRS, run_survey
 from .system import ALL_PRESETS
 from .telemetry import JsonlSink, Telemetry, use_telemetry
 from .uarch.activity import AlternationActivity
@@ -72,8 +73,9 @@ def _add_campaign_arguments(parser):
         "--workers",
         type=int,
         default=1,
-        help="captures (and activity pairs) run on this many threads; "
-        ">1 uses per-measurement random streams",
+        help="scan/record: captures (and activity pairs) run on this many "
+        "threads (>1 uses per-measurement random streams); survey: shards "
+        "run on this many worker processes",
     )
     parser.add_argument(
         "--faults",
@@ -205,15 +207,43 @@ def cmd_scan(args):
 
 
 def cmd_survey(args):
-    for name in sorted(ALL_PRESETS):
-        machine = ALL_PRESETS[name](rng=np.random.default_rng(args.seed))
-        config = FaseConfig(span_low=0.0, span_high=2e6, fres=100.0, name="survey")
-        campaign = MeasurementCampaign(machine, config, rng=np.random.default_rng(args.seed + 1))
-        result = campaign.run(MicroOp.LDM, MicroOp.LDL1, label="LDM/LDL1")
-        sets = group_harmonics(CarrierDetector().detect(result))
-        print(f"{machine.name}: {len(sets)} harmonic sets")
-        for harmonic_set in sets:
-            print(f"  {harmonic_set.describe()}")
+    machines = None
+    if args.machines:
+        machines = [name.strip() for name in args.machines.split(",") if name.strip()]
+    fault_classes = None
+    if args.faults is not None:
+        fault_classes = args.faults  # run_survey validates names
+    telemetry = _build_telemetry(args)
+    telemetry_dir = None
+    if args.telemetry_jsonl:
+        # Survey-level records go to PATH; per-shard streams under PATH.d/.
+        telemetry_dir = f"{args.telemetry_jsonl}.d"
+    try:
+        config = _parse_span(args)
+        pairs = (_parse_ops(args.pair),) if args.pair else DEFAULT_PAIRS
+        report = run_survey(
+            machines=machines,
+            pairs=pairs,
+            config=config,
+            bands=args.bands,
+            seed=args.seed,
+            workers=args.workers,
+            fault_classes=fault_classes,
+            checkpoint_dir=args.checkpoint_dir,
+            resume=args.resume,
+            telemetry_dir=telemetry_dir,
+            telemetry=telemetry,
+            max_shard_retries=args.max_shard_retries,
+        )
+    except ReproError as exc:
+        if telemetry is not None:
+            # The survey died; still flush what the parent saw so the
+            # JSONL stream explains the failure.
+            telemetry.emit_snapshot(label="metrics-at-failure")
+        _finish_telemetry(telemetry)
+        raise SystemExit(str(exc)) from exc
+    print(report.to_text())
+    _finish_telemetry(telemetry)
     return 0
 
 
@@ -310,8 +340,41 @@ def build_parser():
     scan.add_argument("--pair", default=None, help="activity pair, e.g. LDM/LDL1")
     scan.set_defaults(handler=cmd_scan)
 
-    survey = sub.add_parser("survey", help="scan every preset machine")
-    survey.add_argument("--seed", type=int, default=0)
+    survey = sub.add_parser(
+        "survey",
+        help="run FASE over many machines with process-parallel shards",
+    )
+    survey.add_argument("--seed", type=int, default=0, help="root random seed")
+    survey.add_argument(
+        "--machines",
+        default=None,
+        metavar="NAMES",
+        help="comma list of preset machines (default: all of "
+        f"{','.join(sorted(ALL_PRESETS))})",
+    )
+    _add_campaign_arguments(survey)
+    survey.add_argument(
+        "--pair",
+        default=None,
+        help="survey a single activity pair, e.g. LDM/LDL1 (default: the "
+        "paper's LDM/LDL1 and LDL2/LDL1)",
+    )
+    survey.add_argument(
+        "--bands",
+        type=int,
+        default=1,
+        metavar="N",
+        help="split the span into N contiguous sub-bands, one shard each "
+        "(more shards -> better process utilization)",
+    )
+    survey.add_argument(
+        "--max-shard-retries",
+        type=int,
+        default=2,
+        metavar="N",
+        help="requeue a failed shard (worker death included) at most N "
+        "times before abandoning it into the survey ledger",
+    )
     survey.set_defaults(handler=cmd_survey)
 
     localize = sub.add_parser("localize", help="near-field localize a carrier")

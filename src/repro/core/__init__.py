@@ -37,7 +37,7 @@ from .classify import (
     UNIDENTIFIED,
 )
 from .report import FaseReport, ActivityReport
-from .pipeline import run_fase, pair_label
+from .pipeline import is_memory_pair, pair_label, run_fase
 from .fmfase import (
     FmFaseScanner,
     FmDetection,
@@ -78,6 +78,7 @@ __all__ = [
     "UNIDENTIFIED",
     "FaseReport",
     "ActivityReport",
+    "is_memory_pair",
     "run_fase",
     "pair_label",
     "FmFaseScanner",

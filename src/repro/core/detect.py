@@ -42,7 +42,14 @@ from .heuristic import HeuristicScorer
 
 @dataclass(frozen=True)
 class CarrierDetection:
-    """One detected activity-modulated carrier."""
+    """One detected activity-modulated carrier.
+
+    ``combined_score`` is the scorer's fused log10 evidence at the
+    carrier ("decades of evidence",
+    :meth:`~repro.core.heuristic.HeuristicScorer.combined_score`) — the
+    unit :meth:`describe` reports. Detection thresholds operate on the
+    separate combined *z-score*, which is not stored here.
+    """
 
     frequency: float
     combined_score: float
@@ -134,6 +141,10 @@ class CarrierDetector:
             zscores = self.scorer.harmonic_zscores(result, scores=scores)
             combined = self.scorer.combined_zscore(result, zscores=zscores)
             smoothed = self._smooth(combined)
+            # Thresholding/clustering run on the z-score, but the reported
+            # combined_score is the scorer's log10 evidence — the unit
+            # describe() claims ("decades").
+            evidence = self.scorer.combined_score(result, scores=scores)
             grid = result.grid
             min_separation_bins = max(int(round(self.min_separation_hz / grid.resolution)), 2)
             detections = []
@@ -142,7 +153,7 @@ class CarrierDetector:
                     smoothed, start, stop, min_separation_bins
                 ):
                     detection = self._build_detection(
-                        result, scores, zscores, smoothed, index, cache=cache
+                        result, scores, zscores, evidence, index, cache=cache
                     )
                     if detection is None:
                         continue
@@ -212,7 +223,7 @@ class CarrierDetector:
                 candidates.append(index)
         return candidates
 
-    def _build_detection(self, result, scores, zscores, combined, index, cache=None):
+    def _build_detection(self, result, scores, zscores, evidence, index, cache=None):
         grid = result.grid
         candidate_frequency = grid.frequency_at(index)
         harmonic_scores = {}
@@ -244,7 +255,7 @@ class CarrierDetector:
         magnitude_dbm, modulation_depth = self._characterize(result, refined_index, cache=cache)
         return CarrierDetection(
             frequency=frequency,
-            combined_score=float(combined[index]),
+            combined_score=float(evidence[index]),
             harmonic_scores=harmonic_scores,
             magnitude_dbm=magnitude_dbm,
             modulation_depth=modulation_depth,

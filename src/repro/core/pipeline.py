@@ -14,7 +14,7 @@ from contextlib import ExitStack
 from pathlib import Path
 
 from ..rng import child_rng, ensure_rng
-from ..runner import DurableCampaign
+from ..runner import DurableCampaign, journal_dirname
 from ..telemetry import current_telemetry, use_telemetry
 from ..uarch.isa import MicroOp
 from .campaign import MeasurementCampaign
@@ -24,15 +24,25 @@ from .detect import CarrierDetector
 from .harmonics import group_harmonics
 from .report import ActivityReport, FaseReport
 
+#: Micro-ops whose loop bodies travel to DRAM (Section 4 fingerprinting).
+_MEMORY_OPS = (MicroOp.LDM, MicroOp.STM)
+
 
 def pair_label(op_x, op_y):
     """The paper's pair notation, e.g. ``"LDM/LDL1"``."""
     return f"{op_x.value}/{op_y.value}"
 
 
-def _journal_dirname(label):
-    """A filesystem-safe journal directory name for one activity pair."""
-    return "".join(ch if ch.isalnum() or ch in "._-" else "-" for ch in label)
+def is_memory_pair(op_x, op_y):
+    """Whether exactly one side of an X/Y pair is memory traffic.
+
+    Such a pair alternates DRAM activity on and off, so carriers it
+    modulates carry the paper's "memory-side" fingerprint; pairs where
+    both or neither side hits DRAM fingerprint on-chip mechanisms
+    instead. Shared by :func:`run_fase` and the survey engine so both
+    classify with the same rule.
+    """
+    return (op_x in _MEMORY_OPS) != (op_y in _MEMORY_OPS)
 
 
 def run_fase(
@@ -100,7 +110,7 @@ def run_fase(
             return DurableCampaign(
                 machine,
                 config,
-                journal_dir=Path(checkpoint_dir) / _journal_dirname(label),
+                journal_dir=Path(checkpoint_dir) / journal_dirname(label),
                 latency_model=latency_model,
                 rng=pair_rng,
                 fault_plan=fault_plan,
@@ -163,10 +173,7 @@ def run_fase(
                     robustness=robustness,
                 )
                 sets_by_activity[label] = harmonic_sets
-                is_memory_pair = (op_x in (MicroOp.LDM, MicroOp.STM)) != (
-                    op_y in (MicroOp.LDM, MicroOp.STM)
-                )
-                (memory_labels if is_memory_pair else onchip_labels).append(label)
+                (memory_labels if is_memory_pair(op_x, op_y) else onchip_labels).append(label)
             report.sources = classify_sources(
                 sets_by_activity,
                 memory_labels=tuple(memory_labels),

@@ -58,6 +58,18 @@ class FaseReport:
     def sets_for(self, label):
         return self.activities[label].harmonic_sets
 
+    def all_harmonic_sets(self):
+        """Every harmonic set across all activities, in activity order.
+
+        The survey engine feeds this into the cross-machine source
+        comparison (:func:`~repro.core.classify.classify_sources` with one
+        "activity" per machine).
+        """
+        sets = []
+        for report in self.activities.values():
+            sets.extend(report.harmonic_sets)
+        return sets
+
     def carriers_near(self, frequency, label=None, rel_tol=0.01):
         """Detections within a relative tolerance of a frequency."""
         labels = [label] if label else list(self.activities)

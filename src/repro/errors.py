@@ -98,6 +98,16 @@ class DegradedCampaignError(CampaignError):
         self.robustness = robustness
 
 
+class SurveyError(ReproError):
+    """A multi-machine survey was configured or executed inconsistently.
+
+    Raised by :mod:`repro.survey` for unknown preset machines, empty work
+    plans, and invalid worker/retry budgets. Per-shard failures inside a
+    running survey never raise this — they are requeued and ledgered in
+    the :class:`~repro.survey.SurveyLedger` instead.
+    """
+
+
 class DetectionError(ReproError):
     """Carrier detection was invoked with invalid inputs."""
 

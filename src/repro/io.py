@@ -30,6 +30,8 @@ import numpy as np
 from .core.campaign import CampaignMeasurement, CampaignResult
 from .core.config import FaseConfig
 from .errors import CampaignArchiveError, CampaignError
+from .faults.injectors import FaultEvent
+from .faults.robustness import DetectionDelta, RobustnessReport
 from .faults.screening import CaptureQuality
 from .spectrum.grid import FrequencyGrid
 from .spectrum.trace import SpectrumTrace
@@ -81,6 +83,68 @@ def _activity_to_dict(activity):
 
 def _activity_from_dict(data):
     return AlternationActivity(**data)
+
+
+def _robustness_to_dict(robustness):
+    """JSON form of a :class:`~repro.faults.RobustnessReport` (or ``None``).
+
+    The ledger is part of the campaign's provenance — ``cmd_analyze``
+    prints it "for archives of degraded runs" — so it must survive the
+    archive round-trip, not just journal recovery. Dict keys go through
+    JSON as strings and are restored to ints on load.
+    """
+    if robustness is None:
+        return None
+    delta = robustness.detection_delta
+    return {
+        "plan_description": robustness.plan_description,
+        "events": [
+            {"fault": e.fault, "index": e.index, "attempt": e.attempt, "detail": e.detail}
+            for e in robustness.events
+        ],
+        "retries": {str(index): extra for index, extra in robustness.retries.items()},
+        "excluded": {str(index): list(reasons) for index, reasons in robustness.excluded.items()},
+        "dropped": list(robustness.dropped),
+        "detection_delta": None
+        if delta is None
+        else {
+            "n_naive": delta.n_naive,
+            "n_degraded": delta.n_degraded,
+            "gained": list(delta.gained),
+            "lost": list(delta.lost),
+        },
+    }
+
+
+def _robustness_from_dict(data):
+    if data is None:
+        return None
+    delta_data = data.get("detection_delta")
+    delta = None
+    if delta_data is not None:
+        delta = DetectionDelta(
+            n_naive=int(delta_data["n_naive"]),
+            n_degraded=int(delta_data["n_degraded"]),
+            gained=tuple(delta_data["gained"]),
+            lost=tuple(delta_data["lost"]),
+        )
+    return RobustnessReport(
+        plan_description=data["plan_description"],
+        events=[
+            FaultEvent(
+                fault=e["fault"], index=int(e["index"]), attempt=int(e["attempt"]),
+                detail=e["detail"],
+            )
+            for e in data.get("events", [])
+        ],
+        retries={int(index): int(extra) for index, extra in (data.get("retries") or {}).items()},
+        excluded={
+            int(index): tuple(reasons)
+            for index, reasons in (data.get("excluded") or {}).items()
+        },
+        dropped=tuple(int(index) for index in data.get("dropped", ())),
+        detection_delta=delta,
+    )
 
 
 def _restore_grid(grid_data, config, path):
@@ -178,6 +242,7 @@ def save_campaign(result, path):
             list(m.quality.reasons) if m.quality is not None else None
             for m in result.measurements
         ],
+        "robustness": _robustness_to_dict(result.robustness),
     }
     arrays = {"metadata": json.dumps(metadata)}
     for i, measurement in enumerate(result.measurements):
@@ -251,6 +316,23 @@ def _load_archive(path):
         n_measurements = len(metadata["falts"])
         flagged = metadata.get("flagged") or [False] * n_measurements
         reasons = metadata.get("quality_reasons") or [None] * n_measurements
+        # Hand-edited or torn metadata can leave the per-capture lists
+        # disagreeing in length; zip would silently drop captures and the
+        # flag lookups would raise a raw IndexError mid-load.
+        lengths = {
+            "falts": n_measurements,
+            "activities": len(metadata["activities"]),
+            "trace_labels": len(metadata["trace_labels"]),
+            "flagged": len(flagged),
+            "quality_reasons": len(reasons),
+        }
+        if len(set(lengths.values())) > 1:
+            detail = ", ".join(f"{name}={count}" for name, count in lengths.items())
+            raise CampaignArchiveError(
+                f"{str(path)!r} has inconsistent metadata: per-capture lists "
+                f"disagree in length ({detail})"
+            )
+        result.robustness = _robustness_from_dict(metadata.get("robustness"))
         for i, (falt, activity_data, label) in enumerate(
             zip(metadata["falts"], metadata["activities"], metadata["trace_labels"])
         ):

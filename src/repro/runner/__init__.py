@@ -28,6 +28,7 @@ from .journal import (
     CampaignJournal,
     JournalRecord,
     campaign_fingerprint,
+    journal_dirname,
 )
 from .watchdog import MAX_BACKOFF_S, CaptureWatchdog, backoff_delay
 
@@ -41,5 +42,6 @@ __all__ = [
     "JournalRecord",
     "backoff_delay",
     "campaign_fingerprint",
+    "journal_dirname",
     "recover_campaign",
 ]

@@ -1,0 +1,48 @@
+"""repro.survey: the sharded, process-parallel survey engine.
+
+The paper's results are a *survey* — the same FASE procedure over four
+test systems, two activity pairs, and three bands (Figure 10), compared
+across machines (Figure 17). This package scales that workload past the
+GIL: the plan is decomposed into (machine, pair, band) **shards**, each
+shard runs the full existing pipeline (campaign → heuristic → detection
+→ grouping) in its own worker process, and the engine survives worker
+death with bounded, ledgered requeues.
+
+* :mod:`~repro.survey.shards` — :class:`ShardSpec`/:class:`ShardResult`
+  and the pure per-process worker :func:`run_shard`;
+* :mod:`~repro.survey.engine` — :func:`run_survey` (and
+  :func:`plan_shards`), the round-based process-pool scheduler;
+* :mod:`~repro.survey.report` — :class:`SurveyReport`,
+  :class:`SurveyLedger`, :class:`ShardFailure`.
+
+Entry points: :func:`run_survey` directly, or ``repro survey`` on the
+command line (``--machines``, ``--workers``, ``--bands``, plus the
+standard campaign/fault/durability/telemetry flags).
+"""
+
+from .engine import DEFAULT_PAIRS, plan_shards, run_survey
+from .report import (
+    POOL_BREAK,
+    SHARD_ERROR,
+    WORKER_DEATH,
+    ShardFailure,
+    SurveyLedger,
+    SurveyReport,
+)
+from .shards import ShardResult, ShardSpec, run_shard, shard_journal_dir
+
+__all__ = [
+    "DEFAULT_PAIRS",
+    "POOL_BREAK",
+    "SHARD_ERROR",
+    "WORKER_DEATH",
+    "ShardFailure",
+    "ShardResult",
+    "ShardSpec",
+    "SurveyLedger",
+    "SurveyReport",
+    "plan_shards",
+    "run_shard",
+    "run_survey",
+    "shard_journal_dir",
+]

@@ -1,0 +1,404 @@
+"""The process-parallel survey engine.
+
+Every existing parallel path in this library (``FaseConfig.n_workers``,
+``run_fase``'s pair pool) is a thread pool, so capture synthesis and
+scoring — pure Python + numpy — never use more than ~one core of real
+work. A survey is embarrassingly parallel at a coarser grain: the
+(machine, pair, band) shards share nothing, so this engine fans
+:class:`~repro.survey.shards.ShardSpec` units across a
+``ProcessPoolExecutor`` and merges the picklable results.
+
+Fault model
+-----------
+
+A worker *process* can die mid-shard (OOM kill, segfaulting native code,
+an operator's ``kill -9``). ``ProcessPoolExecutor`` then fails **every**
+in-flight future with ``BrokenProcessPool`` and the pool is unusable —
+the innocent shards' failures say nothing about who killed the worker.
+The engine therefore runs in rounds:
+
+1. a shared pool round submits all pending shards with ``workers``
+   processes; shards that raise ordinary exceptions are charged a
+   failure and requeued (bounded by ``max_shard_retries``);
+2. if the pool breaks, the unfinished shards are requeued *uncharged*
+   (ledgered as ``pool-break``) and the engine switches to isolation
+   mode: each remaining shard runs alone in a fresh single-worker pool,
+   so a worker death is attributable — *that* shard is charged, requeued
+   while budget remains, and finally abandoned with the failure recorded
+   in the :class:`~repro.survey.report.SurveyLedger`.
+
+A shard result is a pure function of ``(seed, shard_id)`` (see
+:mod:`~repro.survey.shards`), so ``workers=1`` — which runs shards
+inline, no pool — produces detections identical to any process-parallel
+run of the same plan, and re-running a requeued shard is always safe.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from contextlib import ExitStack
+from dataclasses import replace
+from pathlib import Path
+
+from ..core.classify import classify_sources
+from ..core.config import campaign_low_band
+from ..core.pipeline import pair_label
+from ..core.report import FaseReport
+from ..errors import SurveyError
+from ..faults import FAULT_CLASSES
+from ..runner import journal_dirname
+from ..system import ALL_PRESETS
+from ..telemetry import MetricsSnapshot, current_telemetry, use_telemetry
+from ..uarch.isa import MicroOp
+from .report import POOL_BREAK, SHARD_ERROR, WORKER_DEATH, SurveyLedger, SurveyReport
+from .shards import ShardSpec, run_shard
+
+#: The two pairs the paper's survey focuses on: memory modulation
+#: (Figure 11) and on-chip modulation (Figure 13).
+DEFAULT_PAIRS = ((MicroOp.LDM, MicroOp.LDL1), (MicroOp.LDL2, MicroOp.LDL1))
+
+
+def _coerce_pair(pair):
+    try:
+        op_x, op_y = pair
+        return (MicroOp(getattr(op_x, "value", op_x)), MicroOp(getattr(op_y, "value", op_y)))
+    except (TypeError, ValueError) as exc:
+        valid = ", ".join(sorted(op.value for op in MicroOp))
+        raise SurveyError(f"invalid activity pair {pair!r}; each op must be one of: {valid}") from exc
+
+
+def _band_spans(config, bands):
+    """Normalize ``bands`` into labeled (low, high) spans.
+
+    ``None`` → the config's full span as one band; an int ``n`` → ``n``
+    equal contiguous sub-spans; otherwise an iterable of (low, high)
+    pairs. Labels are human-readable MHz ranges and double as shard-id
+    components.
+    """
+    if bands is None:
+        spans = [(config.span_low, config.span_high)]
+    elif isinstance(bands, int):
+        if bands < 1:
+            raise SurveyError("bands must be >= 1")
+        width = (config.span_high - config.span_low) / bands
+        spans = [
+            (config.span_low + i * width, config.span_low + (i + 1) * width)
+            for i in range(bands)
+        ]
+    else:
+        spans = [(float(low), float(high)) for low, high in bands]
+        if not spans:
+            raise SurveyError("bands must be non-empty")
+    for low, high in spans:
+        if high <= low:
+            raise SurveyError(f"band ({low:g}, {high:g}) has non-positive width")
+    return [(f"{low / 1e6:g}-{high / 1e6:g}MHz", (low, high)) for low, high in spans]
+
+
+def _normalize_fault_classes(fault_classes):
+    """``None`` → clean run; ``"all"`` → every class; else validated names."""
+    if fault_classes is None:
+        return None
+    if isinstance(fault_classes, str):
+        if fault_classes.strip().lower() in ("all", ""):
+            return tuple(FAULT_CLASSES)
+        fault_classes = [name.strip() for name in fault_classes.split(",") if name.strip()]
+    classes = tuple(fault_classes)
+    unknown = [name for name in classes if name not in FAULT_CLASSES]
+    if unknown:
+        raise SurveyError(f"unknown fault classes {unknown}; choose from {sorted(FAULT_CLASSES)}")
+    return classes
+
+
+def plan_shards(
+    machines=None,
+    pairs=DEFAULT_PAIRS,
+    config=None,
+    bands=None,
+    seed=0,
+    fault_classes=None,
+    checkpoint_dir=None,
+    resume=True,
+    telemetry_dir=None,
+):
+    """The survey's work plan: one :class:`ShardSpec` per (machine, pair, band).
+
+    Deterministic in its inputs — the plan order is the aggregation order,
+    so reports read the same regardless of which shard finished first.
+    """
+    config = config or campaign_low_band()
+    if machines is None:
+        machines = sorted(ALL_PRESETS)
+    machines = tuple(machines)
+    if not machines:
+        raise SurveyError("survey needs at least one machine")
+    unknown = [name for name in machines if name not in ALL_PRESETS]
+    if unknown:
+        raise SurveyError(f"unknown preset machines {unknown}; choose from {sorted(ALL_PRESETS)}")
+    pairs = tuple(_coerce_pair(pair) for pair in pairs)
+    if not pairs:
+        raise SurveyError("survey needs at least one activity pair")
+    classes = _normalize_fault_classes(fault_classes)
+    spans = _band_spans(config, bands)
+    specs = []
+    for machine in machines:
+        for op_x, op_y in pairs:
+            for band_label, (low, high) in spans:
+                shard_id = f"{machine}:{pair_label(op_x, op_y)}:{band_label}"
+                shard_config = replace(
+                    config,
+                    span_low=low,
+                    span_high=high,
+                    n_workers=1,
+                    name=config.name or "survey",
+                )
+                telemetry_jsonl = None
+                if telemetry_dir is not None:
+                    telemetry_jsonl = str(
+                        Path(telemetry_dir) / f"{journal_dirname(shard_id)}.jsonl"
+                    )
+                specs.append(
+                    ShardSpec(
+                        shard_id=shard_id,
+                        machine=machine,
+                        pair=(op_x.value, op_y.value),
+                        config=shard_config,
+                        band=band_label,
+                        seed=seed,
+                        fault_classes=classes,
+                        checkpoint_dir=None if checkpoint_dir is None else str(checkpoint_dir),
+                        resume=resume,
+                        telemetry_jsonl=telemetry_jsonl,
+                    )
+                )
+    return tuple(specs)
+
+
+class _ShardQueue:
+    """Pending specs plus the per-shard failure accounting."""
+
+    def __init__(self, specs, max_shard_retries, ledger, telemetry):
+        self.pending = list(specs)
+        self.failures = {spec.shard_id: 0 for spec in specs}
+        self.max_shard_retries = max_shard_retries
+        self.ledger = ledger
+        self.telemetry = telemetry
+
+    def charge(self, spec, kind, detail):
+        """Charge a failure; requeue while budget remains, else abandon."""
+        self.failures[spec.shard_id] += 1
+        n = self.failures[spec.shard_id]
+        self.ledger.record_failure(spec.shard_id, kind, detail, failures=n)
+        if n <= self.max_shard_retries:
+            self.ledger.record_requeue(spec.shard_id)
+            self.pending.append(spec)
+            self.telemetry.event("shard-requeued", shard=spec.shard_id, kind=kind, failures=n)
+        else:
+            reason = f"{kind} after {n} failure(s): {detail}"
+            self.ledger.record_abandoned(spec.shard_id, reason)
+            self.telemetry.event("shard-abandoned", shard=spec.shard_id, kind=kind, failures=n)
+
+    def requeue_uncharged(self, spec, detail):
+        """Pool-break collateral: requeue without consuming budget."""
+        self.ledger.record_failure(
+            spec.shard_id,
+            POOL_BREAK,
+            detail,
+            failures=self.failures[spec.shard_id],
+            charged=False,
+        )
+        self.ledger.record_requeue(spec.shard_id)
+        self.pending.append(spec)
+        self.telemetry.event("shard-requeued", shard=spec.shard_id, kind=POOL_BREAK)
+
+
+def _run_serial(queue, shard_fn, results, telemetry):
+    while queue.pending:
+        spec = queue.pending.pop(0)
+        try:
+            result = shard_fn(spec)
+        except Exception as exc:  # noqa: BLE001 - every shard error is ledgered
+            queue.charge(spec, SHARD_ERROR, str(exc))
+        else:
+            results[spec.shard_id] = result
+            telemetry.event("shard-finished", shard=spec.shard_id)
+
+
+def _run_parallel(queue, shard_fn, results, telemetry, workers):
+    # fork keeps worker startup cheap and lets test-injected shard
+    # functions resolve in the children without re-import.
+    context = multiprocessing.get_context("fork")
+    isolate = False
+    while queue.pending:
+        if not isolate:
+            batch, queue.pending = queue.pending, []
+            broke = False
+            futures = []
+            unsubmitted = []
+            with ProcessPoolExecutor(max_workers=workers, mp_context=context) as pool:
+                for position, spec in enumerate(batch):
+                    try:
+                        futures.append((pool.submit(shard_fn, spec), spec))
+                    except BrokenProcessPool:
+                        # A fast worker death can break the pool while the
+                        # batch is still being submitted.
+                        broke = True
+                        unsubmitted = batch[position:]
+                        break
+                for future, spec in futures:
+                    try:
+                        result = future.result()
+                    except BrokenProcessPool:
+                        # A worker died; guilt is unattributable in a shared
+                        # pool. Requeue uncharged and isolate from here on.
+                        broke = True
+                        queue.requeue_uncharged(
+                            spec, "a worker process died while this shard was in flight"
+                        )
+                    except Exception as exc:  # noqa: BLE001 - ledgered
+                        queue.charge(spec, SHARD_ERROR, str(exc))
+                    else:
+                        results[spec.shard_id] = result
+                        telemetry.event("shard-finished", shard=spec.shard_id)
+            for spec in unsubmitted:
+                queue.requeue_uncharged(spec, "the pool broke before this shard was submitted")
+            if broke:
+                isolate = True
+                telemetry.event("survey-isolating", reason="worker death in shared pool")
+        else:
+            spec = queue.pending.pop(0)
+            try:
+                with ProcessPoolExecutor(max_workers=1, mp_context=context) as pool:
+                    result = pool.submit(shard_fn, spec).result()
+            except BrokenProcessPool:
+                queue.charge(spec, WORKER_DEATH, "worker process died running this shard")
+            except Exception as exc:  # noqa: BLE001 - ledgered
+                queue.charge(spec, SHARD_ERROR, str(exc))
+            else:
+                results[spec.shard_id] = result
+                telemetry.event("shard-finished", shard=spec.shard_id)
+
+
+def _aggregate(specs, results, ledger, base_description):
+    """Merge shard results into one :class:`SurveyReport`, in plan order."""
+    report = SurveyReport(
+        config_description=base_description,
+        ledger=ledger,
+        n_shards=len(specs),
+        n_completed=len(results),
+    )
+    per_machine = {}  # preset key -> (FaseReport, sets_by_activity, memory, onchip)
+    merged_metrics = MetricsSnapshot(counters={}, gauges={}, histograms={})
+    multi_band = len({spec.band for spec in specs}) > 1
+    for spec in specs:
+        shard = results.get(spec.shard_id)
+        if shard is None:
+            continue
+        merged_metrics = merged_metrics.merge(MetricsSnapshot.from_dict(shard.metrics))
+        entry = per_machine.get(shard.machine)
+        if entry is None:
+            fase = FaseReport(
+                machine_name=shard.machine_name, config_description=base_description
+            )
+            entry = per_machine[shard.machine] = (fase, {}, [], [])
+        fase, sets_by_activity, memory_labels, onchip_labels = entry
+        label = f"{shard.pair_label} [{shard.band}]" if multi_band else shard.pair_label
+        activity = shard.activity
+        activity.activity_label = label
+        fase.activities[label] = activity
+        sets_by_activity[label] = activity.harmonic_sets
+        (memory_labels if shard.is_memory_pair else onchip_labels).append(label)
+    for fase, sets_by_activity, memory_labels, onchip_labels in per_machine.values():
+        fase.sources = classify_sources(
+            sets_by_activity,
+            memory_labels=tuple(memory_labels),
+            onchip_labels=tuple(onchip_labels),
+        )
+        report.machines[fase.machine_name] = fase
+    if report.machines:
+        # Section 5's cross-machine view: one pseudo-activity per machine;
+        # a source's modulating_labels become the machines sharing it.
+        report.comparison = classify_sources(
+            {name: fase.all_harmonic_sets() for name, fase in report.machines.items()},
+            memory_labels=(),
+            onchip_labels=(),
+        )
+    report.telemetry = merged_metrics.to_dict()
+    return report, merged_metrics
+
+
+def run_survey(
+    machines=None,
+    pairs=DEFAULT_PAIRS,
+    config=None,
+    bands=None,
+    seed=0,
+    workers=1,
+    fault_classes=None,
+    checkpoint_dir=None,
+    resume=True,
+    telemetry_dir=None,
+    telemetry=None,
+    max_shard_retries=2,
+    shard_fn=None,
+):
+    """Survey many machines with process-level parallelism.
+
+    ``machines`` are preset keys (default: all four of the paper's test
+    systems); ``pairs`` X/Y micro-op pairs; ``bands`` optionally splits
+    the config's span (int → equal sub-bands, or explicit (low, high)
+    pairs). ``workers`` > 1 fans shards across that many *processes*;
+    ``workers=1`` runs them inline — detections are identical either way
+    for the same plan and seed.
+
+    ``fault_classes`` (``"all"`` or names) runs every shard degraded;
+    ``checkpoint_dir`` gives each shard a durable journal under
+    ``<dir>/<shard>`` so a killed survey resumes; ``telemetry_dir``
+    streams each shard's records to ``<dir>/<shard>.jsonl``, and every
+    shard's metrics snapshot is merged into ``report.telemetry``.
+    ``telemetry`` (a parent-side :class:`~repro.telemetry.Telemetry`)
+    additionally receives survey lifecycle events and the merged
+    snapshot. A shard whose worker process dies is requeued at most
+    ``max_shard_retries`` times, then abandoned with the failure in
+    ``report.ledger``.
+
+    ``shard_fn`` replaces :func:`~repro.survey.shards.run_shard` in
+    tests; it must be a module-level (picklable) callable.
+    """
+    if workers < 1:
+        raise SurveyError("workers must be >= 1")
+    if max_shard_retries < 0:
+        raise SurveyError("max_shard_retries must be >= 0")
+    config = config or campaign_low_band()
+    specs = plan_shards(
+        machines=machines,
+        pairs=pairs,
+        config=config,
+        bands=bands,
+        seed=seed,
+        fault_classes=fault_classes,
+        checkpoint_dir=checkpoint_dir,
+        resume=resume,
+        telemetry_dir=telemetry_dir,
+    )
+    if telemetry_dir is not None:
+        Path(telemetry_dir).mkdir(parents=True, exist_ok=True)
+    shard_fn = shard_fn or run_shard
+    results = {}
+    with ExitStack() as stack:
+        if telemetry is not None:
+            stack.enter_context(use_telemetry(telemetry))
+        tel = current_telemetry()
+        ledger = SurveyLedger()
+        queue = _ShardQueue(specs, max_shard_retries, ledger, tel)
+        with tel.span("run_survey", n_shards=len(specs), workers=workers):
+            if workers == 1:
+                _run_serial(queue, shard_fn, results, tel)
+            else:
+                _run_parallel(queue, shard_fn, results, tel, workers)
+            report, merged = _aggregate(specs, results, ledger, config.describe())
+        if telemetry is not None and telemetry.enabled:
+            telemetry.emit_external_snapshot(merged, label="survey-metrics")
+    return report

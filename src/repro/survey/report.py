@@ -1,0 +1,136 @@
+"""Survey-level reports: per-machine results, cross-machine comparison,
+and the robustness ledger of the survey run itself.
+
+The paper's end goal (Section 5, Figures 11-17) is a *survey*: the same
+FASE procedure over many machines, activity pairs, and bands, then a
+comparison of which emanation sources recur across systems (Figure 17's
+AMD-laptop column next to the desktop's). :class:`SurveyReport` is that
+product: one :class:`~repro.core.report.FaseReport` per machine, a
+cross-machine :func:`~repro.core.classify.classify_sources` comparison,
+the merged telemetry snapshot of every shard, and a
+:class:`SurveyLedger` accounting for every shard failure — worker
+processes dying mid-shard included — so a survey that lost work says so
+instead of silently thinning its results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: Failure kinds recorded in the ledger.
+WORKER_DEATH = "worker-death"  # the shard's worker process died (isolated)
+POOL_BREAK = "pool-break"  # a shared pool broke; shard requeued, not charged
+SHARD_ERROR = "error"  # the shard raised inside the worker
+
+
+@dataclass(frozen=True)
+class ShardFailure:
+    """One failed shard execution.
+
+    ``charged`` distinguishes failures that consumed the shard's retry
+    budget from pool-break collateral: when a worker dies in a *shared*
+    pool every in-flight shard fails with ``BrokenProcessPool``, and only
+    the subsequent isolated re-runs can attribute guilt.
+    """
+
+    shard_id: str
+    kind: str  # WORKER_DEATH | POOL_BREAK | SHARD_ERROR
+    detail: str
+    failures: int  # charged failures for this shard so far (incl. this one)
+    charged: bool = True
+
+    def describe(self):
+        budget = f"failure {self.failures}" if self.charged else "not charged"
+        return f"{self.shard_id}: {self.kind} ({budget}) - {self.detail}"
+
+
+@dataclass
+class SurveyLedger:
+    """The survey's own robustness ledger (shards, not captures).
+
+    Capture-level damage (drops, timeouts, screen exclusions) stays on
+    each activity's :class:`~repro.faults.RobustnessReport`; this ledger
+    records what happened to whole shards: every failure event, how often
+    each shard was requeued, and the shards abandoned after exhausting
+    ``max_shard_retries``.
+    """
+
+    failures: list = field(default_factory=list)  # ShardFailure, in order
+    requeues: dict = field(default_factory=dict)  # shard_id -> requeue count
+    abandoned: dict = field(default_factory=dict)  # shard_id -> final detail
+
+    @property
+    def n_failures(self):
+        return len(self.failures)
+
+    def failures_for(self, shard_id):
+        return [f for f in self.failures if f.shard_id == shard_id]
+
+    def record_failure(self, shard_id, kind, detail, failures, charged=True):
+        self.failures.append(
+            ShardFailure(
+                shard_id=shard_id, kind=kind, detail=detail, failures=failures, charged=charged
+            )
+        )
+
+    def record_requeue(self, shard_id):
+        self.requeues[shard_id] = self.requeues.get(shard_id, 0) + 1
+
+    def record_abandoned(self, shard_id, detail):
+        self.abandoned[shard_id] = detail
+
+    def to_text(self):
+        if not self.failures and not self.abandoned:
+            return "survey ledger: all shards completed cleanly"
+        lines = [
+            f"survey ledger: {self.n_failures} shard failure(s), "
+            f"{sum(self.requeues.values())} requeue(s), {len(self.abandoned)} abandoned"
+        ]
+        for failure in self.failures:
+            lines.append(f"  {failure.describe()}")
+        for shard_id, detail in self.abandoned.items():
+            lines.append(f"  abandoned {shard_id}: {detail}")
+        return "\n".join(lines)
+
+
+@dataclass
+class SurveyReport:
+    """Everything a multi-machine survey produced.
+
+    ``machines`` maps machine *name* (the model's display name) to its
+    merged :class:`~repro.core.report.FaseReport`; ``comparison`` holds
+    the cross-machine :class:`~repro.core.classify.ClassifiedSource` list
+    where ``modulating_labels`` names the machines sharing each source.
+    ``telemetry`` is the merge of every shard's metrics snapshot (plain
+    dict form); ``n_shards``/``n_completed`` summarize coverage, and
+    ``ledger`` explains any gap between the two.
+    """
+
+    config_description: str
+    machines: dict = field(default_factory=dict)  # machine name -> FaseReport
+    comparison: list = field(default_factory=list)  # cross-machine sources
+    ledger: SurveyLedger = field(default_factory=SurveyLedger)
+    telemetry: object = None
+    n_shards: int = 0
+    n_completed: int = 0
+
+    def detections_for(self, machine_name, label):
+        return self.machines[machine_name].detections_for(label)
+
+    def to_text(self):
+        lines = [
+            f"FASE survey over {len(self.machines)} machine(s) "
+            f"({self.n_completed}/{self.n_shards} shards)",
+            f"  {self.config_description}",
+            "",
+        ]
+        for report in self.machines.values():
+            lines.append(report.to_text())
+            lines.append("")
+        if self.comparison:
+            lines.append("cross-machine sources:")
+            for source in self.comparison:
+                machines = ", ".join(source.modulating_labels)
+                lines.append(f"  {source.harmonic_set.describe()} seen on: {machines}")
+        lines.append(self.ledger.to_text())
+        return "\n".join(lines)

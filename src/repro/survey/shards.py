@@ -1,0 +1,140 @@
+"""Survey shards: one (machine, pair, band) work unit per process.
+
+A shard is the survey engine's unit of distribution. Each shard runs the
+*entire* existing pipeline — campaign → heuristic → detection → harmonic
+grouping — via :func:`~repro.core.run_fase` in its own interpreter, and
+every input it needs travels in one picklable :class:`ShardSpec`:
+
+* the machine is named by its preset key and rebuilt inside the worker
+  from a seed-derived generator keyed by the machine name alone, so every
+  shard of the same machine measures the *same* system model;
+* the campaign draws from a child generator keyed by the shard id, so
+  shards are statistically independent and each one's result is a pure
+  function of ``(seed, shard_id)`` — which is exactly why a process-pool
+  run and a serial run of the same plan produce identical detections;
+* fault plans are named by class (rebuilt in-process), durable journals
+  live under ``checkpoint_dir/<shard>``, and telemetry streams to a
+  per-shard JSONL whose final :class:`~repro.telemetry.MetricsSnapshot`
+  rides back to the parent in :attr:`ShardResult.metrics` (the
+  ``to_dict`` form — the cross-process snapshot protocol).
+
+:func:`run_shard` is a module-level function so a
+``ProcessPoolExecutor`` can pickle it by reference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+from ..core.pipeline import is_memory_pair, pair_label, run_fase
+from ..errors import SurveyError
+from ..faults import FaultPlan
+from ..rng import child_rng, make_rng
+from ..runner import journal_dirname
+from ..system import ALL_PRESETS
+from ..telemetry import JsonlSink, Telemetry
+from ..uarch.isa import MicroOp
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """Everything one worker process needs to run one survey shard.
+
+    ``pair`` holds micro-op *names* (e.g. ``("LDM", "LDL1")``) and
+    ``fault_classes`` fault-class names — plain strings travel across the
+    process boundary; the worker rebuilds the real objects. ``config``
+    already carries this shard's band as its span.
+    """
+
+    shard_id: str
+    machine: str  # ALL_PRESETS key
+    pair: tuple  # (op_x.value, op_y.value)
+    config: object  # FaseConfig narrowed to this shard's band
+    band: str  # human-readable band label, e.g. "0-2 MHz"
+    seed: int
+    fault_classes: object = None  # tuple of names | None (clean run)
+    checkpoint_dir: object = None  # survey root; shard journal below it
+    resume: bool = True
+    telemetry_jsonl: object = None  # per-shard JSONL path | None
+
+
+@dataclass(frozen=True)
+class ShardResult:
+    """What a finished shard sends back to the survey engine.
+
+    ``activity`` is the shard's full
+    :class:`~repro.core.report.ActivityReport` (detections, harmonic
+    sets, robustness); ``metrics`` is the shard pipeline's final metrics
+    snapshot in :meth:`~repro.telemetry.MetricsSnapshot.to_dict` form,
+    revived and merged by the parent.
+    """
+
+    shard_id: str
+    machine: str
+    machine_name: str
+    config_description: str
+    pair_label: str
+    band: str
+    is_memory_pair: bool
+    activity: object
+    metrics: dict
+
+
+def shard_journal_dir(checkpoint_dir, shard_id):
+    """The durable journal root for one shard under the survey's root."""
+    return str(Path(checkpoint_dir) / journal_dirname(shard_id))
+
+
+def run_shard(spec):
+    """Run one survey shard end to end; returns a :class:`ShardResult`.
+
+    Pure function of the spec: no ambient state flows in (the worker
+    builds its own machine, RNG streams, fault plan, and telemetry
+    pipeline), so results are identical whether this runs inline in the
+    parent or in a pool worker, and re-running a requeued shard is safe.
+    """
+    preset = ALL_PRESETS.get(spec.machine)
+    if preset is None:
+        raise SurveyError(
+            f"unknown preset machine {spec.machine!r}; choose from {sorted(ALL_PRESETS)}"
+        )
+    root = make_rng(spec.seed)
+    # Keyed by machine name only: every shard of this machine rebuilds the
+    # identical system model, so per-machine results merge coherently.
+    machine = preset(rng=child_rng(root, f"machine:{spec.machine}"))
+    op_x, op_y = (MicroOp(value) for value in spec.pair)
+    fault_plan = None
+    if spec.fault_classes is not None:
+        fault_plan = FaultPlan.default(tuple(spec.fault_classes))
+    checkpoint_dir = None
+    if spec.checkpoint_dir is not None:
+        checkpoint_dir = shard_journal_dir(spec.checkpoint_dir, spec.shard_id)
+    sinks = [JsonlSink(spec.telemetry_jsonl)] if spec.telemetry_jsonl else []
+    telemetry = Telemetry(sinks=sinks)
+    try:
+        report = run_fase(
+            machine,
+            pairs=((op_x, op_y),),
+            config=spec.config,
+            rng=child_rng(root, f"shard:{spec.shard_id}"),
+            n_workers=1,  # parallelism lives at the process level
+            fault_plan=fault_plan,
+            checkpoint_dir=checkpoint_dir,
+            resume=spec.resume,
+            telemetry=telemetry,
+        )
+    finally:
+        telemetry.close()
+    label = pair_label(op_x, op_y)
+    return ShardResult(
+        shard_id=spec.shard_id,
+        machine=spec.machine,
+        machine_name=machine.name,
+        config_description=spec.config.describe(),
+        pair_label=label,
+        band=spec.band,
+        is_memory_pair=is_memory_pair(op_x, op_y),
+        activity=report.activities[label],
+        metrics=telemetry.snapshot().to_dict(),
+    )

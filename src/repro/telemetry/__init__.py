@@ -191,6 +191,19 @@ class Telemetry:
         self._emit(record)
         return record
 
+    def emit_external_snapshot(self, snapshot, label="metrics"):
+        """Write someone else's :class:`MetricsSnapshot` to this pipeline's sinks.
+
+        The survey engine uses this to stream the merged cross-process
+        snapshot through the survey-level JSONL without folding it into
+        this pipeline's own registry (which tracks the parent process
+        only).
+        """
+        record = {"kind": "metrics", "name": label}
+        record.update(snapshot.to_dict())
+        self._emit(record)
+        return record
+
     def close(self):
         """Close every sink (flush + fsync for file sinks)."""
         for sink in self.sinks:

@@ -132,6 +132,37 @@ class MetricsSnapshot:
             },
         }
 
+    @classmethod
+    def from_dict(cls, data):
+        """Rebuild a snapshot from its :meth:`to_dict` form.
+
+        This is the cross-process half of the snapshot protocol: survey
+        shards serialize their registry state (JSONL, pickled shard
+        results), and the parent revives each one here before
+        :meth:`merge`-ing them into the survey-level snapshot. Malformed
+        payloads raise :class:`~repro.errors.TelemetryError` naming the
+        offending member rather than a raw ``KeyError``/``TypeError``.
+        """
+        if not isinstance(data, dict):
+            raise TelemetryError(f"snapshot payload must be a dict, got {type(data).__name__}")
+        histograms = {}
+        for name, h in dict(data.get("histograms", {})).items():
+            try:
+                histograms[name] = HistogramSnapshot(
+                    buckets=tuple(float(b) for b in h["buckets"]),
+                    counts=tuple(int(c) for c in h["counts"]),
+                    count=int(h["count"]),
+                    sum=float(h["sum"]),
+                )
+            except (KeyError, TypeError, ValueError) as exc:
+                raise TelemetryError(f"malformed histogram {name!r} in snapshot payload") from exc
+        try:
+            counters = {str(k): int(v) for k, v in dict(data.get("counters", {})).items()}
+            gauges = {str(k): float(v) for k, v in dict(data.get("gauges", {})).items()}
+        except (TypeError, ValueError) as exc:
+            raise TelemetryError("malformed counters/gauges in snapshot payload") from exc
+        return cls(counters=counters, gauges=gauges, histograms=histograms)
+
 
 class MetricsRegistry:
     """Named counters, gauges, and histograms behind one lock."""

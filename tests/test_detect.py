@@ -4,6 +4,7 @@ Uses the session-scoped i7 campaign fixtures (real pipeline data) plus
 synthetic cases for the movement-verification logic.
 """
 
+import numpy as np
 import pytest
 
 from repro.core.detect import CarrierDetector
@@ -95,6 +96,33 @@ class TestDetectorKnobs:
             CarrierDetector(slope_tolerance=0.9)
         with pytest.raises(DetectionError):
             CarrierDetector(smoothing_bins=0)
+
+
+class TestEvidenceUnits:
+    def test_combined_score_is_log_evidence_not_zscore(self, synthetic_campaign):
+        """Regression: ``detect`` stored the smoothed combined *z-score* in
+        ``combined_score`` while ``describe()`` called it "decades" of
+        evidence — the unit of the scorer's fused log10 curve. The stored
+        value must be the evidence curve at the candidate bin."""
+        result = synthetic_campaign(carrier=500e3)
+        detector = CarrierDetector()
+        detections = detector.detect(result)
+        assert detections
+        detection = min(detections, key=lambda d: abs(d.frequency - 500e3))
+
+        scores = detector.scorer.all_scores(result)
+        zscores = detector.scorer.harmonic_zscores(result, scores=scores)
+        smoothed = detector._smooth(detector.scorer.combined_zscore(result, zscores=zscores))
+        evidence = detector.scorer.combined_score(result, scores=scores)
+        index = int(np.argmax(smoothed))
+
+        assert detection.combined_score == pytest.approx(float(evidence[index]))
+        assert detection.combined_score != pytest.approx(float(smoothed[index]))
+
+    def test_describe_names_the_unit(self, synthetic_campaign):
+        result = synthetic_campaign(carrier=500e3)
+        [detection] = CarrierDetector().detect(result)
+        assert "decades" in detection.describe()
 
 
 class TestMovementVerification:

@@ -184,6 +184,35 @@ class TestArchiveDamage:
         loaded = load_campaign(path, journal=tmp_path / "nonexistent-journal")
         assert tuple(loaded.falts) == tuple(small_result.falts)
 
+    def _rewrite_metadata(self, path, out, edit):
+        import json
+
+        with np.load(path, allow_pickle=False) as archive:
+            metadata = json.loads(str(archive["metadata"]))
+            arrays = {key: archive[key] for key in archive.files if key != "metadata"}
+        edit(metadata)
+        np.savez_compressed(out, metadata=json.dumps(metadata), **arrays)
+
+    def test_torn_per_capture_lists_name_path_and_counts(self, small_result, tmp_path):
+        """Regression: a ``flagged`` list shorter than ``falts`` used to
+        surface as a raw ``IndexError`` from the flag lookup mid-load."""
+        path = save_campaign(small_result, tmp_path / "full.npz")
+        torn = tmp_path / "torn.npz"
+        n = len(small_result.falts)
+
+        def tear(metadata):
+            metadata["flagged"] = metadata["flagged"][:2]
+            metadata["quality_reasons"] = metadata["quality_reasons"][:3]
+
+        self._rewrite_metadata(path, torn, tear)
+        with pytest.raises(CampaignArchiveError) as info:
+            load_campaign(torn)
+        message = str(info.value)
+        assert str(torn) in message
+        assert f"falts={n}" in message
+        assert "flagged=2" in message
+        assert "quality_reasons=3" in message
+
 
 class TestDegradedRoundTrip:
     def _degraded(self, synthetic_campaign):
@@ -212,6 +241,44 @@ class TestDegradedRoundTrip:
             )
         assert not loaded.measurements[0].flagged
         assert loaded.measurements[0].quality is None
+
+    def test_robustness_ledger_survives_reload(self, synthetic_campaign, tmp_path):
+        """Regression: ``save_campaign`` silently dropped
+        ``result.robustness``, so archiving a degraded run lost the fault
+        ledger — fault events, retry counts, exclusions, and the
+        naive-vs-degraded detection delta."""
+        from repro.faults.injectors import FaultEvent
+        from repro.faults.robustness import DetectionDelta, RobustnessReport
+
+        result = self._degraded(synthetic_campaign)
+        result.robustness = RobustnessReport(
+            plan_description="all fault classes, synthetic ledger",
+            events=[
+                FaultEvent(fault="dropout", index=1, attempt=0, detail="trace zeroed"),
+                FaultEvent(fault="timeout", index=3, attempt=1, detail="capture hung"),
+            ],
+            retries={3: 2},
+            excluded={1: ("synthetic damage on capture 1",)},
+            dropped=(4,),
+            detection_delta=DetectionDelta(
+                n_naive=3, n_degraded=2, gained=(), lost=(123000.0,)
+            ),
+        )
+        loaded = load_campaign(save_campaign(result, tmp_path / "ledgered.npz"))
+        ledger = loaded.robustness
+        assert ledger is not None
+        assert ledger.plan_description == "all fault classes, synthetic ledger"
+        assert ledger.events == result.robustness.events
+        assert ledger.retries == {3: 2}  # int keys, not JSON strings
+        assert ledger.excluded == {1: ("synthetic damage on capture 1",)}
+        assert ledger.dropped == (4,)
+        assert ledger.detection_delta == result.robustness.detection_delta
+        assert ledger.to_text() == result.robustness.to_text()
+
+    def test_clean_archive_has_no_ledger(self, synthetic_campaign, tmp_path):
+        result = synthetic_campaign(carrier=500e3)
+        loaded = load_campaign(save_campaign(result, tmp_path / "clean.npz"))
+        assert loaded.robustness is None
 
     def test_scoring_view_equivalent_after_reload(self, synthetic_campaign, tmp_path):
         result = self._degraded(synthetic_campaign)

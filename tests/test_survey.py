@@ -1,0 +1,420 @@
+"""The process-parallel survey engine: sharding, determinism, worker death.
+
+Two kinds of tests share this file. The real-pipeline tests run actual
+(small) campaigns through ``run_survey`` and pin the headline guarantee:
+a process-pool run produces detections identical to the inline serial run
+for the same plan and seed. The fault-tolerance tests swap in stub shard
+functions (module-level, so the pool can pickle them by reference) that
+kill their own worker process — ``SIGKILL``, the unhandleable kind — and
+assert the engine's bounded-requeue/ledger contract. Stub shards smuggle
+their scratch directory through ``config.name``, the one free-form string
+that rides the :class:`~repro.survey.ShardSpec` into the worker.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import signal
+from pathlib import Path
+
+import pytest
+
+from repro import FaseConfig, MicroOp, run_survey
+from repro.cli import main
+from repro.core.report import ActivityReport
+from repro.errors import CampaignError, SurveyError
+from repro.runner import journal_dirname
+from repro.survey import (
+    DEFAULT_PAIRS,
+    SurveyReport,
+    plan_shards,
+    run_shard,
+)
+from repro.survey.report import POOL_BREAK, SHARD_ERROR, WORKER_DEATH
+from repro.survey.shards import ShardResult
+from repro.telemetry import Recorder, Telemetry, read_jsonl
+
+pytestmark = pytest.mark.survey
+
+#: Small but real: 2000-bin grid, the paper's falt1, a wider f_delta so
+#: fres can be coarse.
+SMALL = FaseConfig(
+    span_low=0.0, span_high=1e6, fres=500.0, falt1=43.3e3, f_delta=2.5e3, name="survey test"
+)
+MACHINES = ("corei7_desktop", "turionx2_laptop")
+ONE_PAIR = ((MicroOp.LDM, MicroOp.LDL1),)
+
+
+# ----------------------------------------------------------------------
+# Stub shard functions (module-level: pool workers pickle them by name).
+
+
+def _stub_result(spec):
+    return ShardResult(
+        shard_id=spec.shard_id,
+        machine=spec.machine,
+        machine_name=spec.machine,
+        config_description=spec.config.describe(),
+        pair_label="/".join(spec.pair),
+        band=spec.band,
+        is_memory_pair=True,
+        activity=ActivityReport(
+            activity_label="/".join(spec.pair), detections=[], harmonic_sets=[]
+        ),
+        metrics={"counters": {"captures_total": 5}, "gauges": {}, "histograms": {}},
+    )
+
+
+def _is_victim(spec):
+    return spec.machine == "corei7_desktop"
+
+
+def _log_attempt(spec):
+    base = Path(spec.config.name)
+    with open(base / f"{journal_dirname(spec.shard_id)}.attempts", "a") as handle:
+        handle.write("attempt\n")
+        handle.flush()
+        os.fsync(handle.fileno())
+
+
+def _stub_shard(spec):
+    _log_attempt(spec)
+    return _stub_result(spec)
+
+
+def _kill_always_shard(spec):
+    """The victim shard SIGKILLs its worker on every attempt."""
+    _log_attempt(spec)
+    if _is_victim(spec):
+        os.kill(os.getpid(), signal.SIGKILL)
+    return _stub_result(spec)
+
+
+def _kill_once_shard(spec):
+    """The victim shard SIGKILLs its worker once, then behaves."""
+    _log_attempt(spec)
+    if _is_victim(spec):
+        sentinel = Path(spec.config.name) / "killed-once"
+        if not sentinel.exists():
+            sentinel.touch()
+            os.kill(os.getpid(), signal.SIGKILL)
+    return _stub_result(spec)
+
+
+def _error_shard(spec):
+    """The victim shard raises an ordinary exception in the worker."""
+    _log_attempt(spec)
+    if _is_victim(spec):
+        raise CampaignError(f"synthetic shard error in {spec.shard_id}")
+    return _stub_result(spec)
+
+
+def _attempts(base, shard_id):
+    path = Path(base) / f"{journal_dirname(shard_id)}.attempts"
+    if not path.exists():
+        return 0
+    return len(path.read_text().splitlines())
+
+
+def _scratch_config(base):
+    """A tiny config whose ``name`` smuggles the scratch dir to stubs."""
+    return FaseConfig(
+        span_low=0.0, span_high=1e5, fres=50.0, falt1=43.3e3, f_delta=1e3, name=str(base)
+    )
+
+
+# ----------------------------------------------------------------------
+# Work planning.
+
+
+class TestPlanShards:
+    def test_one_shard_per_machine_pair_band(self):
+        specs = plan_shards(machines=MACHINES, pairs=DEFAULT_PAIRS, config=SMALL, bands=2)
+        assert len(specs) == 2 * 2 * 2
+        assert len({spec.shard_id for spec in specs}) == len(specs)
+
+    def test_int_bands_tile_the_span(self):
+        specs = plan_shards(machines=("corei7_desktop",), pairs=ONE_PAIR, config=SMALL, bands=4)
+        spans = [(spec.config.span_low, spec.config.span_high) for spec in specs]
+        assert spans[0][0] == SMALL.span_low
+        assert spans[-1][1] == SMALL.span_high
+        for (_, high), (low, _) in zip(spans, spans[1:]):
+            assert high == low
+
+    def test_shard_configs_force_single_worker(self):
+        specs = plan_shards(machines=MACHINES, config=dataclasses.replace(SMALL, n_workers=4))
+        assert all(spec.config.n_workers == 1 for spec in specs)
+
+    def test_unknown_machine_rejected(self):
+        with pytest.raises(SurveyError, match="unknown preset machines"):
+            plan_shards(machines=("bogus_machine",), config=SMALL)
+
+    def test_unknown_fault_class_rejected(self):
+        with pytest.raises(SurveyError, match="unknown fault classes"):
+            plan_shards(machines=MACHINES, config=SMALL, fault_classes=("not-a-fault",))
+
+    def test_invalid_pair_rejected(self):
+        with pytest.raises(SurveyError, match="invalid activity pair"):
+            plan_shards(machines=MACHINES, pairs=(("LDM", "BOGUS"),), config=SMALL)
+
+    def test_empty_plan_rejected(self):
+        with pytest.raises(SurveyError):
+            plan_shards(machines=(), config=SMALL)
+        with pytest.raises(SurveyError):
+            plan_shards(machines=MACHINES, pairs=(), config=SMALL)
+
+    def test_telemetry_and_checkpoint_paths_derived(self, tmp_path):
+        specs = plan_shards(
+            machines=("corei7_desktop",),
+            pairs=ONE_PAIR,
+            config=SMALL,
+            checkpoint_dir=tmp_path / "journals",
+            telemetry_dir=tmp_path / "telemetry",
+        )
+        [spec] = specs
+        assert spec.checkpoint_dir == str(tmp_path / "journals")
+        assert spec.telemetry_jsonl.endswith(".jsonl")
+        assert str(tmp_path / "telemetry") in spec.telemetry_jsonl
+
+
+class TestRunSurveyValidation:
+    def test_bad_workers_rejected(self):
+        with pytest.raises(SurveyError, match="workers"):
+            run_survey(machines=MACHINES, config=SMALL, workers=0)
+
+    def test_bad_retry_budget_rejected(self):
+        with pytest.raises(SurveyError, match="max_shard_retries"):
+            run_survey(machines=MACHINES, config=SMALL, max_shard_retries=-1)
+
+
+# ----------------------------------------------------------------------
+# The real pipeline: serial == process-parallel, structure, telemetry.
+
+
+@pytest.fixture(scope="module")
+def survey_runs(tmp_path_factory):
+    """One serial and one 2-process run of the same small survey plan."""
+    base = tmp_path_factory.mktemp("survey-runs")
+    recorder = Recorder()
+    telemetry = Telemetry(sinks=[recorder])
+    serial = run_survey(
+        machines=MACHINES,
+        config=SMALL,
+        seed=3,
+        workers=1,
+        telemetry_dir=base / "shards",
+        telemetry=telemetry,
+    )
+    parallel = run_survey(machines=MACHINES, config=SMALL, seed=3, workers=2)
+    return serial, parallel, recorder, base
+
+
+class TestSurveyPipeline:
+    def test_serial_and_parallel_detections_identical(self, survey_runs):
+        serial, parallel, _, _ = survey_runs
+        assert sorted(serial.machines) == sorted(parallel.machines)
+        for name, fase in serial.machines.items():
+            other = parallel.machines[name]
+            assert sorted(fase.activities) == sorted(other.activities)
+            for label, activity in fase.activities.items():
+                assert activity.detections == other.activities[label].detections
+
+    def test_serial_and_parallel_sources_identical(self, survey_runs):
+        serial, parallel, _, _ = survey_runs
+        for name, fase in serial.machines.items():
+            ours = [source.describe() for source in fase.sources]
+            theirs = [source.describe() for source in parallel.machines[name].sources]
+            assert ours == theirs
+        assert [s.describe() for s in serial.comparison] == [
+            s.describe() for s in parallel.comparison
+        ]
+
+    def test_report_structure(self, survey_runs):
+        serial, _, _, _ = survey_runs
+        assert isinstance(serial, SurveyReport)
+        assert serial.n_shards == len(MACHINES) * len(DEFAULT_PAIRS)
+        assert serial.n_completed == serial.n_shards
+        assert not serial.ledger.failures
+        assert len(serial.machines) == len(MACHINES)
+        for fase in serial.machines.values():
+            assert sorted(fase.activities) == ["LDL2/LDL1", "LDM/LDL1"]
+        # Cross-machine comparison labels machines, not activities.
+        machine_names = set(serial.machines)
+        for source in serial.comparison:
+            assert set(source.modulating_labels) <= machine_names
+        text = serial.to_text()
+        assert "FASE survey over 2 machine(s)" in text
+        assert "all shards completed cleanly" in text
+
+    def test_shard_metrics_merge_into_survey_snapshot(self, survey_runs):
+        serial, parallel, _, _ = survey_runs
+        # Every shard's campaign contributes its captures to the merged
+        # cross-process snapshot; serial and parallel agree exactly.
+        captures = serial.telemetry["counters"]["captures_total"]
+        assert captures > 0 and captures % serial.n_shards == 0
+        assert parallel.telemetry["counters"] == serial.telemetry["counters"]
+        assert "stage_score_seconds" in serial.telemetry["histograms"]
+
+    def test_per_shard_jsonl_written(self, survey_runs):
+        serial, _, _, base = survey_runs
+        files = sorted((base / "shards").glob("*.jsonl"))
+        assert len(files) == serial.n_shards
+        for path in files:
+            records = read_jsonl(path)
+            assert any(record.get("kind") == "metrics" for record in records)
+
+    def test_parent_telemetry_sees_lifecycle_and_merged_snapshot(self, survey_runs):
+        serial, _, recorder, _ = survey_runs
+        finished = [r for r in recorder.records if r.get("name") == "shard-finished"]
+        assert len(finished) == serial.n_shards
+        merged = [r for r in recorder.records if r.get("name") == "survey-metrics"]
+        assert merged
+        assert merged[-1]["counters"] == serial.telemetry["counters"]
+
+
+class TestShardPurity:
+    def test_run_shard_is_deterministic(self):
+        [spec] = plan_shards(machines=("corei7_desktop",), pairs=ONE_PAIR, config=SMALL, seed=7)
+        first = run_shard(spec)
+        second = run_shard(spec)
+        assert first.activity.detections == second.activity.detections
+
+    def test_unknown_machine_in_spec_rejected(self):
+        [spec] = plan_shards(machines=("corei7_desktop",), pairs=ONE_PAIR, config=SMALL)
+        bad = dataclasses.replace(spec, machine="bogus")
+        with pytest.raises(SurveyError, match="unknown preset machine"):
+            run_shard(bad)
+
+
+# ----------------------------------------------------------------------
+# Worker death and shard failure: bounded requeue, ledger, completion.
+
+
+class TestWorkerDeath:
+    def _plan_args(self, base):
+        return dict(machines=MACHINES, pairs=ONE_PAIR, config=_scratch_config(base))
+
+    def test_killed_shard_is_abandoned_with_bounded_retries(self, tmp_path):
+        retries = 1
+        report = run_survey(
+            **self._plan_args(tmp_path),
+            workers=2,
+            max_shard_retries=retries,
+            shard_fn=_kill_always_shard,
+        )
+        [victim_id] = [
+            spec.shard_id
+            for spec in plan_shards(**self._plan_args(tmp_path))
+            if _is_victim(spec)
+        ]
+        # The survey completed: the healthy shard's machine is present.
+        assert report.n_completed == 1
+        assert "turionx2_laptop" in report.machines
+        # The victim was abandoned into the ledger with a worker-death trail.
+        assert victim_id in report.ledger.abandoned
+        kinds = {failure.kind for failure in report.ledger.failures_for(victim_id)}
+        assert kinds <= {WORKER_DEATH, POOL_BREAK}
+        assert WORKER_DEATH in kinds
+        charged = [f for f in report.ledger.failures_for(victim_id) if f.charged]
+        assert len(charged) == retries + 1
+        # Bounded attempts: one shared-pool round plus the isolated retries.
+        assert _attempts(tmp_path, victim_id) <= retries + 2
+
+    def test_kill_once_shard_recovers_on_requeue(self, tmp_path):
+        report = run_survey(
+            **self._plan_args(tmp_path),
+            workers=2,
+            max_shard_retries=2,
+            shard_fn=_kill_once_shard,
+        )
+        assert report.n_completed == report.n_shards == 2
+        assert not report.ledger.abandoned
+        [victim_id] = [
+            spec.shard_id
+            for spec in plan_shards(**self._plan_args(tmp_path))
+            if _is_victim(spec)
+        ]
+        assert report.ledger.requeues.get(victim_id, 0) >= 1
+        assert report.ledger.n_failures >= 1
+        text = report.to_text()
+        assert "survey ledger" in text
+
+    def test_erroring_shard_charged_and_abandoned_serial(self, tmp_path):
+        report = run_survey(
+            **self._plan_args(tmp_path),
+            workers=1,
+            max_shard_retries=1,
+            shard_fn=_error_shard,
+        )
+        [victim_id] = [
+            spec.shard_id
+            for spec in plan_shards(**self._plan_args(tmp_path))
+            if _is_victim(spec)
+        ]
+        assert report.n_completed == 1
+        assert victim_id in report.ledger.abandoned
+        assert "synthetic shard error" in report.ledger.abandoned[victim_id]
+        failures = report.ledger.failures_for(victim_id)
+        assert [f.kind for f in failures] == [SHARD_ERROR, SHARD_ERROR]
+        assert _attempts(tmp_path, victim_id) == 2  # initial + one requeue
+
+    def test_erroring_shard_charged_in_pool_mode(self, tmp_path):
+        report = run_survey(
+            **self._plan_args(tmp_path),
+            workers=2,
+            max_shard_retries=0,
+            shard_fn=_error_shard,
+        )
+        [victim_id] = [
+            spec.shard_id
+            for spec in plan_shards(**self._plan_args(tmp_path))
+            if _is_victim(spec)
+        ]
+        assert victim_id in report.ledger.abandoned
+        assert _attempts(tmp_path, victim_id) == 1
+
+
+# ----------------------------------------------------------------------
+# CLI integration.
+
+
+class TestSurveyCli:
+    def test_survey_command_runs_process_parallel(self, capsys):
+        code = main(
+            [
+                "survey", "--machines", "corei7_desktop,turionx2_laptop",
+                "--span-high", "1e6", "--fres", "500", "--f-delta", "2.5e3",
+                "--pair", "LDM/LDL1", "--workers", "2", "--seed", "3",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "FASE survey over 2 machine(s)" in out
+        assert "Intel Core i7 desktop" in out
+        assert "AMD Turion X2 laptop" in out
+        assert "all shards completed cleanly" in out
+
+    def test_unknown_machine_exits_cleanly(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["survey", "--machines", "bogus_machine"])
+        assert "unknown preset machines" in str(excinfo.value)
+
+    def test_config_error_exits_cleanly(self):
+        """Regression: a bad span config used to escape ``cmd_survey`` as a
+        raw ``CampaignError`` traceback instead of a clean exit message."""
+        with pytest.raises(SystemExit) as excinfo:
+            main(["survey", "--fres", "1000"])
+        assert "f_delta" in str(excinfo.value)
+
+    def test_failure_flushes_telemetry(self, tmp_path):
+        """Regression: when the survey died, ``cmd_survey`` dropped the
+        telemetry pipeline on the floor; like ``cmd_scan`` it must flush a
+        metrics-at-failure snapshot so the JSONL stream explains itself."""
+        jsonl = tmp_path / "survey.jsonl"
+        with pytest.raises(SystemExit):
+            main(
+                ["survey", "--machines", "bogus_machine", "--telemetry-jsonl", str(jsonl)]
+            )
+        records = read_jsonl(jsonl)
+        assert any(record.get("name") == "metrics-at-failure" for record in records)
