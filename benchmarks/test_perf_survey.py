@@ -1,17 +1,26 @@
-"""Serial vs process-parallel survey wall-clock (survey-engine tentpole).
+"""Serial vs process-parallel survey wall-clock (zero-copy data plane).
 
 Runs one fixed survey plan — two machines x two activity pairs over the
-paper's 0-4 MHz / 50 Hz span — twice through ``run_survey``: once inline
-(``workers=1``) and once fanned across a process pool. Emits a
-machine-readable ``BENCH_survey.json`` and asserts the parallel run's
-detections are identical to the serial run's (the engine's purity
-guarantee); the >= 1.5x speedup assertion only applies on runners with
-enough cores for the pool to matter.
+paper's 0-4 MHz / 50 Hz span — twice through ``run_survey`` with
+``keep_spectra=True``: once inline (``workers=1``) and once fanned
+across a process pool. Workers publish every spectrum row straight into
+parent-owned shared memory, so the parallel run returns the same
+byte-exact spectra as the serial run without pickling a single trace
+across the pool boundary. Emits a machine-readable
+``BENCH_survey.json`` and asserts:
+
+* **purity** — parallel detections and spectra are identical to serial;
+* **hygiene** — no ``/dev/shm/psm_*`` segment outlives the reports;
+* **speedup** — >= 2.0x over serial, applied only on runners with
+  enough cores for the pool to matter.
 """
 
 import json
 import os
 import time
+from pathlib import Path
+
+import numpy as np
 
 from repro import FaseConfig
 from repro.survey import run_survey
@@ -33,6 +42,8 @@ def _best_of(fn, repeats=2):
     best = float("inf")
     value = None
     for _ in range(repeats):
+        if value is not None:
+            value.close()  # release the previous run's shared memory
         start = time.perf_counter()
         value = fn()
         best = min(best, time.perf_counter() - start)
@@ -49,21 +60,36 @@ def _detections(report):
     }
 
 
+def _shm_segments():
+    return sorted(p.name for p in Path("/dev/shm").glob("psm_*"))
+
+
 def test_survey_process_parallel_speedup(output_dir):
     cores = os.cpu_count() or 1
     workers = min(4, cores)
+    shm_before = _shm_segments()
 
     serial_s, serial = _best_of(
-        lambda: run_survey(machines=MACHINES, config=CONFIG, seed=SEED, workers=1)
+        lambda: run_survey(
+            machines=MACHINES, config=CONFIG, seed=SEED, workers=1, keep_spectra=True
+        )
     )
     parallel_s, parallel = _best_of(
-        lambda: run_survey(machines=MACHINES, config=CONFIG, seed=SEED, workers=workers)
+        lambda: run_survey(
+            machines=MACHINES, config=CONFIG, seed=SEED, workers=workers, keep_spectra=True
+        )
     )
 
-    # Purity: the pool changes wall-clock, never results.
+    # Purity: the pool changes wall-clock, never results. Detections AND
+    # the shared-memory spectra must match the inline run byte for byte.
     assert _detections(parallel) == _detections(serial)
     assert serial.ledger.n_failures == parallel.ledger.n_failures == 0
     assert serial.n_completed == serial.n_shards == len(MACHINES) * 2
+    assert set(parallel.spectra) == set(serial.spectra)
+    for shard_id, ours in serial.spectra.items():
+        theirs = parallel.spectra[shard_id]
+        assert ours.n_rows == theirs.n_rows
+        assert np.array_equal(ours.power, theirs.power)
 
     speedup = serial_s / parallel_s
     record = {
@@ -76,10 +102,18 @@ def test_survey_process_parallel_speedup(output_dir):
         "parallel_s": parallel_s,
         "speedup": speedup,
         "detections_identical": True,
+        "spectra_identical": True,
+        "keep_spectra": True,
     }
     (output_dir / "BENCH_survey.json").write_text(json.dumps(record, indent=2) + "\n")
+
+    # Hygiene: releasing both reports must leave /dev/shm exactly as we
+    # found it — the arena owns every segment and unlinks on close.
+    serial.close()
+    parallel.close()
+    assert _shm_segments() == shm_before
 
     # A 1-core container cannot show a process-pool win; the JSON is
     # still written so the number is always on record.
     if cores >= 4:
-        assert speedup >= 1.5
+        assert speedup >= 2.0

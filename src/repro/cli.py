@@ -234,6 +234,7 @@ def cmd_survey(args):
             telemetry_dir=telemetry_dir,
             telemetry=telemetry,
             max_shard_retries=args.max_shard_retries,
+            max_pool_breaks=args.max_pool_breaks,
         )
     except ReproError as exc:
         if telemetry is not None:
@@ -293,7 +294,7 @@ def cmd_record(args):
             telemetry.emit_snapshot(label="metrics-at-failure")
         _finish_telemetry(telemetry)
         raise SystemExit(str(exc)) from exc
-    saved = campaign_io.save_campaign(result, args.output)
+    saved = campaign_io.save_campaign(result, args.output, compress=not args.uncompressed)
     resumed = getattr(campaign, "resumed_indices", ())
     if resumed:
         print(f"resumed {len(resumed)} capture(s) from {args.checkpoint_dir}")
@@ -306,7 +307,7 @@ def cmd_record(args):
 
 def cmd_analyze(args):
     try:
-        result = campaign_io.load_campaign(args.input, journal=args.journal)
+        result = campaign_io.load_campaign(args.input, journal=args.journal, lazy=args.lazy)
     except ReproError as exc:
         raise SystemExit(str(exc)) from exc
     detections = CarrierDetector().detect(result)
@@ -375,6 +376,15 @@ def build_parser():
         help="requeue a failed shard (worker death included) at most N "
         "times before abandoning it into the survey ledger",
     )
+    survey.add_argument(
+        "--max-pool-breaks",
+        type=int,
+        default=3,
+        metavar="N",
+        help="tolerate at most N shared-pool breaks survey-wide; once "
+        "spent, shards still waiting for a shared pool are abandoned "
+        "(ledger kind 'pool-break-cap') instead of cycling forever",
+    )
     survey.set_defaults(handler=cmd_survey)
 
     localize = sub.add_parser("localize", help="near-field localize a carrier")
@@ -389,11 +399,24 @@ def build_parser():
     _add_machine_argument(record)
     _add_campaign_arguments(record)
     record.add_argument("--pair", default="LDM/LDL1")
+    record.add_argument(
+        "--uncompressed",
+        action="store_true",
+        help="store spectra uncompressed (ZIP_STORED) so a later "
+        "'analyze --lazy' can memory-map traces straight from the archive",
+    )
     record.add_argument("output", help="output .npz path")
     record.set_defaults(handler=cmd_record)
 
     analyze = sub.add_parser("analyze", help="detect carriers in a recording")
     analyze.add_argument("input", help="input .npz path")
+    analyze.add_argument(
+        "--lazy",
+        action="store_true",
+        help="memory-map traces from the archive instead of loading them "
+        "eagerly; detection then reads only what it touches (recordings "
+        "made with --uncompressed mmap without any decompression)",
+    )
     analyze.add_argument(
         "--journal",
         default=None,

@@ -57,6 +57,7 @@ def run_fase(
     checkpoint_dir=None,
     resume=True,
     telemetry=None,
+    campaign_hook=None,
 ):
     """Run FASE on a machine for one or more X/Y activity pairs.
 
@@ -93,6 +94,14 @@ def run_fase(
     counters into it, and the final metrics snapshot lands on
     ``report.telemetry``. ``None`` (the default) leaves the ambient
     telemetry untouched — the no-op default adds no overhead.
+
+    ``campaign_hook`` is called once per pair as ``hook(label, result)``
+    with the pair's finished :class:`~repro.core.campaign.CampaignResult`
+    after detection — the one window where campaign spectra are still
+    alive. The report itself stays compact (detections and harmonic sets
+    only); the survey's zero-copy data plane uses this hook to publish
+    trace rows into shared memory without ``run_fase`` ever exposing
+    whole campaigns. A hook exception fails the pair's run.
     """
     rng = ensure_rng(rng)
     config = config or campaign_low_band()
@@ -142,6 +151,8 @@ def run_fase(
                 # carrier lists into the ledger.
                 naive = detector.detect(result.with_flags_cleared())
                 robustness.record_detection_delta(naive, detections)
+            if campaign_hook is not None:
+                campaign_hook(label, result)
             return label, detections, group_harmonics(detections), robustness
 
     with ExitStack() as stack:

@@ -15,6 +15,15 @@ truncated hybrid. :func:`load_campaign` raises
 :class:`~repro.errors.CampaignArchiveError` on a damaged archive and can
 recover the campaign from its :class:`~repro.runner.CampaignJournal`
 checkpoints instead.
+
+Large archives have a zero-copy read path. ``save_campaign(...,
+compress=False)`` stores the trace arrays uncompressed (``ZIP_STORED``),
+which keeps the archive ``np.load``-compatible *and* lets
+``load_campaign(..., lazy=True)`` hand each trace back as a read-only
+``np.memmap`` over the archive bytes: opening a full-span campaign is
+then O(metadata), and trace bytes are paged in only when a measurement's
+``power_mw`` is actually touched (compressed archives fall back to
+per-member decompress-on-first-touch — still lazy, not zero-copy).
 """
 
 from __future__ import annotations
@@ -194,21 +203,25 @@ def _fsync_directory(directory):
 _ZIP_EPOCH = (1980, 1, 1, 0, 0, 0)
 
 
-def _write_npz_deterministic(handle, arrays):
-    """Write an ``np.load``-compatible compressed archive with fixed metadata."""
-    with zipfile.ZipFile(
-        handle, "w", compression=zipfile.ZIP_DEFLATED, allowZip64=True
-    ) as zf:
+def _write_npz_deterministic(handle, arrays, compress=True):
+    """Write an ``np.load``-compatible archive with fixed metadata.
+
+    ``compress=False`` stores members uncompressed (``ZIP_STORED``) so
+    the array bytes sit contiguously in the file and can be memory-mapped
+    by :func:`mmap_npz_member`; compression defeats mmap.
+    """
+    compression = zipfile.ZIP_DEFLATED if compress else zipfile.ZIP_STORED
+    with zipfile.ZipFile(handle, "w", compression=compression, allowZip64=True) as zf:
         for name, value in arrays.items():
             buffer = _io.BytesIO()
             np.lib.format.write_array(buffer, np.asanyarray(value), allow_pickle=False)
             info = zipfile.ZipInfo(name + ".npy", date_time=_ZIP_EPOCH)
-            info.compress_type = zipfile.ZIP_DEFLATED
+            info.compress_type = compression
             info.external_attr = 0o600 << 16
             zf.writestr(info, buffer.getvalue())
 
 
-def save_campaign(result, path):
+def save_campaign(result, path, compress=True):
     """Write a campaign result to ``path`` (a ``.npz`` archive).
 
     Returns the real on-disk path as a :class:`pathlib.Path`: like
@@ -219,7 +232,12 @@ def save_campaign(result, path):
     The write is crash-safe (temporary sibling file, fsync,
     ``os.replace``, directory fsync) and deterministic (fixed zip
     timestamps): a kill mid-save leaves the previous archive intact, and
-    two saves of the same campaign are byte-identical.
+    two saves of the same campaign are byte-identical. A failed write
+    never leaves the temporary sibling behind.
+
+    ``compress=False`` writes the traces uncompressed so
+    ``load_campaign(..., lazy=True)`` can memory-map them — the right
+    trade for full-span campaigns whose archives are re-analyzed often.
     """
     from pathlib import Path
 
@@ -251,11 +269,21 @@ def save_campaign(result, path):
     if not real_path.endswith(".npz"):
         real_path += ".npz"
     tmp_path = real_path + ".tmp"
-    with open(tmp_path, "wb") as handle:
-        _write_npz_deterministic(handle, arrays)
-        handle.flush()
-        os.fsync(handle.fileno())
-    os.replace(tmp_path, real_path)
+    try:
+        with open(tmp_path, "wb") as handle:
+            _write_npz_deterministic(handle, arrays, compress=compress)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_path, real_path)
+    finally:
+        # A write that died mid-way (ENOSPC, a raising serializer) must
+        # not leave the sibling behind; after a successful os.replace the
+        # tmp name no longer exists and this is a no-op.
+        if os.path.exists(tmp_path):
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
     _fsync_directory(os.path.dirname(real_path))
     return Path(real_path)
 
@@ -264,7 +292,123 @@ def save_campaign(result, path):
 _ARCHIVE_READ_ERRORS = (zipfile.BadZipFile, OSError, ValueError, EOFError, zlib.error)
 
 
-def load_campaign(path, journal=None):
+def mmap_npz_member(path, name):
+    """A read-only ``np.memmap`` over one uncompressed ``.npz`` member.
+
+    Returns ``None`` when the member is absent, compressed, Fortran-
+    ordered, or otherwise not mappable — callers fall back to an ordinary
+    read. This is the zero-copy half of the archive data plane: a
+    ``ZIP_STORED`` member's ``.npy`` payload sits contiguously in the
+    file, so after parsing the local zip header and the npy header the
+    array bytes can be mapped straight from the page cache, shared
+    between every process that opens the same archive.
+    """
+    member = name + ".npy"
+    try:
+        with open(path, "rb") as handle:
+            with zipfile.ZipFile(handle) as zf:
+                try:
+                    info = zf.getinfo(member)
+                except KeyError:
+                    return None
+                if info.compress_type != zipfile.ZIP_STORED:
+                    return None
+                handle.seek(info.header_offset)
+                local = handle.read(30)
+                if len(local) < 30 or local[:4] != b"PK\x03\x04":
+                    return None
+                # The local header's name/extra lengths can differ from
+                # the central directory's; trust the local copy.
+                name_len = int.from_bytes(local[26:28], "little")
+                extra_len = int.from_bytes(local[28:30], "little")
+                handle.seek(info.header_offset + 30 + name_len + extra_len)
+                version = np.lib.format.read_magic(handle)
+                if version == (1, 0):
+                    shape, fortran, dtype = np.lib.format.read_array_header_1_0(handle)
+                elif version == (2, 0):
+                    shape, fortran, dtype = np.lib.format.read_array_header_2_0(handle)
+                else:
+                    return None
+                if fortran or dtype.hasobject:
+                    return None
+                offset = handle.tell()
+    except _ARCHIVE_READ_ERRORS:
+        return None
+    try:
+        return np.memmap(path, dtype=dtype, mode="r", offset=offset, shape=shape)
+    except (OSError, ValueError):
+        return None
+
+
+class _ArchiveTraceLoader:
+    """On-demand reader for one archive's trace members.
+
+    Shared by every :class:`LazySpectrumTrace` of one lazy load;
+    ``loads`` counts materializations (the laziness tests pin it at zero
+    until a trace is touched).
+    """
+
+    def __init__(self, path):
+        self.path = os.fspath(path)
+        self.loads = 0
+
+    def load(self, member):
+        self.loads += 1
+        mapped = mmap_npz_member(self.path, member)
+        if mapped is not None:
+            return mapped
+        try:
+            with np.load(self.path, allow_pickle=False) as archive:
+                return np.asarray(archive[member], dtype=float)
+        except KeyError as exc:
+            raise CampaignArchiveError(
+                f"{self.path!r} is missing array {member!r}; the archive is incomplete"
+            ) from exc
+        except _ARCHIVE_READ_ERRORS as exc:
+            raise CampaignArchiveError(
+                f"{self.path!r} has a damaged {member!r} member: {exc}"
+            ) from exc
+
+
+class LazySpectrumTrace(SpectrumTrace):
+    """A :class:`~repro.spectrum.SpectrumTrace` whose power is read on demand.
+
+    Construction stores only the grid, the label, and where the bytes
+    live; the first ``power_mw`` access materializes them (an
+    ``np.memmap`` view for uncompressed archives, a decompressed array
+    otherwise) and validates the shape. Everything downstream — scoring,
+    detection, re-saving — goes through ``power_mw``, so lazy campaigns
+    drop into every existing pipeline unchanged.
+    """
+
+    def __init__(self, grid, loader, member, label=""):
+        # Deliberately not calling super().__init__: its eager power
+        # validation is exactly what laziness defers.
+        self.grid = grid
+        self.label = label
+        self._loader = loader
+        self._member = member
+        self._power = None
+
+    @property
+    def materialized(self):
+        """Whether the trace bytes have been read yet."""
+        return self._power is not None
+
+    @property
+    def power_mw(self):
+        if self._power is None:
+            power = self._loader.load(self._member)
+            if power.shape != (self.grid.n_bins,):
+                raise CampaignArchiveError(
+                    f"{self._loader.path!r}: member {self._member!r} has shape "
+                    f"{power.shape}, expected ({self.grid.n_bins},)"
+                )
+            self._power = power
+        return self._power
+
+
+def load_campaign(path, journal=None, lazy=False):
     """Read a campaign result previously written by :func:`save_campaign`.
 
     A truncated, corrupted, or incomplete archive raises
@@ -273,9 +417,18 @@ def load_campaign(path, journal=None):
     :class:`~repro.runner.CampaignJournal`) written by the durable
     runner — such damage is repaired instead: the campaign is rebuilt
     from the journal's checkpointed captures.
+
+    ``lazy=True`` returns measurements whose traces are
+    :class:`LazySpectrumTrace` views: metadata and member presence are
+    validated up front (so the journal fallback still engages on a
+    truncated archive), but trace bytes are not read until a
+    measurement's ``power_mw`` is touched — memory-mapped when the
+    archive was saved with ``compress=False``. Damage *inside* a trace
+    member of a lazy load surfaces at first touch, after this call
+    returned.
     """
     try:
-        return _load_archive(path)
+        return _load_archive(path, lazy=lazy)
     except CampaignArchiveError:
         if journal is None:
             raise
@@ -284,7 +437,7 @@ def load_campaign(path, journal=None):
         return recover_campaign(getattr(journal, "directory", journal))
 
 
-def _load_archive(path):
+def _load_archive(path, lazy=False):
     try:
         archive = np.load(path, allow_pickle=False)
     except _ARCHIVE_READ_ERRORS as exc:
@@ -303,8 +456,13 @@ def _load_archive(path):
                 f"{str(path)!r} has a damaged metadata member: {exc}"
             ) from exc
         if metadata.get("format") != _FORMAT:
-            raise CampaignError(
-                f"unsupported campaign format {metadata.get('format')!r}"
+            # An archive torn badly enough to mangle its format marker is
+            # *damage*, not a version skew: raise the archive error so
+            # load_campaign's journal-recovery fallback engages.
+            raise CampaignArchiveError(
+                f"{str(path)!r} does not carry the campaign format marker "
+                f"(found {metadata.get('format')!r}, expected {_FORMAT!r}); "
+                "the archive is damaged or not a FASE campaign"
             )
         config = _config_from_dict(metadata["config"])
         grid = _restore_grid(metadata["grid"], config, path)
@@ -333,22 +491,31 @@ def _load_archive(path):
                 f"disagree in length ({detail})"
             )
         result.robustness = _robustness_from_dict(metadata.get("robustness"))
+        members = set(archive.files)
+        loader = _ArchiveTraceLoader(path) if lazy else None
         for i, (falt, activity_data, label) in enumerate(
             zip(metadata["falts"], metadata["activities"], metadata["trace_labels"])
         ):
-            try:
-                power = archive[f"trace_{i}"]
-            except KeyError as exc:
+            if f"trace_{i}" not in members:
+                # Presence is checked eagerly even for lazy loads (the zip
+                # central directory is already in memory), so a truncated
+                # archive fails here — inside the journal fallback's reach
+                # — not at first touch.
                 raise CampaignArchiveError(
                     f"{str(path)!r} is missing array 'trace_{i}' (capture {i} of "
                     f"{n_measurements}); the archive is incomplete"
-                ) from exc
-            except _ARCHIVE_READ_ERRORS as exc:
-                raise CampaignArchiveError(
-                    f"{str(path)!r} has a damaged 'trace_{i}' member (capture {i} of "
-                    f"{n_measurements}): {exc}"
-                ) from exc
-            trace = SpectrumTrace(grid, power, label=label)
+                )
+            if lazy:
+                trace = LazySpectrumTrace(grid, loader, f"trace_{i}", label=label)
+            else:
+                try:
+                    power = archive[f"trace_{i}"]
+                except _ARCHIVE_READ_ERRORS as exc:
+                    raise CampaignArchiveError(
+                        f"{str(path)!r} has a damaged 'trace_{i}' member (capture {i} of "
+                        f"{n_measurements}): {exc}"
+                    ) from exc
+                trace = SpectrumTrace(grid, power, label=label)
             quality = None
             if reasons[i] is not None:
                 quality = CaptureQuality(ok=not flagged[i], reasons=tuple(reasons[i]))

@@ -28,6 +28,12 @@ of (seed, index, attempt) regardless of where a previous run died. The
 serial shared-stream path cannot be resumed mid-way and is therefore not
 used here; an uninterrupted durable run equals the ``n_workers > 1``
 clean run trace-for-trace.
+
+Resume *references* checkpoints instead of copying them: journal records
+are written uncompressed (``ZIP_STORED``), so restoring a completed
+capture memory-maps its trace read-only straight out of the checkpoint
+file (:func:`repro.io.mmap_npz_member`) — resuming a mostly-done
+campaign costs O(captures left to run), not O(bins already captured).
 """
 
 from __future__ import annotations

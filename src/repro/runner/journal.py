@@ -48,6 +48,8 @@ from ..io import (
     _config_from_dict,
     _config_to_dict,
     _fsync_directory,
+    _write_npz_deterministic,
+    mmap_npz_member,
 )
 from ..spectrum.trace import SpectrumTrace
 
@@ -242,17 +244,30 @@ class CampaignJournal:
             "checksum": _record_checksum(index, attempt, activity.falt, trace.power_mw),
         }
         buffer = _io.BytesIO()
-        np.savez_compressed(buffer, meta=json.dumps(meta), power=trace.power_mw)
+        # Records are written uncompressed (ZIP_STORED) so a resume can
+        # memory-map the power member straight out of the checkpoint file
+        # instead of copying it onto the heap; the loader still accepts
+        # compressed records written by earlier versions.
+        _write_npz_deterministic(
+            buffer, {"meta": json.dumps(meta), "power": trace.power_mw}, compress=False
+        )
         name = f"record-{int(index):05d}-a{int(attempt)}.npz"
         _atomic_write(self.directory / name, buffer.getvalue())
 
-    def records(self, grid):
+    def records(self, grid, mmap=True):
         """{index: :class:`JournalRecord`} — best valid record per index.
 
         "Best" is the highest attempt whose record survives every check:
         loadable archive, format marker, checksum, and a trace shaped for
         ``grid``. Damaged or stale files are skipped silently — the
         corresponding capture is simply redone on resume.
+
+        With ``mmap=True`` (default) each restored trace *references* its
+        checkpoint file through a read-only ``np.memmap`` rather than
+        copying the bytes: checksum verification pages the record through
+        once, after which the OS may evict the pages — a resumed
+        full-span campaign holds O(1) heap per checkpoint, not O(bins).
+        Compressed legacy records fall back to a heap copy.
         """
         if not self.directory.is_dir():
             return {}
@@ -261,7 +276,7 @@ class CampaignJournal:
             match = _RECORD_RE.match(path.name)
             if match is None:
                 continue
-            record = self._load_record(path, grid)
+            record = self._load_record(path, grid, mmap=mmap)
             if record is None:
                 continue
             kept = best.get(record.index)
@@ -269,15 +284,19 @@ class CampaignJournal:
                 best[record.index] = record
         return best
 
-    def _load_record(self, path, grid):
+    def _load_record(self, path, grid, mmap=True):
         try:
+            power = mmap_npz_member(path, "power") if mmap else None
             with np.load(path, allow_pickle=False) as archive:
                 meta = json.loads(str(archive["meta"]))
-                power = np.asarray(archive["power"], dtype=float)
+                if power is None:
+                    power = np.asarray(archive["power"], dtype=float)
         except Exception:
             # Truncated mid-write, not an npz, missing members: the record
             # never became durable — treat as absent.
             return None
+        if power.dtype != np.dtype(float):
+            power = np.asarray(power, dtype=float)
         if meta.get("format") != RECORD_FORMAT:
             return None
         try:

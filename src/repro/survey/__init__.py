@@ -12,6 +12,10 @@ death with bounded, ledgered requeues.
   and the pure per-process worker :func:`run_shard`;
 * :mod:`~repro.survey.engine` — :func:`run_survey` (and
   :func:`plan_shards`), the round-based process-pool scheduler;
+* :mod:`~repro.survey.dataplane` — the zero-copy data plane: per-shard
+  shared-memory trace blocks (:class:`TraceArena`, :class:`BlockRef`)
+  workers write into in place, so no O(bins) payload ever rides the
+  pickle stream (``run_survey(keep_spectra=True)``);
 * :mod:`~repro.survey.report` — :class:`SurveyReport`,
   :class:`SurveyLedger`, :class:`ShardFailure`.
 
@@ -20,9 +24,11 @@ command line (``--machines``, ``--workers``, ``--bands``, plus the
 standard campaign/fault/durability/telemetry flags).
 """
 
+from .dataplane import BlockRef, ShardSpectra, SpectraMeta, TraceArena, publish_campaign
 from .engine import DEFAULT_PAIRS, plan_shards, run_survey
 from .report import (
     POOL_BREAK,
+    POOL_BREAK_CAP,
     SHARD_ERROR,
     WORKER_DEATH,
     ShardFailure,
@@ -32,16 +38,22 @@ from .report import (
 from .shards import ShardResult, ShardSpec, run_shard, shard_journal_dir
 
 __all__ = [
+    "BlockRef",
     "DEFAULT_PAIRS",
     "POOL_BREAK",
+    "POOL_BREAK_CAP",
     "SHARD_ERROR",
     "WORKER_DEATH",
     "ShardFailure",
     "ShardResult",
     "ShardSpec",
+    "ShardSpectra",
+    "SpectraMeta",
     "SurveyLedger",
     "SurveyReport",
+    "TraceArena",
     "plan_shards",
+    "publish_campaign",
     "run_shard",
     "run_survey",
     "shard_journal_dir",

@@ -1,0 +1,215 @@
+"""The survey's zero-copy data plane: shared-memory trace blocks.
+
+Shipping spectra across a ``ProcessPoolExecutor`` boundary by pickling
+costs a serialize + copy + deserialize per trace — enough to erase the
+process-parallel win for capture-heavy shards (the PR 5 survey benchmark
+measured 1.02x). This module moves the payload out of the pickle stream:
+the *parent* owns one ``multiprocessing.shared_memory`` block per shard,
+workers attach and write their campaign's trace rows in place, and the
+only things that ride the pool boundary are compact
+:class:`~repro.survey.shards.ShardResult` fields (detections, ledgers,
+metrics snapshots) plus a few bytes of :class:`SpectraMeta`.
+
+Ownership is deliberately one-sided. The parent creates every block
+before the first worker starts, passes each block's *name* inside the
+:class:`~repro.survey.shards.ShardSpec`, and releases every block in a
+``finally`` — so a worker that dies mid-write (SIGKILL included), a pool
+that breaks, or a shard that raises can never leak a ``/dev/shm``
+segment: workers never own anything. Worker attachments are short-lived
+(attach, write rows, close) and never unlink.
+"""
+
+from __future__ import annotations
+
+import weakref
+from contextlib import contextmanager
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+
+import numpy as np
+
+from ..errors import SurveyError
+from ..spectrum.trace import SpectrumTrace
+
+#: The one dtype the plane ships — what every analyzer produces.
+_DTYPE = np.dtype(np.float64)
+
+
+@dataclass(frozen=True)
+class BlockRef:
+    """Picklable handle to one shared trace block.
+
+    ``capacity`` rows of ``n_bins`` float64 bins; the worker writes its
+    measurements into the leading rows and reports how many it used in
+    :class:`SpectraMeta`. The ref is all a worker ever holds — the
+    segment itself belongs to the parent.
+    """
+
+    name: str
+    capacity: int
+    n_bins: int
+
+    @property
+    def nbytes(self):
+        return int(self.capacity) * int(self.n_bins) * _DTYPE.itemsize
+
+
+@dataclass(frozen=True)
+class SpectraMeta:
+    """Compact description of what a worker published into its block."""
+
+    n_rows: int
+    falts: tuple
+    labels: tuple
+    flagged: tuple
+
+
+def _release_blocks(blocks):
+    """Close + unlink every (ref, shm) pair; idempotent and best-effort."""
+    while blocks:
+        _, (_ref, shm) = blocks.popitem()
+        try:
+            shm.close()
+        except OSError:
+            pass
+        try:
+            shm.unlink()
+        except (OSError, FileNotFoundError):
+            pass
+
+
+class TraceArena:
+    """Parent-side owner of every shard's shared trace block.
+
+    Blocks are created eagerly (:meth:`allocate`), viewed zero-copy
+    (:meth:`view`), and all released together by :meth:`release` — which
+    the survey engine calls in a ``finally``, and which a
+    ``weakref.finalize`` repeats at garbage collection as a backstop, so
+    no exit path leaks a segment.
+    """
+
+    def __init__(self):
+        self._blocks = {}  # shard_id -> (BlockRef, SharedMemory)
+        self._finalizer = weakref.finalize(self, _release_blocks, self._blocks)
+
+    def allocate(self, shard_id, capacity, n_bins):
+        """Create the block for one shard; returns its :class:`BlockRef`."""
+        if shard_id in self._blocks:
+            raise SurveyError(f"shard {shard_id!r} already has a shared trace block")
+        if capacity < 1 or n_bins < 1:
+            raise SurveyError(
+                f"shared trace block for {shard_id!r} needs positive dimensions "
+                f"(got {capacity} rows x {n_bins} bins)"
+            )
+        size = int(capacity) * int(n_bins) * _DTYPE.itemsize
+        shm = shared_memory.SharedMemory(create=True, size=size)
+        ref = BlockRef(name=shm.name, capacity=int(capacity), n_bins=int(n_bins))
+        self._blocks[shard_id] = (ref, shm)
+        return ref
+
+    def ref(self, shard_id):
+        return self._blocks[shard_id][0]
+
+    def view(self, shard_id, n_rows=None):
+        """A zero-copy ``(rows, n_bins)`` array over one shard's block."""
+        ref, shm = self._blocks[shard_id]
+        rows = ref.capacity if n_rows is None else int(n_rows)
+        if rows < 0 or rows > ref.capacity:
+            raise SurveyError(
+                f"shard {shard_id!r} block holds at most {ref.capacity} rows, "
+                f"asked for {rows}"
+            )
+        full = np.ndarray((ref.capacity, ref.n_bins), dtype=_DTYPE, buffer=shm.buf)
+        return full[:rows]
+
+    def __contains__(self, shard_id):
+        return shard_id in self._blocks
+
+    def __len__(self):
+        return len(self._blocks)
+
+    def release(self):
+        """Close and unlink every block. Safe to call more than once."""
+        _release_blocks(self._blocks)
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self.release()
+        return False
+
+
+@contextmanager
+def attached(ref):
+    """Worker-side view of a parent-owned block: attach, yield, close.
+
+    Never unlinks — the parent owns the segment's lifetime. Under the
+    survey's fork pool the worker shares the parent's resource tracker,
+    so attaching registers nothing new and a SIGKILL mid-write simply
+    drops the mapping with the process.
+    """
+    try:
+        shm = shared_memory.SharedMemory(name=ref.name)
+    except FileNotFoundError as exc:
+        raise SurveyError(
+            f"shared trace block {ref.name!r} is gone; the survey parent "
+            "released it (or never created it)"
+        ) from exc
+    try:
+        yield np.ndarray((ref.capacity, ref.n_bins), dtype=_DTYPE, buffer=shm.buf)
+    finally:
+        shm.close()
+
+
+def publish_campaign(ref, result):
+    """Write a campaign's trace rows into the shard's shared block.
+
+    Called inside the worker with the shard's finished
+    :class:`~repro.core.campaign.CampaignResult`; copies each
+    measurement's power row into the block (the one unavoidable copy —
+    the pool boundary itself then costs nothing) and returns the
+    :class:`SpectraMeta` that rides home in the pickled result.
+    """
+    measurements = result.measurements
+    if len(measurements) > ref.capacity:
+        raise SurveyError(
+            f"campaign produced {len(measurements)} measurements but the shared "
+            f"block {ref.name!r} holds {ref.capacity} rows"
+        )
+    with attached(ref) as rows:
+        for i, measurement in enumerate(measurements):
+            rows[i, :] = measurement.trace.power_mw
+    return SpectraMeta(
+        n_rows=len(measurements),
+        falts=tuple(float(m.falt) for m in measurements),
+        labels=tuple(m.trace.label for m in measurements),
+        flagged=tuple(bool(m.flagged) for m in measurements),
+    )
+
+
+class ShardSpectra:
+    """Parent-side zero-copy view of one shard's published spectra.
+
+    ``power`` is a ``(n_rows, n_bins)`` array aliasing the shared block
+    (no copy); :meth:`trace` wraps one row as a
+    :class:`~repro.spectrum.SpectrumTrace` for the ordinary analysis
+    APIs. Views die when the owning :class:`TraceArena` is released —
+    call :meth:`~repro.survey.SurveyReport.close` when done, or copy out
+    what must outlive the report.
+    """
+
+    def __init__(self, grid, power, meta):
+        self.grid = grid
+        self.power = power
+        self.falts = meta.falts
+        self.labels = meta.labels
+        self.flagged = meta.flagged
+
+    @property
+    def n_rows(self):
+        return self.power.shape[0]
+
+    def trace(self, i):
+        """Row ``i`` as a :class:`SpectrumTrace` (still zero-copy)."""
+        return SpectrumTrace(self.grid, self.power[i], label=self.labels[i])

@@ -20,23 +20,39 @@ The engine therefore runs in rounds:
 1. a shared pool round submits all pending shards with ``workers``
    processes; shards that raise ordinary exceptions are charged a
    failure and requeued (bounded by ``max_shard_retries``);
-2. if the pool breaks, the unfinished shards are requeued *uncharged*
-   (ledgered as ``pool-break``) and the engine switches to isolation
-   mode: each remaining shard runs alone in a fresh single-worker pool,
-   so a worker death is attributable — *that* shard is charged, requeued
-   while budget remains, and finally abandoned with the failure recorded
-   in the :class:`~repro.survey.report.SurveyLedger`.
+2. if the pool breaks, only the shards *in flight at the break* become
+   suspects — they are requeued *uncharged* (ledgered as ``pool-break``)
+   into an isolation queue, where each runs alone in a fresh
+   single-worker pool so a worker death is attributable: *that* shard is
+   charged, retried in isolation while budget remains, and finally
+   abandoned with the failure recorded in the
+   :class:`~repro.survey.report.SurveyLedger`. Shards that were not in
+   flight return to the shared pool in the next round — one bad shard no
+   longer collapses the whole survey to single-worker throughput;
+3. shared-pool breaks themselves are budgeted survey-wide by
+   ``max_pool_breaks``: once spent, shards still waiting for a shared
+   pool are abandoned with the distinct ``pool-break-cap`` ledger kind
+   (suspects keep their isolated runs — those are attributable), so a
+   systematically hostile environment terminates instead of cycling
+   break/requeue forever.
 
 A shard result is a pure function of ``(seed, shard_id)`` (see
 :mod:`~repro.survey.shards`), so ``workers=1`` — which runs shards
 inline, no pool — produces detections identical to any process-parallel
 run of the same plan, and re-running a requeued shard is always safe.
+
+With ``keep_spectra=True`` the engine also owns the zero-copy data
+plane (:mod:`~repro.survey.dataplane`): one shared-memory block per
+shard, allocated before any worker starts and released in a ``finally``
+unless ownership transfers to the returned report — so no exit path
+(shard error, worker SIGKILL, pool break, engine exception) can leak a
+``/dev/shm`` segment.
 """
 
 from __future__ import annotations
 
 import multiprocessing
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from contextlib import ExitStack
 from dataclasses import replace
@@ -52,7 +68,15 @@ from ..runner import journal_dirname
 from ..system import ALL_PRESETS
 from ..telemetry import MetricsSnapshot, current_telemetry, use_telemetry
 from ..uarch.isa import MicroOp
-from .report import POOL_BREAK, SHARD_ERROR, WORKER_DEATH, SurveyLedger, SurveyReport
+from .dataplane import ShardSpectra, TraceArena
+from .report import (
+    POOL_BREAK,
+    POOL_BREAK_CAP,
+    SHARD_ERROR,
+    WORKER_DEATH,
+    SurveyLedger,
+    SurveyReport,
+)
 from .shards import ShardSpec, run_shard
 
 #: The two pairs the paper's survey focuses on: memory modulation
@@ -177,30 +201,44 @@ def plan_shards(
 
 
 class _ShardQueue:
-    """Pending specs plus the per-shard failure accounting."""
+    """Pending + suspect specs plus the per-shard failure accounting.
+
+    ``pending`` holds shards eligible for shared-pool rounds; ``suspects``
+    holds shards that were in flight when a shared pool broke — they run
+    alone (attributably) before the shared pool resumes. ``pool_breaks``
+    counts shared-pool breaks against the survey-wide ``max_pool_breaks``
+    budget.
+    """
 
     def __init__(self, specs, max_shard_retries, ledger, telemetry):
         self.pending = list(specs)
+        self.suspects = []
         self.failures = {spec.shard_id: 0 for spec in specs}
         self.max_shard_retries = max_shard_retries
+        self.pool_breaks = 0
         self.ledger = ledger
         self.telemetry = telemetry
 
-    def charge(self, spec, kind, detail):
-        """Charge a failure; requeue while budget remains, else abandon."""
+    def charge(self, spec, kind, detail, isolate=False):
+        """Charge a failure; requeue while budget remains, else abandon.
+
+        ``isolate=True`` sends the requeue back to the suspect queue (the
+        shard already proved fatal once, so it keeps running alone);
+        otherwise it returns to the shared-pool rounds.
+        """
         self.failures[spec.shard_id] += 1
         n = self.failures[spec.shard_id]
         self.ledger.record_failure(spec.shard_id, kind, detail, failures=n)
         if n <= self.max_shard_retries:
             self.ledger.record_requeue(spec.shard_id)
-            self.pending.append(spec)
+            (self.suspects if isolate else self.pending).append(spec)
             self.telemetry.event("shard-requeued", shard=spec.shard_id, kind=kind, failures=n)
         else:
             reason = f"{kind} after {n} failure(s): {detail}"
             self.ledger.record_abandoned(spec.shard_id, reason)
             self.telemetry.event("shard-abandoned", shard=spec.shard_id, kind=kind, failures=n)
 
-    def requeue_uncharged(self, spec, detail):
+    def requeue_uncharged(self, spec, detail, isolate=False):
         """Pool-break collateral: requeue without consuming budget."""
         self.ledger.record_failure(
             spec.shard_id,
@@ -210,8 +248,32 @@ class _ShardQueue:
             charged=False,
         )
         self.ledger.record_requeue(spec.shard_id)
-        self.pending.append(spec)
+        (self.suspects if isolate else self.pending).append(spec)
         self.telemetry.event("shard-requeued", shard=spec.shard_id, kind=POOL_BREAK)
+
+    def abandon_for_pool_break_cap(self, max_pool_breaks):
+        """Abandon every shard still waiting on a shared pool.
+
+        Called when the survey-wide shared-pool break budget is spent.
+        Suspects are *not* abandoned here — their isolated runs are
+        attributable and individually bounded by ``max_shard_retries``.
+        """
+        abandoned, self.pending = self.pending, []
+        for spec in abandoned:
+            detail = (
+                f"survey hit its shared-pool break budget "
+                f"(max_pool_breaks={max_pool_breaks}) before this shard could run"
+            )
+            self.ledger.record_failure(
+                spec.shard_id,
+                POOL_BREAK_CAP,
+                detail,
+                failures=self.failures[spec.shard_id],
+                charged=False,
+            )
+            self.ledger.record_abandoned(spec.shard_id, detail)
+            self.telemetry.event("shard-abandoned", shard=spec.shard_id, kind=POOL_BREAK_CAP)
+        return len(abandoned)
 
 
 def _run_serial(queue, shard_fn, results, telemetry):
@@ -226,59 +288,111 @@ def _run_serial(queue, shard_fn, results, telemetry):
             telemetry.event("shard-finished", shard=spec.shard_id)
 
 
-def _run_parallel(queue, shard_fn, results, telemetry, workers):
+def _run_isolated(queue, shard_fn, results, telemetry, context):
+    """Drain the suspect queue: one fresh single-worker pool per shard.
+
+    A death here is attributable, so the shard is charged
+    ``worker-death`` and — unlike shared-pool collateral — requeued back
+    into isolation until its retry budget runs out.
+    """
+    while queue.suspects:
+        spec = queue.suspects.pop(0)
+        try:
+            with ProcessPoolExecutor(max_workers=1, mp_context=context) as pool:
+                result = pool.submit(shard_fn, spec).result()
+        except BrokenProcessPool:
+            queue.charge(
+                spec, WORKER_DEATH, "worker process died running this shard", isolate=True
+            )
+        except Exception as exc:  # noqa: BLE001 - ledgered
+            queue.charge(spec, SHARD_ERROR, str(exc), isolate=True)
+        else:
+            results[spec.shard_id] = result
+            telemetry.event("shard-finished", shard=spec.shard_id)
+
+
+def _run_parallel(queue, shard_fn, results, telemetry, workers, max_pool_breaks):
     # fork keeps worker startup cheap and lets test-injected shard
     # functions resolve in the children without re-import.
     context = multiprocessing.get_context("fork")
-    isolate = False
-    while queue.pending:
-        if not isolate:
-            batch, queue.pending = queue.pending, []
-            broke = False
-            futures = []
-            unsubmitted = []
-            with ProcessPoolExecutor(max_workers=workers, mp_context=context) as pool:
-                for position, spec in enumerate(batch):
+    while queue.pending or queue.suspects:
+        # Suspects first: the shards in flight at the last break re-run
+        # alone so guilt is attributable before the shared pool resumes.
+        _run_isolated(queue, shard_fn, results, telemetry, context)
+        if not queue.pending:
+            continue
+        # Shared-pool round. Submission is windowed to the worker count:
+        # only the shards actually executing at a break become suspects;
+        # the unsubmitted remainder stays eligible for the next shared
+        # round instead of collapsing the whole survey into isolation.
+        batch, queue.pending = queue.pending, []
+        broke = False
+        outstanding = {}  # future -> spec
+        with ProcessPoolExecutor(max_workers=workers, mp_context=context) as pool:
+
+            def submit_next():
+                while batch and len(outstanding) < workers:
+                    spec = batch.pop(0)
                     try:
-                        futures.append((pool.submit(shard_fn, spec), spec))
+                        outstanding[pool.submit(shard_fn, spec)] = spec
                     except BrokenProcessPool:
-                        # A fast worker death can break the pool while the
-                        # batch is still being submitted.
-                        broke = True
-                        unsubmitted = batch[position:]
-                        break
-                for future, spec in futures:
+                        batch.insert(0, spec)
+                        return False
+                return True
+
+            broke = not submit_next()
+            while outstanding and not broke:
+                done, _ = wait(outstanding, return_when=FIRST_COMPLETED)
+                for future in done:
+                    spec = outstanding.pop(future)
                     try:
                         result = future.result()
                     except BrokenProcessPool:
-                        # A worker died; guilt is unattributable in a shared
-                        # pool. Requeue uncharged and isolate from here on.
+                        # A worker died; guilt is unattributable in a
+                        # shared pool. The in-flight shard becomes a
+                        # suspect and will re-run alone.
                         broke = True
                         queue.requeue_uncharged(
-                            spec, "a worker process died while this shard was in flight"
+                            spec,
+                            "a worker process died while this shard was in flight",
+                            isolate=True,
                         )
                     except Exception as exc:  # noqa: BLE001 - ledgered
                         queue.charge(spec, SHARD_ERROR, str(exc))
                     else:
                         results[spec.shard_id] = result
                         telemetry.event("shard-finished", shard=spec.shard_id)
-            for spec in unsubmitted:
-                queue.requeue_uncharged(spec, "the pool broke before this shard was submitted")
-            if broke:
-                isolate = True
-                telemetry.event("survey-isolating", reason="worker death in shared pool")
-        else:
-            spec = queue.pending.pop(0)
-            try:
-                with ProcessPoolExecutor(max_workers=1, mp_context=context) as pool:
-                    result = pool.submit(shard_fn, spec).result()
-            except BrokenProcessPool:
-                queue.charge(spec, WORKER_DEATH, "worker process died running this shard")
-            except Exception as exc:  # noqa: BLE001 - ledgered
-                queue.charge(spec, SHARD_ERROR, str(exc))
-            else:
-                results[spec.shard_id] = result
-                telemetry.event("shard-finished", shard=spec.shard_id)
+                if not broke:
+                    broke = not submit_next()
+            # After a break the rest of the window is already failed;
+            # salvage any that completed first, suspect the others.
+            for future, spec in outstanding.items():
+                try:
+                    result = future.result()
+                except BrokenProcessPool:
+                    queue.requeue_uncharged(
+                        spec,
+                        "a worker process died while this shard was in flight",
+                        isolate=True,
+                    )
+                except Exception as exc:  # noqa: BLE001 - ledgered
+                    queue.charge(spec, SHARD_ERROR, str(exc))
+                else:
+                    results[spec.shard_id] = result
+                    telemetry.event("shard-finished", shard=spec.shard_id)
+        for spec in batch:
+            # Never submitted, so not a suspect: back to the shared pool.
+            queue.requeue_uncharged(spec, "the pool broke before this shard was submitted")
+        if broke:
+            queue.pool_breaks += 1
+            telemetry.event(
+                "survey-pool-broke",
+                pool_breaks=queue.pool_breaks,
+                max_pool_breaks=max_pool_breaks,
+            )
+            if queue.pool_breaks > max_pool_breaks:
+                n = queue.abandon_for_pool_break_cap(max_pool_breaks)
+                telemetry.event("survey-pool-break-cap", n_abandoned=n)
 
 
 def _aggregate(specs, results, ledger, base_description):
@@ -342,6 +456,8 @@ def run_survey(
     telemetry_dir=None,
     telemetry=None,
     max_shard_retries=2,
+    max_pool_breaks=3,
+    keep_spectra=False,
     shard_fn=None,
 ):
     """Survey many machines with process-level parallelism.
@@ -362,7 +478,20 @@ def run_survey(
     additionally receives survey lifecycle events and the merged
     snapshot. A shard whose worker process dies is requeued at most
     ``max_shard_retries`` times, then abandoned with the failure in
-    ``report.ledger``.
+    ``report.ledger``; shared-pool breaks are additionally budgeted
+    survey-wide by ``max_pool_breaks`` — once spent, shards still
+    waiting for a shared pool are abandoned with the ``pool-break-cap``
+    ledger kind instead of cycling break/requeue forever.
+
+    ``keep_spectra=True`` turns on the zero-copy data plane: every shard
+    gets a parent-owned shared-memory block, workers write their
+    campaign's trace rows into it in place (nothing O(bins) crosses the
+    pickle boundary), and the returned report carries
+    ``report.spectra[shard_id]`` views plus ownership of the arena —
+    call ``report.close()`` (or use the report as a context manager)
+    when done. Every failure path releases the blocks in a ``finally``,
+    so worker death, pool breaks, and engine exceptions cannot leak
+    ``/dev/shm`` segments.
 
     ``shard_fn`` replaces :func:`~repro.survey.shards.run_shard` in
     tests; it must be a module-level (picklable) callable.
@@ -371,6 +500,8 @@ def run_survey(
         raise SurveyError("workers must be >= 1")
     if max_shard_retries < 0:
         raise SurveyError("max_shard_retries must be >= 0")
+    if max_pool_breaks < 0:
+        raise SurveyError("max_pool_breaks must be >= 0")
     config = config or campaign_low_band()
     specs = plan_shards(
         machines=machines,
@@ -387,18 +518,51 @@ def run_survey(
         Path(telemetry_dir).mkdir(parents=True, exist_ok=True)
     shard_fn = shard_fn or run_shard
     results = {}
-    with ExitStack() as stack:
-        if telemetry is not None:
-            stack.enter_context(use_telemetry(telemetry))
-        tel = current_telemetry()
-        ledger = SurveyLedger()
-        queue = _ShardQueue(specs, max_shard_retries, ledger, tel)
-        with tel.span("run_survey", n_shards=len(specs), workers=workers):
-            if workers == 1:
-                _run_serial(queue, shard_fn, results, tel)
-            else:
-                _run_parallel(queue, shard_fn, results, tel, workers)
-            report, merged = _aggregate(specs, results, ledger, config.describe())
-        if telemetry is not None and telemetry.enabled:
-            telemetry.emit_external_snapshot(merged, label="survey-metrics")
-    return report
+    arena = None
+    try:
+        if keep_spectra:
+            # Allocate every shard's block up front, before any worker
+            # exists: the parent is the sole owner, so no worker fate can
+            # leak a segment.
+            arena = TraceArena()
+            specs = tuple(
+                replace(
+                    spec,
+                    block=arena.allocate(
+                        spec.shard_id,
+                        capacity=len(spec.config.falts()),
+                        n_bins=spec.config.grid().n_bins,
+                    ),
+                )
+                for spec in specs
+            )
+        with ExitStack() as stack:
+            if telemetry is not None:
+                stack.enter_context(use_telemetry(telemetry))
+            tel = current_telemetry()
+            ledger = SurveyLedger()
+            queue = _ShardQueue(specs, max_shard_retries, ledger, tel)
+            with tel.span("run_survey", n_shards=len(specs), workers=workers):
+                if workers == 1:
+                    _run_serial(queue, shard_fn, results, tel)
+                else:
+                    _run_parallel(queue, shard_fn, results, tel, workers, max_pool_breaks)
+                report, merged = _aggregate(specs, results, ledger, config.describe())
+            if telemetry is not None and telemetry.enabled:
+                telemetry.emit_external_snapshot(merged, label="survey-metrics")
+        if arena is not None:
+            for spec in specs:
+                shard = results.get(spec.shard_id)
+                if shard is None or shard.spectra is None:
+                    continue
+                report.spectra[spec.shard_id] = ShardSpectra(
+                    spec.config.grid(),
+                    arena.view(spec.shard_id, shard.spectra.n_rows),
+                    shard.spectra,
+                )
+            # Ownership transfers to the report; the caller closes it.
+            report.arena, arena = arena, None
+        return report
+    finally:
+        if arena is not None:
+            arena.release()

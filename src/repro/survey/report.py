@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 WORKER_DEATH = "worker-death"  # the shard's worker process died (isolated)
 POOL_BREAK = "pool-break"  # a shared pool broke; shard requeued, not charged
 SHARD_ERROR = "error"  # the shard raised inside the worker
+POOL_BREAK_CAP = "pool-break-cap"  # survey-wide shared-pool break budget spent
 
 
 @dataclass(frozen=True)
@@ -34,7 +35,7 @@ class ShardFailure:
     """
 
     shard_id: str
-    kind: str  # WORKER_DEATH | POOL_BREAK | SHARD_ERROR
+    kind: str  # WORKER_DEATH | POOL_BREAK | SHARD_ERROR | POOL_BREAK_CAP
     detail: str
     failures: int  # charged failures for this shard so far (incl. this one)
     charged: bool = True
@@ -104,6 +105,13 @@ class SurveyReport:
     ``telemetry`` is the merge of every shard's metrics snapshot (plain
     dict form); ``n_shards``/``n_completed`` summarize coverage, and
     ``ledger`` explains any gap between the two.
+
+    A ``keep_spectra`` survey additionally fills ``spectra`` with one
+    :class:`~repro.survey.dataplane.ShardSpectra` per completed shard —
+    zero-copy views into the engine's shared-memory arena. The report
+    then *owns* that arena: call :meth:`close` (or use the report as a
+    context manager) when the spectra are no longer needed, after which
+    the views are invalid. Reports without spectra close as a no-op.
     """
 
     config_description: str
@@ -113,9 +121,25 @@ class SurveyReport:
     telemetry: object = None
     n_shards: int = 0
     n_completed: int = 0
+    spectra: dict = field(default_factory=dict)  # shard_id -> ShardSpectra
+    arena: object = field(default=None, repr=False)  # TraceArena | None
 
     def detections_for(self, machine_name, label):
         return self.machines[machine_name].detections_for(label)
+
+    def close(self):
+        """Release the shared-memory arena behind ``spectra`` (idempotent)."""
+        self.spectra.clear()
+        if self.arena is not None:
+            self.arena.release()
+            self.arena = None
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self.close()
+        return False
 
     def to_text(self):
         lines = [

@@ -29,6 +29,7 @@ from pathlib import Path
 
 from ..core.pipeline import is_memory_pair, pair_label, run_fase
 from ..errors import SurveyError
+from .dataplane import publish_campaign
 from ..faults import FaultPlan
 from ..rng import child_rng, make_rng
 from ..runner import journal_dirname
@@ -57,6 +58,7 @@ class ShardSpec:
     checkpoint_dir: object = None  # survey root; shard journal below it
     resume: bool = True
     telemetry_jsonl: object = None  # per-shard JSONL path | None
+    block: object = None  # BlockRef into the parent's TraceArena | None
 
 
 @dataclass(frozen=True)
@@ -68,6 +70,12 @@ class ShardResult:
     sets, robustness); ``metrics`` is the shard pipeline's final metrics
     snapshot in :meth:`~repro.telemetry.MetricsSnapshot.to_dict` form,
     revived and merged by the parent.
+
+    Everything here is compact — O(detections), never O(bins). When the
+    shard was given a shared-memory ``block``, the campaign's spectra
+    were written into it in place and ``spectra`` carries only the
+    :class:`~repro.survey.dataplane.SpectraMeta` describing the rows;
+    the trace bytes themselves never ride the pickle stream.
     """
 
     shard_id: str
@@ -79,6 +87,7 @@ class ShardResult:
     is_memory_pair: bool
     activity: object
     metrics: dict
+    spectra: object = None  # SpectraMeta when the spec carried a block
 
 
 def shard_journal_dir(checkpoint_dir, shard_id):
@@ -112,6 +121,15 @@ def run_shard(spec):
         checkpoint_dir = shard_journal_dir(spec.checkpoint_dir, spec.shard_id)
     sinks = [JsonlSink(spec.telemetry_jsonl)] if spec.telemetry_jsonl else []
     telemetry = Telemetry(sinks=sinks)
+    published = {}
+    campaign_hook = None
+    if spec.block is not None:
+        # Zero-copy data plane: write the campaign's trace rows straight
+        # into the parent-owned shared block while they are still alive;
+        # only the compact SpectraMeta rides back in the pickled result.
+        def campaign_hook(label, result):
+            published["meta"] = publish_campaign(spec.block, result)
+
     try:
         report = run_fase(
             machine,
@@ -123,6 +141,7 @@ def run_shard(spec):
             checkpoint_dir=checkpoint_dir,
             resume=spec.resume,
             telemetry=telemetry,
+            campaign_hook=campaign_hook,
         )
     finally:
         telemetry.close()
@@ -137,4 +156,5 @@ def run_shard(spec):
         is_memory_pair=is_memory_pair(op_x, op_y),
         activity=report.activities[label],
         metrics=telemetry.snapshot().to_dict(),
+        spectra=published.get("meta"),
     )

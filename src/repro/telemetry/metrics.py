@@ -104,9 +104,20 @@ class MetricsSnapshot:
             if ours is None:
                 histograms[name] = theirs
             else:
+                # Summing counts positionally is only sound when the two
+                # histograms share the exact bucket geometry; zip() would
+                # otherwise silently truncate to the shorter side and
+                # corrupt every cross-process survey merge downstream.
                 if ours.buckets != theirs.buckets:
                     raise TelemetryError(
-                        f"cannot merge histogram {name!r}: bucket bounds differ"
+                        f"cannot merge histogram {name!r}: bucket bounds differ "
+                        f"({list(ours.buckets)} vs {list(theirs.buckets)})"
+                    )
+                if len(ours.counts) != len(theirs.counts):
+                    raise TelemetryError(
+                        f"cannot merge histogram {name!r}: count vectors have "
+                        f"{len(ours.counts)} and {len(theirs.counts)} entries for "
+                        f"{len(ours.buckets)} shared bucket bound(s)"
                     )
                 histograms[name] = HistogramSnapshot(
                     buckets=ours.buckets,
@@ -148,7 +159,7 @@ class MetricsSnapshot:
         histograms = {}
         for name, h in dict(data.get("histograms", {})).items():
             try:
-                histograms[name] = HistogramSnapshot(
+                snapshot = HistogramSnapshot(
                     buckets=tuple(float(b) for b in h["buckets"]),
                     counts=tuple(int(c) for c in h["counts"]),
                     count=int(h["count"]),
@@ -156,6 +167,16 @@ class MetricsSnapshot:
                 )
             except (KeyError, TypeError, ValueError) as exc:
                 raise TelemetryError(f"malformed histogram {name!r} in snapshot payload") from exc
+            # One overflow slot past the last bound — anything else came
+            # from a torn or foreign payload and would positionally
+            # corrupt the first merge it meets.
+            if len(snapshot.counts) != len(snapshot.buckets) + 1:
+                raise TelemetryError(
+                    f"malformed histogram {name!r} in snapshot payload: "
+                    f"{len(snapshot.counts)} count(s) for {len(snapshot.buckets)} "
+                    "bucket bound(s) (expected bounds + 1 overflow slot)"
+                )
+            histograms[name] = snapshot
         try:
             counters = {str(k): int(v) for k, v in dict(data.get("counters", {})).items()}
             gauges = {str(k): float(v) for k, v in dict(data.get("gauges", {})).items()}

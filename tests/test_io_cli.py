@@ -407,3 +407,121 @@ class TestCliDurable:
         assert code == 0
         assert "FASE report" in out
         assert (tmp_path / "ckpt" / "LDM-LDL1" / "HEADER.json").is_file()
+
+
+class TestFormatMarkerDamage:
+    """Regression: a mangled format marker used to raise plain
+    ``CampaignError`` instead of ``CampaignArchiveError``, so
+    ``load_campaign``'s journal-recovery fallback never engaged on that
+    damage class and a repairable archive died with a version-skew
+    message."""
+
+    def _mangle_marker(self, path, out):
+        import json
+
+        with np.load(path, allow_pickle=False) as archive:
+            metadata = json.loads(str(archive["metadata"]))
+            arrays = {key: archive[key] for key in archive.files if key != "metadata"}
+        metadata["format"] = "fase-campaign-v\x00garbled"
+        np.savez_compressed(out, metadata=json.dumps(metadata), **arrays)
+
+    def test_marker_mismatch_is_archive_damage(self, small_result, tmp_path):
+        path = save_campaign(small_result, tmp_path / "good.npz")
+        damaged = tmp_path / "damaged.npz"
+        self._mangle_marker(path, damaged)
+        with pytest.raises(CampaignArchiveError) as info:
+            load_campaign(damaged)
+        message = str(info.value)
+        assert "format marker" in message
+        assert "garbled" in message
+
+    def test_marker_mismatch_engages_journal_recovery(self, small_result, tmp_path):
+        from repro import DurableCampaign
+
+        machine = corei7_desktop(
+            environment=build_environment(1e6, kind="quiet"), rng=np.random.default_rng(0)
+        )
+        campaign = DurableCampaign(
+            machine, small_result.config, journal_dir=tmp_path / "journal",
+            rng=np.random.default_rng(1),
+        )
+        result = campaign.run(MicroOp.LDM, MicroOp.LDL1, label="LDM/LDL1")
+        path = save_campaign(result, tmp_path / "archived.npz")
+        damaged = tmp_path / "damaged.npz"
+        self._mangle_marker(path, damaged)
+        recovered = load_campaign(damaged, journal=tmp_path / "journal")
+        assert tuple(recovered.falts) == tuple(result.falts)
+        for ours, theirs in zip(recovered.measurements, result.measurements):
+            np.testing.assert_array_equal(ours.trace.power_mw, theirs.trace.power_mw)
+
+
+class TestFailedWriteCleanup:
+    """Regression: when the serializer raised mid-write, ``save_campaign``
+    left its ``*.npz.tmp`` sibling on disk; enough failed saves to the
+    same directory accumulated stale temporaries forever."""
+
+    def test_failed_write_leaves_no_tmp(self, small_result, tmp_path, monkeypatch):
+        import repro.io as campaign_io
+
+        def explode(handle, arrays, compress=True):
+            handle.write(b"partial bytes")
+            raise OSError("synthetic mid-write failure")
+
+        monkeypatch.setattr(campaign_io, "_write_npz_deterministic", explode)
+        with pytest.raises(OSError, match="synthetic mid-write"):
+            save_campaign(small_result, tmp_path / "doomed.npz")
+        assert list(tmp_path.iterdir()) == []
+
+    def test_failed_write_preserves_previous_archive(
+        self, small_result, tmp_path, monkeypatch
+    ):
+        import repro.io as campaign_io
+
+        path = save_campaign(small_result, tmp_path / "keep.npz")
+        before = path.read_bytes()
+
+        def explode(handle, arrays, compress=True):
+            raise OSError("synthetic mid-write failure")
+
+        monkeypatch.setattr(campaign_io, "_write_npz_deterministic", explode)
+        with pytest.raises(OSError, match="synthetic mid-write"):
+            save_campaign(small_result, path)
+        assert sorted(p.name for p in tmp_path.iterdir()) == ["keep.npz"]
+        assert path.read_bytes() == before
+
+
+class TestLazyCli:
+    def test_record_uncompressed_then_analyze_lazy(self, tmp_path, capsys):
+        out = tmp_path / "campaign.npz"
+        code = main(
+            [
+                "record", "--span-high", "1e5", "--fres", "500", "--f-delta", "2.5e3",
+                "--uncompressed", str(out),
+            ]
+        )
+        assert code == 0
+        assert out.exists()
+        capsys.readouterr()
+        code = main(["analyze", "--lazy", str(out)])
+        text = capsys.readouterr().out
+        assert code == 0
+        assert "carriers" in text
+
+    def test_uncompressed_recording_is_mmapable(self, tmp_path, capsys):
+        from repro.io import mmap_npz_member
+
+        out = tmp_path / "campaign.npz"
+        main(
+            [
+                "record", "--span-high", "1e5", "--fres", "500", "--f-delta", "2.5e3",
+                "--uncompressed", str(out),
+            ]
+        )
+        capsys.readouterr()
+        assert mmap_npz_member(out, "trace_0") is not None
+
+    def test_lazy_analysis_matches_eager(self, small_result, tmp_path):
+        path = save_campaign(small_result, tmp_path / "c.npz", compress=False)
+        eager = CarrierDetector().detect(load_campaign(path))
+        lazy = CarrierDetector().detect(load_campaign(path, lazy=True))
+        assert eager == lazy

@@ -1,0 +1,177 @@
+"""Properties of the campaign archive round trip.
+
+Two guarantees of the zero-copy read path, driven by Hypothesis instead
+of hand-picked fixtures:
+
+* **byte identity** — a campaign saved, lazily (mmap) loaded, and saved
+  again produces a byte-identical archive, for both the compressed and
+  the uncompressed (``ZIP_STORED``) format. Deterministic writes plus an
+  exact read path mean re-archiving can never silently perturb data;
+* **laziness** — a ``lazy=True`` load reads *zero* trace bytes until a
+  measurement's ``power_mw`` is touched, and touching one trace
+  materializes only that trace.
+"""
+
+from __future__ import annotations
+
+import shutil
+import tempfile
+from pathlib import Path
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import FaseConfig
+from repro.io import LazySpectrumTrace, load_campaign, save_campaign
+from repro.core.campaign import CampaignMeasurement, CampaignResult
+from repro.spectrum.trace import SpectrumTrace
+from repro.uarch.activity import AlternationActivity
+from repro.uarch.isa import MicroOp, activity_levels
+
+CONFIG = FaseConfig(
+    span_low=0.0, span_high=1e5, fres=500.0, falt1=43.3e3, f_delta=2.5e3, name="prop io"
+)
+N_BINS = CONFIG.grid().n_bins
+FALTS = CONFIG.falts()
+
+
+def make_campaign(seed, flagged):
+    """A synthetic but valid campaign: one trace per falt, seeded power."""
+    rng = np.random.default_rng(seed)
+    grid = CONFIG.grid()
+    result = CampaignResult(
+        config=CONFIG, machine_name="prop machine", activity_label="LDM/LDL1"
+    )
+    for i, falt in enumerate(FALTS):
+        power = rng.uniform(0.0, 1e3, size=N_BINS)
+        activity = AlternationActivity(
+            falt=falt,
+            levels_x=activity_levels(MicroOp.LDM),
+            levels_y=activity_levels(MicroOp.LDL1),
+            label=f"act {i}",
+        )
+        result.measurements.append(
+            CampaignMeasurement(
+                falt=falt,
+                activity=activity,
+                trace=SpectrumTrace(grid, power, label=f"trace {i}"),
+                flagged=flagged[i % len(flagged)],
+            )
+        )
+    return result.validate()
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+    flagged=st.lists(st.booleans(), min_size=1, max_size=len(FALTS)),
+    compress=st.booleans(),
+)
+@settings(max_examples=20, deadline=None)
+def test_save_lazy_load_resave_is_byte_identical(seed, flagged, compress):
+    root = Path(tempfile.mkdtemp(prefix="fase-prop-io-"))
+    try:
+        campaign = make_campaign(seed, flagged)
+        first = save_campaign(campaign, root / "first.npz", compress=compress)
+        loaded = load_campaign(first, lazy=True)
+        second = save_campaign(loaded, root / "second.npz", compress=compress)
+        assert first.read_bytes() == second.read_bytes()
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+    compress=st.booleans(),
+    touch=st.integers(min_value=0, max_value=len(FALTS) - 1),
+)
+@settings(max_examples=20, deadline=None)
+def test_lazy_load_reads_no_trace_bytes_until_touched(seed, compress, touch):
+    root = Path(tempfile.mkdtemp(prefix="fase-prop-io-"))
+    try:
+        campaign = make_campaign(seed, [False])
+        path = save_campaign(campaign, root / "campaign.npz", compress=compress)
+        loaded = load_campaign(path, lazy=True)
+        traces = [m.trace for m in loaded.measurements]
+        assert all(isinstance(t, LazySpectrumTrace) for t in traces)
+        loader = traces[0]._loader
+        assert loader.loads == 0
+        assert not any(t.materialized for t in traces)
+        # Touch exactly one trace: exactly one materialization, exact bytes.
+        power = traces[touch].power_mw
+        assert loader.loads == 1
+        assert traces[touch].materialized
+        assert np.array_equal(power, campaign.measurements[touch].trace.power_mw)
+        assert all(not t.materialized for i, t in enumerate(traces) if i != touch)
+        # Touching again is free (cached), not a re-read.
+        traces[touch].power_mw
+        assert loader.loads == 1
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+
+
+@given(seed=st.integers(min_value=0, max_value=2**32 - 1))
+@settings(max_examples=10, deadline=None)
+def test_uncompressed_lazy_traces_are_memory_mapped(seed):
+    root = Path(tempfile.mkdtemp(prefix="fase-prop-io-"))
+    try:
+        campaign = make_campaign(seed, [False])
+        path = save_campaign(campaign, root / "campaign.npz", compress=False)
+        loaded = load_campaign(path, lazy=True)
+        trace = loaded.measurements[0].trace
+        assert isinstance(trace.power_mw, np.memmap)
+        assert np.array_equal(trace.power_mw, campaign.measurements[0].trace.power_mw)
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+    compress=st.booleans(),
+)
+@settings(max_examples=10, deadline=None)
+def test_lazy_and_eager_loads_agree(seed, compress):
+    root = Path(tempfile.mkdtemp(prefix="fase-prop-io-"))
+    try:
+        campaign = make_campaign(seed, [True, False])
+        path = save_campaign(campaign, root / "campaign.npz", compress=compress)
+        eager = load_campaign(path)
+        lazy = load_campaign(path, lazy=True)
+        assert len(eager.measurements) == len(lazy.measurements)
+        for ours, theirs in zip(eager.measurements, lazy.measurements):
+            assert ours.falt == theirs.falt
+            assert ours.flagged == theirs.flagged
+            assert ours.trace.label == theirs.trace.label
+            assert np.array_equal(ours.trace.power_mw, theirs.trace.power_mw)
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+
+
+def test_lazy_load_shape_mismatch_surfaces_at_first_touch(tmp_path):
+    """Damage inside a trace member of a lazy load raises the archive
+    error at materialization time, naming the member."""
+    import json
+    import zipfile
+
+    from repro.errors import CampaignArchiveError
+    from repro.io import _write_npz_deterministic
+
+    campaign = make_campaign(7, [False])
+    path = save_campaign(campaign, tmp_path / "damaged.npz", compress=False)
+    # Rewrite trace_0 with the wrong number of bins, metadata untouched.
+    with zipfile.ZipFile(path) as zf:
+        members = {
+            name[: -len(".npy")]: np.load(zf.open(name))
+            if name != "metadata.npy"
+            else json.loads(str(np.load(zf.open(name))))
+            for name in zf.namelist()
+        }
+    arrays = {name: value for name, value in members.items() if name != "metadata"}
+    arrays["metadata"] = json.dumps(members["metadata"])
+    arrays["trace_0"] = np.ones(N_BINS // 2)
+    with open(path, "wb") as handle:
+        _write_npz_deterministic(handle, arrays, compress=False)
+    lazy = load_campaign(path, lazy=True)  # loads fine: presence only
+    with pytest.raises(CampaignArchiveError, match="trace_0"):
+        lazy.measurements[0].trace.power_mw

@@ -235,6 +235,50 @@ class TestJournal:
         assert records[0].attempt == 2
         np.testing.assert_array_equal(records[0].trace.power_mw, best.power_mw)
 
+    def test_resumed_traces_reference_checkpoint_files(self, tmp_path):
+        """Records are written uncompressed so resume *references* each
+        checkpoint file through a read-only memmap instead of copying the
+        trace onto the heap."""
+        journal = self.create(tmp_path)
+        grid = make_config().grid()
+        written = self._append(journal, 0)
+        records = journal.records(grid)
+        power = records[0].trace.power_mw
+        # Zero-copy: the trace is a read-only view whose buffer is the
+        # mapped checkpoint file, not a heap copy.
+        assert not power.flags.owndata
+        assert not power.flags.writeable
+        import mmap as _mmap
+
+        base = power
+        while isinstance(base, np.ndarray) and base.base is not None:
+            if isinstance(base, np.memmap):
+                break
+            base = base.base
+        assert isinstance(base, (np.memmap, _mmap.mmap))
+        np.testing.assert_array_equal(power, written.power_mw)
+        # Opting out still round-trips exactly, on the heap (writable,
+        # no mapped buffer underneath).
+        eager = journal.records(grid, mmap=False)
+        assert eager[0].trace.power_mw.flags.writeable
+        np.testing.assert_array_equal(eager[0].trace.power_mw, written.power_mw)
+
+    def test_legacy_compressed_records_still_load(self, tmp_path):
+        """Records written by earlier versions (np.savez_compressed) fail
+        the mmap fast path and fall back to a heap copy, checksum and all."""
+        journal = self.create(tmp_path)
+        grid = make_config().grid()
+        written = self._append(journal, 0)
+        path = journal.directory / "record-00000-a0.npz"
+        with np.load(path, allow_pickle=False) as archive:
+            meta = str(archive["meta"])
+            power = np.asarray(archive["power"])
+        np.savez_compressed(path, meta=meta, power=power)
+        records = journal.records(grid)
+        assert set(records) == {0}
+        assert not isinstance(records[0].trace.power_mw, np.memmap)
+        np.testing.assert_array_equal(records[0].trace.power_mw, written.power_mw)
+
     def test_truncated_record_skipped(self, tmp_path):
         journal = self.create(tmp_path)
         grid = make_config().grid()

@@ -1,0 +1,364 @@
+"""The survey's zero-copy data plane: shared-memory blocks, leak-freedom,
+and the survey-wide pool-break cap.
+
+The contract under test is ownership: the parent allocates every
+``/dev/shm`` segment before a worker exists and releases every one on
+every exit path — normal completion, shard errors, worker ``SIGKILL``
+mid-write, pool breaks, and the pool-break cap. The kill stubs here
+attach to their block and write into it *before* dying, so the SIGKILL
+tests exercise death mid-publish, not just death.
+
+Like ``test_survey.py``, stub shard functions are module-level (pool
+workers pickle them by reference) and smuggle their scratch directory
+through ``config.name``.
+"""
+
+from __future__ import annotations
+
+import glob
+import os
+import signal
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro import FaseConfig, MicroOp, run_survey
+from repro.core.report import ActivityReport
+from repro.errors import SurveyError
+from repro.runner import journal_dirname
+from repro.survey import (
+    POOL_BREAK_CAP,
+    ShardResult,
+    SpectraMeta,
+    TraceArena,
+    plan_shards,
+)
+from repro.survey.dataplane import attached, publish_campaign
+
+pytestmark = pytest.mark.survey
+
+MACHINES = ("corei7_desktop", "turionx2_laptop")
+ONE_PAIR = ((MicroOp.LDM, MicroOp.LDL1),)
+
+#: Small but real: 200-bin grid, the paper's falt1.
+SMALL = FaseConfig(
+    span_low=0.0, span_high=1e5, fres=500.0, falt1=43.3e3, f_delta=2.5e3, name="dataplane test"
+)
+
+
+def _shm_segments():
+    return set(glob.glob("/dev/shm/psm_*"))
+
+
+@pytest.fixture
+def shm_before():
+    """Snapshot of /dev/shm before the test; assert no new segments after."""
+    before = _shm_segments()
+    yield before
+    assert _shm_segments() - before == set()
+
+
+def _scratch_config(base):
+    return FaseConfig(
+        span_low=0.0, span_high=1e5, fres=500.0, falt1=43.3e3, f_delta=2.5e3, name=str(base)
+    )
+
+
+def _is_victim(spec):
+    return spec.machine == "corei7_desktop"
+
+
+def _log_attempt(spec):
+    base = Path(spec.config.name)
+    with open(base / f"{journal_dirname(spec.shard_id)}.attempts", "a") as handle:
+        handle.write("attempt\n")
+        handle.flush()
+        os.fsync(handle.fileno())
+
+
+def _stub_result(spec, spectra=None):
+    return ShardResult(
+        shard_id=spec.shard_id,
+        machine=spec.machine,
+        machine_name=spec.machine,
+        config_description=spec.config.describe(),
+        pair_label="/".join(spec.pair),
+        band=spec.band,
+        is_memory_pair=True,
+        activity=ActivityReport(
+            activity_label="/".join(spec.pair), detections=[], harmonic_sets=[]
+        ),
+        metrics={"counters": {}, "gauges": {}, "histograms": {}},
+        spectra=spectra,
+    )
+
+
+def _publish_rows(spec, fill):
+    """Write one row into the shard's block; the mid-write half of a kill."""
+    with attached(spec.block) as rows:
+        rows[0, :] = fill
+    return SpectraMeta(n_rows=1, falts=(1.0,), labels=("row0",), flagged=(False,))
+
+
+def _kill_mid_write_shard(spec):
+    """The victim attaches, writes into its block, then SIGKILLs itself."""
+    _log_attempt(spec)
+    spectra = None
+    if spec.block is not None:
+        spectra = _publish_rows(spec, fill=7.0)
+    if _is_victim(spec):
+        os.kill(os.getpid(), signal.SIGKILL)
+    return _stub_result(spec, spectra=spectra)
+
+
+def _kill_always_shard(spec):
+    """Every corei7 shard SIGKILLs its worker on every attempt."""
+    _log_attempt(spec)
+    if _is_victim(spec):
+        os.kill(os.getpid(), signal.SIGKILL)
+    return _stub_result(spec)
+
+
+def _error_with_block_shard(spec):
+    """The victim raises after writing into its block."""
+    _log_attempt(spec)
+    spectra = _publish_rows(spec, fill=3.0) if spec.block is not None else None
+    if _is_victim(spec):
+        raise SurveyError(f"synthetic failure in {spec.shard_id}")
+    return _stub_result(spec, spectra=spectra)
+
+
+# ----------------------------------------------------------------------
+# The arena itself.
+
+
+class TestTraceArena:
+    def test_allocate_view_release(self, shm_before):
+        with TraceArena() as arena:
+            ref = arena.allocate("s1", capacity=3, n_bins=8)
+            assert ref.capacity == 3 and ref.n_bins == 8 and ref.nbytes == 3 * 8 * 8
+            view = arena.view("s1")
+            view[:] = 2.5
+            assert np.array_equal(arena.view("s1", 2), np.full((2, 8), 2.5))
+            assert "s1" in arena and len(arena) == 1
+        # Released by the context manager; release again is a no-op.
+        assert len(arena) == 0
+        arena.release()
+
+    def test_double_allocate_rejected(self, shm_before):
+        with TraceArena() as arena:
+            arena.allocate("s1", capacity=1, n_bins=4)
+            with pytest.raises(SurveyError, match="already has"):
+                arena.allocate("s1", capacity=1, n_bins=4)
+
+    def test_bad_dimensions_rejected(self, shm_before):
+        with TraceArena() as arena:
+            with pytest.raises(SurveyError, match="positive dimensions"):
+                arena.allocate("s1", capacity=0, n_bins=4)
+            with pytest.raises(SurveyError, match="positive dimensions"):
+                arena.allocate("s2", capacity=4, n_bins=-1)
+
+    def test_view_bounds_checked(self, shm_before):
+        with TraceArena() as arena:
+            arena.allocate("s1", capacity=2, n_bins=4)
+            with pytest.raises(SurveyError, match="at most 2 rows"):
+                arena.view("s1", 3)
+
+    def test_worker_writes_are_visible_to_parent(self, shm_before):
+        with TraceArena() as arena:
+            ref = arena.allocate("s1", capacity=2, n_bins=4)
+            with attached(ref) as rows:
+                rows[1, :] = 9.0
+            assert np.array_equal(arena.view("s1")[1], np.full(4, 9.0))
+
+    def test_attach_after_release_raises(self, shm_before):
+        arena = TraceArena()
+        ref = arena.allocate("s1", capacity=1, n_bins=4)
+        arena.release()
+        with pytest.raises(SurveyError, match="is gone"):
+            with attached(ref):
+                pass
+
+    def test_garbage_collection_releases_blocks(self, shm_before):
+        arena = TraceArena()
+        arena.allocate("s1", capacity=1, n_bins=4)
+        del arena  # weakref.finalize backstop: no leak without release()
+
+    def test_publish_overflow_rejected(self, shm_before):
+        class _FakeResult:
+            measurements = [object()] * 3
+
+        with TraceArena() as arena:
+            ref = arena.allocate("s1", capacity=2, n_bins=4)
+            with pytest.raises(SurveyError, match="holds 2 rows"):
+                publish_campaign(ref, _FakeResult())
+
+
+# ----------------------------------------------------------------------
+# keep_spectra end to end: real pipeline, purity, zero-copy views.
+
+
+class TestKeepSpectra:
+    def test_spectra_views_and_purity(self, shm_before):
+        kwargs = dict(machines=MACHINES, pairs=ONE_PAIR, config=SMALL, seed=3)
+        serial = run_survey(workers=1, keep_spectra=True, **kwargs)
+        parallel = run_survey(workers=2, keep_spectra=True, **kwargs)
+        try:
+            assert sorted(serial.spectra) == sorted(parallel.spectra)
+            assert len(serial.spectra) == serial.n_shards
+            for shard_id, ours in serial.spectra.items():
+                theirs = parallel.spectra[shard_id]
+                # Purity extends to the published spectra, byte for byte.
+                assert np.array_equal(ours.power, theirs.power)
+                assert ours.falts == theirs.falts
+                assert ours.n_rows == len(SMALL.falts())
+                assert ours.power.shape == (ours.n_rows, SMALL.grid().n_bins)
+                assert (ours.power >= 0).all()
+                trace = ours.trace(0)
+                assert trace.power_mw.shape == (SMALL.grid().n_bins,)
+                assert trace.label == ours.labels[0]
+            # Detections agree too (the PR 5 purity invariant still holds).
+            for name, fase in serial.machines.items():
+                for label, activity in fase.activities.items():
+                    assert (
+                        activity.detections
+                        == parallel.machines[name].activities[label].detections
+                    )
+        finally:
+            serial.close()
+            parallel.close()
+
+    def test_report_close_is_idempotent_and_context_managed(self, shm_before):
+        with run_survey(
+            machines=MACHINES[:1], pairs=ONE_PAIR, config=SMALL, workers=2, keep_spectra=True
+        ) as report:
+            assert report.spectra
+        assert not report.spectra and report.arena is None
+        report.close()
+
+    def test_without_keep_spectra_nothing_is_published(self, shm_before):
+        report = run_survey(
+            machines=MACHINES[:1], pairs=ONE_PAIR, config=SMALL, workers=2
+        )
+        assert report.spectra == {} and report.arena is None
+        report.close()  # no-op
+
+
+# ----------------------------------------------------------------------
+# Leak-freedom on every failure path.
+
+
+class TestNoLeaks:
+    def _plan_args(self, base):
+        return dict(machines=MACHINES, pairs=ONE_PAIR, config=_scratch_config(base))
+
+    def test_sigkill_mid_write_leaks_nothing(self, tmp_path, shm_before):
+        """A worker SIGKILLed *while holding an attachment it just wrote
+        through* must not leak its shard's segment: the parent owns it and
+        releases it with the report."""
+        report = run_survey(
+            **self._plan_args(tmp_path),
+            workers=2,
+            max_shard_retries=1,
+            keep_spectra=True,
+            shard_fn=_kill_mid_write_shard,
+        )
+        [victim_id] = [
+            s.shard_id for s in plan_shards(**self._plan_args(tmp_path)) if _is_victim(s)
+        ]
+        assert victim_id in report.ledger.abandoned
+        # The healthy shard's mid-write rows still made it across.
+        survivor = next(iter(report.spectra.values()))
+        assert np.array_equal(survivor.power[0], np.full(survivor.power.shape[1], 7.0))
+        report.close()
+
+    def test_sigkill_without_spectra_leaks_nothing(self, tmp_path, shm_before):
+        report = run_survey(
+            **self._plan_args(tmp_path),
+            workers=2,
+            max_shard_retries=1,
+            keep_spectra=True,
+            shard_fn=_kill_always_shard,
+        )
+        report.close()
+
+    def test_shard_error_leaks_nothing(self, tmp_path, shm_before):
+        report = run_survey(
+            **self._plan_args(tmp_path),
+            workers=2,
+            max_shard_retries=0,
+            keep_spectra=True,
+            shard_fn=_error_with_block_shard,
+        )
+        [victim_id] = [
+            s.shard_id for s in plan_shards(**self._plan_args(tmp_path)) if _is_victim(s)
+        ]
+        assert victim_id in report.ledger.abandoned
+        report.close()
+
+    def test_engine_exception_leaks_nothing(self, tmp_path, shm_before):
+        # plan_shards succeeds, allocation succeeds, then the pool-worker
+        # validation path raises before any round runs.
+        with pytest.raises(SurveyError, match="max_shard_retries"):
+            run_survey(
+                **self._plan_args(tmp_path),
+                workers=2,
+                max_shard_retries=-1,
+                keep_spectra=True,
+            )
+
+
+# ----------------------------------------------------------------------
+# The survey-wide pool-break cap.
+
+
+class TestPoolBreakCap:
+    def _plan_args(self, base):
+        # 4 bands x 2 machines = 8 shards, 4 of them kill-always victims:
+        # each shared round that meets a victim breaks the pool again.
+        return dict(
+            machines=MACHINES, pairs=ONE_PAIR, config=_scratch_config(base), bands=4
+        )
+
+    def test_repeated_breaks_hit_the_cap(self, tmp_path, shm_before):
+        report = run_survey(
+            **self._plan_args(tmp_path),
+            workers=2,
+            max_shard_retries=0,
+            max_pool_breaks=1,
+            shard_fn=_kill_always_shard,
+        )
+        # The survey terminated (bounded SIGKILLs) and the budget overrun
+        # is ledgered with its own kind, distinct from worker-death.
+        capped = [f for f in report.ledger.failures if f.kind == POOL_BREAK_CAP]
+        assert capped, report.ledger.to_text()
+        assert all(not f.charged for f in capped)
+        for failure in capped:
+            assert failure.shard_id in report.ledger.abandoned
+            assert "break budget" in report.ledger.abandoned[failure.shard_id]
+        # Every shard is accounted for: completed or abandoned.
+        assert report.n_completed + len(report.ledger.abandoned) == report.n_shards
+        # Victims never exceed their per-shard attempt bound even while
+        # the cap is being hit (1 shared + retries+1 isolated).
+        for spec in plan_shards(**self._plan_args(tmp_path)):
+            path = Path(tmp_path) / f"{journal_dirname(spec.shard_id)}.attempts"
+            attempts = len(path.read_text().splitlines()) if path.exists() else 0
+            assert attempts <= 2
+
+    def test_generous_cap_never_engages(self, tmp_path, shm_before):
+        report = run_survey(
+            **self._plan_args(tmp_path),
+            workers=2,
+            max_shard_retries=1,
+            max_pool_breaks=100,
+            shard_fn=_kill_always_shard,
+        )
+        assert not any(f.kind == POOL_BREAK_CAP for f in report.ledger.failures)
+        # All healthy shards completed; all victims were charged out.
+        assert report.n_completed == 4
+        assert len(report.ledger.abandoned) == 4
+
+    def test_bad_cap_rejected(self):
+        with pytest.raises(SurveyError, match="max_pool_breaks"):
+            run_survey(machines=MACHINES, config=SMALL, max_pool_breaks=-1)

@@ -301,6 +301,54 @@ class TestMetrics:
         with pytest.raises(TelemetryError, match="bucket"):
             a.snapshot().merge(b.snapshot())
 
+    def test_merge_refuses_torn_count_vectors(self):
+        """Regression: a histogram with the right bucket bounds but a torn
+        ``counts`` vector (a truncated foreign payload) merged positionally
+        through ``zip``, silently dropping tail buckets and corrupting the
+        totals of every later merge."""
+        from repro.telemetry.metrics import HistogramSnapshot, MetricsSnapshot
+
+        good = MetricsRegistry()
+        good.observe("h", 0.5, buckets=(1.0, 10.0))
+        torn = MetricsSnapshot(
+            counters={},
+            gauges={},
+            histograms={
+                "h": HistogramSnapshot(buckets=(1.0, 10.0), counts=(1,), count=1, sum=0.5)
+            },
+        )
+        with pytest.raises(TelemetryError, match="count vectors"):
+            good.snapshot().merge(torn)
+        with pytest.raises(TelemetryError, match="count vectors"):
+            torn.merge(good.snapshot())
+
+    def test_from_dict_refuses_torn_count_vectors(self):
+        """The cross-process revival path rejects the same tear at the
+        boundary, so a torn shard payload is named at load, not at the
+        first merge it would corrupt."""
+        from repro.telemetry.metrics import MetricsSnapshot
+
+        payload = {
+            "counters": {},
+            "gauges": {},
+            "histograms": {
+                "h": {"buckets": [1.0, 10.0], "counts": [1, 2], "count": 3, "sum": 0.5}
+            },
+        }
+        with pytest.raises(TelemetryError, match="overflow slot"):
+            MetricsSnapshot.from_dict(payload)
+
+    def test_from_dict_accepts_well_formed_histograms(self):
+        from repro.telemetry.metrics import MetricsSnapshot
+
+        registry = MetricsRegistry()
+        registry.observe("h", 0.5, buckets=(1.0, 10.0))
+        snap = registry.snapshot()
+        revived = MetricsSnapshot.from_dict(snap.to_dict())
+        assert revived.histograms["h"] == snap.histograms["h"]
+        merged = revived.merge(snap)
+        assert merged.histograms["h"].count == 2
+
     def test_registry_is_thread_safe(self):
         registry = MetricsRegistry()
 
