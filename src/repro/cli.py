@@ -27,7 +27,7 @@ from .core import (
 from .errors import ReproError
 from .faults import FAULT_CLASSES, FaultPlan
 from .runner import DurableCampaign
-from .survey import DEFAULT_PAIRS, run_survey
+from .survey import BAND_PRESETS, DEFAULT_PAIRS, AdaptivePlanner, parse_bands, run_survey
 from .system import ALL_PRESETS
 from .telemetry import JsonlSink, Telemetry, use_telemetry
 from .uarch.activity import AlternationActivity
@@ -218,14 +218,21 @@ def cmd_survey(args):
     if args.telemetry_jsonl:
         # Survey-level records go to PATH; per-shard streams under PATH.d/.
         telemetry_dir = f"{args.telemetry_jsonl}.d"
+    planner = None
+    if not args.adaptive and (args.capture_budget is not None or args.prescan_rbw is not None):
+        raise SystemExit("--capture-budget and --prescan-rbw require --adaptive")
     try:
+        if args.adaptive:
+            planner = AdaptivePlanner(
+                capture_budget=args.capture_budget, prescan_rbw=args.prescan_rbw
+            )
         config = _parse_span(args)
         pairs = (_parse_ops(args.pair),) if args.pair else DEFAULT_PAIRS
         report = run_survey(
             machines=machines,
             pairs=pairs,
             config=config,
-            bands=args.bands,
+            bands=parse_bands(args.bands),
             seed=args.seed,
             workers=args.workers,
             fault_classes=fault_classes,
@@ -235,6 +242,7 @@ def cmd_survey(args):
             telemetry=telemetry,
             max_shard_retries=args.max_shard_retries,
             max_pool_breaks=args.max_pool_breaks,
+            planner=planner,
         )
     except ReproError as exc:
         if telemetry is not None:
@@ -362,11 +370,36 @@ def build_parser():
     )
     survey.add_argument(
         "--bands",
-        type=int,
-        default=1,
+        default="1",
+        metavar="N|PRESET|RANGES",
+        help="split the span into sub-bands, one shard each: a count "
+        f"(e.g. 8), a preset ({', '.join(sorted(BAND_PRESETS))}), or "
+        "comma-separated MHz ranges like 0-2,2-4",
+    )
+    survey.add_argument(
+        "--adaptive",
+        action="store_true",
+        help="use the budgeted adaptive planner: pre-scan every shard at "
+        "low resolution, spend full-resolution captures on high-promise "
+        "shards first, and early-stop shards whose Eq. 1 evidence "
+        "provably cannot reach the detection threshold",
+    )
+    survey.add_argument(
+        "--capture-budget",
+        type=float,
+        default=None,
         metavar="N",
-        help="split the span into N contiguous sub-bands, one shard each "
-        "(more shards -> better process utilization)",
+        help="cap full-resolution captures survey-wide: an absolute count "
+        "(>= 1) or a fraction of the exhaustive total (0 < N < 1); "
+        "requires --adaptive",
+    )
+    survey.add_argument(
+        "--prescan-rbw",
+        type=float,
+        default=None,
+        metavar="HZ",
+        help="pre-scan resolution bandwidth in Hz (default: 5x the "
+        "campaign RBW); requires --adaptive",
     )
     survey.add_argument(
         "--max-shard-retries",

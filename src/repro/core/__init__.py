@@ -20,7 +20,7 @@ from .config import (
     PAPER_CAMPAIGNS,
 )
 from .campaign import MeasurementCampaign, CampaignResult, CampaignMeasurement
-from .heuristic import HeuristicScorer, DEFAULT_POWER_FLOOR
+from .heuristic import DEFAULT_POWER_FLOOR, HeuristicScorer, IncrementalEvidence
 from .scoring import ShiftedPowerCache, shift_valid_mask, shift_valid_range
 from .detect import CarrierDetector, CarrierDetection
 from .harmonics import HarmonicSet, group_harmonics
@@ -58,6 +58,7 @@ __all__ = [
     "CampaignResult",
     "CampaignMeasurement",
     "HeuristicScorer",
+    "IncrementalEvidence",
     "DEFAULT_POWER_FLOOR",
     "ShiftedPowerCache",
     "shift_valid_mask",

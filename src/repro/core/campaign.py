@@ -109,6 +109,32 @@ class CampaignResult:
             robustness=self.robustness,
         )
 
+    def prefix_view(self, n):
+        """The campaign as it looked after its first ``n`` captures.
+
+        The serial capture path appends measurements in falt order, so
+        the prefix of length ``n`` is itself a valid (smaller) campaign:
+        the Eq. 1/2 scorer sees a product of ``n`` factors instead of
+        the full ``N``. The adaptive survey planner scores these views
+        incrementally to bound how much evidence the remaining captures
+        could still contribute. The view shares measurement objects with
+        ``self`` — no traces are copied.
+        """
+        if not 2 <= n <= len(self.measurements):
+            raise CampaignError(
+                f"prefix length {n} outside 2..{len(self.measurements)}; "
+                "the heuristic needs at least two measurements"
+            )
+        if n == len(self.measurements):
+            return self
+        return CampaignResult(
+            config=self.config,
+            machine_name=self.machine_name,
+            activity_label=self.activity_label,
+            measurements=self.measurements[:n],
+            robustness=self.robustness,
+        )
+
     @property
     def grid(self):
         if not self.measurements:
@@ -185,19 +211,50 @@ class MeasurementCampaign:
             )
         return CampaignMeasurement(falt=activity.falt, activity=activity, trace=trace)
 
-    def run(self, op_x, op_y, label=None):
-        """Calibrate and measure at every alternation frequency.
-
-        ``op_x``/``op_y`` are :class:`~repro.uarch.isa.MicroOp` values (the
-        paper's notation LDM/LDL1 is ``MicroOp.LDM, MicroOp.LDL1``).
-        """
+    def activities_for(self, op_x, op_y, label=None):
+        """One calibrated alternation activity per configured falt."""
         activities = []
         for falt in self.config.falts():
             bench = AlternationMicrobenchmark.calibrated(
                 op_x, op_y, falt, latency_model=self.latency_model
             )
             activities.append(bench.activity(label=label))
-        return self.run_with_activities(activities, label=label)
+        return activities
+
+    def run(self, op_x, op_y, label=None):
+        """Calibrate and measure at every alternation frequency.
+
+        ``op_x``/``op_y`` are :class:`~repro.uarch.isa.MicroOp` values (the
+        paper's notation LDM/LDL1 is ``MicroOp.LDM, MicroOp.LDL1``).
+        """
+        return self.run_with_activities(self.activities_for(op_x, op_y, label), label=label)
+
+    def iter_captures(self, activities, label=None):
+        """The clean serial capture sequence, one measurement at a time.
+
+        Yields exactly what the serial branch of
+        :meth:`run_with_activities` records: one analyzer on the shared
+        ``analyzer`` child stream, consumed in activity order. Because
+        the stream is consumed strictly sequentially, a consumer that
+        stops after ``k`` measurements holds a byte-identical prefix of
+        the full run — the remaining noise draws are simply never made.
+        The adaptive survey planner's early stop rests on this: captures
+        it did take match the exhaustive run's, captures it skipped cost
+        nothing.
+        """
+        label = label or (activities[0].label if activities else None) or "activity"
+        grid = self.config.grid()
+        analyzer = self._analyzer()
+        telemetry = current_telemetry()
+        for index, activity in enumerate(activities):
+            with telemetry.span(
+                "capture", stage="capture", index=index, attempt=0, falt=activity.falt
+            ):
+                scene = self.machine.scene(activity)
+                trace = analyzer.capture(
+                    scene, grid, label=f"{label} falt={activity.falt:.6g}Hz"
+                )
+            yield CampaignMeasurement(falt=activity.falt, activity=activity, trace=trace)
 
     def run_with_activities(self, activities, label=None):
         """Measure a pre-built activity per alternation frequency.
@@ -239,20 +296,9 @@ class MeasurementCampaign:
                     self._capture_parallel(activities, result.activity_label, grid, n_workers)
                 )
             else:
-                analyzer = self._analyzer()
-                for index, activity in enumerate(activities):
-                    with telemetry.span(
-                        "capture", stage="capture", index=index, attempt=0, falt=activity.falt
-                    ):
-                        scene = self.machine.scene(activity)
-                        trace = analyzer.capture(
-                            scene,
-                            grid,
-                            label=f"{result.activity_label} falt={activity.falt:.6g}Hz",
-                        )
-                    result.measurements.append(
-                        CampaignMeasurement(falt=activity.falt, activity=activity, trace=trace)
-                    )
+                result.measurements.extend(
+                    self.iter_captures(activities, label=result.activity_label)
+                )
             record_campaign_ledger(telemetry, result.measurements, None)
         return result.validate()
 

@@ -301,3 +301,61 @@ class HeuristicScorer:
         for trace in traces:
             if trace.grid != grid:
                 raise DetectionError("traces must share one grid")
+
+
+class IncrementalEvidence:
+    """Running Eq. 1 evidence over a growing capture prefix.
+
+    The adaptive survey planner feeds captures in one at a time (the
+    serial shared-stream order of
+    :meth:`~repro.core.campaign.MeasurementCampaign.iter_captures`) and
+    asks after each whether the campaign is still worth finishing. Each
+    Eq. 2 sub-score is clipped to ``[1/clip, clip]``, so after ``k`` of
+    ``N`` captures the final ``log10 F_h`` at any bin can exceed the
+    current prefix maximum by at most ``(N - k) * log10(clip)`` — and in
+    practice by far less, which is what ``bound_decades`` lets a caller
+    encode as a per-falt cap. When even that optimistic bound stays
+    below the detection threshold, no completion of the campaign can
+    cross it and the remaining captures are provably wasted.
+    """
+
+    def __init__(self, config, machine_name, activity_label, scorer=None):
+        self.scorer = scorer or HeuristicScorer()
+        self.result = CampaignResult(
+            config=config, machine_name=machine_name, activity_label=activity_label
+        )
+        self._evidence = None
+
+    @property
+    def n_captures(self):
+        return len(self.result.measurements)
+
+    @property
+    def max_evidence_decades(self):
+        """Strongest ``log10 F_h`` over all harmonics and bins so far.
+
+        ``None`` until two captures exist (Eq. 2 needs a denominator).
+        """
+        return self._evidence
+
+    def add(self, measurement):
+        """Fold one capture in; returns the updated prefix evidence."""
+        self.result.measurements.append(measurement)
+        if self.n_captures >= 2:
+            scores = self.scorer.all_scores(self.result)
+            self._evidence = max(
+                float(np.max(np.log10(score))) for score in scores.values()
+            )
+        return self._evidence
+
+    def bound_decades(self, n_total, per_falt_cap_decades):
+        """Upper bound on the final evidence after all ``n_total`` captures.
+
+        Assumes each of the remaining factors contributes at most
+        ``per_falt_cap_decades`` decades at the current best bin.
+        Infinite until the prefix evidence is defined.
+        """
+        if self._evidence is None:
+            return float("inf")
+        remaining = max(n_total - self.n_captures, 0)
+        return self._evidence + remaining * float(per_falt_cap_decades)

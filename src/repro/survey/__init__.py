@@ -12,6 +12,11 @@ death with bounded, ledgered requeues.
   and the pure per-process worker :func:`run_shard`;
 * :mod:`~repro.survey.engine` — :func:`run_survey` (and
   :func:`plan_shards`), the round-based process-pool scheduler;
+* :mod:`~repro.survey.planner` — the budgeted adaptive scheduler
+  (:class:`AdaptivePlanner`): low-resolution pre-scan promise scoring,
+  promise-ordered capture budgeting with per-machine quotas, and
+  provable per-shard early stopping
+  (``run_survey(planner=AdaptivePlanner(...))``);
 * :mod:`~repro.survey.dataplane` — the zero-copy data plane: per-shard
   shared-memory trace blocks (:class:`TraceArena`, :class:`BlockRef`)
   workers write into in place, so no O(bins) payload ever rides the
@@ -25,10 +30,23 @@ standard campaign/fault/durability/telemetry flags).
 """
 
 from .dataplane import BlockRef, ShardSpectra, SpectraMeta, TraceArena, publish_campaign
-from .engine import DEFAULT_PAIRS, plan_shards, run_survey
+from .engine import BAND_PRESETS, DEFAULT_PAIRS, parse_bands, plan_shards, run_survey
+from .planner import (
+    AdaptivePlanner,
+    AdaptiveShardOutcome,
+    CaptureBudget,
+    PlanAccounting,
+    ShardPromise,
+    prescan_shard,
+    run_planned,
+    run_shard_adaptive,
+)
 from .report import (
+    BUDGET_EXHAUSTED,
+    EARLY_STOPPED,
     POOL_BREAK,
     POOL_BREAK_CAP,
+    PRESCAN_SKIPPED,
     SHARD_ERROR,
     WORKER_DEATH,
     ShardFailure,
@@ -38,13 +56,21 @@ from .report import (
 from .shards import ShardResult, ShardSpec, run_shard, shard_journal_dir
 
 __all__ = [
+    "AdaptivePlanner",
+    "AdaptiveShardOutcome",
+    "BAND_PRESETS",
+    "BUDGET_EXHAUSTED",
     "BlockRef",
+    "CaptureBudget",
     "DEFAULT_PAIRS",
+    "EARLY_STOPPED",
     "POOL_BREAK",
     "POOL_BREAK_CAP",
+    "PRESCAN_SKIPPED",
+    "PlanAccounting",
     "SHARD_ERROR",
-    "WORKER_DEATH",
     "ShardFailure",
+    "ShardPromise",
     "ShardResult",
     "ShardSpec",
     "ShardSpectra",
@@ -52,9 +78,14 @@ __all__ = [
     "SurveyLedger",
     "SurveyReport",
     "TraceArena",
+    "WORKER_DEATH",
+    "parse_bands",
     "plan_shards",
+    "prescan_shard",
     "publish_campaign",
+    "run_planned",
     "run_shard",
+    "run_shard_adaptive",
     "run_survey",
     "shard_journal_dir",
 ]

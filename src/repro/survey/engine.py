@@ -66,7 +66,12 @@ from ..errors import SurveyError
 from ..faults import FAULT_CLASSES
 from ..runner import journal_dirname
 from ..system import ALL_PRESETS
-from ..telemetry import MetricsSnapshot, current_telemetry, use_telemetry
+from ..telemetry import (
+    MetricsSnapshot,
+    current_telemetry,
+    record_planner_ledger,
+    use_telemetry,
+)
 from ..uarch.isa import MicroOp
 from .dataplane import ShardSpectra, TraceArena
 from .report import (
@@ -82,6 +87,52 @@ from .shards import ShardSpec, run_shard
 #: The two pairs the paper's survey focuses on: memory modulation
 #: (Figure 11) and on-chip modulation (Figure 13).
 DEFAULT_PAIRS = ((MicroOp.LDM, MicroOp.LDL1), (MicroOp.LDL2, MicroOp.LDL1))
+
+#: Named band splits accepted by ``--bands`` and :func:`parse_bands`.
+BAND_PRESETS = {
+    "full": 1,
+    "halves": 2,
+    "quarters": 4,
+    "eighths": 8,
+    "sixteenths": 16,
+}
+
+
+def parse_bands(text):
+    """Parse a ``--bands`` value into what :func:`plan_shards` accepts.
+
+    Accepts an integer count (``"8"``), a preset name (``"quarters"``),
+    or comma-separated MHz ranges (``"0-2,2-4"``). ``None``/empty means
+    no banding. Errors name the valid presets, mirroring the micro-op
+    pair parser.
+    """
+    if text is None:
+        return None
+    if isinstance(text, int):
+        return text
+    value = str(text).strip()
+    if not value:
+        return None
+    if value.lower() in BAND_PRESETS:
+        return BAND_PRESETS[value.lower()]
+    try:
+        return int(value)
+    except ValueError:
+        pass
+    spans = []
+    try:
+        for part in value.split(","):
+            low, sep, high = part.partition("-")
+            if not sep:
+                raise ValueError(part)
+            spans.append((float(low) * 1e6, float(high) * 1e6))
+    except ValueError:
+        presets = ", ".join(sorted(BAND_PRESETS))
+        raise SurveyError(
+            f"invalid bands value {text!r}; use a band count, one of the presets "
+            f"({presets}), or comma-separated MHz ranges like '0-2,2-4'"
+        ) from None
+    return tuple(spans)
 
 
 def _coerce_pair(pair):
@@ -459,6 +510,7 @@ def run_survey(
     max_pool_breaks=3,
     keep_spectra=False,
     shard_fn=None,
+    planner=None,
 ):
     """Survey many machines with process-level parallelism.
 
@@ -495,9 +547,34 @@ def run_survey(
 
     ``shard_fn`` replaces :func:`~repro.survey.shards.run_shard` in
     tests; it must be a module-level (picklable) callable.
+
+    ``planner`` (an :class:`~repro.survey.planner.AdaptivePlanner`)
+    switches the survey onto the budgeted adaptive schedule: every shard
+    is pre-scanned at low resolution, full-resolution captures go to
+    high-promise shards first under the planner's budget, and funded
+    shards early-stop as soon as their Eq. 1 evidence provably cannot
+    reach the detection threshold. The returned report carries the
+    reconciled :class:`~repro.survey.planner.PlanAccounting` in
+    ``report.planning`` and one ledger decision per shard the planner
+    cut short. Adaptive surveys support clean, non-durable runs only —
+    ``fault_classes``, ``checkpoint_dir``, ``keep_spectra``, and
+    ``shard_fn`` are incompatible with a planner.
     """
     if workers < 1:
         raise SurveyError("workers must be >= 1")
+    if planner is not None:
+        incompatible = {
+            "fault_classes": fault_classes is not None,
+            "checkpoint_dir": checkpoint_dir is not None,
+            "keep_spectra": keep_spectra,
+            "shard_fn": shard_fn is not None,
+        }
+        clashes = [name for name, clash in incompatible.items() if clash]
+        if clashes:
+            raise SurveyError(
+                f"adaptive planning supports clean, non-durable surveys only; "
+                f"incompatible with: {', '.join(clashes)}"
+            )
     if max_shard_retries < 0:
         raise SurveyError("max_shard_retries must be >= 0")
     if max_pool_breaks < 0:
@@ -541,13 +618,30 @@ def run_survey(
                 stack.enter_context(use_telemetry(telemetry))
             tel = current_telemetry()
             ledger = SurveyLedger()
-            queue = _ShardQueue(specs, max_shard_retries, ledger, tel)
             with tel.span("run_survey", n_shards=len(specs), workers=workers):
-                if workers == 1:
+                if planner is not None:
+                    from .planner import run_planned
+
+                    accounting = run_planned(
+                        specs,
+                        planner,
+                        workers=workers,
+                        telemetry=tel,
+                        ledger=ledger,
+                        results=results,
+                        max_shard_retries=max_shard_retries,
+                        max_pool_breaks=max_pool_breaks,
+                    )
+                elif workers == 1:
+                    queue = _ShardQueue(specs, max_shard_retries, ledger, tel)
                     _run_serial(queue, shard_fn, results, tel)
                 else:
+                    queue = _ShardQueue(specs, max_shard_retries, ledger, tel)
                     _run_parallel(queue, shard_fn, results, tel, workers, max_pool_breaks)
                 report, merged = _aggregate(specs, results, ledger, config.describe())
+                if planner is not None:
+                    report.planning = accounting
+                    record_planner_ledger(tel, accounting)
             if telemetry is not None and telemetry.enabled:
                 telemetry.emit_external_snapshot(merged, label="survey-metrics")
         if arena is not None:

@@ -23,6 +23,11 @@ POOL_BREAK = "pool-break"  # a shared pool broke; shard requeued, not charged
 SHARD_ERROR = "error"  # the shard raised inside the worker
 POOL_BREAK_CAP = "pool-break-cap"  # survey-wide shared-pool break budget spent
 
+#: Planner decision kinds recorded in the ledger (adaptive surveys).
+EARLY_STOPPED = "early-stopped"  # Eq. 1 bound fell below threshold mid-shard
+BUDGET_EXHAUSTED = "budget-exhausted"  # the capture budget never reached it
+PRESCAN_SKIPPED = "prescan-skipped"  # pre-scan promise below the floor (or errored)
+
 
 @dataclass(frozen=True)
 class ShardFailure:
@@ -59,6 +64,7 @@ class SurveyLedger:
     failures: list = field(default_factory=list)  # ShardFailure, in order
     requeues: dict = field(default_factory=dict)  # shard_id -> requeue count
     abandoned: dict = field(default_factory=dict)  # shard_id -> final detail
+    planned: dict = field(default_factory=dict)  # shard_id -> (kind, detail)
 
     @property
     def n_failures(self):
@@ -80,17 +86,29 @@ class SurveyLedger:
     def record_abandoned(self, shard_id, detail):
         self.abandoned[shard_id] = detail
 
+    def record_planned(self, shard_id, kind, detail):
+        """One terminal planner decision for a shard an adaptive survey
+        did not run to full resolution (early stop, budget, pre-scan
+        skip). Distinct from failures: nothing went wrong — the planner
+        chose not to spend the captures, and says why."""
+        self.planned[shard_id] = (kind, detail)
+
     def to_text(self):
         if not self.failures and not self.abandoned:
-            return "survey ledger: all shards completed cleanly"
-        lines = [
-            f"survey ledger: {self.n_failures} shard failure(s), "
-            f"{sum(self.requeues.values())} requeue(s), {len(self.abandoned)} abandoned"
-        ]
-        for failure in self.failures:
-            lines.append(f"  {failure.describe()}")
-        for shard_id, detail in self.abandoned.items():
-            lines.append(f"  abandoned {shard_id}: {detail}")
+            lines = ["survey ledger: all shards completed cleanly"]
+        else:
+            lines = [
+                f"survey ledger: {self.n_failures} shard failure(s), "
+                f"{sum(self.requeues.values())} requeue(s), {len(self.abandoned)} abandoned"
+            ]
+            for failure in self.failures:
+                lines.append(f"  {failure.describe()}")
+            for shard_id, detail in self.abandoned.items():
+                lines.append(f"  abandoned {shard_id}: {detail}")
+        if self.planned:
+            lines.append(f"planner decisions: {len(self.planned)} shard(s)")
+            for shard_id, (kind, detail) in self.planned.items():
+                lines.append(f"  {kind} {shard_id}: {detail}")
         return "\n".join(lines)
 
 
@@ -123,6 +141,7 @@ class SurveyReport:
     n_completed: int = 0
     spectra: dict = field(default_factory=dict)  # shard_id -> ShardSpectra
     arena: object = field(default=None, repr=False)  # TraceArena | None
+    planning: object = None  # PlanAccounting | None (adaptive surveys)
 
     def detections_for(self, machine_name, label):
         return self.machines[machine_name].detections_for(label)
@@ -156,5 +175,7 @@ class SurveyReport:
             for source in self.comparison:
                 machines = ", ".join(source.modulating_labels)
                 lines.append(f"  {source.harmonic_set.describe()} seen on: {machines}")
+        if self.planning is not None:
+            lines.append(self.planning.to_text())
         lines.append(self.ledger.to_text())
         return "\n".join(lines)

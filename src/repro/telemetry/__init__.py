@@ -54,6 +54,7 @@ __all__ = [
     "use_telemetry",
     "set_telemetry",
     "record_campaign_ledger",
+    "record_planner_ledger",
     "MetricsRegistry",
     "MetricsSnapshot",
     "HistogramSnapshot",
@@ -268,3 +269,21 @@ def record_campaign_ledger(telemetry, measurements, robustness, resumed=()):
     telemetry.count(
         "screen_rejections", sum(1 for m in measurements if getattr(m, "flagged", False))
     )
+
+
+def record_planner_ledger(telemetry, accounting):
+    """Fold one adaptive survey's plan accounting into the metrics registry.
+
+    Mirrors :func:`record_campaign_ledger`: the counters are derived
+    from the same :class:`~repro.survey.planner.PlanAccounting` the
+    report renders, in exactly one place per survey, so the telemetry
+    stream and ``report.planning`` can never disagree. Note the worker
+    side already counted ``captures_saved``/``prescan_captures`` in the
+    *shard-local* registries that merge into ``report.telemetry``; this
+    records the same totals in the survey parent's registry.
+    """
+    telemetry.count("captures_saved", accounting.captures_saved)
+    telemetry.count("prescan_captures", accounting.prescan_captures)
+    telemetry.count("shards_early_stopped", accounting.n_early_stopped)
+    telemetry.count("shards_budget_exhausted", accounting.n_budget_exhausted)
+    telemetry.count("shards_prescan_skipped", accounting.n_prescan_skipped)

@@ -42,4 +42,4 @@ def test_example_runs_clean(script, tmp_path):
 
 
 def test_every_example_is_collected():
-    assert len(EXAMPLES) >= 9  # the suite must notice a new script vanishing
+    assert len(EXAMPLES) >= 10  # the suite must notice a new script vanishing

@@ -1,0 +1,225 @@
+"""Properties of the adaptive planner, driven by Hypothesis.
+
+Three families of invariants back the planner's correctness argument:
+
+* **Accounting and purity** — for any (seed, budget) the adaptive
+  survey reconciles every capture (used + saved == exhaustive), is a
+  pure function of its inputs, and is invariant to the worker count.
+* **Early-stop soundness** — the stop rule only ever kills a campaign
+  whose final Eq. 1 evidence could not have crossed the detection
+  threshold. Synthetic bounded-ripple traces make the per-falt cap a
+  theorem (ripple ``<= 10^(cap/n)`` bounds every Eq. 2 factor), so a
+  stop verdict *provably* implies a below-threshold finish; a planted
+  moving side-band must conversely never be stopped.
+* **Budget ledger** — any interleaving of charges and refunds keeps the
+  :class:`CaptureBudget` meter consistent and never funds past a quota.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import FaseConfig, FrequencyGrid, MicroOp, SpectrumTrace, run_survey
+from repro.core import IncrementalEvidence
+from repro.core.campaign import CampaignMeasurement
+from repro.errors import SurveyError
+from repro.survey import AdaptivePlanner, CaptureBudget
+
+from tests.test_planner import carrier_map, source_map
+
+pytestmark = pytest.mark.planner
+
+#: A deliberately tiny survey (2 shards x 5 captures on ~100-bin grids)
+#: so Hypothesis can afford full adaptive runs per example.
+TINY = FaseConfig(
+    span_low=0.0, span_high=1e5, fres=500.0, falt1=43.3e3, f_delta=2.5e3,
+    name="planner property fixture",
+)
+TINY_PLAN = dict(
+    machines=("corei7_desktop",),
+    pairs=((MicroOp.LDM, MicroOp.LDL1),),
+    config=TINY,
+    bands=2,
+)
+TINY_EXHAUSTIVE = 10  # 2 shards x 5 falts
+
+
+def adaptive_fingerprint(report):
+    """Everything an equivalence check cares about, as plain data."""
+    acc = report.planning
+    return (
+        carrier_map(report),
+        source_map(report),
+        acc.captures_used,
+        acc.captures_saved,
+        acc.prescan_captures,
+        acc.n_completed,
+        acc.n_early_stopped,
+        acc.n_budget_exhausted,
+        acc.n_prescan_skipped,
+        sorted(report.ledger.planned.items()),
+    )
+
+
+class TestAccountingAndPurity:
+    @given(
+        seed=st.integers(min_value=0, max_value=2**16 - 1),
+        budget=st.integers(min_value=2, max_value=TINY_EXHAUSTIVE + 3),
+    )
+    @settings(max_examples=8, deadline=None)
+    def test_identity_and_purity(self, seed, budget):
+        planner = AdaptivePlanner(capture_budget=budget)
+        first = run_survey(**TINY_PLAN, seed=seed, planner=planner)
+        acc = first.planning
+        assert acc.exhaustive_captures == TINY_EXHAUSTIVE
+        assert acc.captures_used + acc.captures_saved == acc.exhaustive_captures
+        assert 0 <= acc.captures_used <= min(budget, TINY_EXHAUSTIVE)
+        assert (
+            acc.n_completed + acc.n_early_stopped + acc.n_budget_exhausted
+            + acc.n_prescan_skipped
+            == acc.n_shards
+        )
+        again = run_survey(**TINY_PLAN, seed=seed, planner=planner)
+        assert adaptive_fingerprint(again) == adaptive_fingerprint(first)
+
+    @given(seed=st.integers(min_value=0, max_value=2**16 - 1))
+    @settings(max_examples=3, deadline=None)
+    def test_workers_invariance(self, seed):
+        planner = AdaptivePlanner(capture_budget=TINY_EXHAUSTIVE // 2)
+        serial = run_survey(**TINY_PLAN, seed=seed, planner=planner, workers=1)
+        pooled = run_survey(**TINY_PLAN, seed=seed, planner=planner, workers=2)
+        assert adaptive_fingerprint(pooled) == adaptive_fingerprint(serial)
+
+
+# ----------------------------------------------------------------------
+# Early-stop soundness on synthetic traces with a *provable* per-falt cap.
+
+GRID = FrequencyGrid(0.0, 1e5, 500.0)
+BASE_MW = 1e-9
+
+
+def synthetic_config(n_total):
+    return FaseConfig(
+        span_low=0.0, span_high=1e5, fres=500.0, falt1=43.3e3, f_delta=2.5e3,
+        n_alternations=n_total, name="synthetic soundness",
+    )
+
+
+def measurement(falt, power):
+    trace = SpectrumTrace(GRID, power, label=f"synthetic falt={falt:g}Hz")
+    return CampaignMeasurement(falt=falt, activity=None, trace=trace)
+
+
+def replay(measurements, planner, n_total, config):
+    """Feed captures through the real evidence/stop machinery.
+
+    Returns ``(stopped_at, bound_at_stop, final_evidence)`` where the
+    final evidence is what the campaign would have reached had the stop
+    been ignored and every capture taken.
+    """
+    evidence = IncrementalEvidence(config, "synthetic", "pair")
+    stopped_at = bound_at_stop = None
+    for m in measurements:
+        evidence.add(m)
+        stop, bound = planner.should_stop(evidence, n_total)
+        if stop and stopped_at is None:
+            stopped_at, bound_at_stop = evidence.n_captures, bound
+    return stopped_at, bound_at_stop, evidence.max_evidence_decades
+
+
+class TestEarlyStopSoundness:
+    @given(
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+        n_total=st.integers(min_value=3, max_value=6),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_stop_implies_below_threshold_finish(self, seed, n_total):
+        """Bounded ripple makes the per-falt cap airtight: every Eq. 2
+        factor of a trace set with powers in [p, R*p] lies in [1/R, R],
+        so with R = 10^(cap/n) the full product moves at most ``cap``
+        decades past any prefix — a stop verdict is then a proof."""
+        planner = AdaptivePlanner()
+        config = synthetic_config(n_total)
+        rng = np.random.default_rng(seed)
+        ripple = 10.0 ** (planner.per_falt_cap_decades / n_total)
+        measurements = [
+            measurement(falt, BASE_MW * ripple ** rng.random(GRID.n_bins))
+            for falt in config.falts()
+        ]
+        stopped_at, bound, final = replay(measurements, planner, n_total, config)
+        assert stopped_at is not None  # noise this flat cannot survive the rule
+        assert stopped_at < n_total
+        assert final <= bound + 1e-9
+        assert final < planner.stop_threshold_decades
+
+    @given(seed=st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=10, deadline=None)
+    def test_moving_sideband_is_never_stopped(self, seed):
+        """A planted side-band that tracks falt (the paper's Eq. 1
+        signature of a real carrier) must never trip the stop rule, and
+        must finish above the detection threshold."""
+        planner = AdaptivePlanner()
+        n_total = 5
+        config = synthetic_config(n_total)
+        rng = np.random.default_rng(seed)
+        carrier = 10e3
+        measurements = []
+        for falt in config.falts():
+            power = BASE_MW * (1.0 + 0.1 * rng.random(GRID.n_bins))
+            spike_bin = int(round((carrier + falt - GRID.start) / GRID.resolution))
+            power[spike_bin] = BASE_MW * 1e6
+            measurements.append(measurement(falt, power))
+        stopped_at, _, final = replay(measurements, planner, n_total, config)
+        assert stopped_at is None
+        assert final > planner.stop_threshold_decades
+
+
+# ----------------------------------------------------------------------
+# The budget meter under arbitrary charge/refund interleavings.
+
+budget_ops = st.lists(
+    st.tuples(
+        st.sampled_from(["charge", "refund"]),
+        st.sampled_from(["desktop", "laptop"]),
+        st.integers(min_value=1, max_value=8),
+    ),
+    max_size=40,
+)
+
+
+class TestCaptureBudgetInvariants:
+    @given(ops=budget_ops, total=st.integers(min_value=5, max_value=40))
+    @settings(max_examples=50, deadline=None)
+    def test_meter_stays_consistent(self, ops, total):
+        quota = {"laptop": total // 2}
+        budget = CaptureBudget(total=float(total), per_machine=dict(quota))
+        for op, machine, n in ops:
+            if op == "charge":
+                if budget.can_fund(machine, n):
+                    budget.charge(machine, n)
+                else:
+                    with pytest.raises(SurveyError):
+                        budget.charge(machine, n)
+            else:
+                budget.refund(machine, min(n, budget.spent(machine)))
+            # The meter can never overdraw, go negative, or disagree
+            # with itself about what remains.
+            assert 0.0 <= budget.spent() <= total
+            assert budget.spent("laptop") <= quota["laptop"]
+            assert budget.remaining() == total - budget.spent()
+            assert (
+                budget.remaining("laptop")
+                == quota["laptop"] - budget.spent("laptop")
+            )
+            assert budget.remaining("desktop") == math.inf
+
+    def test_unlimited_budget_funds_anything(self):
+        budget = CaptureBudget()
+        assert budget.can_fund("any", 10**9)
+        budget.charge("any", 10**9)
+        assert budget.remaining() == math.inf

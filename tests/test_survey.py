@@ -27,6 +27,7 @@ from repro.errors import CampaignError, SurveyError
 from repro.runner import journal_dirname
 from repro.survey import (
     DEFAULT_PAIRS,
+    SurveyLedger,
     SurveyReport,
     plan_shards,
     run_shard,
@@ -418,3 +419,162 @@ class TestSurveyCli:
             )
         records = read_jsonl(jsonl)
         assert any(record.get("name") == "metrics-at-failure" for record in records)
+
+
+# ----------------------------------------------------------------------
+# _ShardQueue edge cases: the retry-budget boundary, uncharged collateral,
+# and how the ledger narrates a mixed-outcome survey.
+
+
+class TestShardQueueBudgetBoundary:
+    def _queue(self, max_shard_retries):
+        from repro.survey.engine import _ShardQueue
+
+        specs = plan_shards(machines=("corei7_desktop",), pairs=ONE_PAIR, config=SMALL)
+        return _ShardQueue(
+            specs,
+            max_shard_retries=max_shard_retries,
+            ledger=SurveyLedger(),
+            telemetry=Telemetry(),
+        ), specs[0]
+
+    def test_charge_at_exact_retry_budget_still_requeues(self):
+        """The budget is *retries*: failure n is requeued while
+        ``n <= max_shard_retries``; only failure max+1 abandons."""
+        queue, spec = self._queue(max_shard_retries=2)
+        queue.pending.clear()
+        queue.charge(spec, WORKER_DEATH, "first death")
+        queue.charge(spec, WORKER_DEATH, "second death")
+        assert queue.failures[spec.shard_id] == 2
+        assert [s.shard_id for s in queue.pending] == [spec.shard_id] * 2
+        assert queue.ledger.requeues[spec.shard_id] == 2
+        assert spec.shard_id not in queue.ledger.abandoned
+
+    def test_charge_past_retry_budget_abandons(self):
+        queue, spec = self._queue(max_shard_retries=2)
+        queue.pending.clear()
+        for _ in range(3):
+            queue.charge(spec, WORKER_DEATH, "death")
+        assert queue.failures[spec.shard_id] == 3
+        assert len(queue.pending) == 2  # the third charge did not requeue
+        assert "after 3 failure(s)" in queue.ledger.abandoned[spec.shard_id]
+
+    def test_zero_retries_abandons_on_first_charge(self):
+        queue, spec = self._queue(max_shard_retries=0)
+        queue.pending.clear()
+        queue.charge(spec, SHARD_ERROR, "boom")
+        assert queue.pending == []
+        assert spec.shard_id in queue.ledger.abandoned
+
+    def test_uncharged_requeue_then_charged_isolation(self):
+        """Pool-break collateral costs nothing; the subsequent isolated
+        death is the first *charged* failure — and stays isolated."""
+        queue, spec = self._queue(max_shard_retries=1)
+        queue.pending.clear()
+        queue.requeue_uncharged(spec, "shared pool broke", isolate=True)
+        assert queue.failures[spec.shard_id] == 0
+        assert [s.shard_id for s in queue.suspects] == [spec.shard_id]
+        queue.suspects.clear()
+        queue.charge(spec, WORKER_DEATH, "died alone", isolate=True)
+        assert queue.failures[spec.shard_id] == 1
+        assert [s.shard_id for s in queue.suspects] == [spec.shard_id]
+        assert queue.pending == []
+        first, second = queue.ledger.failures_for(spec.shard_id)
+        assert (first.kind, first.charged, first.failures) == (POOL_BREAK, False, 0)
+        assert (second.kind, second.charged, second.failures) == (WORKER_DEATH, True, 1)
+        assert "not charged" in first.describe()
+        assert "failure 1" in second.describe()
+
+
+class TestLedgerText:
+    def test_mixed_abandonment_kinds_and_planner_decisions(self):
+        """One ledger can carry every way a shard ends short of clean
+        completion; ``to_text`` must narrate all of them."""
+        from repro.survey import BUDGET_EXHAUSTED, EARLY_STOPPED
+        from repro.survey.report import POOL_BREAK_CAP
+
+        ledger = SurveyLedger()
+        ledger.record_failure("s-dead", WORKER_DEATH, "worker died", failures=2)
+        ledger.record_abandoned("s-dead", "worker-death after 2 failure(s)")
+        ledger.record_failure(
+            "s-capped", POOL_BREAK_CAP, "break budget spent", failures=0, charged=False
+        )
+        ledger.record_abandoned("s-capped", "pool break budget spent")
+        ledger.record_planned("s-stopped", EARLY_STOPPED, "stopped after 3/5 captures")
+        ledger.record_planned("s-unfunded", BUDGET_EXHAUSTED, "no budget remained")
+        text = ledger.to_text()
+        assert "2 shard failure(s)" in text and "2 abandoned" in text
+        assert "s-dead: worker-death (failure 2)" in text
+        assert "s-capped: pool-break-cap (not charged)" in text
+        assert "planner decisions: 2 shard(s)" in text
+        assert "early-stopped s-stopped: stopped after 3/5 captures" in text
+        assert "budget-exhausted s-unfunded: no budget remained" in text
+
+    def test_clean_ledger_with_planner_decisions(self):
+        from repro.survey import EARLY_STOPPED
+
+        ledger = SurveyLedger()
+        ledger.record_planned("s", EARLY_STOPPED, "stopped after 2/5 captures")
+        text = ledger.to_text()
+        assert "all shards completed cleanly" in text
+        assert "planner decisions: 1 shard(s)" in text
+
+
+# ----------------------------------------------------------------------
+# --bands parsing: accepted spellings and the preset-naming error.
+
+
+class TestParseBands:
+    def test_none_and_empty_mean_unbanded(self):
+        from repro.survey import parse_bands
+
+        assert parse_bands(None) is None
+        assert parse_bands("") is None
+        assert parse_bands("  ") is None
+
+    def test_counts_and_presets(self):
+        from repro.survey import BAND_PRESETS, parse_bands
+
+        assert parse_bands(8) == 8
+        assert parse_bands("8") == 8
+        assert parse_bands("quarters") == 4
+        assert parse_bands("QUARTERS") == 4
+        assert all(parse_bands(name) == n for name, n in BAND_PRESETS.items())
+
+    def test_mhz_ranges(self):
+        from repro.survey import parse_bands
+
+        assert parse_bands("0-2,2-4") == ((0.0, 2e6), (2e6, 4e6))
+        assert parse_bands("0.5-1.5") == ((0.5e6, 1.5e6),)
+
+    def test_invalid_value_names_presets(self):
+        from repro.survey import parse_bands
+
+        with pytest.raises(SurveyError) as excinfo:
+            parse_bands("bogus")
+        message = str(excinfo.value)
+        assert "'bogus'" in message
+        for preset in ("full", "halves", "quarters", "eighths", "sixteenths"):
+            assert preset in message
+
+    def test_cli_bands_error_exits_cleanly(self):
+        """Regression: a bad ``--bands`` used to escape ``cmd_survey`` as
+        a raw traceback; it must exit cleanly and name the presets,
+        mirroring the ``--pair`` parser's error."""
+        with pytest.raises(SystemExit) as excinfo:
+            main(["survey", "--bands", "bogus"])
+        message = str(excinfo.value)
+        assert "invalid bands value" in message
+        assert "quarters" in message
+
+    def test_cli_accepts_preset_bands(self, capsys):
+        code = main(
+            [
+                "survey", "--machines", "corei7_desktop",
+                "--span-high", "1e6", "--fres", "500", "--f-delta", "2.5e3",
+                "--pair", "LDM/LDL1", "--bands", "halves", "--seed", "3",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "[0-0.5MHz]" in out
