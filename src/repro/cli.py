@@ -102,8 +102,8 @@ def _add_campaign_arguments(parser):
     parser.add_argument(
         "--resume",
         action="store_true",
-        help="with --checkpoint-dir: continue an existing journal instead "
-        "of refusing to touch it",
+        help="with --checkpoint-dir (or survey --manifest-dir): continue "
+        "an existing journal/manifest instead of refusing to touch it",
     )
     parser.add_argument(
         "--capture-timeout",
@@ -243,6 +243,8 @@ def cmd_survey(args):
             max_shard_retries=args.max_shard_retries,
             max_pool_breaks=args.max_pool_breaks,
             planner=planner,
+            manifest_dir=args.manifest_dir,
+            shard_timeout_s=args.shard_timeout,
         )
     except ReproError as exc:
         if telemetry is not None:
@@ -314,6 +316,22 @@ def cmd_record(args):
 
 
 def cmd_analyze(args):
+    if args.manifest is not None:
+        # Offline survey recovery: aggregate whatever shard outcomes the
+        # manifest holds into a report, no re-runs, no .npz needed.
+        from .survey import recover_survey_report
+
+        try:
+            report = recover_survey_report(args.manifest)
+        except ReproError as exc:
+            raise SystemExit(str(exc)) from exc
+        print(report.to_text())
+        return 0
+    if args.input is None:
+        raise SystemExit(
+            "analyze needs an input .npz recording, or --manifest DIR to "
+            "recover a survey report from a manifest"
+        )
     try:
         result = campaign_io.load_campaign(args.input, journal=args.journal, lazy=args.lazy)
     except ReproError as exc:
@@ -402,6 +420,25 @@ def build_parser():
         "campaign RBW); requires --adaptive",
     )
     survey.add_argument(
+        "--manifest-dir",
+        default=None,
+        metavar="DIR",
+        help="durable survey orchestration: journal every shard outcome, "
+        "ledger event, and planner decision to a crash-safe manifest "
+        "under DIR; re-running the same plan with --resume skips "
+        "completed shards and continues where the killed run stopped",
+    )
+    survey.add_argument(
+        "--shard-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="stall watchdog: a shard that neither finishes nor beats its "
+        "heartbeat within SECONDS (a positive number) has its worker "
+        "killed, is charged a 'shard-stalled' failure against "
+        "--max-shard-retries, and retries in isolation",
+    )
+    survey.add_argument(
         "--max-shard-retries",
         type=int,
         default=2,
@@ -442,7 +479,17 @@ def build_parser():
     record.set_defaults(handler=cmd_record)
 
     analyze = sub.add_parser("analyze", help="detect carriers in a recording")
-    analyze.add_argument("input", help="input .npz path")
+    analyze.add_argument(
+        "input", nargs="?", default=None, help="input .npz path (omit with --manifest)"
+    )
+    analyze.add_argument(
+        "--manifest",
+        default=None,
+        metavar="DIR",
+        help="recover and print the survey report journaled in a "
+        "--manifest-dir manifest (no .npz input; completed shards, "
+        "ledger, and planner decisions are aggregated offline)",
+    )
     analyze.add_argument(
         "--lazy",
         action="store_true",

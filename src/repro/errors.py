@@ -108,6 +108,19 @@ class SurveyError(ReproError):
     """
 
 
+class ManifestError(SurveyError):
+    """A survey manifest is missing, incompatible, or refused an operation.
+
+    Raised by :class:`repro.survey.SurveyManifest` when a manifest
+    directory holds a different survey plan (fingerprint mismatch), an
+    unsupported format, or when an existing manifest is reused without
+    ``resume=True``. Damage *inside* a manifest (torn tails, corrupt
+    records) never raises — damaged records are skipped and their shards
+    simply re-run, which is always safe because shard results are pure
+    functions of ``(seed, shard_id)``.
+    """
+
+
 class DetectionError(ReproError):
     """Carrier detection was invoked with invalid inputs."""
 

@@ -23,16 +23,19 @@ checkpoint_dir=...)``, or the CLI's ``--checkpoint-dir``/``--resume``/
 
 from .durable import DurableCampaign, recover_campaign
 from .journal import (
+    CAPTURE_FIELDS,
     JOURNAL_FORMAT,
     RECORD_FORMAT,
     CampaignJournal,
     JournalRecord,
+    atomic_write,
     campaign_fingerprint,
     journal_dirname,
 )
 from .watchdog import MAX_BACKOFF_S, CaptureWatchdog, backoff_delay
 
 __all__ = [
+    "CAPTURE_FIELDS",
     "JOURNAL_FORMAT",
     "MAX_BACKOFF_S",
     "RECORD_FORMAT",
@@ -40,6 +43,7 @@ __all__ = [
     "CaptureWatchdog",
     "DurableCampaign",
     "JournalRecord",
+    "atomic_write",
     "backoff_delay",
     "campaign_fingerprint",
     "journal_dirname",

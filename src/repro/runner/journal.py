@@ -75,8 +75,8 @@ def journal_dirname(label):
 #: Capture-relevant config fields: the ones that change what a capture
 #: *measures*. Runtime knobs (workers, timeouts, retry budgets) are
 #: deliberately excluded so tuning them between runs never orphans a
-#: journal.
-_CAPTURE_FIELDS = (
+#: journal. Shared with the survey manifest's plan fingerprint.
+CAPTURE_FIELDS = (
     "span_low",
     "span_high",
     "fres",
@@ -85,10 +85,17 @@ _CAPTURE_FIELDS = (
     "n_alternations",
     "n_averages",
 )
+_CAPTURE_FIELDS = CAPTURE_FIELDS
 
 
-def _atomic_write(path, data):
-    """Crash-safe write: tmp sibling, fsync, rename over, fsync the dir."""
+def atomic_write(path, data):
+    """Crash-safe write: tmp sibling, fsync, rename over, fsync the dir.
+
+    The one durability primitive every journal layer shares (campaign
+    headers and records here, the survey manifest's header): a kill at
+    any point leaves either the old bytes or the new bytes under the
+    final name, never a torn file.
+    """
     path = Path(path)
     tmp = path.with_name(path.name + ".tmp")
     with open(tmp, "wb") as handle:
@@ -97,6 +104,9 @@ def _atomic_write(path, data):
         os.fsync(handle.fileno())
     os.replace(tmp, path)
     _fsync_directory(path.parent)
+
+
+_atomic_write = atomic_write
 
 
 def campaign_fingerprint(config, machine_name, activity_label, rng):

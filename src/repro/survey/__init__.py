@@ -11,7 +11,8 @@ death with bounded, ledgered requeues.
 * :mod:`~repro.survey.shards` — :class:`ShardSpec`/:class:`ShardResult`
   and the pure per-process worker :func:`run_shard`;
 * :mod:`~repro.survey.engine` — :func:`run_survey` (and
-  :func:`plan_shards`), the round-based process-pool scheduler;
+  :func:`plan_shards`), the round-based process-pool scheduler with the
+  stall watchdog (``shard_timeout_s``);
 * :mod:`~repro.survey.planner` — the budgeted adaptive scheduler
   (:class:`AdaptivePlanner`): low-resolution pre-scan promise scoring,
   promise-ordered capture budgeting with per-machine quotas, and
@@ -20,17 +21,41 @@ death with bounded, ledgered requeues.
 * :mod:`~repro.survey.dataplane` — the zero-copy data plane: per-shard
   shared-memory trace blocks (:class:`TraceArena`, :class:`BlockRef`)
   workers write into in place, so no O(bins) payload ever rides the
-  pickle stream (``run_survey(keep_spectra=True)``);
+  pickle stream (``run_survey(keep_spectra=True)``), plus the
+  :class:`PickledSpectra` fallback when ``/dev/shm`` is exhausted;
+* :mod:`~repro.survey.manifest` — the survey-level crash-safe journal
+  (:class:`SurveyManifest`): ``run_survey(manifest_dir=...,
+  resume=True)`` skips completed shards byte-identically and
+  :func:`recover_survey_report` rebuilds a report offline;
+* :mod:`~repro.survey.chaos` — kill/hang/torn-tail/disk-full injectors
+  behind the ``chaos`` test tier;
 * :mod:`~repro.survey.report` — :class:`SurveyReport`,
   :class:`SurveyLedger`, :class:`ShardFailure`.
 
 Entry points: :func:`run_survey` directly, or ``repro survey`` on the
-command line (``--machines``, ``--workers``, ``--bands``, plus the
-standard campaign/fault/durability/telemetry flags).
+command line (``--machines``, ``--workers``, ``--bands``,
+``--manifest-dir``, ``--shard-timeout``, plus the standard
+campaign/fault/durability/telemetry flags).
 """
 
-from .dataplane import BlockRef, ShardSpectra, SpectraMeta, TraceArena, publish_campaign
+from .dataplane import (
+    BlockRef,
+    PickledSpectra,
+    ShardSpectra,
+    SpectraMeta,
+    TraceArena,
+    pickle_campaign,
+    publish_campaign,
+)
 from .engine import BAND_PRESETS, DEFAULT_PAIRS, parse_bands, plan_shards, run_survey
+from .manifest import (
+    MANIFEST_FORMAT,
+    ManifestState,
+    SurveyManifest,
+    plan_fingerprint,
+    recover_survey_report,
+    replay_ledger,
+)
 from .planner import (
     AdaptivePlanner,
     AdaptiveShardOutcome,
@@ -43,17 +68,20 @@ from .planner import (
 )
 from .report import (
     BUDGET_EXHAUSTED,
+    DURABILITY_DEGRADED,
     EARLY_STOPPED,
     POOL_BREAK,
     POOL_BREAK_CAP,
     PRESCAN_SKIPPED,
     SHARD_ERROR,
+    SHARD_STALLED,
+    SHM_FALLBACK,
     WORKER_DEATH,
     ShardFailure,
     SurveyLedger,
     SurveyReport,
 )
-from .shards import ShardResult, ShardSpec, run_shard, shard_journal_dir
+from .shards import ShardResult, ShardSpec, beat_heartbeat, run_shard, shard_journal_dir
 
 __all__ = [
     "AdaptivePlanner",
@@ -63,12 +91,18 @@ __all__ = [
     "BlockRef",
     "CaptureBudget",
     "DEFAULT_PAIRS",
+    "DURABILITY_DEGRADED",
     "EARLY_STOPPED",
+    "MANIFEST_FORMAT",
+    "ManifestState",
     "POOL_BREAK",
     "POOL_BREAK_CAP",
     "PRESCAN_SKIPPED",
+    "PickledSpectra",
     "PlanAccounting",
     "SHARD_ERROR",
+    "SHARD_STALLED",
+    "SHM_FALLBACK",
     "ShardFailure",
     "ShardPromise",
     "ShardResult",
@@ -76,13 +110,19 @@ __all__ = [
     "ShardSpectra",
     "SpectraMeta",
     "SurveyLedger",
+    "SurveyManifest",
     "SurveyReport",
     "TraceArena",
     "WORKER_DEATH",
+    "beat_heartbeat",
     "parse_bands",
+    "pickle_campaign",
+    "plan_fingerprint",
     "plan_shards",
     "prescan_shard",
     "publish_campaign",
+    "recover_survey_report",
+    "replay_ledger",
     "run_planned",
     "run_shard",
     "run_shard_adaptive",

@@ -188,6 +188,35 @@ def publish_campaign(ref, result):
     )
 
 
+@dataclass(frozen=True)
+class PickledSpectra:
+    """Degraded-mode spectra payload: the rows ride the pickle stream.
+
+    The graceful fallback when a shard's shared block could not be
+    allocated (``/dev/shm`` exhausted): the worker stacks its trace rows
+    into an ordinary array and ships them back the expensive way instead
+    of failing the shard. Same information as a block + ``meta``, minus
+    the zero-copy property — the engine ledgers the downgrade
+    (``shm-fallback``) so the slow path is never silent.
+    """
+
+    meta: SpectraMeta
+    power: object  # np.ndarray of shape (n_rows, n_bins)
+
+
+def pickle_campaign(result):
+    """Pack a campaign's trace rows for the pickle-fallback path."""
+    measurements = result.measurements
+    power = np.stack([np.asarray(m.trace.power_mw, dtype=_DTYPE) for m in measurements])
+    meta = SpectraMeta(
+        n_rows=len(measurements),
+        falts=tuple(float(m.falt) for m in measurements),
+        labels=tuple(m.trace.label for m in measurements),
+        flagged=tuple(bool(m.flagged) for m in measurements),
+    )
+    return PickledSpectra(meta=meta, power=power)
+
+
 class ShardSpectra:
     """Parent-side zero-copy view of one shard's published spectra.
 

@@ -52,7 +52,11 @@ unless ownership transfers to the returned report — so no exit path
 from __future__ import annotations
 
 import multiprocessing
+import os
+import tempfile
+import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures import TimeoutError as FuturesTimeoutError
 from concurrent.futures.process import BrokenProcessPool
 from contextlib import ExitStack
 from dataclasses import replace
@@ -62,7 +66,7 @@ from ..core.classify import classify_sources
 from ..core.config import campaign_low_band
 from ..core.pipeline import pair_label
 from ..core.report import FaseReport
-from ..errors import SurveyError
+from ..errors import ManifestError, SurveyError
 from ..faults import FAULT_CLASSES
 from ..runner import journal_dirname
 from ..system import ALL_PRESETS
@@ -70,14 +74,24 @@ from ..telemetry import (
     MetricsSnapshot,
     current_telemetry,
     record_planner_ledger,
+    record_survey_resume,
     use_telemetry,
 )
 from ..uarch.isa import MicroOp
-from .dataplane import ShardSpectra, TraceArena
+from .dataplane import PickledSpectra, ShardSpectra, TraceArena
+from .manifest import (
+    JournaledLedger,
+    SurveyManifest,
+    plan_fingerprint,
+    replay_ledger,
+)
 from .report import (
+    DURABILITY_DEGRADED,
     POOL_BREAK,
     POOL_BREAK_CAP,
     SHARD_ERROR,
+    SHARD_STALLED,
+    SHM_FALLBACK,
     WORKER_DEATH,
     SurveyLedger,
     SurveyReport,
@@ -327,6 +341,109 @@ class _ShardQueue:
         return len(abandoned)
 
 
+class _ManifestResults(dict):
+    """The results sink of a durable survey: completion implies a record.
+
+    Dropping in for the plain results dict keeps every scheduler path
+    (serial, shared-pool, isolation, planner rounds) manifest-aware
+    without threading a journal through their signatures: the first time
+    a shard's result lands here it is appended to the manifest before it
+    is visible in memory, so the in-memory state never runs ahead of the
+    durable state.
+    """
+
+    def __init__(self, manifest):
+        super().__init__()
+        self.manifest = manifest
+
+    def __setitem__(self, key, value):
+        if key not in self:
+            self.manifest.append_shard(value)
+        super().__setitem__(key, value)
+
+    def restore(self, mapping):
+        """Pre-populate restored results without re-appending them."""
+        for key, value in mapping.items():
+            dict.__setitem__(self, key, value)
+
+
+# ----------------------------------------------------------------------
+# The stall watchdog. A *hung* worker (SIGSTOP, a wedged syscall, an
+# NFS stall) never breaks the pool, so without deadlines it wedges the
+# survey forever — only worker *death* raises BrokenProcessPool.
+
+
+class _ShardStalled(Exception):
+    """Internal: an isolated shard blew its wall-clock deadline."""
+
+
+def _shard_deadline(spec, started_at, shard_timeout_s):
+    """Epoch deadline: ``shard_timeout_s`` past the latest heartbeat.
+
+    Workers touch ``spec.heartbeat_path`` as they make progress (shard
+    start, campaign publication), so a slow-but-alive shard keeps
+    extending its own deadline; a hung one stops beating and expires.
+    """
+    base = started_at
+    if spec.heartbeat_path is not None:
+        try:
+            base = max(base, os.path.getmtime(spec.heartbeat_path))
+        except OSError:
+            pass
+    return base + shard_timeout_s
+
+
+def _kill_pool_workers(pool):
+    """SIGKILL every worker process of a pool.
+
+    SIGKILL works on a SIGSTOP'd process where cancellation cannot, and
+    deliberately breaks the pool — the engine's existing break machinery
+    then salvages finished futures and requeues the innocent in-flight
+    shards.
+    """
+    for process in list(getattr(pool, "_processes", {}).values()):
+        try:
+            process.kill()
+        except Exception:  # noqa: BLE001 - already-reaped workers are fine
+            pass
+
+
+def _stall_detail(shard_timeout_s):
+    return (
+        f"no heartbeat within the {shard_timeout_s:g}s shard deadline; worker killed"
+    )
+
+
+def _await_or_kill(future, spec, pool, shard_timeout_s):
+    """``future.result()`` bounded by the heartbeat-extended deadline."""
+    started = time.time()
+    while True:
+        remaining = _shard_deadline(spec, started, shard_timeout_s) - time.time()
+        if remaining <= 0:
+            if future.done():
+                return future.result()
+            _kill_pool_workers(pool)
+            raise _ShardStalled(_stall_detail(shard_timeout_s))
+        try:
+            return future.result(timeout=remaining)
+        except FuturesTimeoutError:
+            continue
+
+
+def _restore_failure_counts(queue, ledger):
+    """Carry a resumed survey's charged failure counts into the queue.
+
+    A shard that burned retries before the crash must not get a fresh
+    ``max_shard_retries`` budget on resume; the replayed ledger already
+    knows how many charged failures each shard accumulated.
+    """
+    for failure in ledger.failures:
+        if failure.charged and failure.shard_id in queue.failures:
+            queue.failures[failure.shard_id] = max(
+                queue.failures[failure.shard_id], failure.failures
+            )
+
+
 def _run_serial(queue, shard_fn, results, telemetry):
     while queue.pending:
         spec = queue.pending.pop(0)
@@ -339,18 +456,29 @@ def _run_serial(queue, shard_fn, results, telemetry):
             telemetry.event("shard-finished", shard=spec.shard_id)
 
 
-def _run_isolated(queue, shard_fn, results, telemetry, context):
+def _run_isolated(queue, shard_fn, results, telemetry, context, shard_timeout_s=None):
     """Drain the suspect queue: one fresh single-worker pool per shard.
 
     A death here is attributable, so the shard is charged
     ``worker-death`` and — unlike shared-pool collateral — requeued back
-    into isolation until its retry budget runs out.
+    into isolation until its retry budget runs out. With a
+    ``shard_timeout_s`` the wait is bounded by the heartbeat-extended
+    deadline; a hung worker is killed and the shard charged
+    ``shard-stalled`` against the same budget.
     """
     while queue.suspects:
         spec = queue.suspects.pop(0)
         try:
             with ProcessPoolExecutor(max_workers=1, mp_context=context) as pool:
-                result = pool.submit(shard_fn, spec).result()
+                future = pool.submit(shard_fn, spec)
+                if shard_timeout_s is None:
+                    result = future.result()
+                else:
+                    result = _await_or_kill(future, spec, pool, shard_timeout_s)
+        except _ShardStalled as exc:
+            queue.charge(spec, SHARD_STALLED, str(exc), isolate=True)
+            telemetry.count("shards_stalled")
+            telemetry.event("shard-stalled", shard=spec.shard_id, isolated=True)
         except BrokenProcessPool:
             queue.charge(
                 spec, WORKER_DEATH, "worker process died running this shard", isolate=True
@@ -362,14 +490,18 @@ def _run_isolated(queue, shard_fn, results, telemetry, context):
             telemetry.event("shard-finished", shard=spec.shard_id)
 
 
-def _run_parallel(queue, shard_fn, results, telemetry, workers, max_pool_breaks):
+def _run_parallel(
+    queue, shard_fn, results, telemetry, workers, max_pool_breaks, shard_timeout_s=None
+):
     # fork keeps worker startup cheap and lets test-injected shard
     # functions resolve in the children without re-import.
     context = multiprocessing.get_context("fork")
     while queue.pending or queue.suspects:
         # Suspects first: the shards in flight at the last break re-run
         # alone so guilt is attributable before the shared pool resumes.
-        _run_isolated(queue, shard_fn, results, telemetry, context)
+        _run_isolated(
+            queue, shard_fn, results, telemetry, context, shard_timeout_s=shard_timeout_s
+        )
         if not queue.pending:
             continue
         # Shared-pool round. Submission is windowed to the worker count:
@@ -378,24 +510,43 @@ def _run_parallel(queue, shard_fn, results, telemetry, workers, max_pool_breaks)
         # round instead of collapsing the whole survey into isolation.
         batch, queue.pending = queue.pending, []
         broke = False
+        stall_killed = False
         outstanding = {}  # future -> spec
+        started = {}  # future -> submit epoch (watchdog deadline base)
         with ProcessPoolExecutor(max_workers=workers, mp_context=context) as pool:
 
             def submit_next():
                 while batch and len(outstanding) < workers:
                     spec = batch.pop(0)
                     try:
-                        outstanding[pool.submit(shard_fn, spec)] = spec
+                        future = pool.submit(shard_fn, spec)
                     except BrokenProcessPool:
                         batch.insert(0, spec)
                         return False
+                    outstanding[future] = spec
+                    started[future] = time.time()
                 return True
 
             broke = not submit_next()
             while outstanding and not broke:
-                done, _ = wait(outstanding, return_when=FIRST_COMPLETED)
+                timeout = None
+                if shard_timeout_s is not None:
+                    # The windowed submission means every outstanding
+                    # future is actually executing, so each one carries a
+                    # live deadline; wake at the earliest.
+                    now = time.time()
+                    timeout = max(
+                        0.0,
+                        min(
+                            _shard_deadline(spec, started[future], shard_timeout_s)
+                            for future, spec in outstanding.items()
+                        )
+                        - now,
+                    )
+                done, _ = wait(outstanding, return_when=FIRST_COMPLETED, timeout=timeout)
                 for future in done:
                     spec = outstanding.pop(future)
+                    started.pop(future, None)
                     try:
                         result = future.result()
                     except BrokenProcessPool:
@@ -413,6 +564,31 @@ def _run_parallel(queue, shard_fn, results, telemetry, workers, max_pool_breaks)
                     else:
                         results[spec.shard_id] = result
                         telemetry.event("shard-finished", shard=spec.shard_id)
+                if not broke and shard_timeout_s is not None:
+                    # Stall sweep: a hung worker never breaks the pool on
+                    # its own, so expired deadlines force the break. The
+                    # culprits are known (unlike an unattributable worker
+                    # death), so they are charged and isolated here;
+                    # everything else in flight is innocent collateral.
+                    now = time.time()
+                    expired = [
+                        future
+                        for future, spec in outstanding.items()
+                        if now >= _shard_deadline(spec, started[future], shard_timeout_s)
+                        and not future.done()
+                    ]
+                    for future in expired:
+                        spec = outstanding.pop(future)
+                        started.pop(future, None)
+                        queue.charge(
+                            spec, SHARD_STALLED, _stall_detail(shard_timeout_s), isolate=True
+                        )
+                        telemetry.count("shards_stalled")
+                        telemetry.event("shard-stalled", shard=spec.shard_id, isolated=True)
+                    if expired:
+                        _kill_pool_workers(pool)
+                        broke = True
+                        stall_killed = True
                 if not broke:
                     broke = not submit_next()
             # After a break the rest of the window is already failed;
@@ -421,11 +597,21 @@ def _run_parallel(queue, shard_fn, results, telemetry, workers, max_pool_breaks)
                 try:
                     result = future.result()
                 except BrokenProcessPool:
-                    queue.requeue_uncharged(
-                        spec,
-                        "a worker process died while this shard was in flight",
-                        isolate=True,
-                    )
+                    if stall_killed:
+                        # The culprit was charged above; this shard was
+                        # merely sharing the killed pool, so it goes back
+                        # to the shared rounds uncharged.
+                        queue.requeue_uncharged(
+                            spec,
+                            "the survey killed a stalled worker's pool; "
+                            "this shard was innocent collateral",
+                        )
+                    else:
+                        queue.requeue_uncharged(
+                            spec,
+                            "a worker process died while this shard was in flight",
+                            isolate=True,
+                        )
                 except Exception as exc:  # noqa: BLE001 - ledgered
                     queue.charge(spec, SHARD_ERROR, str(exc))
                 else:
@@ -435,15 +621,21 @@ def _run_parallel(queue, shard_fn, results, telemetry, workers, max_pool_breaks)
             # Never submitted, so not a suspect: back to the shared pool.
             queue.requeue_uncharged(spec, "the pool broke before this shard was submitted")
         if broke:
-            queue.pool_breaks += 1
-            telemetry.event(
-                "survey-pool-broke",
-                pool_breaks=queue.pool_breaks,
-                max_pool_breaks=max_pool_breaks,
-            )
-            if queue.pool_breaks > max_pool_breaks:
-                n = queue.abandon_for_pool_break_cap(max_pool_breaks)
-                telemetry.event("survey-pool-break-cap", n_abandoned=n)
+            if stall_killed:
+                # A stall-kill is the survey's own doing, charged to the
+                # stalled shard's retry budget — it does not spend the
+                # environment-hostility budget.
+                telemetry.event("survey-stall-kill")
+            else:
+                queue.pool_breaks += 1
+                telemetry.event(
+                    "survey-pool-broke",
+                    pool_breaks=queue.pool_breaks,
+                    max_pool_breaks=max_pool_breaks,
+                )
+                if queue.pool_breaks > max_pool_breaks:
+                    n = queue.abandon_for_pool_break_cap(max_pool_breaks)
+                    telemetry.event("survey-pool-break-cap", n_abandoned=n)
 
 
 def _aggregate(specs, results, ledger, base_description):
@@ -511,6 +703,8 @@ def run_survey(
     keep_spectra=False,
     shard_fn=None,
     planner=None,
+    manifest_dir=None,
+    shard_timeout_s=None,
 ):
     """Survey many machines with process-level parallelism.
 
@@ -556,9 +750,30 @@ def run_survey(
     reach the detection threshold. The returned report carries the
     reconciled :class:`~repro.survey.planner.PlanAccounting` in
     ``report.planning`` and one ledger decision per shard the planner
-    cut short. Adaptive surveys support clean, non-durable runs only —
+    cut short. Adaptive *shards* support clean, non-durable runs only —
     ``fault_classes``, ``checkpoint_dir``, ``keep_spectra``, and
-    ``shard_fn`` are incompatible with a planner.
+    ``shard_fn`` are incompatible with a planner — but adaptive
+    *surveys* are durable through ``manifest_dir``, which journals the
+    planner's pre-scan promises and per-shard budget accounting
+    alongside the results.
+
+    ``manifest_dir`` makes the whole survey crash-safe: every shard
+    outcome, ledger event, and planner decision is appended to a
+    checksummed journal (:mod:`~repro.survey.manifest`) as it happens,
+    and re-running the same plan with ``resume=True`` skips completed
+    shards byte-identically, replays the ledger, and resumes an adaptive
+    plan's budget mid-round. A manifest that stops being writable
+    (``ENOSPC``) degrades the survey to non-durable execution — ledgered
+    as ``durability-degraded`` — instead of crashing it.
+
+    ``shard_timeout_s`` arms the stall watchdog: each shard must either
+    finish or touch its heartbeat file within that many seconds, or its
+    worker is killed, the shard is charged a ``shard-stalled`` failure
+    against ``max_shard_retries``, and it retries in isolation. Stall
+    kills are the survey's own doing and never spend ``max_pool_breaks``;
+    innocent shards sharing the killed pool are requeued uncharged. With
+    ``workers=1`` the watchdog routes shards through single-worker pools
+    (an inline call cannot be killed).
     """
     if workers < 1:
         raise SurveyError("workers must be >= 1")
@@ -579,6 +794,16 @@ def run_survey(
         raise SurveyError("max_shard_retries must be >= 0")
     if max_pool_breaks < 0:
         raise SurveyError("max_pool_breaks must be >= 0")
+    if shard_timeout_s is not None:
+        try:
+            shard_timeout_s = float(shard_timeout_s)
+        except (TypeError, ValueError):
+            shard_timeout_s = -1.0
+        if shard_timeout_s <= 0:
+            raise SurveyError(
+                "shard_timeout_s must be a positive number of seconds "
+                "(or None to disable the stall watchdog)"
+            )
     config = config or campaign_low_band()
     specs = plan_shards(
         machines=machines,
@@ -594,30 +819,108 @@ def run_survey(
     if telemetry_dir is not None:
         Path(telemetry_dir).mkdir(parents=True, exist_ok=True)
     shard_fn = shard_fn or run_shard
-    results = {}
+    manifest = None
+    state = None
+    if manifest_dir is not None:
+        manifest = SurveyManifest(manifest_dir)
+        fingerprint = plan_fingerprint(specs, planner=planner)
+        if manifest.exists():
+            if not resume:
+                raise ManifestError(
+                    f"a survey manifest already exists at {str(manifest_dir)!r}; "
+                    "pass resume=True to continue it or remove the directory"
+                )
+            manifest.open(fingerprint)
+            state = manifest.load()
+        else:
+            manifest.create(fingerprint, specs, description=config.describe())
+    heartbeat_tmp = None
+    if shard_timeout_s is not None:
+        # Heartbeat files live next to the manifest when there is one
+        # (same lifetime as the survey's durable state), else in a
+        # private temporary directory cleaned up on exit.
+        if manifest_dir is not None:
+            heartbeat_dir = Path(manifest_dir) / "heartbeats"
+        else:
+            heartbeat_tmp = tempfile.TemporaryDirectory(prefix="fase-heartbeats-")
+            heartbeat_dir = Path(heartbeat_tmp.name)
+        heartbeat_dir.mkdir(parents=True, exist_ok=True)
+        specs = tuple(
+            replace(
+                spec,
+                heartbeat_path=str(heartbeat_dir / f"{journal_dirname(spec.shard_id)}.hb"),
+            )
+            for spec in specs
+        )
+    results = _ManifestResults(manifest) if manifest is not None else {}
+    ledger = JournaledLedger(manifest) if manifest is not None else SurveyLedger()
     arena = None
     try:
-        if keep_spectra:
-            # Allocate every shard's block up front, before any worker
-            # exists: the parent is the sole owner, so no worker fate can
-            # leak a segment.
-            arena = TraceArena()
-            specs = tuple(
-                replace(
-                    spec,
-                    block=arena.allocate(
-                        spec.shard_id,
-                        capacity=len(spec.config.falts()),
-                        n_bins=spec.config.grid().n_bins,
-                    ),
-                )
-                for spec in specs
-            )
         with ExitStack() as stack:
             if telemetry is not None:
                 stack.enter_context(use_telemetry(telemetry))
             tel = current_telemetry()
-            ledger = SurveyLedger()
+            if manifest is not None:
+
+                def _on_degrade(reason):
+                    ledger.record_note(
+                        None,
+                        DURABILITY_DEGRADED,
+                        f"{reason}; the survey continues non-durably",
+                    )
+                    tel.event("survey-durability-degraded", reason=reason)
+
+                manifest.on_degrade = _on_degrade
+                if manifest.degraded is not None:
+                    # create() failed before the hook was attached.
+                    _on_degrade(manifest.degraded)
+            restored_promises = {}
+            restored_outcomes = {}
+            if state is not None:
+                replay_ledger(ledger, state.ledger_events)
+                results.restore(state.results)
+                restored_promises = state.promises
+                restored_outcomes = state.outcomes
+                record_survey_resume(tel, len(state.results), len(ledger.abandoned))
+                tel.event(
+                    "survey-resumed",
+                    n_restored=len(state.results),
+                    n_abandoned=len(ledger.abandoned),
+                    torn_tail=state.torn_tail,
+                    n_damaged=state.n_damaged,
+                )
+            done = set(results) | set(ledger.abandoned)
+            if keep_spectra:
+                # Allocate every pending shard's block up front, before
+                # any worker exists: the parent is the sole owner, so no
+                # worker fate can leak a segment. A shard whose block
+                # cannot be allocated (/dev/shm exhausted) degrades to
+                # the pickle stream instead of failing the survey.
+                arena = TraceArena()
+                planned = []
+                for spec in specs:
+                    if spec.shard_id in done:
+                        planned.append(spec)
+                        continue
+                    try:
+                        block = arena.allocate(
+                            spec.shard_id,
+                            capacity=len(spec.config.falts()),
+                            n_bins=spec.config.grid().n_bins,
+                        )
+                    except (OSError, MemoryError) as exc:
+                        ledger.record_note(
+                            spec.shard_id,
+                            SHM_FALLBACK,
+                            f"shared-memory allocation failed ({exc}); "
+                            "this shard's spectra ride the pickle stream",
+                        )
+                        tel.event("shard-shm-fallback", shard=spec.shard_id)
+                        planned.append(replace(spec, keep_spectra=True))
+                    else:
+                        planned.append(replace(spec, block=block))
+                specs = tuple(planned)
+            pending = [spec for spec in specs if spec.shard_id not in done]
             with tel.span("run_survey", n_shards=len(specs), workers=workers):
                 if planner is not None:
                     from .planner import run_planned
@@ -631,13 +934,42 @@ def run_survey(
                         results=results,
                         max_shard_retries=max_shard_retries,
                         max_pool_breaks=max_pool_breaks,
+                        manifest=manifest,
+                        restored_promises=restored_promises,
+                        restored_outcomes=restored_outcomes,
+                        shard_timeout_s=shard_timeout_s,
                     )
-                elif workers == 1:
-                    queue = _ShardQueue(specs, max_shard_retries, ledger, tel)
+                elif workers == 1 and shard_timeout_s is None:
+                    queue = _ShardQueue(pending, max_shard_retries, ledger, tel)
+                    _restore_failure_counts(queue, ledger)
                     _run_serial(queue, shard_fn, results, tel)
+                elif workers == 1:
+                    # An inline call cannot be killed, so the watchdog
+                    # routes every shard through the isolated
+                    # single-worker pool path.
+                    queue = _ShardQueue(pending, max_shard_retries, ledger, tel)
+                    _restore_failure_counts(queue, ledger)
+                    queue.suspects, queue.pending = queue.pending, []
+                    _run_isolated(
+                        queue,
+                        shard_fn,
+                        results,
+                        tel,
+                        multiprocessing.get_context("fork"),
+                        shard_timeout_s=shard_timeout_s,
+                    )
                 else:
-                    queue = _ShardQueue(specs, max_shard_retries, ledger, tel)
-                    _run_parallel(queue, shard_fn, results, tel, workers, max_pool_breaks)
+                    queue = _ShardQueue(pending, max_shard_retries, ledger, tel)
+                    _restore_failure_counts(queue, ledger)
+                    _run_parallel(
+                        queue,
+                        shard_fn,
+                        results,
+                        tel,
+                        workers,
+                        max_pool_breaks,
+                        shard_timeout_s=shard_timeout_s,
+                    )
                 report, merged = _aggregate(specs, results, ledger, config.describe())
                 if planner is not None:
                     report.planning = accounting
@@ -649,14 +981,23 @@ def run_survey(
                 shard = results.get(spec.shard_id)
                 if shard is None or shard.spectra is None:
                     continue
-                report.spectra[spec.shard_id] = ShardSpectra(
-                    spec.config.grid(),
-                    arena.view(spec.shard_id, shard.spectra.n_rows),
-                    shard.spectra,
-                )
+                if isinstance(shard.spectra, PickledSpectra):
+                    report.spectra[spec.shard_id] = ShardSpectra(
+                        spec.config.grid(),
+                        shard.spectra.power,
+                        shard.spectra.meta,
+                    )
+                else:
+                    report.spectra[spec.shard_id] = ShardSpectra(
+                        spec.config.grid(),
+                        arena.view(spec.shard_id, shard.spectra.n_rows),
+                        shard.spectra,
+                    )
             # Ownership transfers to the report; the caller closes it.
             report.arena, arena = arena, None
         return report
     finally:
         if arena is not None:
             arena.release()
+        if heartbeat_tmp is not None:
+            heartbeat_tmp.cleanup()

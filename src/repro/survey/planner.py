@@ -55,7 +55,7 @@ from ..system import ALL_PRESETS
 from ..telemetry import JsonlSink, Telemetry, record_campaign_ledger, use_telemetry
 from ..uarch.isa import MicroOp
 from .report import BUDGET_EXHAUSTED, EARLY_STOPPED, PRESCAN_SKIPPED
-from .shards import ShardResult
+from .shards import ShardResult, beat_heartbeat
 
 #: Statuses a funded adaptive shard can finish with.
 COMPLETED = "completed"
@@ -216,6 +216,17 @@ class CaptureBudget:
         self.spent_total = max(self.spent_total - captures, 0.0)
         self.spent_by_machine[machine] = max(self.spent(machine) - captures, 0.0)
 
+    def restore(self, machine, captures):
+        """Re-apply a prior run's net spend without ``can_fund`` validation.
+
+        Resume-only: the original run already funded these captures and
+        the manifest proved they were spent, so re-validating against the
+        quota could refuse history (charge + refund sequencing can differ
+        from a single up-front charge).
+        """
+        self.spent_total += captures
+        self.spent_by_machine[machine] = self.spent(machine) + captures
+
 
 @dataclass(frozen=True)
 class ShardPromise:
@@ -361,16 +372,23 @@ def run_shard_adaptive(spec, planner, detector=None):
     ``run_shard``'s; an early-stopped shard reports zero detections plus
     how many captures it left unspent.
     """
-    if spec.fault_classes is not None or spec.checkpoint_dir is not None:
+    gates = {
+        "fault_classes": spec.fault_classes is not None,
+        "checkpoint_dir": spec.checkpoint_dir is not None,
+        "keep_spectra": bool(spec.keep_spectra),
+    }
+    active = [name for name, triggered in gates.items() if triggered]
+    if active:
         raise SurveyError(
-            "adaptive shards support clean, non-durable runs only "
-            "(fault_classes and checkpoint_dir must be None)"
+            "adaptive shards support clean, non-durable runs only; "
+            f"incompatible with: {', '.join(active)}"
         )
     preset, root, op_x, op_y, label = _shard_setup(spec)
     detector = detector or CarrierDetector()
     scorer = HeuristicScorer()
     sinks = [JsonlSink(spec.telemetry_jsonl)] if spec.telemetry_jsonl else []
     telemetry = Telemetry(sinks=sinks)
+    beat_heartbeat(spec.heartbeat_path)
     n_total = len(spec.config.falts())
     try:
         with use_telemetry(telemetry):
@@ -393,6 +411,7 @@ def run_shard_adaptive(spec, planner, detector=None):
                 with telemetry.span("campaign", label=label, n_falts=n_total):
                     for measurement in campaign.iter_captures(activities, label=label):
                         evidence.add(measurement)
+                        beat_heartbeat(spec.heartbeat_path)
                         stop, bound = planner.should_stop(evidence, n_total)
                         if stop:
                             stopped_after = evidence.n_captures
@@ -495,6 +514,20 @@ def _prescan_all(specs, planner, workers, telemetry):
     return outcomes
 
 
+def _restore_promise(payload):
+    """Rebuild a :class:`ShardPromise` from its manifest payload."""
+    return ShardPromise(
+        shard_id=payload["shard_id"],
+        machine=payload["machine"],
+        promise=float(payload["promise"]),
+        evidence=float(payload["evidence"]),
+        captures=int(payload["captures"]),
+        prescan_captures=int(payload["prescan_captures"]),
+        cost_equivalent=float(payload["cost_equivalent"]),
+        error=payload.get("error"),
+    )
+
+
 def run_planned(
     specs,
     planner,
@@ -504,6 +537,10 @@ def run_planned(
     results,
     max_shard_retries,
     max_pool_breaks,
+    manifest=None,
+    restored_promises=None,
+    restored_outcomes=None,
+    shard_timeout_s=None,
 ):
     """Drive a shard plan through the budgeted adaptive schedule.
 
@@ -512,10 +549,10 @@ def run_planned(
     ``prescan-skipped`` ledger state; (3) fund and run shards in promise
     order, round by round — each round funds every still-fundable shard
     greedily by rank, runs the round through the engine's shared-pool
-    machinery (worker death, retries, and isolation behave exactly as in
-    an exhaustive survey), then applies early-stop refunds so later
-    rounds can spend them. Shards the budget never reaches are ledgered
-    ``budget-exhausted``.
+    machinery (worker death, retries, stall kills, and isolation behave
+    exactly as in an exhaustive survey), then applies early-stop refunds
+    so later rounds can spend them. Shards the budget never reaches are
+    ledgered ``budget-exhausted``.
 
     Completed and early-stopped shards land in ``results`` as ordinary
     :class:`~repro.survey.shards.ShardResult`s for the engine's
@@ -524,22 +561,56 @@ def run_planned(
     puts a barrier between funding decisions and parallel execution, so
     the allocation — and with it every result — is invariant to
     ``workers``.
-    """
-    from .engine import _ShardQueue, _run_parallel, _run_serial
 
+    With a :class:`~repro.survey.manifest.SurveyManifest` the plan is
+    durable: fresh pre-scan promises and every funded shard's accounting
+    (``outcome`` records, written before their shard records) are
+    journaled. On resume, ``restored_promises`` skips those pre-scans,
+    ``restored_outcomes`` replays each restored shard's net capture
+    spend into the budget (:meth:`CaptureBudget.restore`), and the
+    accounting invariant ``used + saved == exhaustive`` holds across the
+    interruption. ``shard_timeout_s`` arms the engine's stall watchdog
+    for each round.
+    """
+    from .engine import (
+        _restore_failure_counts,
+        _run_isolated,
+        _run_parallel,
+        _run_serial,
+        _ShardQueue,
+    )
+
+    restored_promises = restored_promises or {}
+    restored_outcomes = restored_outcomes or {}
     with telemetry.span("plan_survey", n_shards=len(specs), workers=workers):
-        with telemetry.span("prescan-sweep", n_shards=len(specs)):
-            promises = _prescan_all(specs, planner, workers, telemetry)
+        promises = {
+            shard_id: _restore_promise(payload)
+            for shard_id, payload in restored_promises.items()
+        }
+        need_prescan = [spec for spec in specs if spec.shard_id not in promises]
+        if need_prescan:
+            with telemetry.span("prescan-sweep", n_shards=len(need_prescan)):
+                fresh = _prescan_all(need_prescan, planner, workers, telemetry)
+            promises.update(fresh)
+            if manifest is not None:
+                for spec in need_prescan:
+                    manifest.append_promise(fresh[spec.shard_id])
         order = sorted(
             range(len(specs)),
             key=lambda i: (-promises[specs[i].shard_id].promise, i),
         )
         ranked = tuple(promises[specs[i].shard_id] for i in order)
 
+        # Shards a previous run already settled: completed/early-stopped
+        # results were restored into ``results``; abandoned shards were
+        # replayed into the ledger. Neither re-runs.
+        done = set(results) | set(ledger.abandoned)
         pending = []
         skipped = []
         for index in order:
             spec = specs[index]
+            if spec.shard_id in done:
+                continue
             promise = promises[spec.shard_id]
             if promise.error is not None:
                 skipped.append((spec, f"pre-scan failed: {promise.error}"))
@@ -554,14 +625,42 @@ def run_planned(
             else:
                 pending.append(spec)
         for spec, detail in skipped:
-            ledger.record_planned(spec.shard_id, PRESCAN_SKIPPED, detail)
-            telemetry.event("shard-prescan-skipped", shard=spec.shard_id)
+            # A resumed plan recomputes the same skips from the same
+            # promises; re-recording a replayed decision would only
+            # duplicate its manifest record.
+            if spec.shard_id not in ledger.planned:
+                ledger.record_planned(spec.shard_id, PRESCAN_SKIPPED, detail)
+                telemetry.event("shard-prescan-skipped", shard=spec.shard_id)
 
         budget = planner.budget_for(specs)
         exhaustive = sum(len(spec.config.falts()) for spec in specs)
         used = 0
         saved = sum(len(spec.config.falts()) for spec, _ in skipped)
         n_completed = n_early_stopped = 0
+        for spec in specs:
+            # Fold the restored shards back into the meter and the tally:
+            # a shard's net spend is its captures_used (the original run
+            # charged in full, then refunded the unused remainder).
+            captures = len(spec.config.falts())
+            if spec.shard_id in results:
+                outcome = restored_outcomes.get(spec.shard_id)
+                if outcome is not None:
+                    restored_used = int(outcome["captures_used"])
+                    status = outcome["status"]
+                else:
+                    # Orphan shard record (its outcome line was damaged):
+                    # assume the full spend — never undercount.
+                    restored_used = captures
+                    status = COMPLETED
+                budget.restore(spec.machine, restored_used)
+                used += restored_used
+                if status == EARLY_STOPPED:
+                    saved += captures - restored_used
+                    n_early_stopped += 1
+                else:
+                    n_completed += 1
+            elif spec.shard_id in ledger.abandoned:
+                saved += captures
         while pending:
             funded = []
             held = []
@@ -577,13 +676,32 @@ def run_planned(
             pending = held
             round_results = {}
             queue = _ShardQueue(funded, max_shard_retries, ledger, telemetry)
+            _restore_failure_counts(queue, ledger)
             shard_fn = partial(run_shard_adaptive, planner=planner)
             with telemetry.span("plan-round", n_funded=len(funded)):
-                if workers == 1:
+                if workers == 1 and shard_timeout_s is None:
                     _run_serial(queue, shard_fn, round_results, telemetry)
+                elif workers == 1:
+                    import multiprocessing
+
+                    queue.suspects, queue.pending = queue.pending, []
+                    _run_isolated(
+                        queue,
+                        shard_fn,
+                        round_results,
+                        telemetry,
+                        multiprocessing.get_context("fork"),
+                        shard_timeout_s=shard_timeout_s,
+                    )
                 else:
                     _run_parallel(
-                        queue, shard_fn, round_results, telemetry, workers, max_pool_breaks
+                        queue,
+                        shard_fn,
+                        round_results,
+                        telemetry,
+                        workers,
+                        max_pool_breaks,
+                        shard_timeout_s=shard_timeout_s,
                     )
             # Refunds are applied only after the round barrier, so the
             # funding sequence is a pure function of (specs, planner).
@@ -595,6 +713,11 @@ def run_planned(
                     budget.refund(spec.machine, captures)
                     saved += captures
                     continue
+                if manifest is not None:
+                    # Outcome before result: a kill between the two leaves
+                    # an orphaned outcome resume ignores, never a shard
+                    # whose spend is unknown.
+                    manifest.append_outcome(outcome)
                 results[spec.shard_id] = outcome.result
                 used += outcome.captures_used
                 if outcome.status == EARLY_STOPPED:
@@ -615,13 +738,14 @@ def run_planned(
         for spec in pending:
             captures = len(spec.config.falts())
             saved += captures
-            ledger.record_planned(
-                spec.shard_id,
-                BUDGET_EXHAUSTED,
-                f"capture budget exhausted before this shard's {captures} "
-                f"capture(s) could be funded",
-            )
-            telemetry.event("shard-budget-exhausted", shard=spec.shard_id)
+            if spec.shard_id not in ledger.planned:
+                ledger.record_planned(
+                    spec.shard_id,
+                    BUDGET_EXHAUSTED,
+                    f"capture budget exhausted before this shard's {captures} "
+                    f"capture(s) could be funded",
+                )
+                telemetry.event("shard-budget-exhausted", shard=spec.shard_id)
 
     return PlanAccounting(
         n_shards=len(specs),

@@ -22,6 +22,11 @@ WORKER_DEATH = "worker-death"  # the shard's worker process died (isolated)
 POOL_BREAK = "pool-break"  # a shared pool broke; shard requeued, not charged
 SHARD_ERROR = "error"  # the shard raised inside the worker
 POOL_BREAK_CAP = "pool-break-cap"  # survey-wide shared-pool break budget spent
+SHARD_STALLED = "shard-stalled"  # the shard blew its wall-clock deadline; worker killed
+
+#: Degradation note kinds recorded in the ledger (graceful fallbacks).
+SHM_FALLBACK = "shm-fallback"  # /dev/shm allocation failed; spectra ride the pickle
+DURABILITY_DEGRADED = "durability-degraded"  # manifest writes failed; running non-durable
 
 #: Planner decision kinds recorded in the ledger (adaptive surveys).
 EARLY_STOPPED = "early-stopped"  # Eq. 1 bound fell below threshold mid-shard
@@ -65,6 +70,7 @@ class SurveyLedger:
     requeues: dict = field(default_factory=dict)  # shard_id -> requeue count
     abandoned: dict = field(default_factory=dict)  # shard_id -> final detail
     planned: dict = field(default_factory=dict)  # shard_id -> (kind, detail)
+    notes: list = field(default_factory=list)  # (scope, kind, detail), in order
 
     @property
     def n_failures(self):
@@ -93,6 +99,13 @@ class SurveyLedger:
         chose not to spend the captures, and says why."""
         self.planned[shard_id] = (kind, detail)
 
+    def record_note(self, scope, kind, detail):
+        """One graceful-degradation event (:data:`SHM_FALLBACK`,
+        :data:`DURABILITY_DEGRADED`). ``scope`` is a shard id, or ``None``
+        for a survey-wide event. Notes are not failures: the survey kept
+        running, just with one guarantee weakened — and says which."""
+        self.notes.append((scope, kind, detail))
+
     def to_text(self):
         if not self.failures and not self.abandoned:
             lines = ["survey ledger: all shards completed cleanly"]
@@ -109,6 +122,10 @@ class SurveyLedger:
             lines.append(f"planner decisions: {len(self.planned)} shard(s)")
             for shard_id, (kind, detail) in self.planned.items():
                 lines.append(f"  {kind} {shard_id}: {detail}")
+        if self.notes:
+            lines.append(f"degradation notes: {len(self.notes)} event(s)")
+            for scope, kind, detail in self.notes:
+                lines.append(f"  {kind} {scope or 'survey'}: {detail}")
         return "\n".join(lines)
 
 

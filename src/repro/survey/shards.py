@@ -29,7 +29,7 @@ from pathlib import Path
 
 from ..core.pipeline import is_memory_pair, pair_label, run_fase
 from ..errors import SurveyError
-from .dataplane import publish_campaign
+from .dataplane import pickle_campaign, publish_campaign
 from ..faults import FaultPlan
 from ..rng import child_rng, make_rng
 from ..runner import journal_dirname
@@ -59,6 +59,8 @@ class ShardSpec:
     resume: bool = True
     telemetry_jsonl: object = None  # per-shard JSONL path | None
     block: object = None  # BlockRef into the parent's TraceArena | None
+    keep_spectra: bool = False  # ship spectra by pickle when no block (shm fallback)
+    heartbeat_path: object = None  # stall-watchdog heartbeat file | None
 
 
 @dataclass(frozen=True)
@@ -87,12 +89,28 @@ class ShardResult:
     is_memory_pair: bool
     activity: object
     metrics: dict
-    spectra: object = None  # SpectraMeta when the spec carried a block
+    spectra: object = None  # SpectraMeta (block) | PickledSpectra (shm fallback) | None
 
 
 def shard_journal_dir(checkpoint_dir, shard_id):
     """The durable journal root for one shard under the survey's root."""
     return str(Path(checkpoint_dir) / journal_dirname(shard_id))
+
+
+def beat_heartbeat(path):
+    """Bump the shard's heartbeat file mtime (advisory, never fails).
+
+    The engine's stall watchdog extends a shard's wall-clock deadline
+    from the latest heartbeat, so a slow-but-alive worker is not killed
+    as hung. Heartbeats are best effort: a worker that cannot touch the
+    file just falls back to the submit-time deadline.
+    """
+    if path is None:
+        return
+    try:
+        Path(path).touch()
+    except OSError:
+        pass
 
 
 def run_shard(spec):
@@ -121,6 +139,7 @@ def run_shard(spec):
         checkpoint_dir = shard_journal_dir(spec.checkpoint_dir, spec.shard_id)
     sinks = [JsonlSink(spec.telemetry_jsonl)] if spec.telemetry_jsonl else []
     telemetry = Telemetry(sinks=sinks)
+    beat_heartbeat(spec.heartbeat_path)
     published = {}
     campaign_hook = None
     if spec.block is not None:
@@ -129,6 +148,15 @@ def run_shard(spec):
         # only the compact SpectraMeta rides back in the pickled result.
         def campaign_hook(label, result):
             published["meta"] = publish_campaign(spec.block, result)
+            beat_heartbeat(spec.heartbeat_path)
+
+    elif spec.keep_spectra:
+        # Degraded data plane: the parent could not allocate this shard's
+        # shared block (/dev/shm exhausted), so the rows ride the pickle
+        # stream instead of failing the shard.
+        def campaign_hook(label, result):
+            published["meta"] = pickle_campaign(result)
+            beat_heartbeat(spec.heartbeat_path)
 
     try:
         report = run_fase(

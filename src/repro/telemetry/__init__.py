@@ -55,6 +55,7 @@ __all__ = [
     "set_telemetry",
     "record_campaign_ledger",
     "record_planner_ledger",
+    "record_survey_resume",
     "MetricsRegistry",
     "MetricsSnapshot",
     "HistogramSnapshot",
@@ -287,3 +288,16 @@ def record_planner_ledger(telemetry, accounting):
     telemetry.count("shards_early_stopped", accounting.n_early_stopped)
     telemetry.count("shards_budget_exhausted", accounting.n_budget_exhausted)
     telemetry.count("shards_prescan_skipped", accounting.n_prescan_skipped)
+
+
+def record_survey_resume(telemetry, n_restored, n_abandoned=0):
+    """Fold one manifest resume into the metrics registry.
+
+    One place per survey, mirroring the ledger recorders above:
+    ``shards_resumed`` counts shards restored from the manifest without
+    re-running, ``shards_resumed_abandoned`` the shards a previous run
+    already abandoned (replayed, not retried).
+    """
+    telemetry.count("shards_resumed", n_restored)
+    if n_abandoned:
+        telemetry.count("shards_resumed_abandoned", n_abandoned)

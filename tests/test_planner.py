@@ -233,6 +233,46 @@ class TestAdaptiveShard:
         with pytest.raises(SurveyError, match="clean, non-durable"):
             run_shard_adaptive(faulty, AdaptivePlanner())
 
+    @pytest.mark.parametrize(
+        "field, value",
+        [
+            ("fault_classes", ("drop",)),
+            ("checkpoint_dir", "/tmp/journals"),
+            ("keep_spectra", True),
+        ],
+    )
+    def test_adaptive_shard_gate_names_the_triggering_flag(self, field, value):
+        """Regression: the gate used to check ``fault_classes`` but blame
+        a generic message; each incompatible spec field must be named so
+        the caller knows which flag to drop."""
+        import dataclasses
+
+        [spec] = plan_shards(
+            machines=("corei7_desktop",),
+            pairs=((MicroOp.LDM, MicroOp.LDL1),),
+            config=FIG11,
+        )
+        bad = dataclasses.replace(spec, **{field: value})
+        with pytest.raises(SurveyError, match=f"incompatible with: {field}"):
+            run_shard_adaptive(bad, AdaptivePlanner())
+
+    def test_adaptive_shard_gate_lists_every_active_flag(self):
+        import dataclasses
+
+        [spec] = plan_shards(
+            machines=("corei7_desktop",),
+            pairs=((MicroOp.LDM, MicroOp.LDL1),),
+            config=FIG11,
+        )
+        bad = dataclasses.replace(
+            spec, fault_classes=("drop",), checkpoint_dir="/tmp/j", keep_spectra=True
+        )
+        with pytest.raises(
+            SurveyError,
+            match="incompatible with: fault_classes, checkpoint_dir, keep_spectra",
+        ):
+            run_shard_adaptive(bad, AdaptivePlanner())
+
 
 class TestPrescan:
     def test_prescan_is_pure_and_separate_from_full_run(self):

@@ -420,6 +420,50 @@ class TestSurveyCli:
         records = read_jsonl(jsonl)
         assert any(record.get("name") == "metrics-at-failure" for record in records)
 
+    def test_manifest_flags_round_trip_through_cli(self, tmp_path, capsys):
+        """``survey --manifest-dir`` journals the run; re-running with
+        ``--resume`` restores it; ``analyze --manifest`` recovers the
+        report offline — all without touching run_survey directly."""
+        manifest_dir = tmp_path / "manifest"
+        argv = [
+            "survey", "--machines", "corei7_desktop",
+            "--span-high", "1e6", "--fres", "500", "--f-delta", "2.5e3",
+            "--pair", "LDM/LDL1", "--seed", "3",
+            "--manifest-dir", str(manifest_dir), "--shard-timeout", "60",
+        ]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert "all shards completed cleanly" in first
+
+        # The same plan without --resume must refuse the existing manifest.
+        with pytest.raises(SystemExit) as excinfo:
+            main(argv)
+        assert "pass resume=True" in str(excinfo.value)
+
+        assert main(argv + ["--resume"]) == 0
+        resumed = capsys.readouterr().out
+        assert "(1/1 shards)" in resumed
+
+        assert main(["analyze", "--manifest", str(manifest_dir)]) == 0
+        recovered = capsys.readouterr().out
+        assert "(1/1 shards)" in recovered
+        assert "all shards completed cleanly" in recovered
+
+    def test_bad_shard_timeout_exits_cleanly(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["survey", "--shard-timeout", "-5"])
+        assert "positive number of seconds" in str(excinfo.value)
+
+    def test_analyze_without_input_or_manifest_exits_cleanly(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["analyze"])
+        assert "--manifest DIR" in str(excinfo.value)
+
+    def test_analyze_with_missing_manifest_exits_cleanly(self, tmp_path):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["analyze", "--manifest", str(tmp_path / "absent")])
+        assert "no survey manifest" in str(excinfo.value)
+
 
 # ----------------------------------------------------------------------
 # _ShardQueue edge cases: the retry-budget boundary, uncharged collateral,
@@ -518,6 +562,33 @@ class TestLedgerText:
         text = ledger.to_text()
         assert "all shards completed cleanly" in text
         assert "planner decisions: 1 shard(s)" in text
+
+    def test_degradation_kinds_are_narrated(self):
+        """A survey that stalled a worker, lost /dev/shm, and then lost
+        its manifest must say all three — shard-scoped notes name the
+        shard, survey-wide notes say 'survey'."""
+        from repro.survey import DURABILITY_DEGRADED, SHARD_STALLED, SHM_FALLBACK
+
+        ledger = SurveyLedger()
+        ledger.record_failure(
+            "s-hung", SHARD_STALLED, "no heartbeat within the 30s shard deadline; "
+            "worker killed", failures=1,
+        )
+        ledger.record_note(
+            "s-shm", SHM_FALLBACK,
+            "shared-memory allocation failed; this shard's spectra ride the pickle stream",
+        )
+        ledger.record_note(
+            None, DURABILITY_DEGRADED,
+            "appending to the manifest failed; the survey continues non-durably",
+        )
+        text = ledger.to_text()
+        assert "s-hung: shard-stalled (failure 1)" in text
+        assert "worker killed" in text
+        assert "degradation notes: 2 event(s)" in text
+        assert "shm-fallback s-shm: " in text
+        assert "durability-degraded survey: " in text
+        assert "continues non-durably" in text
 
 
 # ----------------------------------------------------------------------
