@@ -1,0 +1,131 @@
+"""Campaign-service overhead: dispatch latency, throughput, decisions.
+
+The service's pitch is that durability and fairness cost milliseconds,
+not shards. This benchmark runs the real store + fleet with stub shard
+bodies — so every measured second is *service* overhead (journal
+fsyncs, scheduling, claim bookkeeping), not pipeline time — and emits a
+machine-readable ``BENCH_service.json`` with three numbers:
+
+* **submit→dispatch latency** — wall-clock from ``submit()`` returning
+  to a worker holding the job's first claim;
+* **sustained shard throughput** — shards/second through a two-worker
+  fleet draining a two-tenant backlog, every transition journaled;
+* **scheduler-decision overhead** — microseconds per
+  :meth:`FairShareScheduler.select` over a 64-tenant snapshot.
+
+Each gets a generous budget floor (latency under 2 s, throughput at
+least 5 shards/s, decisions under 5 ms) — loose enough for a noisy CI
+runner, tight enough that an accidental O(n^2) or a stray ``sleep``
+fails the build.
+"""
+
+import json
+import time
+
+from repro import FaseConfig
+from repro.service import FairShareScheduler, JobStore, TenantPolicy, WorkerFleet
+from repro.survey.chaos import stub_result
+
+MACHINES = ("corei7_desktop", "turionx2_laptop")
+PAIR = (("LDM", "LDL1"),)
+CONFIG = FaseConfig(
+    span_low=0.0, span_high=1e5, fres=50.0, falt1=43.3e3, f_delta=1e3,
+    name="service benchmark",
+)
+EIGHT_BANDS = tuple((i * 1.25e4, (i + 1) * 1.25e4) for i in range(8))
+
+LATENCY_BUDGET_S = 2.0
+THROUGHPUT_FLOOR_SHARDS_PER_S = 5.0
+DECISION_BUDGET_S = 0.005
+
+
+def _open_store(root, policies=()):
+    return JobStore(root, scheduler=FairShareScheduler(policies)).open(
+        server_name="bench"
+    )
+
+
+def _submit(store, tenant, bands=None):
+    return store.submit(
+        tenant=tenant, machines=MACHINES, pairs=PAIR, config=CONFIG, bands=bands
+    )
+
+
+def test_service_overhead_budgets(output_dir, tmp_path):
+    # -- submit -> dispatch latency (fleet already idling) -------------
+    store = _open_store(tmp_path / "latency")
+    fleet = WorkerFleet(store, workers=2, shard_fn=stub_result, poll_interval_s=0.005)
+    fleet.start()
+    latencies = []
+    try:
+        for round_ in range(5):
+            job_id = _submit(store, f"tenant{round_}")
+            start = time.perf_counter()
+            while store.job_status(job_id)["state"] == "queued":
+                time.sleep(0.001)
+            latencies.append(time.perf_counter() - start)
+            fleet.drain(timeout_s=30.0)
+    finally:
+        fleet.stop()
+    dispatch_latency_s = min(latencies)
+
+    # -- sustained throughput: 2 tenants x 16 shards, all journaled ----
+    store = _open_store(tmp_path / "throughput")
+    jobs = [
+        _submit(store, tenant, bands=EIGHT_BANDS) for tenant in ("alice", "bob")
+    ]
+    n_shards = sum(store.job_status(job_id)["n_shards"] for job_id in jobs)
+    fleet = WorkerFleet(store, workers=2, shard_fn=stub_result, poll_interval_s=0.005)
+    start = time.perf_counter()
+    fleet.start()
+    try:
+        assert fleet.drain(timeout_s=120.0)
+    finally:
+        fleet.stop()
+    elapsed = time.perf_counter() - start
+    shards_per_s = n_shards / elapsed
+    assert all(store.job_status(job_id)["state"] == "completed" for job_id in jobs)
+
+    # -- scheduler-decision overhead over a wide tenant field ----------
+    n_tenants = 64
+    scheduler = FairShareScheduler(
+        tuple(
+            TenantPolicy(f"t{i:03d}", weight=1.0 + (i % 7), priority=i % 3)
+            for i in range(n_tenants)
+        )
+    )
+    snapshot = {
+        "decision": 1000,
+        "tenants": {
+            f"t{i:03d}": {
+                "live_claims": i % 4,
+                "charged": i * 3,
+                "last_claim_decision": 1000 - i,
+                "jobs": [{"job_id": f"job-{i:03d}", "has_pending": True}],
+            }
+            for i in range(n_tenants)
+        },
+    }
+    n_decisions = 2000
+    start = time.perf_counter()
+    for _ in range(n_decisions):
+        assert scheduler.select(snapshot) is not None
+    decision_s = (time.perf_counter() - start) / n_decisions
+
+    record = {
+        "dispatch_latency_s": dispatch_latency_s,
+        "dispatch_latency_budget_s": LATENCY_BUDGET_S,
+        "n_shards": n_shards,
+        "drain_elapsed_s": elapsed,
+        "shards_per_s": shards_per_s,
+        "throughput_floor_shards_per_s": THROUGHPUT_FLOOR_SHARDS_PER_S,
+        "scheduler_tenants": n_tenants,
+        "scheduler_decision_s": decision_s,
+        "scheduler_decision_budget_s": DECISION_BUDGET_S,
+        "workers": 2,
+    }
+    (output_dir / "BENCH_service.json").write_text(json.dumps(record, indent=2) + "\n")
+
+    assert dispatch_latency_s < LATENCY_BUDGET_S
+    assert shards_per_s >= THROUGHPUT_FLOOR_SHARDS_PER_S
+    assert decision_s < DECISION_BUDGET_S

@@ -7,6 +7,10 @@ Commands:
 * ``localize``  near-field-localize a carrier on a preset machine
 * ``record``    run a campaign and save the raw spectra to a .npz file
 * ``analyze``   detect carriers in a previously recorded campaign
+* ``serve``     run the durable multi-tenant campaign service
+* ``submit``    submit a campaign job to a running service
+* ``jobs``      list a running service's jobs
+* ``cancel``    cooperatively cancel a service job
 """
 
 from __future__ import annotations
@@ -354,6 +358,114 @@ def cmd_analyze(args):
     return 0
 
 
+def _parse_tenant_policy(text):
+    """``NAME[:weight[:priority[:max-shards[:max-captures]]]]`` → policy."""
+    from .service import TenantPolicy
+
+    parts = text.split(":")
+    try:
+        return TenantPolicy(
+            name=parts[0],
+            weight=float(parts[1]) if len(parts) > 1 and parts[1] else 1.0,
+            priority=int(parts[2]) if len(parts) > 2 and parts[2] else 0,
+            max_concurrent_shards=(
+                int(parts[3]) if len(parts) > 3 and parts[3] else None
+            ),
+            max_captures=float(parts[4]) if len(parts) > 4 and parts[4] else None,
+        )
+    except (ValueError, ReproError) as exc:
+        raise SystemExit(
+            f"invalid tenant policy {text!r} "
+            "(expected NAME[:weight[:priority[:max-shards[:max-captures]]]]): "
+            f"{exc}"
+        ) from exc
+
+
+def cmd_serve(args):
+    from .service import FaseService
+
+    tenants = [_parse_tenant_policy(text) for text in (args.tenant or [])]
+    service = FaseService(
+        args.root,
+        tenants=tenants,
+        workers=args.workers,
+        shard_timeout_s=args.shard_timeout,
+        reap_after_s=args.reap_after,
+    )
+    host, port = service.start(host=args.host, port=args.port)
+    print(f"fase service on http://{host}:{port} (store: {args.root})")
+    try:
+        import signal
+        import threading
+
+        stop = threading.Event()
+        signal.signal(signal.SIGTERM, lambda *_: stop.set())
+        signal.signal(signal.SIGINT, lambda *_: stop.set())
+        stop.wait()
+    finally:
+        service.stop()
+    return 0
+
+
+def cmd_submit(args):
+    from .io import _config_to_dict
+    from .service import ServiceClient
+
+    client = ServiceClient(args.url)
+    machines = None
+    if args.machines:
+        machines = [name.strip() for name in args.machines.split(",") if name.strip()]
+    pairs = None
+    if args.pair:
+        op_x, op_y = _parse_ops(args.pair)
+        pairs = [(op_x.value, op_y.value)]
+    try:
+        job_id = client.submit(
+            args.tenant,
+            machines=machines,
+            pairs=pairs,
+            config=_config_to_dict(_parse_span(args)),
+            bands=parse_bands(args.bands),
+            seed=args.seed,
+            max_shard_retries=args.max_shard_retries,
+        )
+        print(job_id)
+        if args.wait:
+            status = client.wait(job_id, timeout_s=args.wait)
+            print(f"{job_id}: {status['state']} ({status['n_completed']}/{status['n_shards']})")
+    except ReproError as exc:
+        raise SystemExit(str(exc)) from exc
+    return 0
+
+
+def cmd_jobs(args):
+    from .service import ServiceClient
+
+    try:
+        jobs = ServiceClient(args.url).jobs()
+    except ReproError as exc:
+        raise SystemExit(str(exc)) from exc
+    for job in jobs:
+        print(
+            f"{job['job_id']}  {job['tenant']:<12} {job['state']:<10} "
+            f"{job['n_completed']}/{job['n_shards']} shard(s)"
+        )
+    if not jobs:
+        print("no jobs")
+    return 0
+
+
+def cmd_cancel(args):
+    from .service import ServiceClient
+
+    try:
+        outcome = ServiceClient(args.url).cancel(args.job_id)
+    except ReproError as exc:
+        raise SystemExit(str(exc)) from exc
+    print(f"{outcome['job_id']}: {outcome['state']}")
+    return 0
+
+
 def build_parser():
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -505,6 +617,77 @@ def build_parser():
         "is truncated or corrupted",
     )
     analyze.set_defaults(handler=cmd_analyze)
+
+    serve = sub.add_parser(
+        "serve", help="run the durable multi-tenant campaign service"
+    )
+    serve.add_argument("root", help="job-store directory (journal + per-job manifests)")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8321)
+    serve.add_argument(
+        "--workers", type=int, default=2, help="worker threads draining shard claims"
+    )
+    serve.add_argument(
+        "--tenant",
+        action="append",
+        metavar="POLICY",
+        help="tenant policy NAME[:weight[:priority[:max-shards[:max-captures]]]] "
+        "(repeatable; unregistered tenants get the defaults)",
+    )
+    serve.add_argument(
+        "--shard-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="stall watchdog per shard (workers run shards in killable "
+        "single-worker pools)",
+    )
+    serve.add_argument(
+        "--reap-after",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="release claims whose worker heartbeat is older than SECONDS "
+        "so surviving workers adopt them",
+    )
+    serve.set_defaults(handler=cmd_serve)
+
+    submit = sub.add_parser("submit", help="submit a campaign job to a running service")
+    submit.add_argument("--url", default="http://127.0.0.1:8321", help="service base URL")
+    submit.add_argument("--tenant", required=True, help="tenant to charge the job to")
+    submit.add_argument(
+        "--machines", default=None, metavar="NAMES", help="comma list of preset machines"
+    )
+    submit.add_argument("--pair", default=None, help="activity pair, e.g. LDM/LDL1")
+    submit.add_argument("--bands", default=None, metavar="N|PRESET|RANGES")
+    submit.add_argument("--seed", type=int, default=0)
+    submit.add_argument("--span-low", type=float, default=0.0)
+    submit.add_argument("--span-high", type=float, default=4e6)
+    submit.add_argument("--fres", type=float, default=50.0)
+    submit.add_argument("--falt1", type=float, default=43.3e3)
+    submit.add_argument("--f-delta", type=float, default=0.5e3)
+    submit.add_argument("--workers", type=int, default=1, help=argparse.SUPPRESS)
+    submit.add_argument("--max-capture-retries", type=int, default=2, help=argparse.SUPPRESS)
+    submit.add_argument("--capture-timeout", type=float, default=None, help=argparse.SUPPRESS)
+    submit.add_argument("--retry-backoff", type=float, default=0.5, help=argparse.SUPPRESS)
+    submit.add_argument("--max-shard-retries", type=int, default=2, metavar="N")
+    submit.add_argument(
+        "--wait",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="block until the job is terminal (at most SECONDS)",
+    )
+    submit.set_defaults(handler=cmd_submit)
+
+    jobs = sub.add_parser("jobs", help="list a running service's jobs")
+    jobs.add_argument("--url", default="http://127.0.0.1:8321")
+    jobs.set_defaults(handler=cmd_jobs)
+
+    cancel = sub.add_parser("cancel", help="cooperatively cancel a service job")
+    cancel.add_argument("--url", default="http://127.0.0.1:8321")
+    cancel.add_argument("job_id")
+    cancel.set_defaults(handler=cmd_cancel)
 
     return parser
 

@@ -17,7 +17,7 @@ from dataclasses import dataclass, field, replace
 from ..errors import CampaignError, CaptureFaultError, DegradedCampaignError
 from ..rng import child_rng, ensure_rng
 from ..spectrum.analyzer import SpectrumAnalyzer
-from ..telemetry import current_telemetry, record_campaign_ledger
+from ..telemetry import adopt_telemetry, current_telemetry, record_campaign_ledger
 from ..uarch.activity import AlternationActivity
 from ..uarch.microbench import AlternationMicrobenchmark
 from ..uarch.timing import LatencyModel
@@ -316,7 +316,11 @@ class MeasurementCampaign:
         def capture(index):
             return self.capture_index(activities, label, grid, index)
 
-        with ThreadPoolExecutor(max_workers=n_workers) as pool:
+        with ThreadPoolExecutor(
+            max_workers=n_workers,
+            initializer=adopt_telemetry,
+            initargs=(current_telemetry(),),
+        ) as pool:
             return list(pool.map(capture, range(len(activities))))
 
     # ------------------------------------------------------------------
@@ -381,7 +385,11 @@ class MeasurementCampaign:
         def run_attempts(indices):
             tasks = [(index, attempts[index]) for index in indices]
             if n_workers > 1 and len(tasks) > 1:
-                with ThreadPoolExecutor(max_workers=min(n_workers, len(tasks))) as pool:
+                with ThreadPoolExecutor(
+                    max_workers=min(n_workers, len(tasks)),
+                    initializer=adopt_telemetry,
+                    initargs=(current_telemetry(),),
+                ) as pool:
                     outcomes = list(
                         pool.map(
                             lambda task: self._degraded_attempt(activities, label, grid, *task),

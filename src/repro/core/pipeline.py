@@ -15,7 +15,7 @@ from pathlib import Path
 
 from ..rng import child_rng, ensure_rng
 from ..runner import DurableCampaign, journal_dirname
-from ..telemetry import current_telemetry, use_telemetry
+from ..telemetry import adopt_telemetry, current_telemetry, use_thread_telemetry
 from ..uarch.isa import MicroOp
 from .campaign import MeasurementCampaign
 from .classify import classify_sources
@@ -157,14 +157,21 @@ def run_fase(
 
     with ExitStack() as stack:
         if telemetry is not None:
-            stack.enter_context(use_telemetry(telemetry))
+            # Thread-scoped: concurrent pipelines in sibling threads (the
+            # service worker fleet) must not clobber each other's ambient
+            # install. Pool threads below adopt this thread's pipeline.
+            stack.enter_context(use_thread_telemetry(telemetry))
         tel = current_telemetry()
         with tel.span("run_fase", machine=machine.name, n_pairs=len(pairs)):
             if n_workers > 1 and len(pairs) > 1:
                 pair_rngs = [
                     child_rng(rng, f"pair:{pair_label(op_x, op_y)}") for op_x, op_y in pairs
                 ]
-                with ThreadPoolExecutor(max_workers=min(n_workers, len(pairs))) as pool:
+                with ThreadPoolExecutor(
+                    max_workers=min(n_workers, len(pairs)),
+                    initializer=adopt_telemetry,
+                    initargs=(tel,),
+                ) as pool:
                     outcomes = list(
                         pool.map(
                             lambda item: scan_pair(item[0][0], item[0][1], item[1]),

@@ -121,6 +121,17 @@ class ManifestError(SurveyError):
     """
 
 
+class ServiceError(ReproError):
+    """The campaign service was configured or operated inconsistently.
+
+    Raised by :mod:`repro.service` for unknown tenants or jobs, invalid
+    quota/priority policies, and malformed API requests. Worker-side
+    shard failures inside a running job never raise this — they are
+    retried and ledgered through the job's survey machinery, exactly as
+    in a standalone :func:`repro.survey.run_survey`.
+    """
+
+
 class DetectionError(ReproError):
     """Carrier detection was invoked with invalid inputs."""
 

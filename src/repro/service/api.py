@@ -1,0 +1,250 @@
+"""The stdlib-only HTTP face of the campaign service.
+
+:class:`FaseService` composes the durable store, the fair-share
+scheduler, and the worker fleet, and serves a JSON API from a
+``ThreadingHTTPServer`` — no framework, no extra dependency:
+
+=========  ==========================  =======================================
+method     path                        body / response
+=========  ==========================  =======================================
+``POST``   ``/jobs``                   submit a campaign spec → ``{job_id}``
+``GET``    ``/jobs``                   every job's status summary
+``GET``    ``/jobs/{id}``              status + per-shard progress + merged
+                                       :class:`~repro.telemetry.MetricsSnapshot`
+``GET``    ``/jobs/{id}/result``       the aggregated
+                                       :class:`~repro.survey.SurveyReport`
+                                       as JSON (never a pickle)
+``POST``   ``/jobs/{id}/cancel``       cooperative cancellation
+``GET``    ``/jobs/{id}/events``       the job's telemetry JSONL stream
+``GET``    ``/tenants/{id}``           quota usage
+=========  ==========================  =======================================
+
+Every response is JSON except ``/events`` (``application/x-ndjson``).
+Unknown jobs/tenants are 404, malformed requests 400 — always with an
+``{"error": ...}`` body.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from ..core.config import FaseConfig
+from ..errors import ReproError, ServiceError
+from .queue import JobStore
+from .scheduler import FairShareScheduler
+from .workers import WorkerFleet
+
+_CONFIG_FIELDS = {f.name for f in dataclasses.fields(FaseConfig)}
+
+
+def config_from_request(data):
+    """A :class:`FaseConfig` from a (possibly partial) JSON dict.
+
+    Unknown fields are rejected loudly — a typo'd knob silently falling
+    back to its default would corrupt a campaign without a trace.
+    """
+    if data is None:
+        return None
+    unknown = sorted(set(data) - _CONFIG_FIELDS)
+    if unknown:
+        raise ServiceError(f"unknown config field(s): {', '.join(unknown)}")
+    fields = dict(data)
+    if "harmonics" in fields and fields["harmonics"] is not None:
+        fields["harmonics"] = tuple(fields["harmonics"])
+    return FaseConfig(**fields)
+
+
+class FaseService:
+    """The long-lived campaign service: store + scheduler + fleet + HTTP.
+
+    ``tenants`` is an iterable of
+    :class:`~repro.service.scheduler.TenantPolicy`; unregistered tenants
+    are admitted with default policy. ``workers`` sizes the fleet,
+    ``shard_timeout_s`` arms its stall watchdog, ``shard_fn`` swaps the
+    shard body in tests. Use as a context manager or call
+    :meth:`start`/:meth:`stop`.
+    """
+
+    def __init__(
+        self,
+        root,
+        tenants=(),
+        workers=2,
+        shard_timeout_s=None,
+        shard_fn=None,
+        aging_decisions=16,
+        reap_after_s=None,
+        server_name="fase-service",
+    ):
+        self.scheduler = FairShareScheduler(tenants, aging_decisions=aging_decisions)
+        self.store = JobStore(root, scheduler=self.scheduler)
+        self.fleet = WorkerFleet(
+            self.store,
+            workers=workers,
+            shard_fn=shard_fn,
+            shard_timeout_s=shard_timeout_s,
+            reap_after_s=reap_after_s,
+        )
+        self.server_name = server_name
+        self._httpd = None
+        self._http_thread = None
+
+    # -- lifecycle ----------------------------------------------------
+
+    def start(self, host="127.0.0.1", port=0):
+        """Open (or resume) the store, start the fleet, bind the API.
+
+        Returns ``(host, port)`` with the actual bound port — pass
+        ``port=0`` to let the OS choose (the test tier does).
+        """
+        self.store.open(server_name=self.server_name)
+        self.fleet.start()
+        handler = _make_handler(self)
+        self._httpd = ThreadingHTTPServer((host, port), handler)
+        self._httpd.daemon_threads = True
+        self._http_thread = threading.Thread(
+            target=self._httpd.serve_forever, name="fase-http", daemon=True
+        )
+        self._http_thread.start()
+        return self._httpd.server_address[:2]
+
+    def stop(self):
+        if self._httpd is not None:
+            self._httpd.shutdown()
+            self._httpd.server_close()
+            self._httpd = None
+        if self._http_thread is not None:
+            self._http_thread.join(timeout=10.0)
+            self._http_thread = None
+        self.fleet.stop()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self.stop()
+        return False
+
+    @property
+    def address(self):
+        if self._httpd is None:
+            raise ServiceError("the service is not serving")
+        return self._httpd.server_address[:2]
+
+    # -- request handlers (called by the HTTP layer) ------------------
+
+    def submit_job(self, body):
+        pairs = None
+        if body.get("pairs") is not None:
+            pairs = tuple(tuple(pair) for pair in body["pairs"])
+        job_id = self.store.submit(
+            tenant=body.get("tenant"),
+            machines=body.get("machines"),
+            pairs=pairs,
+            config=config_from_request(body.get("config")),
+            bands=body.get("bands"),
+            seed=int(body.get("seed", 0)),
+            max_shard_retries=int(body.get("max_shard_retries", 2)),
+        )
+        return {"job_id": job_id}
+
+    def job_result_json(self, job_id):
+        return self.store.job_report(job_id).to_dict()
+
+
+def _make_handler(service):
+    """A request-handler class closed over one :class:`FaseService`."""
+
+    class Handler(BaseHTTPRequestHandler):
+        protocol_version = "HTTP/1.1"
+        server_version = "fase-service"
+
+        def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+            pass  # the job store journal is the audit trail, not stderr
+
+        # -- plumbing -------------------------------------------------
+
+        def _send_json(self, payload, status=200):
+            body = json.dumps(payload).encode("utf-8")
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+
+        def _send_error(self, message, status):
+            self._send_json({"error": message}, status=status)
+
+        def _read_body(self):
+            length = int(self.headers.get("Content-Length") or 0)
+            raw = self.rfile.read(length) if length else b"{}"
+            try:
+                body = json.loads(raw or b"{}")
+            except ValueError as exc:
+                raise ServiceError(f"request body is not valid JSON: {exc}") from exc
+            if not isinstance(body, dict):
+                raise ServiceError("request body must be a JSON object")
+            return body
+
+        def _route(self):
+            parts = [part for part in self.path.split("?")[0].split("/") if part]
+            return parts
+
+        # -- verbs ----------------------------------------------------
+
+        def do_GET(self):
+            parts = self._route()
+            try:
+                if parts == ["jobs"]:
+                    return self._send_json(
+                        {
+                            "jobs": [
+                                service.store.job_status(job_id)
+                                for job_id in service.store.job_ids()
+                            ]
+                        }
+                    )
+                if len(parts) == 2 and parts[0] == "jobs":
+                    return self._send_json(service.store.job_status(parts[1]))
+                if len(parts) == 3 and parts[0] == "jobs" and parts[2] == "result":
+                    return self._send_json(service.job_result_json(parts[1]))
+                if len(parts) == 3 and parts[0] == "jobs" and parts[2] == "events":
+                    return self._send_events(parts[1])
+                if len(parts) == 2 and parts[0] == "tenants":
+                    return self._send_json(service.store.tenant_usage(parts[1]))
+                self._send_error(f"no such resource: {self.path}", 404)
+            except ServiceError as exc:
+                self._send_error(str(exc), 404 if "unknown job" in str(exc) else 400)
+            except ReproError as exc:
+                self._send_error(str(exc), 400)
+
+        def do_POST(self):
+            parts = self._route()
+            try:
+                if parts == ["jobs"]:
+                    return self._send_json(service.submit_job(self._read_body()), status=201)
+                if len(parts) == 3 and parts[0] == "jobs" and parts[2] == "cancel":
+                    state = service.store.cancel(parts[1])
+                    return self._send_json({"job_id": parts[1], "state": state})
+                self._send_error(f"no such resource: {self.path}", 404)
+            except ServiceError as exc:
+                self._send_error(str(exc), 404 if "unknown job" in str(exc) else 400)
+            except ReproError as exc:
+                self._send_error(str(exc), 400)
+
+        def _send_events(self, job_id):
+            path = service.store.events_path(job_id)
+            try:
+                data = path.read_bytes()
+            except OSError:
+                data = b""
+            self.send_response(200)
+            self.send_header("Content-Type", "application/x-ndjson")
+            self.send_header("Content-Length", str(len(data)))
+            self.end_headers()
+            self.wfile.write(data)
+
+    return Handler

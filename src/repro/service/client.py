@@ -1,0 +1,135 @@
+"""A typed, stdlib-only Python client for the campaign service API.
+
+Thin by design: every method is one HTTP round trip mapping 1:1 onto
+:mod:`repro.service.api`'s endpoints, errors surface as
+:class:`~repro.errors.ServiceError` with the server's message, and
+:meth:`ServiceClient.result` revives the full
+:class:`~repro.survey.SurveyReport` through its JSON codec — the wire
+never carries a pickle.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+
+from ..errors import ServiceError
+from ..io import _config_to_dict
+from ..survey.report import SurveyReport
+
+#: Job states a poll loop treats as final.
+TERMINAL_STATES = ("completed", "cancelled")
+
+
+class ServiceClient:
+    """One service endpoint, e.g. ``ServiceClient("http://127.0.0.1:8321")``."""
+
+    def __init__(self, base_url, timeout_s=30.0):
+        self.base_url = base_url.rstrip("/")
+        self.timeout_s = timeout_s
+
+    # -- plumbing -----------------------------------------------------
+
+    def _request(self, method, path, body=None):
+        data = None
+        headers = {"Accept": "application/json"}
+        if body is not None:
+            data = json.dumps(body).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(
+            self.base_url + path, data=data, headers=headers, method=method
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout_s) as response:
+                return response.read()
+        except urllib.error.HTTPError as exc:
+            detail = exc.read().decode("utf-8", "replace")
+            try:
+                detail = json.loads(detail).get("error", detail)
+            except ValueError:
+                pass
+            raise ServiceError(f"{method} {path} failed ({exc.code}): {detail}") from exc
+        except urllib.error.URLError as exc:
+            raise ServiceError(f"{method} {path} failed: {exc.reason}") from exc
+
+    def _json(self, method, path, body=None):
+        return json.loads(self._request(method, path, body))
+
+    # -- the API ------------------------------------------------------
+
+    def submit(
+        self,
+        tenant,
+        machines=None,
+        pairs=None,
+        config=None,
+        bands=None,
+        seed=0,
+        max_shard_retries=2,
+    ):
+        """Submit one campaign; returns its job id.
+
+        ``config`` may be a :class:`~repro.core.FaseConfig` (serialized
+        for the wire) or a plain dict of config fields; ``pairs`` are
+        micro-op name pairs like ``[("LDM", "LDL1")]``.
+        """
+        if config is not None and not isinstance(config, dict):
+            config = _config_to_dict(config)
+        body = {
+            "tenant": tenant,
+            "machines": list(machines) if machines else None,
+            "pairs": [list(pair) for pair in pairs] if pairs else None,
+            "config": config,
+            "bands": bands,
+            "seed": seed,
+            "max_shard_retries": max_shard_retries,
+        }
+        return self._json("POST", "/jobs", body)["job_id"]
+
+    def jobs(self):
+        return self._json("GET", "/jobs")["jobs"]
+
+    def job(self, job_id):
+        return self._json("GET", f"/jobs/{job_id}")
+
+    def result(self, job_id):
+        """The job's aggregated report, revived as a :class:`SurveyReport`."""
+        return SurveyReport.from_json(self._request("GET", f"/jobs/{job_id}/result"))
+
+    def cancel(self, job_id):
+        return self._json("POST", f"/jobs/{job_id}/cancel")
+
+    def tenant(self, tenant):
+        return self._json("GET", f"/tenants/{tenant}")
+
+    def events(self, job_id):
+        """The job's telemetry JSONL, parsed (a torn tail is skipped)."""
+        raw = self._request("GET", f"/jobs/{job_id}/events")
+        records = []
+        for line in raw.splitlines():
+            if not line.strip():
+                continue
+            try:
+                records.append(json.loads(line))
+            except ValueError:
+                continue
+        return records
+
+    def wait(self, job_id, timeout_s=60.0, poll_s=0.1):
+        """Poll until the job is terminal; returns its final status.
+
+        Raises :class:`ServiceError` on deadline — a service that lost
+        its fleet should fail the caller, not hang it.
+        """
+        deadline = time.monotonic() + timeout_s
+        while True:
+            status = self.job(job_id)
+            if status["state"] in TERMINAL_STATES:
+                return status
+            if time.monotonic() >= deadline:
+                raise ServiceError(
+                    f"job {job_id!r} still {status['state']!r} after {timeout_s:g}s"
+                )
+            time.sleep(poll_s)

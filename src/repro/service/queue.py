@@ -1,0 +1,811 @@
+"""The durable job store: every lifecycle transition is journaled.
+
+The store is the service's single source of scheduling truth. Its state
+lives in two layers, both built on :mod:`repro.journalutil`'s
+append-only, per-line-checksummed, fsync'd discipline:
+
+* ``store.jsonl`` — one record per lifecycle transition (``submit``,
+  ``claim``, ``progress``, ``release``, ``skip``, ``cancel``,
+  ``cancelled``, ``complete``, ``restart``). Replaying it reconstructs
+  every job's pending/claimed/settled partition exactly, so a service
+  killed at an arbitrary point restarts with zero lost or duplicated
+  work.
+* one :class:`~repro.survey.manifest.SurveyManifest` per job — the
+  shard *results* and ledger, reusing the survey layer's crash-safe
+  journal unchanged. A shard result is appended to the job's manifest
+  *before* its ``progress`` record reaches the store journal, so a
+  ``completed`` transition always has a durable result behind it; the
+  reverse kill window (result durable, progress lost) merely re-marks
+  the shard completed from the manifest on replay.
+
+Orphan adoption falls out of shard purity: a claim whose worker died —
+or whose whole service process was SIGKILLed — is released back to
+pending (journaled, so the release itself is replayable) and any worker
+re-runs it; the result is byte-identical because shards are pure
+functions of ``(seed, shard_id)``.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+
+from ..errors import ServiceError
+from ..io import _config_from_dict, _config_to_dict
+from ..journalutil import append_line, atomic_write, ensure_line_boundary, iter_journal
+from ..runner import journal_dirname
+from ..survey.engine import plan_shards
+from ..survey.manifest import JournaledLedger, SurveyManifest, plan_fingerprint, replay_ledger
+from ..survey.planner import CaptureBudget
+from ..survey.report import BUDGET_EXHAUSTED
+from ..telemetry import MetricsSnapshot
+
+#: Format marker of the store header, for forward compatibility.
+STORE_FORMAT = "fase-service-store-v1"
+
+#: Job lifecycle states (terminal: COMPLETED, CANCELLED).
+QUEUED = "queued"
+RUNNING = "running"
+CANCELLING = "cancelling"
+COMPLETED = "completed"
+CANCELLED = "cancelled"
+
+_HEADER_NAME = "HEADER.json"
+_LOG_NAME = "store.jsonl"
+
+_CANCEL_DETAIL = "job cancelled before this shard started"
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One submitted campaign: what to survey, for whom, how persistent.
+
+    The shard plan is *derived*, never stored: ``plan_shards`` is
+    deterministic in these fields, so replaying a ``submit`` record
+    reconstructs the identical plan (and manifest fingerprint) the
+    original process computed.
+    """
+
+    job_id: str
+    tenant: str
+    machines: tuple
+    pairs: tuple  # ((op_x, op_y), ...) micro-op names
+    config: object  # FaseConfig
+    bands: object = None
+    seed: int = 0
+    max_shard_retries: int = 2
+
+    def to_dict(self):
+        return {
+            "job_id": self.job_id,
+            "tenant": self.tenant,
+            "machines": list(self.machines),
+            "pairs": [list(pair) for pair in self.pairs],
+            "config": _config_to_dict(self.config),
+            "bands": (
+                [list(span) for span in self.bands]
+                if isinstance(self.bands, (list, tuple))
+                else self.bands
+            ),
+            "seed": int(self.seed),
+            "max_shard_retries": int(self.max_shard_retries),
+        }
+
+    @classmethod
+    def from_dict(cls, data):
+        bands = data.get("bands")
+        if isinstance(bands, list):
+            bands = tuple((float(low), float(high)) for low, high in bands)
+        return cls(
+            job_id=data["job_id"],
+            tenant=data["tenant"],
+            machines=tuple(data["machines"]),
+            pairs=tuple(tuple(pair) for pair in data["pairs"]),
+            config=_config_from_dict(dict(data["config"])),
+            bands=bands,
+            seed=int(data.get("seed", 0)),
+            max_shard_retries=int(data.get("max_shard_retries", 2)),
+        )
+
+    def shard_plan(self):
+        return plan_shards(
+            machines=self.machines,
+            pairs=self.pairs,
+            config=self.config,
+            bands=self.bands,
+            seed=self.seed,
+        )
+
+
+@dataclass(frozen=True)
+class ClaimedShard:
+    """What :meth:`JobStore.claim` hands a worker: one funded shard."""
+
+    job_id: str
+    tenant: str
+    spec: object  # ShardSpec
+    max_shard_retries: int
+
+
+@dataclass
+class _JobState:
+    """In-memory scheduling state of one job (rebuilt by replay)."""
+
+    spec: JobSpec
+    shard_specs: tuple
+    manifest: SurveyManifest
+    ledger: JournaledLedger
+    events_path: Path
+    state: str = QUEUED
+    pending: list = field(default_factory=list)  # shard ids, plan order
+    claims: dict = field(default_factory=dict)  # shard_id -> worker
+    results: dict = field(default_factory=dict)  # shard_id -> ShardResult
+    failures: dict = field(default_factory=dict)  # shard_id -> charged count
+    abandoned: set = field(default_factory=set)
+    skipped: set = field(default_factory=set)
+    cancelled_shards: set = field(default_factory=set)
+    funded: set = field(default_factory=set)  # shard ids charged to the budget
+
+    def spec_for(self, shard_id):
+        for spec in self.shard_specs:
+            if spec.shard_id == shard_id:
+                return spec
+        raise ServiceError(f"job {self.spec.job_id!r} has no shard {shard_id!r}")
+
+    def settled(self, shard_id):
+        return (
+            shard_id in self.results
+            or shard_id in self.abandoned
+            or shard_id in self.skipped
+            or shard_id in self.cancelled_shards
+        )
+
+
+class JobStore:
+    """The service's durable, multi-tenant job queue.
+
+    Thread-safe: the worker fleet and the HTTP handlers share one store
+    under one lock. Every mutating method journals its transition before
+    the in-memory state reflects it, so the durable state never lags the
+    observable state. Append failures raise :class:`ServiceError` — a
+    job store that cannot persist transitions must not pretend to.
+    """
+
+    def __init__(self, root, scheduler=None):
+        from .scheduler import FairShareScheduler
+
+        self.root = Path(root)
+        self.log_path = self.root / _LOG_NAME
+        self.scheduler = scheduler if scheduler is not None else FairShareScheduler(())
+        self.jobs = {}  # job_id -> _JobState
+        self.order = []  # job ids in submit order
+        self.budgets = {}  # tenant -> CaptureBudget (only for capped tenants)
+        self.decision = 0  # claim counter: the scheduler's logical clock
+        self.last_claim_decision = {}  # tenant -> decision of latest claim
+        self.charged = {}  # tenant -> fairness charge (total claims)
+        self._seq = 0
+        self._lock = threading.RLock()
+
+    # -- lifecycle ----------------------------------------------------
+
+    def open(self, server_name="service"):
+        """Create or resume the store; returns ``self``.
+
+        On resume, the journal is replayed into memory, a ``restart``
+        marker is appended, and every outstanding claim — necessarily
+        orphaned, since claims do not survive the owning process — is
+        released back to pending for adoption by any worker.
+        """
+        with self._lock:
+            self.root.mkdir(parents=True, exist_ok=True)
+            header_path = self.root / _HEADER_NAME
+            if header_path.is_file():
+                try:
+                    header = json.loads(header_path.read_text(encoding="utf-8"))
+                except (OSError, ValueError) as exc:
+                    raise ServiceError(
+                        f"store header at {str(header_path)!r} is unreadable: {exc}"
+                    ) from exc
+                if header.get("format") != STORE_FORMAT:
+                    raise ServiceError(
+                        f"unsupported store format {header.get('format')!r} "
+                        f"at {str(header_path)!r}"
+                    )
+            else:
+                self._write(
+                    atomic_write,
+                    header_path,
+                    json.dumps({"format": STORE_FORMAT}, indent=2).encode("utf-8"),
+                )
+            self._write(ensure_line_boundary, self.log_path)
+            had_records = self._replay()
+            if had_records:
+                self._append({"kind": "restart", "server": server_name})
+                for job in self.jobs.values():
+                    for shard_id, worker in sorted(job.claims.items()):
+                        self._release_locked(
+                            job,
+                            shard_id,
+                            worker,
+                            "orphaned by service restart; released for adoption",
+                        )
+                    self._maybe_finalize_locked(job)
+        return self
+
+    def _write(self, fn, *args):
+        try:
+            return fn(*args)
+        except OSError as exc:
+            raise ServiceError(f"job store at {str(self.root)!r} is not writable: {exc}") from exc
+
+    def _append(self, record):
+        self._write(append_line, self.log_path, record)
+
+    # -- replay -------------------------------------------------------
+
+    def _replay(self):
+        """Rebuild the in-memory state from the journal; True if non-empty.
+
+        A damaged final line is the kill-mid-write signature — the
+        record never became durable, so it simply never happened.
+        Interior damage is skipped the same way; every affected shard
+        re-runs, which purity makes safe.
+        """
+        if not self.log_path.exists():
+            return False
+        any_record = False
+        for record, _is_last in self._write(lambda p: list(iter_journal(p)), self.log_path):
+            if record is None:
+                continue
+            any_record = True
+            self._apply(record)
+        for job in self.jobs.values():
+            self._maybe_finalize_locked(job)
+        return any_record
+
+    def _apply(self, record):
+        kind = record.get("kind")
+        if kind == "submit":
+            self._admit(JobSpec.from_dict(record["job"]))
+        elif kind == "claim":
+            job = self.jobs.get(record["job_id"])
+            if job is None:
+                return
+            shard_id = record["shard_id"]
+            if shard_id in job.pending:
+                job.pending.remove(shard_id)
+            if not job.settled(shard_id):
+                job.claims[shard_id] = record["worker"]
+            if job.state == QUEUED:
+                # A claim means the job ran, even if this shard's result
+                # already came back from the manifest during _admit.
+                job.state = RUNNING
+            self._account_claim(job.spec.tenant, job, shard_id)
+        elif kind == "progress":
+            job = self.jobs.get(record["job_id"])
+            if job is None:
+                return
+            shard_id = record["shard_id"]
+            job.claims.pop(shard_id, None)
+            if record.get("status") == "completed":
+                # The result itself came back from the job's manifest in
+                # _admit; a progress record whose result was torn away
+                # leaves the shard pending, and it safely re-runs.
+                if shard_id not in job.results and not job.settled(shard_id):
+                    if shard_id not in job.pending:
+                        job.pending.append(shard_id)
+            else:
+                self._account_failure(job, shard_id, requeue_in_memory=True)
+        elif kind == "release":
+            job = self.jobs.get(record["job_id"])
+            if job is None:
+                return
+            shard_id = record["shard_id"]
+            job.claims.pop(shard_id, None)
+            if not job.settled(shard_id) and shard_id not in job.pending:
+                job.pending.append(shard_id)
+        elif kind == "skip":
+            job = self.jobs.get(record["job_id"])
+            if job is None:
+                return
+            shard_id = record["shard_id"]
+            if shard_id in job.pending:
+                job.pending.remove(shard_id)
+            job.skipped.add(shard_id)
+        elif kind == "cancel":
+            job = self.jobs.get(record["job_id"])
+            if job is None or job.state in (COMPLETED, CANCELLED):
+                return
+            job.cancelled_shards.update(job.pending)
+            job.pending = []
+            job.state = CANCELLING
+        elif kind == "cancelled":
+            job = self.jobs.get(record["job_id"])
+            if job is not None:
+                job.state = CANCELLED
+        elif kind == "complete":
+            job = self.jobs.get(record["job_id"])
+            if job is not None:
+                job.state = COMPLETED
+        # restart / unknown kinds: informational or future; ignored.
+
+    def _account_claim(self, tenant, job, shard_id):
+        self.decision += 1
+        self.last_claim_decision[tenant] = self.decision
+        self.charged[tenant] = self.charged.get(tenant, 0) + 1
+        if shard_id not in job.funded:
+            job.funded.add(shard_id)
+            budget = self._budget_for(tenant)
+            if budget is not None:
+                spec = job.spec_for(shard_id)
+                budget.restore(spec.machine, len(spec.config.falts()))
+
+    def _account_failure(self, job, shard_id, requeue_in_memory):
+        n = job.failures.get(shard_id, 0) + 1
+        job.failures[shard_id] = n
+        if n > job.spec.max_shard_retries:
+            job.abandoned.add(shard_id)
+        elif requeue_in_memory and shard_id not in job.pending and not job.settled(shard_id):
+            job.pending.append(shard_id)
+
+    # -- submission ---------------------------------------------------
+
+    def submit(self, tenant, machines=None, pairs=None, config=None, bands=None,
+               seed=0, max_shard_retries=2):
+        """Admit one campaign; returns its job id.
+
+        The ``submit`` record (the full job spec) is durable before the
+        job is schedulable, and the job's survey manifest is created in
+        the same step — so a kill at any point leaves either no job or a
+        fully resumable one.
+        """
+        from ..survey.engine import DEFAULT_PAIRS
+        from ..core.config import campaign_low_band
+
+        if not tenant or not isinstance(tenant, str):
+            raise ServiceError("a job needs a non-empty tenant name")
+        with self._lock:
+            self._seq += 1
+            spec = JobSpec(
+                job_id=f"job-{self._seq:06d}",
+                tenant=tenant,
+                machines=tuple(machines) if machines else None,
+                pairs=tuple(
+                    (getattr(x, "value", x), getattr(y, "value", y))
+                    for x, y in (pairs or DEFAULT_PAIRS)
+                ),
+                config=config or campaign_low_band(),
+                bands=bands,
+                seed=seed,
+                max_shard_retries=max_shard_retries,
+            )
+            if spec.machines is None:
+                # Resolve now so the journaled spec is fully explicit.
+                from ..system import ALL_PRESETS
+
+                spec = replace(spec, machines=tuple(sorted(ALL_PRESETS)))
+            spec.shard_plan()  # validate before anything is durable
+            self._append({"kind": "submit", "job": spec.to_dict()})
+            job = self._admit(spec)
+            self._emit_event(job, "job-submitted", tenant=tenant, n_shards=len(job.shard_specs))
+            return spec.job_id
+
+    def _job_dir(self, job_id):
+        return self.root / "jobs" / journal_dirname(job_id)
+
+    def _admit(self, spec):
+        shard_specs = spec.shard_plan()
+        job_dir = self._job_dir(spec.job_id)
+        manifest = SurveyManifest(job_dir / "manifest")
+        fingerprint = plan_fingerprint(shard_specs)
+        results = {}
+        ledger_events = []
+        if manifest.exists():
+            manifest.open(fingerprint)
+            state = manifest.load()
+            results = state.results
+            ledger_events = state.ledger_events
+        else:
+            self._write(lambda: job_dir.mkdir(parents=True, exist_ok=True))
+            manifest.create(fingerprint, shard_specs, description=spec.config.describe())
+            if manifest.degraded is not None:
+                raise ServiceError(
+                    f"could not create the manifest for {spec.job_id!r}: {manifest.degraded}"
+                )
+        ledger = JournaledLedger(manifest)
+        replay_ledger(ledger, ledger_events)
+        job = _JobState(
+            spec=spec,
+            shard_specs=shard_specs,
+            manifest=manifest,
+            ledger=ledger,
+            events_path=job_dir / "events.jsonl",
+            results=results,
+        )
+        for failure in ledger.failures:
+            if failure.charged:
+                job.failures[failure.shard_id] = max(
+                    job.failures.get(failure.shard_id, 0), failure.failures
+                )
+        job.abandoned.update(ledger.abandoned)
+        # A prior run's cancellations are manifest history; the *store*
+        # journal decides whether they still stand (its cancel/cancelled
+        # records replay after this).
+        job.pending = [
+            s.shard_id
+            for s in shard_specs
+            if s.shard_id not in job.results and s.shard_id not in job.abandoned
+        ]
+        self.jobs[spec.job_id] = job
+        self.order.append(spec.job_id)
+        # Keep the id sequence monotonic across restarts.
+        try:
+            seq = int(spec.job_id.rsplit("-", 1)[1])
+            self._seq = max(self._seq, seq)
+        except (IndexError, ValueError):
+            pass
+        return job
+
+    # -- scheduling ---------------------------------------------------
+
+    def _budget_for(self, tenant):
+        policy = self.scheduler.policy_for(tenant)
+        if policy.max_captures is None:
+            return None
+        budget = self.budgets.get(tenant)
+        if budget is None:
+            budget = self.budgets[tenant] = CaptureBudget(total=float(policy.max_captures))
+        return budget
+
+    def snapshot(self):
+        """The scheduler's world: per-tenant usage and queued work.
+
+        A pure value (plain dicts), derived entirely from journaled
+        transitions — which is what makes every scheduling decision
+        replayable.
+        """
+        with self._lock:
+            tenants = {}
+            for job_id in self.order:
+                job = self.jobs[job_id]
+                tenant = job.spec.tenant
+                usage = tenants.setdefault(
+                    tenant,
+                    {
+                        "live_claims": 0,
+                        "charged": self.charged.get(tenant, 0),
+                        "last_claim_decision": self.last_claim_decision.get(tenant, 0),
+                        "jobs": [],
+                    },
+                )
+                usage["live_claims"] += len(job.claims)
+                usage["jobs"].append({
+                    "job_id": job_id,
+                    # Cancelling/terminal jobs never offer work, even if a
+                    # replay race left ids in pending.
+                    "has_pending": bool(job.pending) and job.state in (QUEUED, RUNNING),
+                })
+            return {"decision": self.decision, "tenants": tenants}
+
+    def claim(self, worker):
+        """One scheduling decision: the next funded shard, or ``None``.
+
+        The scheduler picks the tenant/job (pure function of
+        :meth:`snapshot`); the store takes that job's first pending
+        shard in plan order, funds it against the tenant's capture
+        ceiling (unfundable shards are skipped with a
+        ``budget-exhausted`` ledger decision — they count as settled, so
+        an over-budget job completes instead of deadlocking), journals
+        the claim, and hands the worker the spec.
+        """
+        with self._lock:
+            while True:
+                choice = self.scheduler.select(self.snapshot())
+                if choice is None:
+                    return None
+                job = self.jobs[choice]
+                tenant = job.spec.tenant
+                shard_id = job.pending[0]
+                spec = job.spec_for(shard_id)
+                budget = self._budget_for(tenant)
+                captures = len(spec.config.falts())
+                if (
+                    budget is not None
+                    and shard_id not in job.funded
+                    and not budget.can_fund(spec.machine, captures)
+                ):
+                    self._append({
+                        "kind": "skip",
+                        "job_id": job.spec.job_id,
+                        "shard_id": shard_id,
+                        "detail": "tenant capture ceiling",
+                    })
+                    job.pending.remove(shard_id)
+                    job.skipped.add(shard_id)
+                    job.ledger.record_planned(
+                        shard_id,
+                        BUDGET_EXHAUSTED,
+                        f"tenant {tenant!r} capture ceiling "
+                        f"({budget.total:g}) cannot fund this shard's "
+                        f"{captures} capture(s)",
+                    )
+                    self._emit_event(job, "shard-skipped", shard=shard_id)
+                    self._maybe_finalize_locked(job)
+                    continue
+                self._append({
+                    "kind": "claim",
+                    "job_id": job.spec.job_id,
+                    "shard_id": shard_id,
+                    "worker": worker,
+                    "decision": self.decision + 1,
+                })
+                job.pending.remove(shard_id)
+                job.claims[shard_id] = worker
+                if job.state == QUEUED:
+                    job.state = RUNNING
+                self._account_claim(tenant, job, shard_id)
+                self._emit_event(job, "shard-claimed", shard=shard_id, worker=worker)
+                return ClaimedShard(
+                    job_id=job.spec.job_id,
+                    tenant=tenant,
+                    spec=spec,
+                    max_shard_retries=job.spec.max_shard_retries,
+                )
+
+    def complete_shard(self, job_id, shard_id, result, worker):
+        """A worker finished a shard. Result first, transition second.
+
+        The manifest append is durable before the ``progress`` record,
+        so a kill between the two can only lose the *transition* — and
+        replay re-marks the shard completed from the manifest.
+        """
+        with self._lock:
+            job = self._job(job_id)
+            if shard_id not in job.results:
+                job.manifest.append_shard(result)
+            self._append({
+                "kind": "progress",
+                "job_id": job_id,
+                "shard_id": shard_id,
+                "status": "completed",
+                "worker": worker,
+            })
+            job.claims.pop(shard_id, None)
+            job.results[shard_id] = result
+            self._emit_event(job, "shard-finished", shard=shard_id, worker=worker)
+            self._maybe_finalize_locked(job)
+
+    def fail_shard(self, job_id, shard_id, kind, detail, worker):
+        """A worker's shard failed: charge, requeue-or-abandon, journal."""
+        with self._lock:
+            job = self._job(job_id)
+            n = job.failures.get(shard_id, 0) + 1
+            job.ledger.record_failure(shard_id, kind, detail, failures=n)
+            if n <= job.spec.max_shard_retries:
+                job.ledger.record_requeue(shard_id)
+            else:
+                job.ledger.record_abandoned(
+                    shard_id, f"{kind} after {n} failure(s): {detail}"
+                )
+            self._append({
+                "kind": "progress",
+                "job_id": job_id,
+                "shard_id": shard_id,
+                "status": "failed",
+                "failure_kind": kind,
+                "detail": detail,
+                "worker": worker,
+            })
+            job.claims.pop(shard_id, None)
+            self._account_failure(job, shard_id, requeue_in_memory=True)
+            self._emit_event(job, "shard-failed", shard=shard_id, kind=kind, failures=n)
+            self._maybe_finalize_locked(job)
+
+    def release_shard(self, job_id, shard_id, worker, detail):
+        """Give a claim back uncharged (worker shutdown, stale reap)."""
+        with self._lock:
+            job = self._job(job_id)
+            if job.claims.get(shard_id) != worker:
+                return
+            self._release_locked(job, shard_id, worker, detail)
+
+    def _release_locked(self, job, shard_id, worker, detail):
+        self._append({
+            "kind": "release",
+            "job_id": job.spec.job_id,
+            "shard_id": shard_id,
+            "worker": worker,
+            "detail": detail,
+        })
+        job.claims.pop(shard_id, None)
+        if job.state == CANCELLING:
+            # The cancellation already claimed this job's future work; a
+            # released claim joins it instead of returning to pending.
+            if not job.settled(shard_id):
+                job.cancelled_shards.add(shard_id)
+                job.ledger.record_cancelled(shard_id, _CANCEL_DETAIL)
+        elif not job.settled(shard_id) and shard_id not in job.pending:
+            job.pending.append(shard_id)
+        self._emit_event(job, "shard-released", shard=shard_id, detail=detail)
+        self._maybe_finalize_locked(job)
+
+    def cancel(self, job_id):
+        """Cooperative cancellation: pending shards die now, claims drain.
+
+        Returns the job's state after the request (``cancelling`` while
+        claims are still in flight, ``cancelled`` once drained; terminal
+        states are returned unchanged — cancelling a finished job is a
+        no-op, not an error).
+        """
+        with self._lock:
+            job = self._job(job_id)
+            if job.state in (COMPLETED, CANCELLED):
+                return job.state
+            self._append({"kind": "cancel", "job_id": job_id})
+            for shard_id in job.pending:
+                job.cancelled_shards.add(shard_id)
+                job.ledger.record_cancelled(shard_id, _CANCEL_DETAIL)
+            job.pending = []
+            job.state = CANCELLING
+            self._emit_event(job, "job-cancel-requested", n_in_flight=len(job.claims))
+            self._maybe_finalize_locked(job)
+            return job.state
+
+    def _maybe_finalize_locked(self, job):
+        if job.state in (COMPLETED, CANCELLED) or job.claims:
+            return
+        if job.state == CANCELLING:
+            self._append({"kind": "cancelled", "job_id": job.spec.job_id})
+            job.state = CANCELLED
+            self._emit_event(job, "job-cancelled")
+        elif not job.pending:
+            self._append({"kind": "complete", "job_id": job.spec.job_id})
+            job.state = COMPLETED
+            self._emit_event(job, "job-completed", n_results=len(job.results))
+
+    # -- workers ------------------------------------------------------
+
+    def worker_heartbeat(self, worker):
+        """Advisory liveness: touch ``workers/<name>.hb`` (never fails)."""
+        path = self.root / "workers" / f"{journal_dirname(worker)}.hb"
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.touch()
+        except OSError:
+            pass
+
+    def reap_stale_claims(self, max_age_s, now=None):
+        """Release every claim whose worker stopped heartbeating.
+
+        The released shards return to pending for adoption by any live
+        worker — the in-process analogue of the restart-time orphan
+        release. Returns the number of claims reaped.
+        """
+        now = time.time() if now is None else now
+        reaped = 0
+        with self._lock:
+            for job in list(self.jobs.values()):
+                for shard_id, worker in sorted(job.claims.items()):
+                    hb = self.root / "workers" / f"{journal_dirname(worker)}.hb"
+                    try:
+                        age = now - hb.stat().st_mtime
+                    except OSError:
+                        age = float("inf")
+                    if age > max_age_s:
+                        self._release_locked(
+                            job,
+                            shard_id,
+                            worker,
+                            f"worker {worker!r} heartbeat stale ({age:.1f}s); "
+                            "claim reaped for adoption",
+                        )
+                        reaped += 1
+                self._maybe_finalize_locked(job)
+        return reaped
+
+    # -- queries ------------------------------------------------------
+
+    def _job(self, job_id):
+        job = self.jobs.get(job_id)
+        if job is None:
+            raise ServiceError(f"unknown job {job_id!r}")
+        return job
+
+    def job_ids(self):
+        with self._lock:
+            return list(self.order)
+
+    def all_settled(self):
+        with self._lock:
+            return all(job.state in (COMPLETED, CANCELLED) for job in self.jobs.values())
+
+    def job_status(self, job_id):
+        """Status + per-shard progress + merged metrics, all JSON-safe."""
+        with self._lock:
+            job = self._job(job_id)
+            shards = {}
+            for spec in job.shard_specs:
+                sid = spec.shard_id
+                if sid in job.results:
+                    shards[sid] = "completed"
+                elif sid in job.claims:
+                    shards[sid] = f"claimed:{job.claims[sid]}"
+                elif sid in job.abandoned:
+                    shards[sid] = "abandoned"
+                elif sid in job.skipped:
+                    shards[sid] = "skipped"
+                elif sid in job.cancelled_shards:
+                    shards[sid] = "cancelled"
+                else:
+                    shards[sid] = "pending"
+            merged = MetricsSnapshot(counters={}, gauges={}, histograms={})
+            for result in job.results.values():
+                merged = merged.merge(MetricsSnapshot.from_dict(result.metrics))
+            return {
+                "job_id": job_id,
+                "tenant": job.spec.tenant,
+                "state": job.state,
+                "n_shards": len(job.shard_specs),
+                "n_completed": len(job.results),
+                "n_failures": sum(job.failures.values()),
+                "shards": shards,
+                "metrics": merged.to_dict(),
+            }
+
+    def job_report(self, job_id):
+        """The job's :class:`~repro.survey.report.SurveyReport` so far.
+
+        Aggregated exactly as ``run_survey`` would have — same merge
+        code path — over whatever shards have completed; the ledger
+        carries retries, abandonments, skips, and cancellations.
+        """
+        from ..survey.engine import _aggregate
+
+        with self._lock:
+            job = self._job(job_id)
+            report, _ = _aggregate(
+                job.shard_specs, job.results, job.ledger, job.spec.config.describe()
+            )
+            return report
+
+    def tenant_usage(self, tenant):
+        """Quota usage for one tenant (policy, claims, captures)."""
+        with self._lock:
+            policy = self.scheduler.policy_for(tenant)
+            live = sum(
+                len(job.claims)
+                for job in self.jobs.values()
+                if job.spec.tenant == tenant
+            )
+            budget = self.budgets.get(tenant)
+            return {
+                "tenant": tenant,
+                "weight": policy.weight,
+                "priority": policy.priority,
+                "max_concurrent_shards": policy.max_concurrent_shards,
+                "max_captures": policy.max_captures,
+                "live_claims": live,
+                "charged_shards": self.charged.get(tenant, 0),
+                "captures_spent": 0.0 if budget is None else budget.spent(),
+                "jobs": [
+                    job_id
+                    for job_id in self.order
+                    if self.jobs[job_id].spec.tenant == tenant
+                ],
+            }
+
+    def events_path(self, job_id):
+        with self._lock:
+            return self._job(job_id).events_path
+
+    def _emit_event(self, job, name, **attrs):
+        """One advisory line in the job's telemetry JSONL (never fails)."""
+        record = {"type": "event", "name": name, "attrs": attrs}
+        try:
+            with open(job.events_path, "a", encoding="utf-8") as handle:
+                handle.write(json.dumps(record, sort_keys=True) + "\n")
+        except OSError:
+            pass

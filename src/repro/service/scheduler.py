@@ -1,0 +1,129 @@
+"""Weighted fair-share scheduling with quotas, priorities, and aging.
+
+Every decision is a **pure function of the journaled state**: the job
+store's :meth:`~repro.service.queue.JobStore.snapshot` is derived
+entirely from replayable transitions (claims are the scheduler's
+logical clock — no wall time anywhere), so feeding the same journal
+through :meth:`FairShareScheduler.select` reproduces the same choice,
+decision for decision. That is what makes scheduling auditable: the
+journal *is* the explanation.
+
+Selection, in order:
+
+1. **Eligibility** — a tenant competes only while it has a queued job
+   with pending work and headroom under ``max_concurrent_shards``
+   (capture ceilings are enforced at funding time by the store, so an
+   unfundable shard is skipped rather than blocking the queue).
+2. **Priority with aging** — higher ``priority`` wins, but a tenant's
+   effective priority rises by one for every ``aging_decisions`` claims
+   granted to others since its last claim. Any starved tenant therefore
+   overtakes any finite static priority in bounded time:
+   starvation-freedom by construction, not by luck.
+3. **Weighted fair share** — among equal effective priorities, the
+   tenant with the smallest ``charge / weight`` wins, where ``charge``
+   counts every claim the tenant was ever granted. With continuous
+   backlog and equal priorities this bounds each tenant's normalized
+   drift by ``max(1/weight)`` — the property the Hypothesis tier pins.
+4. **Deterministic tie-break** — remaining ties fall to the
+   lexicographically smallest tenant name, then the earliest-submitted
+   job.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ServiceError
+
+
+@dataclass(frozen=True)
+class TenantPolicy:
+    """One tenant's scheduling contract.
+
+    ``weight`` scales the tenant's fair share (2.0 ⇒ twice the shards
+    of a weight-1.0 peer under contention); ``priority`` is strict
+    precedence between classes (subject to aging);
+    ``max_concurrent_shards`` caps in-flight claims;
+    ``max_captures`` caps total funded captures across all the tenant's
+    jobs (:class:`~repro.survey.planner.CaptureBudget` semantics —
+    shards the ceiling cannot fund are ledgered ``budget-exhausted``).
+    """
+
+    name: str
+    weight: float = 1.0
+    priority: int = 0
+    max_concurrent_shards: object = None  # int | None
+    max_captures: object = None  # float | None
+
+    def __post_init__(self):
+        if not self.name:
+            raise ServiceError("a tenant policy needs a name")
+        if self.weight <= 0:
+            raise ServiceError(f"tenant {self.name!r}: weight must be positive")
+        if self.max_concurrent_shards is not None and self.max_concurrent_shards < 1:
+            raise ServiceError(f"tenant {self.name!r}: max_concurrent_shards must be >= 1")
+        if self.max_captures is not None and self.max_captures <= 0:
+            raise ServiceError(f"tenant {self.name!r}: max_captures must be positive")
+
+
+class FairShareScheduler:
+    """Deterministic weighted fair-share selection over a store snapshot."""
+
+    def __init__(self, policies=(), aging_decisions=16):
+        if aging_decisions is not None and aging_decisions < 1:
+            raise ServiceError("aging_decisions must be >= 1 (or None to disable aging)")
+        self.policies = {}
+        for policy in policies:
+            if policy.name in self.policies:
+                raise ServiceError(f"duplicate tenant policy {policy.name!r}")
+            self.policies[policy.name] = policy
+        self.aging_decisions = aging_decisions
+
+    def policy_for(self, tenant):
+        """The tenant's policy; unregistered tenants get the defaults."""
+        policy = self.policies.get(tenant)
+        if policy is None:
+            policy = self.policies[tenant] = TenantPolicy(name=tenant)
+        return policy
+
+    def effective_priority(self, policy, usage, decision):
+        """Static priority plus the aging boost earned while waiting."""
+        if self.aging_decisions is None:
+            return policy.priority
+        waited = decision - usage.get("last_claim_decision", 0)
+        return policy.priority + waited // self.aging_decisions
+
+    def select(self, snapshot):
+        """The next job to draw a shard from, or ``None`` when idle.
+
+        Pure: no state is read or written beyond ``snapshot`` and the
+        (immutable) policies, so replaying a journal reproduces every
+        choice exactly.
+        """
+        decision = snapshot.get("decision", 0)
+        candidates = []
+        for name in sorted(snapshot.get("tenants", {})):
+            usage = snapshot["tenants"][name]
+            job_id = next(
+                (entry["job_id"] for entry in usage.get("jobs", ()) if entry["has_pending"]),
+                None,
+            )
+            if job_id is None:
+                continue
+            policy = self.policy_for(name)
+            if (
+                policy.max_concurrent_shards is not None
+                and usage.get("live_claims", 0) >= policy.max_concurrent_shards
+            ):
+                continue
+            candidates.append(
+                (
+                    -self.effective_priority(policy, usage, decision),
+                    usage.get("charged", 0) / policy.weight,
+                    name,
+                    job_id,
+                )
+            )
+        if not candidates:
+            return None
+        return min(candidates)[3]

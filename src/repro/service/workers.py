@@ -1,0 +1,152 @@
+"""The worker fleet: threads draining shard claims through `run_shard`.
+
+Each worker loops claim → run → report. The *shard* is the unit of
+work — the same pure ``(seed, shard_id)`` function the survey engine
+fans out — so the fleet inherits every safety property the survey tiers
+already prove: re-running a shard after a crash, a reaped claim, or a
+duplicated adoption is always byte-identical.
+
+Failure handling mirrors :mod:`repro.survey.engine`:
+
+* without a ``shard_timeout_s`` the shard runs inline on the worker
+  thread; exceptions are charged ``shard-error`` against the job's
+  retry budget;
+* with one, the shard runs in a fresh single-worker ``fork`` pool
+  bounded by the engine's own heartbeat-extended stall watchdog
+  (:func:`~repro.survey.engine._await_or_kill`): a hung worker process
+  is killed and charged ``shard-stalled``, a dead one ``worker-death``
+  — the same ledger vocabulary as a standalone survey.
+
+Workers heartbeat into the store every loop, so
+:meth:`~repro.service.queue.JobStore.reap_stale_claims` can release
+the claims of a wedged worker for adoption by its peers.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import threading
+import time
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import replace
+
+from ..errors import ServiceError
+from ..runner import journal_dirname
+from ..survey.engine import _await_or_kill, _ShardStalled, _stall_detail
+from ..survey.report import SHARD_ERROR, SHARD_STALLED, WORKER_DEATH
+from ..survey.shards import run_shard
+
+
+class WorkerFleet:
+    """A pool of claim-driven worker threads over one :class:`JobStore`.
+
+    ``shard_fn`` replaces :func:`~repro.survey.shards.run_shard` in
+    tests (module-level, picklable). ``reap_after_s`` arms the stale-
+    claim reaper: each worker opportunistically releases claims whose
+    owner has not heartbeated within that window.
+    """
+
+    def __init__(
+        self,
+        store,
+        workers=2,
+        shard_fn=None,
+        shard_timeout_s=None,
+        poll_interval_s=0.05,
+        reap_after_s=None,
+        name_prefix="worker",
+    ):
+        if workers < 1:
+            raise ServiceError("the fleet needs at least one worker")
+        self.store = store
+        self.n_workers = workers
+        self.shard_fn = shard_fn or run_shard
+        self.shard_timeout_s = shard_timeout_s
+        self.poll_interval_s = poll_interval_s
+        self.reap_after_s = reap_after_s
+        self.name_prefix = name_prefix
+        self._threads = []
+        self._stop = threading.Event()
+
+    # -- lifecycle ----------------------------------------------------
+
+    def start(self):
+        if self._threads:
+            raise ServiceError("the fleet is already running")
+        self._stop.clear()
+        for index in range(self.n_workers):
+            name = f"{self.name_prefix}-{index}"
+            thread = threading.Thread(target=self._run, args=(name,), name=name, daemon=True)
+            thread.start()
+            self._threads.append(thread)
+        return self
+
+    def stop(self, timeout_s=30.0):
+        """Cooperative shutdown: workers finish their in-flight shard."""
+        self._stop.set()
+        for thread in self._threads:
+            thread.join(timeout=timeout_s)
+        self._threads = []
+
+    def drain(self, timeout_s=60.0):
+        """Block until every job is terminal (or the deadline passes)."""
+        deadline = time.monotonic() + timeout_s
+        while time.monotonic() < deadline:
+            if self.store.all_settled() and self.store.jobs:
+                return True
+            time.sleep(self.poll_interval_s)
+        return self.store.all_settled() and bool(self.store.jobs)
+
+    # -- the worker loop ----------------------------------------------
+
+    def _run(self, name):
+        while not self._stop.is_set():
+            self.store.worker_heartbeat(name)
+            if self.reap_after_s is not None:
+                self.store.reap_stale_claims(self.reap_after_s)
+            claimed = self.store.claim(name)
+            if claimed is None:
+                self._stop.wait(self.poll_interval_s)
+                continue
+            self._run_claim(name, claimed)
+
+    def _run_claim(self, name, claimed):
+        spec = claimed.spec
+        if self.shard_timeout_s is not None:
+            heartbeat = (
+                self.store.root / "workers" / f"{journal_dirname(spec.shard_id)}.shard.hb"
+            )
+            spec = replace(spec, heartbeat_path=str(heartbeat))
+        try:
+            if self.shard_timeout_s is None:
+                result = self.shard_fn(spec)
+            else:
+                result = self._run_watched(spec)
+        except _ShardStalled:
+            self.store.fail_shard(
+                claimed.job_id,
+                spec.shard_id,
+                SHARD_STALLED,
+                _stall_detail(self.shard_timeout_s),
+                name,
+            )
+        except BrokenProcessPool:
+            self.store.fail_shard(
+                claimed.job_id,
+                spec.shard_id,
+                WORKER_DEATH,
+                "worker process died running this shard",
+                name,
+            )
+        except Exception as exc:  # noqa: BLE001 - every shard error is ledgered
+            self.store.fail_shard(claimed.job_id, spec.shard_id, SHARD_ERROR, str(exc), name)
+        else:
+            self.store.complete_shard(claimed.job_id, spec.shard_id, result, name)
+
+    def _run_watched(self, spec):
+        """One shard in a killable single-worker pool under the watchdog."""
+        context = multiprocessing.get_context("fork")
+        with ProcessPoolExecutor(max_workers=1, mp_context=context) as pool:
+            future = pool.submit(self.shard_fn, spec)
+            return _await_or_kill(future, spec, pool, self.shard_timeout_s)

@@ -68,11 +68,13 @@ from .planner import (
 )
 from .report import (
     BUDGET_EXHAUSTED,
+    CANCELLED,
     DURABILITY_DEGRADED,
     EARLY_STOPPED,
     POOL_BREAK,
     POOL_BREAK_CAP,
     PRESCAN_SKIPPED,
+    REPORT_JSON_FORMAT,
     SHARD_ERROR,
     SHARD_STALLED,
     SHM_FALLBACK,
@@ -89,6 +91,7 @@ __all__ = [
     "BAND_PRESETS",
     "BUDGET_EXHAUSTED",
     "BlockRef",
+    "CANCELLED",
     "CaptureBudget",
     "DEFAULT_PAIRS",
     "DURABILITY_DEGRADED",
@@ -100,6 +103,7 @@ __all__ = [
     "PRESCAN_SKIPPED",
     "PickledSpectra",
     "PlanAccounting",
+    "REPORT_JSON_FORMAT",
     "SHARD_ERROR",
     "SHARD_STALLED",
     "SHM_FALLBACK",

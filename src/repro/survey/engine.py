@@ -96,7 +96,11 @@ from .report import (
     SurveyLedger,
     SurveyReport,
 )
+
 from .shards import ShardSpec, run_shard
+
+#: Ledger detail for shards a cooperative cancellation reached first.
+_CANCEL_DETAIL = "survey cancelled before this shard started"
 
 #: The two pairs the paper's survey focuses on: memory modulation
 #: (Figure 11) and on-chip modulation (Figure 13).
@@ -316,6 +320,22 @@ class _ShardQueue:
         (self.suspects if isolate else self.pending).append(spec)
         self.telemetry.event("shard-requeued", shard=spec.shard_id, kind=POOL_BREAK)
 
+    def cancel_remaining(self, detail=_CANCEL_DETAIL):
+        """Cooperative cancellation: ledger every not-yet-started shard.
+
+        Cancellation is checked *between* shard executions only — an
+        in-flight shard always finishes (and persists to the manifest),
+        so completed-shard results stay byte-identical to an
+        uninterrupted run. Cancelled shards spend no retry budget and
+        re-run normally when the plan is resumed without the
+        cancellation.
+        """
+        remaining, self.pending, self.suspects = self.pending + self.suspects, [], []
+        for spec in remaining:
+            self.ledger.record_cancelled(spec.shard_id, detail)
+            self.telemetry.event("shard-cancelled", shard=spec.shard_id)
+        return len(remaining)
+
     def abandon_for_pool_break_cap(self, max_pool_breaks):
         """Abandon every shard still waiting on a shared pool.
 
@@ -444,8 +464,15 @@ def _restore_failure_counts(queue, ledger):
             )
 
 
-def _run_serial(queue, shard_fn, results, telemetry):
+def _is_cancelled(cancel_event):
+    return cancel_event is not None and cancel_event.is_set()
+
+
+def _run_serial(queue, shard_fn, results, telemetry, cancel_event=None):
     while queue.pending:
+        if _is_cancelled(cancel_event):
+            queue.cancel_remaining()
+            return
         spec = queue.pending.pop(0)
         try:
             result = shard_fn(spec)
@@ -456,7 +483,9 @@ def _run_serial(queue, shard_fn, results, telemetry):
             telemetry.event("shard-finished", shard=spec.shard_id)
 
 
-def _run_isolated(queue, shard_fn, results, telemetry, context, shard_timeout_s=None):
+def _run_isolated(
+    queue, shard_fn, results, telemetry, context, shard_timeout_s=None, cancel_event=None
+):
     """Drain the suspect queue: one fresh single-worker pool per shard.
 
     A death here is attributable, so the shard is charged
@@ -467,6 +496,9 @@ def _run_isolated(queue, shard_fn, results, telemetry, context, shard_timeout_s=
     ``shard-stalled`` against the same budget.
     """
     while queue.suspects:
+        if _is_cancelled(cancel_event):
+            queue.cancel_remaining()
+            return
         spec = queue.suspects.pop(0)
         try:
             with ProcessPoolExecutor(max_workers=1, mp_context=context) as pool:
@@ -491,16 +523,32 @@ def _run_isolated(queue, shard_fn, results, telemetry, context, shard_timeout_s=
 
 
 def _run_parallel(
-    queue, shard_fn, results, telemetry, workers, max_pool_breaks, shard_timeout_s=None
+    queue,
+    shard_fn,
+    results,
+    telemetry,
+    workers,
+    max_pool_breaks,
+    shard_timeout_s=None,
+    cancel_event=None,
 ):
     # fork keeps worker startup cheap and lets test-injected shard
     # functions resolve in the children without re-import.
     context = multiprocessing.get_context("fork")
     while queue.pending or queue.suspects:
+        if _is_cancelled(cancel_event):
+            queue.cancel_remaining()
+            return
         # Suspects first: the shards in flight at the last break re-run
         # alone so guilt is attributable before the shared pool resumes.
         _run_isolated(
-            queue, shard_fn, results, telemetry, context, shard_timeout_s=shard_timeout_s
+            queue,
+            shard_fn,
+            results,
+            telemetry,
+            context,
+            shard_timeout_s=shard_timeout_s,
+            cancel_event=cancel_event,
         )
         if not queue.pending:
             continue
@@ -516,7 +564,11 @@ def _run_parallel(
         with ProcessPoolExecutor(max_workers=workers, mp_context=context) as pool:
 
             def submit_next():
-                while batch and len(outstanding) < workers:
+                # Cancellation lands between submissions, never mid-shard:
+                # nothing new is submitted, the in-flight window drains
+                # normally, and the unsubmitted remainder is cancelled
+                # after the pool closes.
+                while batch and len(outstanding) < workers and not _is_cancelled(cancel_event):
                     spec = batch.pop(0)
                     try:
                         future = pool.submit(shard_fn, spec)
@@ -617,6 +669,11 @@ def _run_parallel(
                 else:
                     results[spec.shard_id] = result
                     telemetry.event("shard-finished", shard=spec.shard_id)
+        if _is_cancelled(cancel_event):
+            for spec in batch:
+                queue.ledger.record_cancelled(spec.shard_id, _CANCEL_DETAIL)
+                telemetry.event("shard-cancelled", shard=spec.shard_id)
+            batch = []
         for spec in batch:
             # Never submitted, so not a suspect: back to the shared pool.
             queue.requeue_uncharged(spec, "the pool broke before this shard was submitted")
@@ -705,6 +762,7 @@ def run_survey(
     planner=None,
     manifest_dir=None,
     shard_timeout_s=None,
+    cancel_event=None,
 ):
     """Survey many machines with process-level parallelism.
 
@@ -774,6 +832,15 @@ def run_survey(
     innocent shards sharing the killed pool are requeued uncharged. With
     ``workers=1`` the watchdog routes shards through single-worker pools
     (an inline call cannot be killed).
+
+    ``cancel_event`` (a ``threading.Event`` or ``multiprocessing.Event``)
+    arms cooperative cancellation: the engine checks it between shard
+    submissions — never mid-shard — so in-flight shards finish (and
+    persist to the manifest) while every not-yet-started shard is
+    ledgered as ``cancelled``. A cancelled survey returns a normal
+    report with the coverage gap in ``n_completed``; re-running the same
+    plan with ``manifest_dir``/``resume=True`` and no cancellation
+    completes exactly the remaining shards.
     """
     if workers < 1:
         raise SurveyError("workers must be >= 1")
@@ -783,6 +850,7 @@ def run_survey(
             "checkpoint_dir": checkpoint_dir is not None,
             "keep_spectra": keep_spectra,
             "shard_fn": shard_fn is not None,
+            "cancel_event": cancel_event is not None,
         }
         clashes = [name for name, clash in incompatible.items() if clash]
         if clashes:
@@ -890,6 +958,12 @@ def run_survey(
                     n_damaged=state.n_damaged,
                 )
             done = set(results) | set(ledger.abandoned)
+            # A prior run's cancellations are not terminal state: the
+            # resumed run re-runs those shards, so their replayed ledger
+            # entries would be stale the moment they complete.
+            for shard_id in list(ledger.cancelled):
+                if shard_id not in done:
+                    ledger.cancelled.pop(shard_id)
             if keep_spectra:
                 # Allocate every pending shard's block up front, before
                 # any worker exists: the parent is the sole owner, so no
@@ -942,7 +1016,7 @@ def run_survey(
                 elif workers == 1 and shard_timeout_s is None:
                     queue = _ShardQueue(pending, max_shard_retries, ledger, tel)
                     _restore_failure_counts(queue, ledger)
-                    _run_serial(queue, shard_fn, results, tel)
+                    _run_serial(queue, shard_fn, results, tel, cancel_event=cancel_event)
                 elif workers == 1:
                     # An inline call cannot be killed, so the watchdog
                     # routes every shard through the isolated
@@ -957,6 +1031,7 @@ def run_survey(
                         tel,
                         multiprocessing.get_context("fork"),
                         shard_timeout_s=shard_timeout_s,
+                        cancel_event=cancel_event,
                     )
                 else:
                     queue = _ShardQueue(pending, max_shard_retries, ledger, tel)
@@ -969,6 +1044,7 @@ def run_survey(
                         workers,
                         max_pool_breaks,
                         shard_timeout_s=shard_timeout_s,
+                        cancel_event=cancel_event,
                     )
                 report, merged = _aggregate(specs, results, ledger, config.describe())
                 if planner is not None:

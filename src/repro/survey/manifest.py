@@ -49,18 +49,28 @@ from __future__ import annotations
 
 import hashlib
 import json
-import os
 from dataclasses import dataclass, field
 from pathlib import Path
 from types import SimpleNamespace
 
-from ..core.detect import CarrierDetection
-from ..core.harmonics import HarmonicSet
 from ..core.report import ActivityReport
 from ..errors import ManifestError
 from ..io import _config_to_dict, _robustness_from_dict, _robustness_to_dict
-from ..runner.journal import CAPTURE_FIELDS, atomic_write
-from .report import SurveyLedger
+from ..journalutil import (
+    append_line,
+    atomic_write,
+    checksum_record,
+    decode_line,
+    ensure_line_boundary,
+)
+from ..runner.journal import CAPTURE_FIELDS
+from .report import (
+    SurveyLedger,
+    _detection_from_dict,
+    _detection_to_dict,
+    _harmonic_set_from_dict,
+    _harmonic_set_to_dict,
+)
 from .shards import ShardResult
 
 #: Format marker of the manifest header, for forward compatibility.
@@ -113,56 +123,9 @@ def plan_fingerprint(specs, planner=None):
 # ----------------------------------------------------------------------
 # ShardResult (de)serialization. Values round-trip exactly: JSON floats
 # are repr-based, so restored detections compare equal to the originals
-# — which is what lets resume assert byte-identical reports.
-
-
-def _detection_to_dict(detection):
-    return {
-        "frequency": float(detection.frequency),
-        "combined_score": float(detection.combined_score),
-        "harmonic_scores": {
-            str(int(h)): float(score) for h, score in detection.harmonic_scores.items()
-        },
-        "magnitude_dbm": float(detection.magnitude_dbm),
-        "modulation_depth": float(detection.modulation_depth),
-        "activity_label": detection.activity_label,
-    }
-
-
-def _detection_from_dict(data):
-    return CarrierDetection(
-        frequency=float(data["frequency"]),
-        combined_score=float(data["combined_score"]),
-        harmonic_scores={int(h): float(s) for h, s in data["harmonic_scores"].items()},
-        magnitude_dbm=float(data["magnitude_dbm"]),
-        modulation_depth=float(data["modulation_depth"]),
-        activity_label=data.get("activity_label", ""),
-    )
-
-
-def _harmonic_set_to_dict(harmonic_set, detections):
-    """Members referencing the activity's detections serialize as indices."""
-    members = []
-    for order, detection in harmonic_set.members:
-        index = next((i for i, d in enumerate(detections) if d is detection), None)
-        entry = {"order": int(order)}
-        if index is not None:
-            entry["index"] = index
-        else:
-            entry["detection"] = _detection_to_dict(detection)
-        members.append(entry)
-    return {"fundamental": float(harmonic_set.fundamental), "members": members}
-
-
-def _harmonic_set_from_dict(data, detections):
-    members = []
-    for entry in data["members"]:
-        if "index" in entry:
-            detection = detections[int(entry["index"])]
-        else:
-            detection = _detection_from_dict(entry["detection"])
-        members.append((int(entry["order"]), detection))
-    return HarmonicSet(fundamental=float(data["fundamental"]), members=tuple(members))
+# — which is what lets resume assert byte-identical reports. The
+# detection/harmonic-set helpers live in :mod:`repro.survey.report`
+# (shared with ``SurveyReport.to_json``) and are re-exported here.
 
 
 def shard_result_to_dict(result):
@@ -222,11 +185,12 @@ def shard_result_from_dict(data):
 
 
 # ----------------------------------------------------------------------
-# The manifest itself.
+# The manifest itself. The line-level discipline (checksummed envelopes,
+# fsync'd appends, torn-tail sealing) is the shared
+# :mod:`repro.journalutil`; this class owns the manifest's record
+# vocabulary and degradation policy.
 
-
-def _checksum(record):
-    return hashlib.sha256(json.dumps(record, sort_keys=True).encode("utf-8")).hexdigest()
+_checksum = checksum_record
 
 
 @dataclass
@@ -283,6 +247,8 @@ def replay_ledger(ledger, events):
             SurveyLedger.record_note(
                 ledger, event.get("scope"), event["note_kind"], event["detail"]
             )
+        elif kind == "cancelled":
+            SurveyLedger.record_cancelled(ledger, event["shard_id"], event["detail"])
 
 
 class SurveyManifest:
@@ -381,43 +347,20 @@ class SurveyManifest:
             self.on_degrade(reason)
 
     def _ensure_line_boundary(self):
-        """Seal a torn tail before the first append of this run.
-
-        A log killed mid-write ends without a newline; appending straight
-        onto that fragment would weld the fresh record to the garbage and
-        lose both. Writing one ``\\n`` first turns the fragment into its
-        own (checksum-failing) line, which :meth:`load` skips as damage.
-        """
+        """Seal a torn tail before the first append of this run
+        (:func:`repro.journalutil.ensure_line_boundary`, once per open)."""
         if self._tail_checked:
             return
         self._tail_checked = True
-        try:
-            with open(self.log_path, "rb") as handle:
-                handle.seek(0, os.SEEK_END)
-                size = handle.tell()
-                if size == 0:
-                    return
-                handle.seek(size - 1)
-                last = handle.read(1)
-        except FileNotFoundError:
-            return
-        if last != b"\n":
-            with open(self.log_path, "ab") as handle:
-                handle.write(b"\n")
-                handle.flush()
-                os.fsync(handle.fileno())
+        ensure_line_boundary(self.log_path)
 
     def _append(self, record):
         """One durable record; returns False when running degraded."""
         if self.degraded is not None:
             return False
-        line = json.dumps({"record": record, "sha256": _checksum(record)}, sort_keys=True)
         try:
             self._ensure_line_boundary()
-            with open(self.log_path, "a", encoding="utf-8") as handle:
-                handle.write(line + "\n")
-                handle.flush()
-                os.fsync(handle.fileno())
+            append_line(self.log_path, record)
         except OSError as exc:
             self._degrade(f"appending to the manifest failed: {exc}")
             return False
@@ -524,14 +467,7 @@ class SurveyManifest:
 
     @staticmethod
     def _decode(line):
-        try:
-            envelope = json.loads(line.decode("utf-8"))
-            record = envelope["record"]
-            if envelope["sha256"] != _checksum(record):
-                return None
-            return record
-        except (UnicodeDecodeError, ValueError, KeyError, TypeError):
-            return None
+        return decode_line(line)
 
 
 class JournaledLedger(SurveyLedger):
@@ -579,6 +515,12 @@ class JournaledLedger(SurveyLedger):
         super().record_note(scope, kind, detail)
         self.manifest.append_ledger(
             {"event": "note", "scope": scope, "note_kind": kind, "detail": detail}
+        )
+
+    def record_cancelled(self, shard_id, detail):
+        super().record_cancelled(shard_id, detail)
+        self.manifest.append_ledger(
+            {"event": "cancelled", "shard_id": shard_id, "detail": detail}
         )
 
 

@@ -15,7 +15,13 @@ instead of silently thinning its results.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
+
+from ..core.detect import CarrierDetection
+from ..core.harmonics import HarmonicSet
+from ..core.report import ActivityReport, FaseReport
+from ..core.classify import ClassifiedSource
 
 #: Failure kinds recorded in the ledger.
 WORKER_DEATH = "worker-death"  # the shard's worker process died (isolated)
@@ -23,6 +29,7 @@ POOL_BREAK = "pool-break"  # a shared pool broke; shard requeued, not charged
 SHARD_ERROR = "error"  # the shard raised inside the worker
 POOL_BREAK_CAP = "pool-break-cap"  # survey-wide shared-pool break budget spent
 SHARD_STALLED = "shard-stalled"  # the shard blew its wall-clock deadline; worker killed
+CANCELLED = "cancelled"  # cooperative cancellation reached the shard before it ran
 
 #: Degradation note kinds recorded in the ledger (graceful fallbacks).
 SHM_FALLBACK = "shm-fallback"  # /dev/shm allocation failed; spectra ride the pickle
@@ -71,6 +78,7 @@ class SurveyLedger:
     abandoned: dict = field(default_factory=dict)  # shard_id -> final detail
     planned: dict = field(default_factory=dict)  # shard_id -> (kind, detail)
     notes: list = field(default_factory=list)  # (scope, kind, detail), in order
+    cancelled: dict = field(default_factory=dict)  # shard_id -> detail
 
     @property
     def n_failures(self):
@@ -106,9 +114,24 @@ class SurveyLedger:
         running, just with one guarantee weakened — and says which."""
         self.notes.append((scope, kind, detail))
 
+    def record_cancelled(self, shard_id, detail):
+        """One shard cooperative cancellation reached before it started.
+
+        Distinct from failures and abandonment: nothing went wrong and no
+        retry budget was spent — the caller asked the survey to stop, and
+        this shard was still waiting. A cancelled shard re-runs normally
+        when the same plan is resumed without the cancellation."""
+        self.cancelled[shard_id] = detail
+
     def to_text(self):
         if not self.failures and not self.abandoned:
-            lines = ["survey ledger: all shards completed cleanly"]
+            if self.cancelled:
+                lines = [
+                    "survey ledger: cancelled with "
+                    f"{len(self.cancelled)} shard(s) never run"
+                ]
+            else:
+                lines = ["survey ledger: all shards completed cleanly"]
         else:
             lines = [
                 f"survey ledger: {self.n_failures} shard failure(s), "
@@ -118,6 +141,10 @@ class SurveyLedger:
                 lines.append(f"  {failure.describe()}")
             for shard_id, detail in self.abandoned.items():
                 lines.append(f"  abandoned {shard_id}: {detail}")
+        if self.cancelled:
+            lines.append(f"cancelled: {len(self.cancelled)} shard(s)")
+            for shard_id, detail in self.cancelled.items():
+                lines.append(f"  cancelled {shard_id}: {detail}")
         if self.planned:
             lines.append(f"planner decisions: {len(self.planned)} shard(s)")
             for shard_id, (kind, detail) in self.planned.items():
@@ -127,6 +154,184 @@ class SurveyLedger:
             for scope, kind, detail in self.notes:
                 lines.append(f"  {kind} {scope or 'survey'}: {detail}")
         return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# JSON serialization. Values round-trip exactly (JSON floats are
+# repr-based), so restored detections compare equal to the originals —
+# the same fidelity contract the survey manifest relies on for resume,
+# and what lets the service API ship reports as JSON instead of pickle.
+
+
+def _detection_to_dict(detection):
+    return {
+        "frequency": float(detection.frequency),
+        "combined_score": float(detection.combined_score),
+        "harmonic_scores": {
+            str(int(h)): float(score) for h, score in detection.harmonic_scores.items()
+        },
+        "magnitude_dbm": float(detection.magnitude_dbm),
+        "modulation_depth": float(detection.modulation_depth),
+        "activity_label": detection.activity_label,
+    }
+
+
+def _detection_from_dict(data):
+    return CarrierDetection(
+        frequency=float(data["frequency"]),
+        combined_score=float(data["combined_score"]),
+        harmonic_scores={int(h): float(s) for h, s in data["harmonic_scores"].items()},
+        magnitude_dbm=float(data["magnitude_dbm"]),
+        modulation_depth=float(data["modulation_depth"]),
+        activity_label=data.get("activity_label", ""),
+    )
+
+
+def _harmonic_set_to_dict(harmonic_set, detections):
+    """Members referencing the activity's detections serialize as indices."""
+    members = []
+    for order, detection in harmonic_set.members:
+        index = next((i for i, d in enumerate(detections) if d is detection), None)
+        entry = {"order": int(order)}
+        if index is not None:
+            entry["index"] = index
+        else:
+            entry["detection"] = _detection_to_dict(detection)
+        members.append(entry)
+    return {"fundamental": float(harmonic_set.fundamental), "members": members}
+
+
+def _harmonic_set_from_dict(data, detections):
+    members = []
+    for entry in data["members"]:
+        if "index" in entry:
+            detection = detections[int(entry["index"])]
+        else:
+            detection = _detection_from_dict(entry["detection"])
+        members.append((int(entry["order"]), detection))
+    return HarmonicSet(fundamental=float(data["fundamental"]), members=tuple(members))
+
+
+def _activity_report_to_dict(activity):
+    from ..io import _robustness_to_dict
+
+    detections = list(activity.detections)
+    return {
+        "activity_label": activity.activity_label,
+        "detections": [_detection_to_dict(d) for d in detections],
+        "harmonic_sets": [
+            _harmonic_set_to_dict(s, detections) for s in activity.harmonic_sets
+        ],
+        "robustness": _robustness_to_dict(activity.robustness),
+    }
+
+
+def _activity_report_from_dict(data):
+    from ..io import _robustness_from_dict
+
+    detections = [_detection_from_dict(d) for d in data["detections"]]
+    return ActivityReport(
+        activity_label=data["activity_label"],
+        detections=detections,
+        harmonic_sets=[
+            _harmonic_set_from_dict(s, detections) for s in data["harmonic_sets"]
+        ],
+        robustness=_robustness_from_dict(data.get("robustness")),
+    )
+
+
+def _source_to_dict(source):
+    # Sources reference harmonic sets across activities; embedding the
+    # members outright keeps each source self-contained in JSON.
+    return {
+        "harmonic_set": _harmonic_set_to_dict(source.harmonic_set, []),
+        "fingerprint": source.fingerprint,
+        "mechanism": source.mechanism,
+        "modulating_labels": list(source.modulating_labels),
+    }
+
+
+def _source_from_dict(data):
+    return ClassifiedSource(
+        harmonic_set=_harmonic_set_from_dict(data["harmonic_set"], []),
+        fingerprint=data["fingerprint"],
+        mechanism=data["mechanism"],
+        modulating_labels=tuple(data["modulating_labels"]),
+    )
+
+
+def _fase_report_to_dict(report):
+    return {
+        "machine_name": report.machine_name,
+        "config_description": report.config_description,
+        "activities": {
+            label: _activity_report_to_dict(activity)
+            for label, activity in report.activities.items()
+        },
+        "sources": [_source_to_dict(s) for s in report.sources],
+        "telemetry": report.telemetry,
+    }
+
+
+def _fase_report_from_dict(data):
+    return FaseReport(
+        machine_name=data["machine_name"],
+        config_description=data["config_description"],
+        activities={
+            label: _activity_report_from_dict(entry)
+            for label, entry in data["activities"].items()
+        },
+        sources=[_source_from_dict(s) for s in data.get("sources", [])],
+        telemetry=data.get("telemetry"),
+    )
+
+
+def _ledger_to_dict(ledger):
+    return {
+        "failures": [
+            {
+                "shard_id": f.shard_id,
+                "kind": f.kind,
+                "detail": f.detail,
+                "failures": int(f.failures),
+                "charged": bool(f.charged),
+            }
+            for f in ledger.failures
+        ],
+        "requeues": dict(ledger.requeues),
+        "abandoned": dict(ledger.abandoned),
+        "planned": {
+            shard_id: [kind, detail] for shard_id, (kind, detail) in ledger.planned.items()
+        },
+        "notes": [[scope, kind, detail] for scope, kind, detail in ledger.notes],
+        "cancelled": dict(ledger.cancelled),
+    }
+
+
+def _ledger_from_dict(data):
+    ledger = SurveyLedger()
+    for entry in data.get("failures", []):
+        ledger.failures.append(
+            ShardFailure(
+                shard_id=entry["shard_id"],
+                kind=entry["kind"],
+                detail=entry["detail"],
+                failures=int(entry["failures"]),
+                charged=bool(entry.get("charged", True)),
+            )
+        )
+    ledger.requeues = {k: int(v) for k, v in data.get("requeues", {}).items()}
+    ledger.abandoned = dict(data.get("abandoned", {}))
+    ledger.planned = {
+        shard_id: (kind, detail) for shard_id, (kind, detail) in data.get("planned", {}).items()
+    }
+    ledger.notes = [tuple(note) for note in data.get("notes", [])]
+    ledger.cancelled = dict(data.get("cancelled", {}))
+    return ledger
+
+
+#: Format marker of the JSON report, for forward compatibility.
+REPORT_JSON_FORMAT = "fase-survey-report-v1"
 
 
 @dataclass
@@ -176,6 +381,55 @@ class SurveyReport:
     def __exit__(self, *exc_info):
         self.close()
         return False
+
+    def to_dict(self):
+        """JSON-serializable form of the whole report.
+
+        Everything semantic survives — detections, harmonic sets,
+        sources, cross-machine comparison, ledger, merged metrics —
+        detection-for-detection (frozen dataclasses compare equal after
+        the round trip). Deliberately excluded: ``spectra``/``arena``
+        (live shared-memory views) and ``planning`` (in-process adaptive
+        accounting); both are run artifacts, not results.
+        """
+        return {
+            "format": REPORT_JSON_FORMAT,
+            "config_description": self.config_description,
+            "n_shards": int(self.n_shards),
+            "n_completed": int(self.n_completed),
+            "machines": {
+                name: _fase_report_to_dict(fase) for name, fase in self.machines.items()
+            },
+            "comparison": [_source_to_dict(s) for s in self.comparison],
+            "ledger": _ledger_to_dict(self.ledger),
+            "telemetry": self.telemetry,
+        }
+
+    def to_json(self, indent=None):
+        """The report as a JSON string (see :meth:`to_dict`)."""
+        return json.dumps(self.to_dict(), sort_keys=True, indent=indent)
+
+    @classmethod
+    def from_dict(cls, data):
+        report = cls(
+            config_description=data.get("config_description", ""),
+            machines={
+                name: _fase_report_from_dict(entry)
+                for name, entry in data.get("machines", {}).items()
+            },
+            comparison=[_source_from_dict(s) for s in data.get("comparison", [])],
+            ledger=_ledger_from_dict(data.get("ledger", {})),
+            telemetry=data.get("telemetry"),
+            n_shards=int(data.get("n_shards", 0)),
+            n_completed=int(data.get("n_completed", 0)),
+        )
+        return report
+
+    @classmethod
+    def from_json(cls, text):
+        """Rebuild a report from :meth:`to_json` output (str or dict)."""
+        data = json.loads(text) if isinstance(text, (str, bytes)) else text
+        return cls.from_dict(data)
 
     def to_text(self):
         lines = [

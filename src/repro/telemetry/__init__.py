@@ -52,6 +52,8 @@ __all__ = [
     "NULL_TELEMETRY",
     "current_telemetry",
     "use_telemetry",
+    "use_thread_telemetry",
+    "adopt_telemetry",
     "set_telemetry",
     "record_campaign_ledger",
     "record_planner_ledger",
@@ -213,16 +215,29 @@ class Telemetry:
 
 
 # ----------------------------------------------------------------------
-# The ambient pipeline. A plain module global (not a contextvar): worker
-# threads spawned by campaign pools must see the same pipeline as the
-# thread that installed it, and contextvars do not flow into pool workers.
+# The ambient pipeline. Two layers:
+#
+# * a plain module global (not a contextvar): worker threads spawned by
+#   campaign pools must see the same pipeline as the thread that
+#   installed it, and contextvars do not flow into pool workers;
+# * a per-thread overlay for a process running *many* pipelines at once
+#   (the service worker fleet drives whole ``run_fase`` pipelines in
+#   sibling threads). Concurrent installs on the shared global would
+#   interleave their save/restore pairs and leave a stale pipeline
+#   installed process-wide; the overlay scopes each install — and its
+#   restore — to the installing thread. Campaign pools created under an
+#   overlay adopt it explicitly (:func:`adopt_telemetry`).
 
 _active = NULL_TELEMETRY
 _active_lock = threading.Lock()
+_thread_active = threading.local()
 
 
 def current_telemetry():
     """The ambient pipeline (:data:`NULL_TELEMETRY` unless installed)."""
+    override = getattr(_thread_active, "pipeline", None)
+    if override is not None:
+        return override
     return _active
 
 
@@ -237,12 +252,37 @@ def set_telemetry(telemetry):
 
 @contextmanager
 def use_telemetry(telemetry):
-    """Install a pipeline for the duration of a ``with`` block."""
+    """Install a pipeline process-wide for the duration of a ``with`` block."""
     previous = set_telemetry(telemetry)
     try:
         yield telemetry if telemetry is not None else NULL_TELEMETRY
     finally:
         set_telemetry(previous)
+
+
+@contextmanager
+def use_thread_telemetry(telemetry):
+    """Install a pipeline for this thread only, for a ``with`` block.
+
+    The per-pipeline install (``run_fase(..., telemetry=...)``) uses
+    this form, so pipelines running concurrently in sibling threads
+    cannot clobber each other — or the process-wide default — no matter
+    how their lifetimes interleave."""
+    previous = getattr(_thread_active, "pipeline", None)
+    _thread_active.pipeline = telemetry if telemetry is not None else NULL_TELEMETRY
+    try:
+        yield current_telemetry()
+    finally:
+        _thread_active.pipeline = previous
+
+
+def adopt_telemetry(telemetry):
+    """Pool-thread initializer: pin the submitter's pipeline here.
+
+    Thread-pool workers outlive any single submission, so they adopt the
+    pipeline that was ambient when the pool was created (pools live
+    strictly inside one pipeline's scope)."""
+    _thread_active.pipeline = telemetry
 
 
 # ----------------------------------------------------------------------

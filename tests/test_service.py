@@ -1,0 +1,513 @@
+"""Service tier: the durable job store, the fair-share scheduler, and
+the worker fleet.
+
+The store tests exercise the journaled lifecycle directly — submit,
+claim, complete, fail, release, cancel — then reopen the store in a
+fresh object and assert the replay reconstructs the identical state
+(the SIGKILL-at-a-record-boundary contract; the arbitrary-byte kill
+points live in the chaos tier). Scheduling tests pin the deterministic
+policy surface: concurrency quotas, capture ceilings that skip instead
+of deadlock, weighted interleaving, and priority aging. Fleet tests run
+real claim-driven worker threads over stub shards. The shared journal
+primitives (:mod:`repro.journalutil`) get their own unit coverage here
+because this tier is their newest — and strictest — consumer.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import FaseConfig, MicroOp
+from repro.errors import ServiceError
+from repro.journalutil import (
+    append_line,
+    checksum_record,
+    decode_line,
+    encode_line,
+    ensure_line_boundary,
+    iter_journal,
+)
+from repro.service import (
+    CANCELLED,
+    CANCELLING,
+    COMPLETED,
+    QUEUED,
+    RUNNING,
+    FairShareScheduler,
+    JobSpec,
+    JobStore,
+    TenantPolicy,
+    WorkerFleet,
+)
+from repro.survey.chaos import count_attempts, stub_result, well_behaved_shard
+from repro.survey.report import BUDGET_EXHAUSTED
+
+pytestmark = pytest.mark.service
+
+MACHINES = ("corei7_desktop", "turionx2_laptop")
+ONE_PAIR = ((MicroOp.LDM, MicroOp.LDL1),)
+THREE_BANDS = ((0.0, 3e4), (3e4, 6e4), (6e4, 9e4))
+
+
+def _scratch_config(base):
+    """A tiny config whose ``name`` smuggles the scratch dir to stubs."""
+    return FaseConfig(
+        span_low=0.0, span_high=1e5, fres=50.0, falt1=43.3e3, f_delta=1e3, name=str(base)
+    )
+
+
+def _open_store(root, policies=(), aging_decisions=16):
+    scheduler = FairShareScheduler(policies, aging_decisions=aging_decisions)
+    return JobStore(root, scheduler=scheduler).open(server_name="test")
+
+
+def _submit(store, scratch, tenant="alice", machines=MACHINES, bands=None, **kwargs):
+    return store.submit(
+        tenant=tenant,
+        machines=machines,
+        pairs=ONE_PAIR,
+        config=_scratch_config(scratch),
+        bands=bands,
+        **kwargs,
+    )
+
+
+def _drain(store, worker="w0"):
+    """Claim-and-complete until the store goes idle; claim order out."""
+    order = []
+    while True:
+        claimed = store.claim(worker)
+        if claimed is None:
+            return order
+        store.complete_shard(
+            claimed.job_id, claimed.spec.shard_id, stub_result(claimed.spec), worker
+        )
+        order.append((claimed.tenant, claimed.spec.shard_id))
+
+
+# ----------------------------------------------------------------------
+# The shared journal primitives.
+
+
+class TestJournalUtil:
+    def test_encode_decode_round_trip(self):
+        record = {"kind": "claim", "shard_id": "a:b:c", "n": 3}
+        assert decode_line(encode_line(record)) == record
+        assert decode_line(encode_line(record).encode("utf-8")) == record
+
+    def test_checksum_is_key_order_independent(self):
+        assert checksum_record({"a": 1, "b": 2}) == checksum_record({"b": 2, "a": 1})
+
+    def test_damage_decodes_to_none_never_raises(self):
+        line = encode_line({"kind": "x"})
+        assert decode_line(line[:-5]) is None  # torn tail
+        assert decode_line(line.replace('"x"', '"y"')) is None  # flipped payload
+        assert decode_line("not json at all") is None
+        assert decode_line(b"\xff\xfe garbage") is None
+        assert decode_line(json.dumps({"no": "envelope"})) is None
+
+    def test_append_and_iterate_with_last_flag(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        for n in range(3):
+            append_line(path, {"n": n})
+        rows = list(iter_journal(path))
+        assert [record["n"] for record, _ in rows] == [0, 1, 2]
+        assert [is_last for _, is_last in rows] == [False, False, True]
+
+    def test_line_boundary_seals_torn_tail(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        append_line(path, {"n": 0})
+        with open(path, "ab") as handle:
+            handle.write(b'{"record": {"kind": "claim", "sha')  # kill mid-write
+        assert ensure_line_boundary(path) is True
+        assert ensure_line_boundary(path) is False  # idempotent
+        rows = list(iter_journal(path))
+        assert rows[0] == ({"n": 0}, False)
+        assert rows[1] == (None, True)  # the sealed fragment reads as damage
+        append_line(path, {"n": 1})  # and appends land on a fresh line
+        assert list(iter_journal(path))[-1] == ({"n": 1}, True)
+
+    def test_line_boundary_on_clean_or_missing_log(self, tmp_path):
+        assert ensure_line_boundary(tmp_path / "absent.jsonl") is False
+        path = tmp_path / "log.jsonl"
+        append_line(path, {"n": 0})
+        assert ensure_line_boundary(path) is False
+
+
+# ----------------------------------------------------------------------
+# The job spec: replayable by construction.
+
+
+class TestJobSpec:
+    def _spec(self, scratch):
+        return JobSpec(
+            job_id="job-000007",
+            tenant="alice",
+            machines=MACHINES,
+            pairs=(("LDM", "LDL1"),),  # micro-op names, as submit() journals them
+            config=_scratch_config(scratch),
+            bands=THREE_BANDS,
+            seed=5,
+            max_shard_retries=1,
+        )
+
+    def test_round_trips_through_json(self, tmp_path):
+        spec = self._spec(tmp_path)
+        revived = JobSpec.from_dict(json.loads(json.dumps(spec.to_dict())))
+        assert revived == spec
+
+    def test_shard_plan_is_derived_and_stable(self, tmp_path):
+        spec = self._spec(tmp_path)
+        plan = spec.shard_plan()
+        assert len(plan) == len(MACHINES) * len(THREE_BANDS)
+        revived = JobSpec.from_dict(spec.to_dict())
+        assert [s.shard_id for s in revived.shard_plan()] == [s.shard_id for s in plan]
+
+
+# ----------------------------------------------------------------------
+# The store lifecycle and its replay.
+
+
+class TestJobStore:
+    def test_submit_claim_complete_lifecycle(self, tmp_path):
+        store = _open_store(tmp_path / "store")
+        job_id = _submit(store, tmp_path)
+        assert store.job_status(job_id)["state"] == QUEUED
+        claimed = store.claim("w0")
+        assert claimed.job_id == job_id and claimed.tenant == "alice"
+        assert store.job_status(job_id)["state"] == RUNNING
+        store.complete_shard(job_id, claimed.spec.shard_id, stub_result(claimed.spec), "w0")
+        _drain(store)
+        status = store.job_status(job_id)
+        assert status["state"] == COMPLETED
+        assert status["n_completed"] == len(MACHINES)
+        assert set(status["shards"].values()) == {"completed"}
+        assert store.all_settled()
+        # Shard metrics merged into the status (stub shards count 5 each).
+        assert status["metrics"]["counters"]["captures_total"] == 5 * len(MACHINES)
+
+    def test_replay_reproduces_partial_state(self, tmp_path):
+        root = tmp_path / "store"
+        store = _open_store(root)
+        job_id = _submit(store, tmp_path)
+        claimed = store.claim("w0")
+        store.complete_shard(job_id, claimed.spec.shard_id, stub_result(claimed.spec), "w0")
+        before = store.job_status(job_id)
+
+        resumed = _open_store(root)
+        after = resumed.job_status(job_id)
+        assert after == before
+        assert resumed.charged == store.charged
+        assert resumed.decision == store.decision
+        _drain(resumed)
+        assert resumed.job_status(job_id)["state"] == COMPLETED
+
+    def test_orphaned_claim_is_released_on_reopen(self, tmp_path):
+        root = tmp_path / "store"
+        store = _open_store(root)
+        job_id = _submit(store, tmp_path)
+        claimed = store.claim("w0")  # ... and the service is SIGKILLed here
+        shard_id = claimed.spec.shard_id
+
+        resumed = _open_store(root)
+        status = resumed.job_status(job_id)
+        assert status["shards"][shard_id] == "pending"  # adopted, not lost
+        kinds = [r["kind"] for r, _ in iter_journal(root / "store.jsonl") if r]
+        assert "restart" in kinds and "release" in kinds
+        order = _drain(resumed, worker="w1")
+        assert ("alice", shard_id) in order
+        assert resumed.job_status(job_id)["state"] == COMPLETED
+
+    def test_torn_store_tail_is_sealed_and_skipped(self, tmp_path):
+        root = tmp_path / "store"
+        store = _open_store(root)
+        job_id = _submit(store, tmp_path)
+        with open(root / "store.jsonl", "ab") as handle:
+            handle.write(b'{"record": {"kind": "claim", "job_id": "job-0')  # torn
+        resumed = _open_store(root)
+        assert resumed.job_status(job_id)["state"] == QUEUED
+        _drain(resumed)
+        assert resumed.job_status(job_id)["state"] == COMPLETED
+
+    def test_durable_result_without_progress_counts_completed(self, tmp_path):
+        """The complete_shard kill window: manifest append durable, store
+        progress record lost. Replay recovers the result from the
+        manifest instead of re-running the shard."""
+        root = tmp_path / "store"
+        store = _open_store(root)
+        job_id = _submit(store, tmp_path)
+        claimed = store.claim("w0")
+        store.jobs[job_id].manifest.append_shard(stub_result(claimed.spec))
+        # ... SIGKILL lands before the progress record is appended.
+        resumed = _open_store(root)
+        status = resumed.job_status(job_id)
+        assert status["shards"][claimed.spec.shard_id] == "completed"
+        assert status["n_completed"] == 1
+
+    def test_failed_shard_requeues_then_abandons(self, tmp_path):
+        store = _open_store(tmp_path / "store")
+        job_id = _submit(store, tmp_path, machines=MACHINES[:1], max_shard_retries=1)
+        claimed = store.claim("w0")
+        shard_id = claimed.spec.shard_id
+        store.fail_shard(job_id, shard_id, "error", "boom", "w0")
+        assert store.job_status(job_id)["shards"][shard_id] == "pending"  # requeued
+        claimed = store.claim("w0")
+        assert claimed.spec.shard_id == shard_id
+        store.fail_shard(job_id, shard_id, "error", "boom again", "w0")
+        status = store.job_status(job_id)
+        assert status["shards"][shard_id] == "abandoned"
+        assert status["state"] == COMPLETED  # settled, with the gap ledgered
+        report = store.job_report(job_id)
+        assert shard_id in report.ledger.abandoned
+        assert report.ledger.n_failures == 2
+        assert report.n_completed == 0
+
+    def test_abandonment_survives_replay(self, tmp_path):
+        root = tmp_path / "store"
+        store = _open_store(root)
+        job_id = _submit(store, tmp_path, machines=MACHINES[:1], max_shard_retries=0)
+        claimed = store.claim("w0")
+        store.fail_shard(job_id, claimed.spec.shard_id, "error", "boom", "w0")
+        resumed = _open_store(root)
+        status = resumed.job_status(job_id)
+        assert status["shards"][claimed.spec.shard_id] == "abandoned"
+        assert status["state"] == COMPLETED
+        assert resumed.claim("w0") is None
+
+    def test_cancel_before_any_claim_is_immediate(self, tmp_path):
+        store = _open_store(tmp_path / "store")
+        job_id = _submit(store, tmp_path)
+        assert store.cancel(job_id) == CANCELLED
+        status = store.job_status(job_id)
+        assert set(status["shards"].values()) == {"cancelled"}
+        assert store.claim("w0") is None
+        assert dict(store.job_report(job_id).ledger.cancelled)
+
+    def test_cancel_with_inflight_claim_drains(self, tmp_path):
+        store = _open_store(tmp_path / "store")
+        job_id = _submit(store, tmp_path)
+        claimed = store.claim("w0")
+        assert store.cancel(job_id) == CANCELLING  # the claim is still out
+        assert store.claim("w1") is None  # but no new work is offered
+        store.complete_shard(job_id, claimed.spec.shard_id, stub_result(claimed.spec), "w0")
+        status = store.job_status(job_id)
+        assert status["state"] == CANCELLED
+        assert status["n_completed"] == 1  # the in-flight result is kept
+
+    def test_released_claim_on_cancelling_job_is_cancelled(self, tmp_path):
+        store = _open_store(tmp_path / "store")
+        job_id = _submit(store, tmp_path)
+        claimed = store.claim("w0")
+        store.cancel(job_id)
+        store.release_shard(job_id, claimed.spec.shard_id, "w0", "worker shutdown")
+        status = store.job_status(job_id)
+        assert status["state"] == CANCELLED
+        assert status["shards"][claimed.spec.shard_id] == "cancelled"
+
+    def test_cancelled_state_survives_replay(self, tmp_path):
+        root = tmp_path / "store"
+        store = _open_store(root)
+        job_id = _submit(store, tmp_path)
+        store.claim("w0")
+        store.cancel(job_id)
+        # SIGKILL while cancelling: the restart releases the orphaned
+        # claim, which joins the cancellation instead of resurrecting.
+        resumed = _open_store(root)
+        status = resumed.job_status(job_id)
+        assert status["state"] == CANCELLED
+        assert set(status["shards"].values()) == {"cancelled"}
+        assert resumed.claim("w0") is None
+
+    def test_cancel_terminal_job_is_a_noop(self, tmp_path):
+        store = _open_store(tmp_path / "store")
+        job_id = _submit(store, tmp_path)
+        _drain(store)
+        assert store.cancel(job_id) == COMPLETED
+
+    def test_job_ids_monotonic_across_restart(self, tmp_path):
+        root = tmp_path / "store"
+        store = _open_store(root)
+        first = _submit(store, tmp_path)
+        resumed = _open_store(root)
+        second = _submit(resumed, tmp_path, tenant="bob")
+        assert first == "job-000001" and second == "job-000002"
+
+    def test_reap_stale_claims_releases_for_adoption(self, tmp_path):
+        store = _open_store(tmp_path / "store")
+        job_id = _submit(store, tmp_path)
+        claimed = store.claim("ghost")  # never heartbeats
+        store.worker_heartbeat("live")
+        assert store.reap_stale_claims(max_age_s=3600.0) == 1
+        assert store.job_status(job_id)["shards"][claimed.spec.shard_id] == "pending"
+        adopted = [shard_id for _, shard_id in _drain(store, worker="live")]
+        assert claimed.spec.shard_id in adopted  # the orphan re-ran elsewhere
+        assert store.job_status(job_id)["state"] == COMPLETED
+
+    def test_unknown_job_raises(self, tmp_path):
+        store = _open_store(tmp_path / "store")
+        with pytest.raises(ServiceError, match="unknown job"):
+            store.job_status("job-999999")
+
+    def test_empty_tenant_rejected(self, tmp_path):
+        store = _open_store(tmp_path / "store")
+        with pytest.raises(ServiceError, match="tenant"):
+            store.submit(tenant="", machines=MACHINES[:1])
+
+    def test_foreign_store_format_rejected(self, tmp_path):
+        root = tmp_path / "store"
+        root.mkdir()
+        (root / "HEADER.json").write_text(json.dumps({"format": "something-else"}))
+        with pytest.raises(ServiceError, match="unsupported store format"):
+            _open_store(root)
+
+
+# ----------------------------------------------------------------------
+# Quotas, ceilings, fairness, priority.
+
+
+class TestScheduling:
+    def test_max_concurrent_shards_enforced(self, tmp_path):
+        policy = TenantPolicy("alice", max_concurrent_shards=1)
+        store = _open_store(tmp_path / "store", policies=(policy,))
+        job_id = _submit(store, tmp_path)
+        claimed = store.claim("w0")
+        assert claimed is not None
+        assert store.claim("w1") is None  # at the cap
+        store.complete_shard(job_id, claimed.spec.shard_id, stub_result(claimed.spec), "w0")
+        assert store.claim("w1") is not None  # headroom again
+
+    def test_capture_ceiling_skips_unfundable_shards(self, tmp_path):
+        cost = len(_scratch_config(tmp_path).falts())  # captures per shard
+        policy = TenantPolicy("alice", max_captures=cost)  # funds exactly one
+        store = _open_store(tmp_path / "store", policies=(policy,))
+        job_id = _submit(store, tmp_path)
+        order = _drain(store)
+        assert len(order) == 1  # one shard funded and run
+        status = store.job_status(job_id)
+        assert status["state"] == COMPLETED  # skipped, not deadlocked
+        assert sorted(status["shards"].values()) == ["completed", "skipped"]
+        planned = store.job_report(job_id).ledger.planned
+        assert [kind for kind, _ in planned.values()] == [BUDGET_EXHAUSTED]
+        assert store.tenant_usage("alice")["captures_spent"] == pytest.approx(cost)
+
+    def test_capture_ceiling_spans_restarts(self, tmp_path):
+        """Replay re-charges funded shards, so a restart cannot mint a
+        fresh budget for a tenant that already spent its ceiling."""
+        root = tmp_path / "store"
+        cost = len(_scratch_config(tmp_path).falts())
+        policy = TenantPolicy("alice", max_captures=cost)
+        store = _open_store(root, policies=(policy,))
+        _submit(store, tmp_path)
+        _drain(store)
+        resumed = _open_store(root, policies=(policy,))
+        job_id = _submit(resumed, tmp_path)  # a second job, same tenant
+        _drain(resumed)
+        status = resumed.job_status(job_id)
+        assert status["state"] == COMPLETED
+        assert set(status["shards"].values()) == {"skipped"}  # nothing left to fund
+
+    def test_weighted_fair_share_interleaves(self, tmp_path):
+        policies = (TenantPolicy("alice", weight=2.0), TenantPolicy("bob", weight=1.0))
+        store = _open_store(tmp_path / "store", policies=policies)
+        _submit(store, tmp_path, tenant="alice", machines=MACHINES[:1], bands=THREE_BANDS)
+        _submit(store, tmp_path, tenant="bob", machines=MACHINES[:1], bands=THREE_BANDS)
+        order = [tenant for tenant, _ in _drain(store)]
+        assert order[:3].count("alice") == 2  # 2:1 from the first window on
+        assert store.charged == {"alice": 3, "bob": 3}
+
+    def test_deterministic_tie_break_is_lexicographic(self, tmp_path):
+        store = _open_store(tmp_path / "store")
+        _submit(store, tmp_path, tenant="zoe", machines=MACHINES[:1])
+        _submit(store, tmp_path, tenant="amy", machines=MACHINES[:1])
+        assert store.claim("w0").tenant == "amy"  # equal share: name order wins
+
+    def test_aging_overtakes_static_priority(self, tmp_path):
+        policies = (TenantPolicy("alice", priority=1), TenantPolicy("bob", priority=0))
+        store = _open_store(tmp_path / "store", policies=policies, aging_decisions=2)
+        _submit(store, tmp_path, tenant="alice", machines=MACHINES[:1], bands=THREE_BANDS)
+        _submit(store, tmp_path, tenant="bob", machines=MACHINES[:1], bands=THREE_BANDS)
+        order = [tenant for tenant, _ in _drain(store)]
+        assert "bob" in order[:4]  # starved past 2 decisions, bob ages in
+        assert order[0] == "alice"  # but static priority won the opener
+
+    def test_policy_validation(self):
+        with pytest.raises(ServiceError, match="name"):
+            TenantPolicy("")
+        with pytest.raises(ServiceError, match="weight"):
+            TenantPolicy("a", weight=0.0)
+        with pytest.raises(ServiceError, match="max_concurrent_shards"):
+            TenantPolicy("a", max_concurrent_shards=0)
+        with pytest.raises(ServiceError, match="max_captures"):
+            TenantPolicy("a", max_captures=-1)
+        with pytest.raises(ServiceError, match="duplicate"):
+            FairShareScheduler((TenantPolicy("a"), TenantPolicy("a")))
+        with pytest.raises(ServiceError, match="aging_decisions"):
+            FairShareScheduler((), aging_decisions=0)
+
+
+# ----------------------------------------------------------------------
+# The worker fleet over stub shards.
+
+
+class TestWorkerFleet:
+    def test_fleet_drains_two_tenant_jobs(self, tmp_path):
+        # Per-job scratch dirs: both jobs plan the same shard ids, so a
+        # shared dir would conflate their attempt counters.
+        scratches = {tenant: tmp_path / tenant for tenant in ("alice", "bob")}
+        for scratch in scratches.values():
+            scratch.mkdir()
+        store = _open_store(tmp_path / "store")
+        jobs = {
+            tenant: _submit(store, scratch, tenant=tenant)
+            for tenant, scratch in scratches.items()
+        }
+        fleet = WorkerFleet(store, workers=2, shard_fn=well_behaved_shard)
+        fleet.start()
+        try:
+            assert fleet.drain(timeout_s=30.0)
+        finally:
+            fleet.stop()
+        for tenant, job_id in jobs.items():
+            status = store.job_status(job_id)
+            assert status["state"] == COMPLETED
+            assert status["n_completed"] == len(MACHINES)
+            for shard_id in status["shards"]:
+                assert count_attempts(scratches[tenant], shard_id) == 1  # no duplicates
+
+    def test_fleet_skips_cancelled_job(self, tmp_path):
+        doomed_scratch = tmp_path / "doomed"
+        doomed_scratch.mkdir()
+        store = _open_store(tmp_path / "store")
+        doomed = _submit(store, doomed_scratch, tenant="alice")
+        kept = _submit(store, tmp_path, tenant="bob")
+        store.cancel(doomed)
+        fleet = WorkerFleet(store, workers=2, shard_fn=well_behaved_shard)
+        fleet.start()
+        try:
+            assert fleet.drain(timeout_s=30.0)
+        finally:
+            fleet.stop()
+        assert store.job_status(doomed)["state"] == CANCELLED
+        assert store.job_status(kept)["state"] == COMPLETED
+        for shard_id in store.job_status(doomed)["shards"]:
+            assert count_attempts(doomed_scratch, shard_id) == 0  # never started
+
+    def test_fleet_needs_a_worker(self, tmp_path):
+        store = _open_store(tmp_path / "store")
+        with pytest.raises(ServiceError, match="at least one worker"):
+            WorkerFleet(store, workers=0)
+
+    def test_job_report_matches_survey_aggregation(self, tmp_path):
+        store = _open_store(tmp_path / "store")
+        job_id = _submit(store, tmp_path)
+        _drain(store)
+        report = store.job_report(job_id)
+        assert report.n_shards == len(MACHINES)
+        assert report.n_completed == len(MACHINES)
+        assert sorted(report.machines) == sorted(MACHINES)  # stub results name presets
+        assert report.ledger.n_failures == 0
+        # And the report round-trips through the service's wire format.
+        revived = type(report).from_json(report.to_json())
+        assert revived.to_dict() == report.to_dict()

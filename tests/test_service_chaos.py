@@ -1,0 +1,216 @@
+"""Chaos tier for the campaign service: SIGKILL is part of the API.
+
+Two attack surfaces. The subprocess test is the ISSUE's acceptance
+scenario end to end: a real service process (real shards, real HTTP) is
+SIGKILLed mid-campaign with a claim in flight, a fresh process is
+started on the same root, and the finished job's detections must be
+identical to an uninterrupted ``run_survey`` of the same plan — orphan
+adoption plus shard purity, demonstrated at the process level. The
+kill-point matrix then does what the manifest chaos tier does for
+surveys: truncates the store journal to *every* record prefix (with and
+without a torn tail welded on), reopens, drains, and asserts each
+admitted job converges to the same report.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro import FaseConfig, MicroOp, run_survey
+from repro.service import COMPLETED, FairShareScheduler, JobStore, ServiceClient
+from repro.survey.chaos import stub_result, torn_manifest_tail, truncate_manifest
+
+pytestmark = pytest.mark.chaos
+
+#: Small but real: 2000-bin grid with a populated low band.
+SMALL = FaseConfig(
+    span_low=0.0, span_high=1e6, fres=500.0, falt1=43.3e3, f_delta=2.5e3,
+    name="service chaos test",
+)
+MACHINES = ("corei7_desktop", "turionx2_laptop")
+ONE_PAIR = ((MicroOp.LDM, MicroOp.LDL1),)
+PAIR_NAMES = [["LDM", "LDL1"]]
+
+_SERVE_SCRIPT = """
+import signal, sys, time
+from pathlib import Path
+
+from repro.service import FaseService
+
+root, port_file = sys.argv[1], sys.argv[2]
+service = FaseService(root, workers=1)
+host, port = service.start()
+Path(port_file).write_text(f"{host} {port}")
+signal.signal(signal.SIGTERM, lambda *args: sys.exit(0))
+while True:
+    time.sleep(0.2)
+"""
+
+
+def carrier_map(report):
+    return {
+        name: sorted(
+            round(det.frequency, 3)
+            for activity in fase.activities.values()
+            for det in activity.detections
+        )
+        for name, fase in report.machines.items()
+    }
+
+
+def source_map(report):
+    return {
+        name: [source.describe() for source in fase.sources]
+        for name, fase in report.machines.items()
+    }
+
+
+def _spawn_service(root, port_file, timeout_s=30.0):
+    """A service process on ``root``; returns (process, client)."""
+    process = subprocess.Popen(
+        [sys.executable, "-c", _SERVE_SCRIPT, str(root), str(port_file)],
+        env={**os.environ, "PYTHONPATH": "src"},
+    )
+    deadline = time.monotonic() + timeout_s
+    while not Path(port_file).exists() or not Path(port_file).read_text().strip():
+        if process.poll() is not None:
+            raise AssertionError(f"service died at startup (rc={process.returncode})")
+        if time.monotonic() > deadline:
+            process.kill()
+            raise AssertionError("service never published its port")
+        time.sleep(0.05)
+    host, port = Path(port_file).read_text().split()
+    return process, ServiceClient(f"http://{host}:{port}")
+
+
+class TestServiceSigkillMidCampaign:
+    def test_restart_finishes_identically(self, tmp_path):
+        """SIGKILL with one shard done and one claim in flight; the
+        restarted service adopts the orphan and the job's detections are
+        identical to an uninterrupted survey of the same plan."""
+        golden = run_survey(machines=MACHINES, pairs=ONE_PAIR, config=SMALL, seed=3)
+        assert any(carrier_map(golden).values())  # fixture is non-trivial
+
+        root = tmp_path / "svc"
+        process, client = _spawn_service(root, tmp_path / "port-1")
+        try:
+            job_id = client.submit(
+                "alice", machines=list(MACHINES), pairs=PAIR_NAMES, config=SMALL, seed=3
+            )
+            deadline = time.monotonic() + 120.0
+            while client.job(job_id)["n_completed"] < 1:  # mid-campaign...
+                assert time.monotonic() < deadline, "first shard never finished"
+                time.sleep(0.05)
+        finally:
+            process.send_signal(signal.SIGKILL)  # ...lights out
+            process.wait(timeout=30.0)
+
+        process, client = _spawn_service(root, tmp_path / "port-2")
+        try:
+            status = client.wait(job_id, timeout_s=120.0)
+            assert status["state"] == "completed"
+            assert status["n_completed"] == len(MACHINES)
+            report = client.result(job_id)
+            assert carrier_map(report) == carrier_map(golden)
+            assert source_map(report) == source_map(golden)
+            fetched, expected = report.to_dict(), golden.to_dict()
+            fetched.pop("telemetry"), expected.pop("telemetry")
+            assert fetched == expected
+            assert not report.ledger.failures  # adoption is not a failure
+        finally:
+            process.send_signal(signal.SIGTERM)
+            process.wait(timeout=30.0)
+
+
+class TestStoreKillPointMatrix:
+    def _open(self, root):
+        return JobStore(root, scheduler=FairShareScheduler(())).open(server_name="matrix")
+
+    def _drain(self, store):
+        while True:
+            claimed = store.claim("w0")
+            if claimed is None:
+                return
+            store.complete_shard(
+                claimed.job_id, claimed.spec.shard_id, stub_result(claimed.spec), "w0"
+            )
+
+    def test_every_journal_prefix_converges(self, tmp_path):
+        """Truncating the store journal to any record prefix — with or
+        without a torn tail — and restarting converges every admitted
+        job to the identical report; a job whose submit record was lost
+        simply never existed."""
+        scratch = tmp_path / "scratch"
+        scratch.mkdir()
+        config = FaseConfig(
+            span_low=0.0, span_high=1e5, fres=50.0, falt1=43.3e3, f_delta=1e3,
+            name=str(scratch),
+        )
+        golden_root = tmp_path / "golden"
+        store = self._open(golden_root)
+        job_id = store.submit(
+            tenant="alice", machines=MACHINES, pairs=ONE_PAIR, config=config
+        )
+        self._drain(store)
+        golden = store.job_report(job_id).to_dict()
+        log = golden_root / "store.jsonl"
+        total = len([line for line in log.read_bytes().split(b"\n") if line.strip()])
+        assert total >= 6  # submit + 2 claims + 2 progresses + complete
+
+        for keep in range(total):
+            for tear in (False, True):
+                work = tmp_path / f"kill-{keep}-{'torn' if tear else 'clean'}"
+                shutil.copytree(golden_root, work)
+                # The manifest mutilators target <dir>/manifest.jsonl;
+                # the store journal gets the same treatment by hand.
+                lines = [
+                    line
+                    for line in (work / "store.jsonl").read_bytes().split(b"\n")
+                    if line.strip()
+                ]
+                data = b"".join(line + b"\n" for line in lines[:keep])
+                if tear:
+                    data += b'{"record": {"kind": "claim", "job_id'  # mid-write kill
+                (work / "store.jsonl").write_bytes(data)
+
+                resumed = self._open(work)
+                if job_id not in resumed.jobs:
+                    assert keep == 0  # only losing the submit loses the job
+                    continue
+                self._drain(resumed)
+                assert resumed.job_status(job_id)["state"] == COMPLETED
+                assert resumed.job_report(job_id).to_dict() == golden
+
+    def test_manifest_damage_heals_under_the_store(self, tmp_path):
+        """Store journal intact but the job's *manifest* truncated and
+        torn: lost shard results re-run (purity), surviving ones are
+        trusted, and the report still converges."""
+        scratch = tmp_path / "scratch"
+        scratch.mkdir()
+        config = FaseConfig(
+            span_low=0.0, span_high=1e5, fres=50.0, falt1=43.3e3, f_delta=1e3,
+            name=str(scratch),
+        )
+        root = tmp_path / "store"
+        store = self._open(root)
+        job_id = store.submit(
+            tenant="alice", machines=MACHINES, pairs=ONE_PAIR, config=config
+        )
+        self._drain(store)
+        golden = store.job_report(job_id).to_dict()
+        manifest_dir = next((root / "jobs").iterdir()) / "manifest"
+        truncate_manifest(manifest_dir, 2)  # header + first record survive
+        torn_manifest_tail(manifest_dir)
+
+        resumed = self._open(root)
+        self._drain(resumed)
+        assert resumed.job_status(job_id)["state"] == COMPLETED
+        assert resumed.job_report(job_id).to_dict() == golden

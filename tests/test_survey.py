@@ -14,8 +14,10 @@ that rides the :class:`~repro.survey.ShardSpec` into the worker.
 from __future__ import annotations
 
 import dataclasses
+import json
 import os
 import signal
+import threading
 from pathlib import Path
 
 import pytest
@@ -563,6 +565,16 @@ class TestLedgerText:
         assert "all shards completed cleanly" in text
         assert "planner decisions: 1 shard(s)" in text
 
+    def test_cancelled_ledger_headline_is_not_clean(self):
+        """A cancellation left shards unrun; the headline may not claim
+        every shard completed."""
+        ledger = SurveyLedger()
+        ledger.record_cancelled("s", "cancelled before start")
+        text = ledger.to_text()
+        assert "cancelled with 1 shard(s) never run" in text
+        assert "completed cleanly" not in text
+        assert "cancelled s: cancelled before start" in text
+
     def test_degradation_kinds_are_narrated(self):
         """A survey that stalled a worker, lost /dev/shm, and then lost
         its manifest must say all three — shard-scoped notes name the
@@ -649,3 +661,170 @@ class TestParseBands:
         out = capsys.readouterr().out
         assert code == 0
         assert "[0-0.5MHz]" in out
+
+
+# ----------------------------------------------------------------------
+# Cooperative cancellation: stop now, lose nothing, resume later.
+
+
+class TestCancellation:
+    def _plan_args(self, base):
+        return dict(machines=MACHINES, pairs=ONE_PAIR, config=_scratch_config(base))
+
+    def test_preset_event_cancels_every_shard(self, tmp_path):
+        event = threading.Event()
+        event.set()
+        report = run_survey(
+            **self._plan_args(tmp_path), workers=1, shard_fn=_stub_result,
+            cancel_event=event,
+        )
+        assert report.n_completed == 0
+        assert report.n_shards == 2
+        assert len(report.ledger.cancelled) == 2
+        assert not report.ledger.failures  # cancellation is not a failure
+        assert "cancelled" in report.to_text()
+
+    def test_preset_event_cancels_in_pool_mode_too(self, tmp_path):
+        event = threading.Event()
+        event.set()
+        report = run_survey(
+            **self._plan_args(tmp_path), workers=2, shard_fn=_stub_result,
+            cancel_event=event,
+        )
+        assert report.n_completed == 0
+        assert len(report.ledger.cancelled) == 2
+
+    def test_mid_run_cancel_keeps_finished_shards(self, tmp_path):
+        """Serial mode runs shards in-process, so a shard body can flip
+        the event deterministically between shards."""
+        event = threading.Event()
+
+        def first_then_cancel(spec):
+            event.set()
+            return _stub_result(spec)
+
+        report = run_survey(
+            **self._plan_args(tmp_path), workers=1, shard_fn=first_then_cancel,
+            cancel_event=event,
+        )
+        assert report.n_completed == 1  # the in-flight shard finished
+        assert len(report.ledger.cancelled) == 1
+
+    def test_resume_after_cancel_reruns_cancelled_shards(self, tmp_path):
+        """Regression for the service's cancel/resume path: a cancelled
+        survey resumed from its manifest re-runs exactly the cancelled
+        shards and converges to the uninterrupted report — stale
+        cancellation ledger entries must not survive the resume."""
+        golden = run_survey(**self._plan_args(tmp_path), workers=1, seed=3)
+
+        event = threading.Event()
+
+        def first_then_cancel(spec):
+            event.set()
+            return run_shard(spec)
+
+        manifest_dir = tmp_path / "manifest"
+        cancelled = run_survey(
+            **self._plan_args(tmp_path), workers=1, seed=3,
+            shard_fn=first_then_cancel, cancel_event=event,
+            manifest_dir=manifest_dir,
+        )
+        assert cancelled.n_completed == 1
+        assert len(cancelled.ledger.cancelled) == 1
+
+        resumed = run_survey(
+            **self._plan_args(tmp_path), workers=1, seed=3,
+            manifest_dir=manifest_dir, resume=True,
+        )
+        assert resumed.n_completed == golden.n_completed == 2
+        assert not resumed.ledger.cancelled  # the stale entry is gone
+        for name, fase in golden.machines.items():
+            other = resumed.machines[name]
+            for label, activity in fase.activities.items():
+                assert activity.detections == other.activities[label].detections
+
+    def test_cancel_event_incompatible_with_planner(self, tmp_path):
+        from repro.survey import AdaptivePlanner
+
+        event = threading.Event()
+        with pytest.raises(SurveyError, match="cancel_event"):
+            run_survey(
+                **self._plan_args(tmp_path),
+                planner=AdaptivePlanner(capture_budget=10),
+                cancel_event=event,
+            )
+
+
+# ----------------------------------------------------------------------
+# The report's JSON codec: the service's wire format.
+
+
+class TestReportJsonRoundTrip:
+    def test_real_report_round_trips_detection_for_detection(self, survey_runs):
+        serial, _, _, _ = survey_runs
+        revived = SurveyReport.from_json(serial.to_json())
+        assert sorted(revived.machines) == sorted(serial.machines)
+        for name, fase in serial.machines.items():
+            other = revived.machines[name]
+            for label, activity in fase.activities.items():
+                # Frozen-dataclass equality: every field of every
+                # detection survives the JSON round trip exactly.
+                assert other.activities[label].detections == activity.detections
+                assert [
+                    (s.fundamental, [(o, d.frequency) for o, d in s.members])
+                    for s in other.activities[label].harmonic_sets
+                ] == [
+                    (s.fundamental, [(o, d.frequency) for o, d in s.members])
+                    for s in activity.harmonic_sets
+                ]
+            assert [s.describe() for s in other.sources] == [
+                s.describe() for s in fase.sources
+            ]
+        assert [s.describe() for s in revived.comparison] == [
+            s.describe() for s in serial.comparison
+        ]
+        assert revived.n_shards == serial.n_shards
+        assert revived.n_completed == serial.n_completed
+        assert revived.telemetry == serial.telemetry
+        # And the fixed point: dict -> report -> dict is the identity.
+        assert revived.to_dict() == serial.to_dict()
+
+    def test_harmonic_members_reference_shared_detections(self, survey_runs):
+        """Harmonic-set members serialize as indices into the activity's
+        detection list, so the revived objects share identity the way
+        the originals do."""
+        serial, _, _, _ = survey_runs
+        revived = SurveyReport.from_json(serial.to_json())
+        for fase in revived.machines.values():
+            for activity in fase.activities.values():
+                for harmonic_set in activity.harmonic_sets:
+                    for _, detection in harmonic_set.members:
+                        if detection in activity.detections:
+                            index = activity.detections.index(detection)
+                            assert activity.detections[index] is detection
+
+    def test_ledger_and_format_survive(self, tmp_path):
+        report = run_survey(
+            machines=MACHINES, pairs=ONE_PAIR, config=_scratch_config(tmp_path),
+            workers=2, max_shard_retries=1, shard_fn=_kill_always_shard,
+        )
+        assert report.ledger.abandoned  # fixture produced a damaged ledger
+        payload = json.loads(report.to_json())
+        assert payload["format"] == "fase-survey-report-v1"
+        revived = SurveyReport.from_json(report.to_json())
+        assert revived.ledger.abandoned == report.ledger.abandoned
+        assert revived.ledger.requeues == report.ledger.requeues
+        assert [dataclasses.asdict(f) for f in revived.ledger.failures] == [
+            dataclasses.asdict(f) for f in report.ledger.failures
+        ]
+        assert revived.to_dict() == report.to_dict()
+
+    def test_cancelled_shards_survive(self, tmp_path):
+        event = threading.Event()
+        event.set()
+        report = run_survey(
+            machines=MACHINES, pairs=ONE_PAIR, config=_scratch_config(tmp_path),
+            workers=1, shard_fn=_stub_result, cancel_event=event,
+        )
+        revived = SurveyReport.from_json(report.to_json())
+        assert revived.ledger.cancelled == report.ledger.cancelled

@@ -141,6 +141,64 @@ class TestAmbient:
             thread.join()
         assert seen == [tel]
 
+    def test_concurrent_pipelines_do_not_clobber_each_other(self):
+        # Regression: the service worker fleet runs whole run_fase
+        # pipelines in sibling threads. Their per-pipeline installs used
+        # to hit the shared global, and interleaved save/restores left a
+        # stale pipeline installed process-wide; the thread-scoped
+        # install must isolate each thread and leave the default alone
+        # no matter how the lifetimes interleave.
+        from repro.telemetry import use_thread_telemetry
+
+        n_threads, rounds = 4, 25
+        barrier = threading.Barrier(n_threads)
+        mismatches = []
+
+        def pipeline_thread(index):
+            for _ in range(rounds):
+                mine = Telemetry()
+                barrier.wait()  # maximally interleave install/restore
+                with use_thread_telemetry(mine):
+                    if current_telemetry() is not mine:
+                        mismatches.append(index)
+                barrier.wait()
+
+        threads = [
+            threading.Thread(target=pipeline_thread, args=(i,)) for i in range(n_threads)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not mismatches
+        assert current_telemetry() is NULL_TELEMETRY
+
+    def test_thread_install_shadows_then_restores_the_global(self):
+        from repro.telemetry import use_thread_telemetry
+
+        ambient, local = Telemetry(), Telemetry()
+        with use_telemetry(ambient):
+            with use_thread_telemetry(local):
+                assert current_telemetry() is local
+            assert current_telemetry() is ambient
+
+    def test_parallel_captures_see_the_pipeline(self):
+        # The pool-adoption path: run_fase(telemetry=...) with thread-
+        # parallel pairs *and* captures must count every capture even
+        # though the install is thread-scoped and pool workers are new
+        # threads (they adopt the submitter's pipeline at pool creation).
+        tel = Telemetry()
+        run_fase(
+            StubMachine(),
+            pairs=[(MicroOp.LDM, MicroOp.LDL1), (MicroOp.LDL2, MicroOp.LDL1)],
+            config=make_config(),
+            rng=np.random.default_rng(1),
+            n_workers=2,
+            telemetry=tel,
+        )
+        snapshot = tel.metrics.snapshot()
+        assert snapshot.counters["captures_total"] == 2 * len(FALTS)
+
     def test_null_telemetry_is_inert(self):
         with NULL_TELEMETRY.span("anything", stage="capture") as handle:
             handle.set(extra=1)
