@@ -220,6 +220,8 @@ def _make_handler(service):
                 self._send_error(str(exc), 404 if "unknown job" in str(exc) else 400)
             except ReproError as exc:
                 self._send_error(str(exc), 400)
+            except (ValueError, TypeError) as exc:
+                self._send_error(f"malformed request: {exc}", 400)
 
         def do_POST(self):
             parts = self._route()
@@ -234,6 +236,11 @@ def _make_handler(service):
                 self._send_error(str(exc), 404 if "unknown job" in str(exc) else 400)
             except ReproError as exc:
                 self._send_error(str(exc), 400)
+            except (ValueError, TypeError) as exc:
+                # Malformed scalars in an otherwise-JSON body ("seed":
+                # "abc", a non-list "pairs", ...) must answer 400, never
+                # drop the connection with a server-side traceback.
+                self._send_error(f"malformed request: {exc}", 400)
 
         def _send_events(self, job_id):
             path = service.store.events_path(job_id)

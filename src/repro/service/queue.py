@@ -184,7 +184,9 @@ class JobStore:
         self.order = []  # job ids in submit order
         self.budgets = {}  # tenant -> CaptureBudget (only for capped tenants)
         self.decision = 0  # claim counter: the scheduler's logical clock
-        self.last_claim_decision = {}  # tenant -> decision of latest claim
+        # tenant -> decision of its latest claim, seeded at admission so
+        # a brand-new tenant ages from parity, not from decision zero.
+        self.last_claim_decision = {}
         self.charged = {}  # tenant -> fairness charge (total claims)
         self._seq = 0
         self._lock = threading.RLock()
@@ -298,14 +300,27 @@ class JobStore:
                     if shard_id not in job.pending:
                         job.pending.append(shard_id)
             else:
-                self._account_failure(job, shard_id, requeue_in_memory=True)
+                # The failure count is NOT re-charged here: fail_shard
+                # made it durable in the manifest ledger (record_failure
+                # carries the cumulative count) *before* this progress
+                # record, and _admit already restored that final count.
+                # Replaying only repairs membership — the claim is gone,
+                # and the shard re-pends unless the ledger settled it.
+                if not job.settled(shard_id) and shard_id not in job.pending:
+                    job.pending.append(shard_id)
         elif kind == "release":
             job = self.jobs.get(record["job_id"])
             if job is None:
                 return
             shard_id = record["shard_id"]
             job.claims.pop(shard_id, None)
-            if not job.settled(shard_id) and shard_id not in job.pending:
+            if job.state in (CANCELLING, CANCELLED):
+                # Mirror _release_locked: a claim released after the
+                # cancel joins the cancellation instead of resurrecting
+                # as pending (the ledger record was written live).
+                if not job.settled(shard_id):
+                    job.cancelled_shards.add(shard_id)
+            elif not job.settled(shard_id) and shard_id not in job.pending:
                 job.pending.append(shard_id)
         elif kind == "skip":
             job = self.jobs.get(record["job_id"])
@@ -342,14 +357,6 @@ class JobStore:
             if budget is not None:
                 spec = job.spec_for(shard_id)
                 budget.restore(spec.machine, len(spec.config.falts()))
-
-    def _account_failure(self, job, shard_id, requeue_in_memory):
-        n = job.failures.get(shard_id, 0) + 1
-        job.failures[shard_id] = n
-        if n > job.spec.max_shard_retries:
-            job.abandoned.add(shard_id)
-        elif requeue_in_memory and shard_id not in job.pending and not job.settled(shard_id):
-            job.pending.append(shard_id)
 
     # -- submission ---------------------------------------------------
 
@@ -441,6 +448,12 @@ class JobStore:
         ]
         self.jobs[spec.job_id] = job
         self.order.append(spec.job_id)
+        # First sighting of this tenant: its aging clock starts *now*.
+        # Without this baseline a tenant admitted after N total claims
+        # would read as having waited all N and leapfrog every static
+        # priority class on its first claim. setdefault keeps genuine
+        # claim history (and replay) authoritative.
+        self.last_claim_decision.setdefault(spec.tenant, self.decision)
         # Keep the id sequence monotonic across restarts.
         try:
             seq = int(spec.job_id.rsplit("-", 1)[1])
@@ -600,7 +613,11 @@ class JobStore:
                 "worker": worker,
             })
             job.claims.pop(shard_id, None)
-            self._account_failure(job, shard_id, requeue_in_memory=True)
+            job.failures[shard_id] = n
+            if n > job.spec.max_shard_retries:
+                job.abandoned.add(shard_id)
+            elif shard_id not in job.pending and not job.settled(shard_id):
+                job.pending.append(shard_id)
             self._emit_event(job, "shard-failed", shard=shard_id, kind=kind, failures=n)
             self._maybe_finalize_locked(job)
 

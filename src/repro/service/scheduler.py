@@ -16,7 +16,9 @@ Selection, in order:
    unfundable shard is skipped rather than blocking the queue).
 2. **Priority with aging** — higher ``priority`` wins, but a tenant's
    effective priority rises by one for every ``aging_decisions`` claims
-   granted to others since its last claim. Any starved tenant therefore
+   granted to others since its last claim (or, for a tenant yet to be
+   granted one, since its admission — so a newcomer ages up from
+   parity rather than arriving pre-boosted). Any starved tenant therefore
    overtakes any finite static priority in bounded time:
    starvation-freedom by construction, not by luck.
 3. **Weighted fair share** — among equal effective priorities, the

@@ -276,6 +276,31 @@ class TestJobStore:
         assert status["state"] == COMPLETED
         assert resumed.claim("w0") is None
 
+    def test_failure_count_is_not_double_charged_by_replay(self, tmp_path):
+        """One live failure must replay to one failure, not two: the
+        manifest ledger (restored in _admit) is the authoritative count,
+        and the journaled progress record only repairs membership. A
+        shard with retry budget left must survive exactly as many more
+        failures after a restart as it would have without one."""
+        root = tmp_path / "store"
+        store = _open_store(root)
+        job_id = _submit(store, tmp_path, machines=MACHINES[:1], max_shard_retries=2)
+        claimed = store.claim("w0")
+        shard_id = claimed.spec.shard_id
+        store.fail_shard(job_id, shard_id, "error", "boom", "w0")
+
+        resumed = _open_store(root)
+        resumed = _open_store(root)  # a second replay must stay at 1 too
+        assert resumed.jobs[job_id].failures[shard_id] == 1
+        assert resumed.job_status(job_id)["shards"][shard_id] == "pending"
+        for detail in ("boom again", "boom thrice"):  # two retries remain
+            claimed = resumed.claim("w0")
+            assert claimed is not None and claimed.spec.shard_id == shard_id
+            resumed.fail_shard(job_id, shard_id, "error", detail, "w0")
+        status = resumed.job_status(job_id)
+        assert status["shards"][shard_id] == "abandoned"  # 3 > max_shard_retries
+        assert status["n_failures"] == 3
+
     def test_cancel_before_any_claim_is_immediate(self, tmp_path):
         store = _open_store(tmp_path / "store")
         job_id = _submit(store, tmp_path)
@@ -319,6 +344,23 @@ class TestJobStore:
         assert status["state"] == CANCELLED
         assert set(status["shards"].values()) == {"cancelled"}
         assert resumed.claim("w0") is None
+
+    def test_released_claim_on_cancelling_job_survives_replay(self, tmp_path):
+        """Replaying a post-cancel release must mirror _release_locked's
+        CANCELLING branch: the shard stays cancelled instead of being
+        reported pending on a cancelled job."""
+        root = tmp_path / "store"
+        store = _open_store(root)
+        job_id = _submit(store, tmp_path)
+        claimed = store.claim("w0")
+        store.cancel(job_id)
+        store.release_shard(job_id, claimed.spec.shard_id, "w0", "worker shutdown")
+
+        resumed = _open_store(root)
+        status = resumed.job_status(job_id)
+        assert status["state"] == CANCELLED
+        assert status["shards"][claimed.spec.shard_id] == "cancelled"
+        assert set(status["shards"].values()) == {"cancelled"}
 
     def test_cancel_terminal_job_is_a_noop(self, tmp_path):
         store = _open_store(tmp_path / "store")
@@ -432,7 +474,22 @@ class TestScheduling:
         assert "bob" in order[:4]  # starved past 2 decisions, bob ages in
         assert order[0] == "alice"  # but static priority won the opener
 
-    def test_policy_validation(self):
+    def test_new_tenant_ages_from_admission_not_decision_zero(self, tmp_path):
+        """A tenant submitting its first job after N total claims starts
+        aging from admission — it must not read as having waited all N
+        decisions and leapfrog a higher static priority class."""
+        policies = (TenantPolicy("alice", priority=1), TenantPolicy("bob", priority=0))
+        store = _open_store(tmp_path / "store", policies=policies, aging_decisions=2)
+        alice_job = _submit(
+            store, tmp_path, tenant="alice", machines=MACHINES[:1], bands=THREE_BANDS
+        )
+        for _ in range(2):  # two decisions happen before bob even exists
+            claimed = store.claim("w0")
+            store.complete_shard(
+                alice_job, claimed.spec.shard_id, stub_result(claimed.spec), "w0"
+            )
+        _submit(store, tmp_path, tenant="bob", machines=MACHINES[:1], bands=THREE_BANDS)
+        assert store.claim("w0").tenant == "alice"  # no retroactive boost
         with pytest.raises(ServiceError, match="name"):
             TenantPolicy("")
         with pytest.raises(ServiceError, match="weight"):

@@ -162,6 +162,26 @@ class TestServiceErrors:
         assert excinfo.value.code == 400
         assert "error" in json.loads(excinfo.value.read())
 
+    def test_malformed_scalar_fields_are_400(self, service):
+        """A JSON body with the wrong scalar shapes ("seed": "abc", a
+        non-list "pairs") must answer a 400 JSON error, not drop the
+        connection with a server-side traceback."""
+        host, port = service.address
+        for body in (
+            {"tenant": "alice", "machines": ["corei7_desktop"], "seed": "abc"},
+            {"tenant": "alice", "machines": ["corei7_desktop"], "pairs": 7},
+            {"tenant": "alice", "machines": ["corei7_desktop"],
+             "max_shard_retries": "lots"},
+        ):
+            request = urllib.request.Request(
+                f"http://{host}:{port}/jobs", data=json.dumps(body).encode("utf-8"),
+                method="POST", headers={"Content-Type": "application/json"},
+            )
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(request, timeout=10.0)
+            assert excinfo.value.code == 400
+            assert "error" in json.loads(excinfo.value.read())
+
     def test_non_object_body_is_400(self, service):
         host, port = service.address
         request = urllib.request.Request(
