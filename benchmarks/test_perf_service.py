@@ -86,6 +86,31 @@ def test_service_overhead_budgets(output_dir, tmp_path):
     shards_per_s = n_shards / elapsed
     assert all(store.job_status(job_id)["state"] == "completed" for job_id in jobs)
 
+    # -- reap contention: sweeps are an interval, not a per-poll tax ---
+    # Four fast-polling workers share one reap schedule; the store-lock
+    # sweep count must track wall-clock / (reap_after_s / 2), not the
+    # (worker count x poll rate) product it was before the shared
+    # interval landed — that regression read as lock contention.
+    store = _open_store(tmp_path / "reaping")
+    _submit(store, "alice", bands=EIGHT_BANDS)
+    reap_after_s = 0.5
+    fleet = WorkerFleet(
+        store, workers=4, shard_fn=stub_result, poll_interval_s=0.005,
+        reap_after_s=reap_after_s,
+    )
+    start = time.perf_counter()
+    fleet.start()
+    try:
+        assert fleet.drain(timeout_s=120.0)
+        time.sleep(0.5)  # an idle stretch: polling continues, work doesn't
+    finally:
+        fleet.stop()
+    reap_elapsed_s = time.perf_counter() - start
+    reap_calls = store.reap_calls
+    # Generous ceiling: one sweep per half-interval plus slack. The
+    # pre-fix behavior (every worker, every poll) lands in the hundreds.
+    reap_calls_budget = int(reap_elapsed_s / (reap_after_s / 2.0)) + 3
+
     # -- scheduler-decision overhead over a wide tenant field ----------
     n_tenants = 64
     scheduler = FairShareScheduler(
@@ -123,9 +148,15 @@ def test_service_overhead_budgets(output_dir, tmp_path):
         "scheduler_decision_s": decision_s,
         "scheduler_decision_budget_s": DECISION_BUDGET_S,
         "workers": 2,
+        "reap_workers": 4,
+        "reap_after_s": reap_after_s,
+        "reap_elapsed_s": reap_elapsed_s,
+        "reap_calls": reap_calls,
+        "reap_calls_budget": reap_calls_budget,
     }
     (output_dir / "BENCH_service.json").write_text(json.dumps(record, indent=2) + "\n")
 
     assert dispatch_latency_s < LATENCY_BUDGET_S
     assert shards_per_s >= THROUGHPUT_FLOOR_SHARDS_PER_S
     assert decision_s < DECISION_BUDGET_S
+    assert reap_calls <= reap_calls_budget

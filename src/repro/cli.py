@@ -8,8 +8,10 @@ Commands:
 * ``record``    run a campaign and save the raw spectra to a .npz file
 * ``analyze``   detect carriers in a previously recorded campaign
 * ``serve``     run the durable multi-tenant campaign service
+* ``worker``    run a standalone worker host against a running service
 * ``submit``    submit a campaign job to a running service
 * ``jobs``      list a running service's jobs
+* ``watch``     live-tail a service job's event stream
 * ``cancel``    cooperatively cancel a service job
 """
 
@@ -407,6 +409,63 @@ def cmd_serve(args):
     return 0
 
 
+def cmd_worker(args):
+    import signal
+    import threading
+
+    from .service.host import WorkerHost
+
+    host = WorkerHost(
+        args.connect,
+        name=args.name,
+        workdir=args.workdir,
+        shard_timeout_s=args.shard_timeout,
+        poll_interval_s=args.poll_interval,
+        idle_exit_s=args.idle_exit,
+        max_shards=args.max_shards,
+        verbose=not args.quiet,
+    )
+    # Cooperative shutdown: the in-flight shard finishes and is
+    # reported; an unfinished claim is simply reaped by the service.
+    if threading.current_thread() is threading.main_thread():
+        signal.signal(signal.SIGTERM, lambda *_: host.stop())
+        signal.signal(signal.SIGINT, lambda *_: host.stop())
+    try:
+        summary = host.run()
+    except ReproError as exc:
+        raise SystemExit(str(exc)) from exc
+    print(
+        f"{summary['host']}: {summary['completed']} completed, "
+        f"{summary['failed']} failed"
+    )
+    return 0
+
+
+def cmd_watch(args):
+    import json as _json
+
+    from .service import ServiceClient
+
+    client = ServiceClient(args.url)
+    try:
+        if args.no_follow:
+            for event in client.events(args.job_id, offset=args.offset):
+                print(_json.dumps(event, sort_keys=True))
+            return 0
+        stream = client.stream_events(args.job_id, offset=args.offset)
+        while True:
+            try:
+                event = next(stream)
+            except StopIteration as stop:
+                print(f"{args.job_id}: {stop.value}")
+                return 0
+            print(_json.dumps(event, sort_keys=True), flush=True)
+    except ReproError as exc:
+        raise SystemExit(str(exc)) from exc
+    except KeyboardInterrupt:
+        return 130
+
+
 def cmd_submit(args):
     from .io import _config_to_dict
     from .service import ServiceClient
@@ -625,7 +684,9 @@ def build_parser():
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument("--port", type=int, default=8321)
     serve.add_argument(
-        "--workers", type=int, default=2, help="worker threads draining shard claims"
+        "--workers", type=int, default=2,
+        help="worker threads draining shard claims (0 = hub-only: every "
+        "shard runs on remote `worker` hosts)",
     )
     serve.add_argument(
         "--tenant",
@@ -651,6 +712,48 @@ def build_parser():
         "so surviving workers adopt them",
     )
     serve.set_defaults(handler=cmd_serve)
+
+    worker = sub.add_parser(
+        "worker", help="run a standalone worker host against a running service"
+    )
+    worker.add_argument(
+        "--connect",
+        required=True,
+        metavar="URL",
+        help="base URL of the campaign service, e.g. http://127.0.0.1:8321",
+    )
+    worker.add_argument(
+        "--name", default=None, help="host identity (default: host-<hostname>-<pid>)"
+    )
+    worker.add_argument(
+        "--workdir", default=None, help="scratch dir for heartbeat files (default: temp)"
+    )
+    worker.add_argument(
+        "--shard-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="stall watchdog per shard (shards then run in killable "
+        "single-worker pools)",
+    )
+    worker.add_argument(
+        "--poll-interval", type=float, default=0.25, metavar="SECONDS",
+        help="claim poll cadence while idle",
+    )
+    worker.add_argument(
+        "--idle-exit",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="exit after this long with no claimable work (default: run forever)",
+    )
+    worker.add_argument(
+        "--max-shards", type=int, default=None, help="exit after running N shards"
+    )
+    worker.add_argument(
+        "--quiet", action="store_true", help="no per-shard progress lines"
+    )
+    worker.set_defaults(handler=cmd_worker)
 
     submit = sub.add_parser("submit", help="submit a campaign job to a running service")
     submit.add_argument("--url", default="http://127.0.0.1:8321", help="service base URL")
@@ -683,6 +786,23 @@ def build_parser():
     jobs = sub.add_parser("jobs", help="list a running service's jobs")
     jobs.add_argument("--url", default="http://127.0.0.1:8321")
     jobs.set_defaults(handler=cmd_jobs)
+
+    watch = sub.add_parser("watch", help="live-tail a service job's event stream")
+    watch.add_argument("job_id", help="job to watch, e.g. job-000001")
+    watch.add_argument("--url", default="http://127.0.0.1:8321", help="service base URL")
+    watch.add_argument(
+        "--offset",
+        type=int,
+        default=0,
+        metavar="BYTES",
+        help="resume the stream from this byte offset (from a prior watch)",
+    )
+    watch.add_argument(
+        "--no-follow",
+        action="store_true",
+        help="print the current snapshot and exit instead of tailing live",
+    )
+    watch.set_defaults(handler=cmd_watch)
 
     cancel = sub.add_parser("cancel", help="cooperatively cancel a service job")
     cancel.add_argument("--url", default="http://127.0.0.1:8321")

@@ -50,6 +50,7 @@ __all__ = [
     "ensure_line_boundary",
     "append_line",
     "iter_journal",
+    "read_complete_lines",
 ]
 
 
@@ -122,6 +123,32 @@ def append_line(path, record):
         handle.write(line + "\n")
         handle.flush()
         os.fsync(handle.fileno())
+
+
+def read_complete_lines(path, offset=0):
+    """Raw complete lines from a byte offset: ``(lines, next_offset)``.
+
+    The incremental read primitive behind live log tailing. Only
+    newline-*terminated* lines are returned — a torn tail (an append
+    caught mid-write) stays invisible until its newline lands, and
+    ``next_offset`` never advances past it, so the fragment is re-read
+    whole on the next call. Lines are raw ``bytes`` without their
+    newline, in file order, empty lines included (offset arithmetic is
+    exact: ``next_offset == offset + sum(len(line) + 1)``). A missing
+    file or an offset at/past the last newline yields ``([], offset)``
+    — callers poll, they do not error.
+    """
+    offset = max(0, int(offset))
+    try:
+        with open(path, "rb") as handle:
+            handle.seek(offset)
+            data = handle.read()
+    except FileNotFoundError:
+        return [], offset
+    end = data.rfind(b"\n")
+    if end < 0:
+        return [], offset
+    return data[:end].split(b"\n"), offset + end + 1
 
 
 def iter_journal(path):

@@ -20,13 +20,19 @@ point.
   threads running shards through the engine's stall-watchdog machinery,
   heartbeating into the store so stale claims can be reaped and adopted;
 * :mod:`~repro.service.api` — :class:`FaseService`, the stdlib-only
-  ``ThreadingHTTPServer`` JSON API;
+  ``ThreadingHTTPServer`` JSON API, including the worker-host
+  claim/report endpoints and the live ``/events`` tail;
+* :mod:`~repro.service.host` — :class:`WorkerHost`, a standalone
+  worker process that claims shards over HTTP, runs them through the
+  same stall-watchdog machinery, and reports results as JSON — the
+  service stays the single store writer;
 * :mod:`~repro.service.client` — :class:`ServiceClient`, the typed
-  Python client.
+  Python client (including :meth:`~ServiceClient.stream_events`, a
+  resumable live-tail generator).
 
-Entry points: ``repro serve`` / ``submit`` / ``jobs`` / ``cancel`` on
-the command line, or :class:`FaseService` + :class:`ServiceClient` in
-code::
+Entry points: ``repro serve`` / ``worker`` / ``submit`` / ``jobs`` /
+``watch`` / ``cancel`` on the command line, or :class:`FaseService` +
+:class:`ServiceClient` in code::
 
     with FaseService(root, tenants=[TenantPolicy("alice", weight=2.0)]) as svc:
         host, port = svc.start()
@@ -38,6 +44,7 @@ code::
 
 from .api import FaseService, config_from_request
 from .client import TERMINAL_STATES, ServiceClient
+from .host import WorkerHost, run_worker_host
 from .queue import (
     CANCELLED,
     CANCELLING,
@@ -68,5 +75,7 @@ __all__ = [
     "TERMINAL_STATES",
     "TenantPolicy",
     "WorkerFleet",
+    "WorkerHost",
     "config_from_request",
+    "run_worker_host",
 ]

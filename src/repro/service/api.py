@@ -1,27 +1,59 @@
 """The stdlib-only HTTP face of the campaign service.
 
 :class:`FaseService` composes the durable store, the fair-share
-scheduler, and the worker fleet, and serves a JSON API from a
-``ThreadingHTTPServer`` — no framework, no extra dependency:
+scheduler, and (optionally) an in-process worker fleet, and serves a
+JSON API from a ``ThreadingHTTPServer`` — no framework, no extra
+dependency:
 
-=========  ==========================  =======================================
-method     path                        body / response
-=========  ==========================  =======================================
-``POST``   ``/jobs``                   submit a campaign spec → ``{job_id}``
-``GET``    ``/jobs``                   every job's status summary
-``GET``    ``/jobs/{id}``              status + per-shard progress + merged
-                                       :class:`~repro.telemetry.MetricsSnapshot`
-``GET``    ``/jobs/{id}/result``       the aggregated
-                                       :class:`~repro.survey.SurveyReport`
-                                       as JSON (never a pickle)
-``POST``   ``/jobs/{id}/cancel``       cooperative cancellation
-``GET``    ``/jobs/{id}/events``       the job's telemetry JSONL stream
-``GET``    ``/tenants/{id}``           quota usage
-=========  ==========================  =======================================
+=========  ================================  ===============================
+method     path                              body / response
+=========  ================================  ===============================
+``POST``   ``/jobs``                         submit a campaign spec →
+                                             ``{job_id}``
+``GET``    ``/jobs``                         every job's status summary
+``GET``    ``/jobs/{id}``                    status + per-shard progress +
+                                             merged metrics
+``GET``    ``/jobs/{id}/result``             the aggregated
+                                             :class:`~repro.survey.SurveyReport`
+                                             as JSON (never a pickle)
+``POST``   ``/jobs/{id}/cancel``             cooperative cancellation
+``GET``    ``/jobs/{id}/events``             the job's event stream;
+                                             ``?offset=N`` resumes,
+                                             ``?follow=1`` live-tails
+                                             (chunked NDJSON envelopes)
+``POST``   ``/claims``                       claim one shard for a remote
+                                             worker host → spec as JSON
+``POST``   ``/jobs/{id}/shards/{s}/result``  report a finished shard
+``POST``   ``/jobs/{id}/shards/{s}/fail``    report a failed shard
+``POST``   ``/jobs/{id}/shards/{s}/release`` give a claim back uncharged
+``PUT``    ``/workers/{name}/heartbeat``     worker-host liveness beat
+``GET``    ``/workers``                      per-worker lifecycle counters
+``GET``    ``/tenants/{id}``                 quota usage
+=========  ================================  ===============================
+
+The claim/report endpoints are what turn the service into a *hub* for
+:class:`~repro.service.host.WorkerHost` processes: remote hosts run the
+shards, but every store transition still happens here, in the single
+writer process — the journal's crash-safety story is unchanged.
 
 Every response is JSON except ``/events`` (``application/x-ndjson``).
 Unknown jobs/tenants are 404, malformed requests 400 — always with an
 ``{"error": ...}`` body.
+
+**Event streaming.** A plain ``GET /jobs/{id}/events`` answers a
+snapshot of every *complete* line from ``?offset=`` (default 0) with
+the next resume offset in the ``X-Fase-Events-Offset`` header — a torn
+final line (an append caught mid-write) is withheld until its newline
+lands, never served as garbage. With ``?follow=1`` the response is a
+chunked NDJSON live tail of envelopes::
+
+    {"offset": 123, "event": {...}}   # one event; offset = resume point
+    {"offset": 123}                   # keepalive (nothing new)
+    {"offset": 456, "end": "completed"}  # job went terminal; stream done
+
+Offsets are byte offsets into the job's events log, valid across
+reconnects — pass the last seen ``offset`` back as ``?offset=`` to
+resume without replay or loss.
 """
 
 from __future__ import annotations
@@ -29,11 +61,17 @@ from __future__ import annotations
 import dataclasses
 import json
 import threading
+import time
+import urllib.parse
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 from ..core.config import FaseConfig
 from ..errors import ReproError, ServiceError
-from .queue import JobStore
+from ..journalutil import read_complete_lines
+from ..survey.manifest import shard_result_from_dict
+from ..survey.report import SHARD_ERROR
+from ..survey.shards import shard_spec_to_dict
+from .queue import CANCELLED, COMPLETED, JobStore
 from .scheduler import FairShareScheduler
 from .workers import WorkerFleet
 
@@ -62,11 +100,20 @@ class FaseService:
 
     ``tenants`` is an iterable of
     :class:`~repro.service.scheduler.TenantPolicy`; unregistered tenants
-    are admitted with default policy. ``workers`` sizes the fleet,
-    ``shard_timeout_s`` arms its stall watchdog, ``shard_fn`` swaps the
-    shard body in tests. Use as a context manager or call
+    are admitted with default policy. ``workers`` sizes the in-process
+    fleet — ``workers=0`` runs a *hub-only* service with no local
+    workers at all, for deployments where every shard runs on remote
+    :class:`~repro.service.host.WorkerHost` processes (the service then
+    reaps stale host claims itself when ``reap_after_s`` is set).
+    ``shard_timeout_s`` arms the fleet's stall watchdog, ``shard_fn``
+    swaps the shard body in tests. Use as a context manager or call
     :meth:`start`/:meth:`stop`.
     """
+
+    #: Live-tail pacing: how often a follow stream polls the events log,
+    #: and how long it stays silent before writing a keepalive envelope.
+    stream_poll_s = 0.1
+    stream_keepalive_s = 2.0
 
     def __init__(
         self,
@@ -81,16 +128,23 @@ class FaseService:
     ):
         self.scheduler = FairShareScheduler(tenants, aging_decisions=aging_decisions)
         self.store = JobStore(root, scheduler=self.scheduler)
-        self.fleet = WorkerFleet(
-            self.store,
-            workers=workers,
-            shard_fn=shard_fn,
-            shard_timeout_s=shard_timeout_s,
-            reap_after_s=reap_after_s,
-        )
+        self.fleet = None
+        if workers:
+            self.fleet = WorkerFleet(
+                self.store,
+                workers=workers,
+                shard_fn=shard_fn,
+                shard_timeout_s=shard_timeout_s,
+                reap_after_s=reap_after_s,
+            )
+        self.reap_after_s = reap_after_s
         self.server_name = server_name
         self._httpd = None
         self._http_thread = None
+        self._reaper_thread = None
+        # Set on stop(): follow-stream handlers and the hub reaper poll
+        # it so a shutdown does not hang on an open live tail.
+        self._stopping = threading.Event()
 
     # -- lifecycle ----------------------------------------------------
 
@@ -100,8 +154,17 @@ class FaseService:
         Returns ``(host, port)`` with the actual bound port — pass
         ``port=0`` to let the OS choose (the test tier does).
         """
+        self._stopping.clear()
         self.store.open(server_name=self.server_name)
-        self.fleet.start()
+        if self.fleet is not None:
+            self.fleet.start()
+        elif self.reap_after_s is not None:
+            # Hub-only service: no fleet thread ever reaps, so the
+            # service sweeps stale remote-host claims itself.
+            self._reaper_thread = threading.Thread(
+                target=self._reap_loop, name="fase-reaper", daemon=True
+            )
+            self._reaper_thread.start()
         handler = _make_handler(self)
         self._httpd = ThreadingHTTPServer((host, port), handler)
         self._httpd.daemon_threads = True
@@ -112,6 +175,7 @@ class FaseService:
         return self._httpd.server_address[:2]
 
     def stop(self):
+        self._stopping.set()
         if self._httpd is not None:
             self._httpd.shutdown()
             self._httpd.server_close()
@@ -119,7 +183,16 @@ class FaseService:
         if self._http_thread is not None:
             self._http_thread.join(timeout=10.0)
             self._http_thread = None
-        self.fleet.stop()
+        if self._reaper_thread is not None:
+            self._reaper_thread.join(timeout=10.0)
+            self._reaper_thread = None
+        if self.fleet is not None:
+            self.fleet.stop()
+
+    def _reap_loop(self):
+        interval = self.reap_after_s / 2.0
+        while not self._stopping.wait(interval):
+            self.store.reap_stale_claims(self.reap_after_s)
 
     def __enter__(self):
         return self
@@ -153,6 +226,78 @@ class FaseService:
 
     def job_result_json(self, job_id):
         return self.store.job_report(job_id).to_dict()
+
+    def claim_shard(self, body):
+        """One remote claim: heartbeat the host, pick a shard, wire it.
+
+        The claim poll doubles as a liveness beat — a host that keeps
+        asking for work is by definition alive, even between shards.
+        """
+        worker = body.get("worker")
+        if not worker or not isinstance(worker, str):
+            raise ServiceError("a claim needs a non-empty worker name")
+        self.store.worker_heartbeat(worker)
+        claimed = self.store.claim(worker)
+        if claimed is None:
+            return {"claim": None}
+        return {
+            "claim": {
+                "job_id": claimed.job_id,
+                "tenant": claimed.tenant,
+                "max_shard_retries": claimed.max_shard_retries,
+                "spec": shard_spec_to_dict(claimed.spec),
+            }
+        }
+
+    def report_result(self, job_id, shard_id, body):
+        worker = body.get("worker")
+        if not worker or not isinstance(worker, str):
+            raise ServiceError("a shard report needs a non-empty worker name")
+        data = body.get("result")
+        if not isinstance(data, dict):
+            raise ServiceError("a shard result report needs a 'result' object")
+        if data.get("shard_id") != shard_id:
+            raise ServiceError(
+                f"result is for shard {data.get('shard_id')!r}, "
+                f"not the addressed {shard_id!r}"
+            )
+        self.store.shard_spec(job_id, shard_id)  # 404 before any mutation
+        elapsed_s = body.get("elapsed_s")
+        self.store.complete_shard(
+            job_id,
+            shard_id,
+            shard_result_from_dict(data),
+            worker,
+            elapsed_s=None if elapsed_s is None else float(elapsed_s),
+        )
+        return {"job_id": job_id, "shard_id": shard_id, "state": self.store.job_state(job_id)}
+
+    def report_failure(self, job_id, shard_id, body):
+        worker = body.get("worker")
+        if not worker or not isinstance(worker, str):
+            raise ServiceError("a shard report needs a non-empty worker name")
+        self.store.shard_spec(job_id, shard_id)
+        self.store.fail_shard(
+            job_id,
+            shard_id,
+            str(body.get("kind") or SHARD_ERROR),
+            str(body.get("detail") or "remote worker reported a failure"),
+            worker,
+        )
+        return {"job_id": job_id, "shard_id": shard_id, "state": self.store.job_state(job_id)}
+
+    def release_claim(self, job_id, shard_id, body):
+        worker = body.get("worker")
+        if not worker or not isinstance(worker, str):
+            raise ServiceError("a release needs a non-empty worker name")
+        self.store.shard_spec(job_id, shard_id)
+        self.store.release_shard(
+            job_id,
+            shard_id,
+            worker,
+            str(body.get("detail") or "released by its worker host"),
+        )
+        return {"job_id": job_id, "shard_id": shard_id, "state": self.store.job_state(job_id)}
 
 
 def _make_handler(service):
@@ -190,8 +335,11 @@ def _make_handler(service):
             return body
 
         def _route(self):
-            parts = [part for part in self.path.split("?")[0].split("/") if part]
-            return parts
+            path = urllib.parse.urlsplit(self.path).path
+            return [urllib.parse.unquote(part) for part in path.split("/") if part]
+
+        def _query(self):
+            return urllib.parse.parse_qs(urllib.parse.urlsplit(self.path).query)
 
         # -- verbs ----------------------------------------------------
 
@@ -213,11 +361,13 @@ def _make_handler(service):
                     return self._send_json(service.job_result_json(parts[1]))
                 if len(parts) == 3 and parts[0] == "jobs" and parts[2] == "events":
                     return self._send_events(parts[1])
+                if parts == ["workers"]:
+                    return self._send_json({"workers": service.store.worker_stats()})
                 if len(parts) == 2 and parts[0] == "tenants":
                     return self._send_json(service.store.tenant_usage(parts[1]))
                 self._send_error(f"no such resource: {self.path}", 404)
             except ServiceError as exc:
-                self._send_error(str(exc), 404 if "unknown job" in str(exc) else 400)
+                self._send_error(str(exc), 404 if _is_missing(exc) else 400)
             except ReproError as exc:
                 self._send_error(str(exc), 400)
             except (ValueError, TypeError) as exc:
@@ -228,12 +378,23 @@ def _make_handler(service):
             try:
                 if parts == ["jobs"]:
                     return self._send_json(service.submit_job(self._read_body()), status=201)
+                if parts == ["claims"]:
+                    return self._send_json(service.claim_shard(self._read_body()))
                 if len(parts) == 3 and parts[0] == "jobs" and parts[2] == "cancel":
                     state = service.store.cancel(parts[1])
                     return self._send_json({"job_id": parts[1], "state": state})
+                if len(parts) == 5 and parts[0] == "jobs" and parts[2] == "shards":
+                    job_id, shard_id, action = parts[1], parts[3], parts[4]
+                    body = self._read_body()
+                    if action == "result":
+                        return self._send_json(service.report_result(job_id, shard_id, body))
+                    if action == "fail":
+                        return self._send_json(service.report_failure(job_id, shard_id, body))
+                    if action == "release":
+                        return self._send_json(service.release_claim(job_id, shard_id, body))
                 self._send_error(f"no such resource: {self.path}", 404)
             except ServiceError as exc:
-                self._send_error(str(exc), 404 if "unknown job" in str(exc) else 400)
+                self._send_error(str(exc), 404 if _is_missing(exc) else 400)
             except ReproError as exc:
                 self._send_error(str(exc), 400)
             except (ValueError, TypeError) as exc:
@@ -242,16 +403,95 @@ def _make_handler(service):
                 # drop the connection with a server-side traceback.
                 self._send_error(f"malformed request: {exc}", 400)
 
-        def _send_events(self, job_id):
-            path = service.store.events_path(job_id)
+        def do_PUT(self):
+            parts = self._route()
             try:
-                data = path.read_bytes()
-            except OSError:
-                data = b""
+                if len(parts) == 3 and parts[0] == "workers" and parts[2] == "heartbeat":
+                    service.store.worker_heartbeat(parts[1])
+                    return self._send_json({"worker": parts[1], "ok": True})
+                self._send_error(f"no such resource: {self.path}", 404)
+            except ReproError as exc:
+                self._send_error(str(exc), 400)
+
+        # -- the events stream ----------------------------------------
+
+        def _send_events(self, job_id):
+            query = self._query()
+            try:
+                offset = int(query.get("offset", ["0"])[0])
+            except ValueError as exc:
+                raise ServiceError(f"offset must be an integer: {exc}") from exc
+            follow = query.get("follow", ["0"])[0] not in ("", "0", "false")
+            path = service.store.events_path(job_id)  # 404s before headers
+            if not follow:
+                return self._send_events_snapshot(path, offset)
+            self._stream_events(job_id, path, offset)
+
+        def _send_events_snapshot(self, path, offset):
+            lines, next_offset = read_complete_lines(path, offset)
+            body = b"".join(line + b"\n" for line in lines)
             self.send_response(200)
             self.send_header("Content-Type", "application/x-ndjson")
-            self.send_header("Content-Length", str(len(data)))
+            self.send_header("Content-Length", str(len(body)))
+            self.send_header("X-Fase-Events-Offset", str(next_offset))
             self.end_headers()
-            self.wfile.write(data)
+            self.wfile.write(body)
+
+        def _chunk(self, payload):
+            self.wfile.write(f"{len(payload):x}\r\n".encode("ascii") + payload + b"\r\n")
+            self.wfile.flush()
+
+        def _envelope(self, **fields):
+            self._chunk(json.dumps(fields, sort_keys=True).encode("utf-8") + b"\n")
+
+        def _stream_events(self, job_id, path, offset):
+            """Chunked NDJSON live tail; ends when the job goes terminal.
+
+            Each event rides an envelope carrying the byte offset *after*
+            its line — the client's resume token. Unparseable lines (a
+            sealed fragment, interior damage) are skipped but still
+            advance the offset, so a bad line can never wedge the tail.
+            """
+            self.send_response(200)
+            self.send_header("Content-Type", "application/x-ndjson")
+            self.send_header("Transfer-Encoding", "chunked")
+            self.end_headers()
+            pos = max(0, int(offset))
+            quiet_s = 0.0
+            try:
+                while True:
+                    # State first, batch second: the terminal transition
+                    # and its final event are written under one store
+                    # lock, so a post-terminal read drains everything.
+                    state = service.store.job_state(job_id)
+                    lines, next_pos = read_complete_lines(path, pos)
+                    for line in lines:
+                        pos += len(line) + 1
+                        try:
+                            event = json.loads(line)
+                        except ValueError:
+                            continue
+                        self._envelope(offset=pos, event=event)
+                    pos = next_pos
+                    if lines:
+                        quiet_s = 0.0
+                    elif state in (COMPLETED, CANCELLED):
+                        self._envelope(offset=pos, end=state)
+                        break
+                    if service._stopping.is_set():
+                        break
+                    if quiet_s >= service.stream_keepalive_s:
+                        self._envelope(offset=pos)
+                        quiet_s = 0.0
+                    time.sleep(service.stream_poll_s)
+                    quiet_s += service.stream_poll_s
+                self._chunk(b"")  # the chunked-encoding terminator
+            except OSError:
+                return  # the client went away; nothing to clean up
 
     return Handler
+
+
+def _is_missing(exc):
+    text = str(exc)
+    return "unknown job" in text or "has no shard" in text

@@ -10,17 +10,27 @@ never carries a pickle.
 
 from __future__ import annotations
 
+import http.client
 import json
 import time
 import urllib.error
+import urllib.parse
 import urllib.request
 
 from ..errors import ServiceError
 from ..io import _config_to_dict
+from ..survey.manifest import shard_result_to_dict
 from ..survey.report import SurveyReport
+from ..survey.shards import shard_spec_from_dict
+from .queue import ClaimedShard
 
 #: Job states a poll loop treats as final.
 TERMINAL_STATES = ("completed", "cancelled")
+
+
+def _quote(segment):
+    """A value as one URL path segment (shard ids carry ``:``)."""
+    return urllib.parse.quote(segment, safe="")
 
 
 class ServiceClient:
@@ -50,7 +60,9 @@ class ServiceClient:
                 detail = json.loads(detail).get("error", detail)
             except ValueError:
                 pass
-            raise ServiceError(f"{method} {path} failed ({exc.code}): {detail}") from exc
+            error = ServiceError(f"{method} {path} failed ({exc.code}): {detail}")
+            error.status = exc.code  # callers distinguish 4xx from outages
+            raise error from exc
         except urllib.error.URLError as exc:
             raise ServiceError(f"{method} {path} failed: {exc.reason}") from exc
 
@@ -104,9 +116,13 @@ class ServiceClient:
     def tenant(self, tenant):
         return self._json("GET", f"/tenants/{tenant}")
 
-    def events(self, job_id):
-        """The job's telemetry JSONL, parsed (a torn tail is skipped)."""
-        raw = self._request("GET", f"/jobs/{job_id}/events")
+    def events(self, job_id, offset=0):
+        """The job's event snapshot from ``offset``, parsed.
+
+        The server only serves *complete* lines (a torn tail is
+        withheld, not mangled); unparseable interior lines are skipped.
+        """
+        raw = self._request("GET", f"/jobs/{job_id}/events?offset={int(offset)}")
         records = []
         for line in raw.splitlines():
             if not line.strip():
@@ -116,6 +132,114 @@ class ServiceClient:
             except ValueError:
                 continue
         return records
+
+    def stream_events(self, job_id, offset=0, reconnects=3):
+        """Live-tail a job's events: yields each event dict as it lands.
+
+        A generator over the chunked ``?follow=1`` stream. Keepalive
+        envelopes are consumed internally; the generator ends when the
+        job reaches a terminal state (its return value is that state,
+        e.g. ``"completed"``). A dropped connection reconnects from the
+        last seen byte offset — no events replayed, none lost — up to
+        ``reconnects`` consecutive failures before raising.
+        """
+        pos = int(offset)
+        failures = 0
+        while True:
+            url = f"{self.base_url}/jobs/{job_id}/events?offset={pos}&follow=1"
+            request = urllib.request.Request(
+                url, headers={"Accept": "application/x-ndjson"}
+            )
+            try:
+                with urllib.request.urlopen(request, timeout=self.timeout_s) as response:
+                    for raw in response:
+                        if not raw.strip():
+                            continue
+                        try:
+                            envelope = json.loads(raw)
+                        except ValueError:
+                            continue
+                        failures = 0
+                        pos = int(envelope.get("offset", pos))
+                        if "end" in envelope:
+                            return envelope["end"]
+                        event = envelope.get("event")
+                        if event is not None:
+                            yield event
+            except urllib.error.HTTPError as exc:
+                detail = exc.read().decode("utf-8", "replace")
+                try:
+                    detail = json.loads(detail).get("error", detail)
+                except ValueError:
+                    pass
+                raise ServiceError(
+                    f"GET /jobs/{job_id}/events failed ({exc.code}): {detail}"
+                ) from exc
+            except (urllib.error.URLError, OSError, http.client.HTTPException) as exc:
+                failures += 1
+                if failures > reconnects:
+                    raise ServiceError(
+                        f"event stream for {job_id!r} failed: {exc}"
+                    ) from exc
+                time.sleep(0.2)
+                continue
+            # The server ended the stream without a terminal marker
+            # (service shutdown mid-tail): resume from the last offset.
+            failures += 1
+            if failures > reconnects:
+                raise ServiceError(
+                    f"event stream for {job_id!r} ended before the job did"
+                )
+            time.sleep(0.2)
+
+    # -- the worker-host wire (used by repro.service.host) ------------
+
+    def claim(self, worker):
+        """Claim one funded shard; ``None`` when no work is available.
+
+        The revived :class:`~repro.service.queue.ClaimedShard` carries a
+        real :class:`~repro.survey.shards.ShardSpec` — host-local fields
+        (heartbeat path, checkpoint dir) are unset; the host fills in
+        its own.
+        """
+        payload = self._json("POST", "/claims", {"worker": worker})
+        claim = payload.get("claim")
+        if claim is None:
+            return None
+        return ClaimedShard(
+            job_id=claim["job_id"],
+            tenant=claim["tenant"],
+            spec=shard_spec_from_dict(claim["spec"]),
+            max_shard_retries=int(claim["max_shard_retries"]),
+        )
+
+    def report_result(self, job_id, shard_id, result, worker, elapsed_s=None):
+        """Report a finished shard; the result travels as JSON."""
+        if not isinstance(result, dict):
+            result = shard_result_to_dict(result)
+        body = {"worker": worker, "result": result, "elapsed_s": elapsed_s}
+        return self._json(
+            "POST", f"/jobs/{job_id}/shards/{_quote(shard_id)}/result", body
+        )
+
+    def report_failure(self, job_id, shard_id, kind, detail, worker):
+        body = {"worker": worker, "kind": kind, "detail": detail}
+        return self._json(
+            "POST", f"/jobs/{job_id}/shards/{_quote(shard_id)}/fail", body
+        )
+
+    def release(self, job_id, shard_id, worker, detail):
+        body = {"worker": worker, "detail": detail}
+        return self._json(
+            "POST", f"/jobs/{job_id}/shards/{_quote(shard_id)}/release", body
+        )
+
+    def heartbeat(self, worker):
+        return self._json("PUT", f"/workers/{_quote(worker)}/heartbeat")
+
+    def workers(self):
+        """Per-worker lifecycle counters and liveness, fleet and hosts."""
+        return self._json("GET", "/workers")["workers"]
 
     def wait(self, job_id, timeout_s=60.0, poll_s=0.1):
         """Poll until the job is terminal; returns its final status.

@@ -1,0 +1,272 @@
+"""Standalone worker hosts: remote processes draining service shards.
+
+A :class:`WorkerHost` is the out-of-process counterpart of one
+:class:`~repro.service.workers.WorkerFleet` thread. It connects to a
+running :class:`~repro.service.api.FaseService` over plain HTTP and
+loops claim → run → report:
+
+* **claim** — ``POST /claims`` hands back one funded
+  :class:`~repro.survey.shards.ShardSpec` in wire (JSON) form; the
+  host revives it and fills in its own local plumbing (a stall-watchdog
+  heartbeat file under its scratch dir — job-namespaced, the same
+  discipline as the in-process fleet);
+* **run** — the shard executes through the *same* machinery as
+  everywhere else: :func:`~repro.survey.shards.run_shard` inline, or in
+  a killable single-worker ``fork`` pool under the engine's
+  heartbeat-extended stall watchdog when ``shard_timeout_s`` is armed;
+* **report** — the result rides back as JSON
+  (``POST /jobs/{id}/shards/{shard}/result``), failures carry the
+  engine's ledger vocabulary (``shard-error`` / ``shard-stalled`` /
+  ``worker-death``), and a background thread PUTs heartbeats so the
+  service can reap the claims of a host that dies mid-shard.
+
+The service process stays the **single store writer**: a host never
+touches the journal, so every crash-safety invariant the store proves
+in-process carries over unchanged to a fleet of remote hosts. Shard
+purity does the rest — a host SIGKILLed mid-shard loses nothing, its
+claim is reaped, another host adopts the shard, and the re-run is
+byte-identical.
+
+Entry points: ``fase worker --connect URL`` on the command line, or
+:func:`run_worker_host` / :class:`WorkerHost` in code.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import shutil
+import socket
+import tempfile
+import threading
+import time
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import replace
+from pathlib import Path
+
+from ..errors import ServiceError
+from ..runner import journal_dirname
+from ..survey.engine import _await_or_kill, _ShardStalled, _stall_detail
+from ..survey.report import SHARD_ERROR, SHARD_STALLED, WORKER_DEATH
+from ..survey.shards import run_shard
+from .client import ServiceClient
+
+
+def default_host_name():
+    """A host identity unique per (machine, process): claims key on it."""
+    return f"host-{socket.gethostname()}-{os.getpid()}"
+
+
+class WorkerHost:
+    """One worker-host process draining shards from a remote service.
+
+    ``shard_fn`` swaps the shard body in tests (module-level,
+    picklable). ``shard_timeout_s`` arms the stall watchdog (shards
+    then run in killable single-worker pools). ``idle_exit_s`` makes
+    the host exit after that long with no claimable work — the natural
+    shutdown for batch campaigns; ``max_shards`` bounds the host's
+    lifetime by work instead. ``workdir`` holds the host's scratch
+    (heartbeat files); a temp dir is created (and removed) when unset.
+    """
+
+    def __init__(
+        self,
+        base_url,
+        name=None,
+        workdir=None,
+        shard_fn=None,
+        shard_timeout_s=None,
+        poll_interval_s=0.25,
+        heartbeat_interval_s=1.0,
+        idle_exit_s=None,
+        max_shards=None,
+        timeout_s=30.0,
+        max_consecutive_errors=30,
+        verbose=False,
+    ):
+        self.client = ServiceClient(base_url, timeout_s=timeout_s)
+        self.name = name or default_host_name()
+        self.workdir = None if workdir is None else Path(workdir)
+        self.shard_fn = shard_fn or run_shard
+        self.shard_timeout_s = shard_timeout_s
+        self.poll_interval_s = poll_interval_s
+        self.heartbeat_interval_s = heartbeat_interval_s
+        self.idle_exit_s = idle_exit_s
+        self.max_shards = max_shards
+        self.max_consecutive_errors = max_consecutive_errors
+        self.verbose = verbose
+        self.completed = 0
+        self.failed = 0
+        self._stop = threading.Event()
+
+    # -- lifecycle ----------------------------------------------------
+
+    def stop(self):
+        """Cooperative: the in-flight shard finishes, then the loop exits."""
+        self._stop.set()
+
+    def run(self):
+        """The host's whole life; returns its counters when it exits.
+
+        Transient service errors (a restarting hub, a network blip) are
+        retried with the poll cadence; ``max_consecutive_errors`` in a
+        row raise — a host that can never reach its service should die
+        loudly, not spin forever.
+        """
+        self._stop.clear()
+        own_workdir = self.workdir is None
+        if own_workdir:
+            self.workdir = Path(tempfile.mkdtemp(prefix="fase-host-"))
+        else:
+            self.workdir.mkdir(parents=True, exist_ok=True)
+        beats = threading.Thread(
+            target=self._beat_loop, name=f"{self.name}-hb", daemon=True
+        )
+        beats.start()
+        idle_since = time.monotonic()
+        errors = 0
+        try:
+            while not self._stop.is_set():
+                if (
+                    self.max_shards is not None
+                    and self.completed + self.failed >= self.max_shards
+                ):
+                    break
+                try:
+                    claimed = self.client.claim(self.name)
+                except ServiceError as exc:
+                    errors += 1
+                    if errors > self.max_consecutive_errors:
+                        raise ServiceError(
+                            f"host {self.name!r} gave up after "
+                            f"{errors} consecutive service errors: {exc}"
+                        ) from exc
+                    self._stop.wait(self.poll_interval_s)
+                    continue
+                errors = 0
+                if claimed is None:
+                    if (
+                        self.idle_exit_s is not None
+                        and time.monotonic() - idle_since >= self.idle_exit_s
+                    ):
+                        break
+                    self._stop.wait(self.poll_interval_s)
+                    continue
+                self._run_claim(claimed)
+                idle_since = time.monotonic()
+        finally:
+            self._stop.set()
+            beats.join(timeout=5.0)
+            if own_workdir:
+                shutil.rmtree(self.workdir, ignore_errors=True)
+                self.workdir = None
+        return {"host": self.name, "completed": self.completed, "failed": self.failed}
+
+    def _beat_loop(self):
+        while not self._stop.wait(self.heartbeat_interval_s):
+            try:
+                self.client.heartbeat(self.name)
+            except ServiceError:
+                pass  # liveness is advisory; the claim loop owns give-up
+
+    # -- one claim ----------------------------------------------------
+
+    def _localize(self, claimed):
+        """Fill in this host's local plumbing on a wire-revived spec."""
+        if self.shard_timeout_s is None:
+            return claimed.spec
+        name = journal_dirname(f"{claimed.job_id}:{claimed.spec.shard_id}")
+        return replace(
+            claimed.spec, heartbeat_path=str(self.workdir / f"{name}.shard.hb")
+        )
+
+    def _run_claim(self, claimed):
+        spec = self._localize(claimed)
+        started = time.monotonic()
+        try:
+            if self.shard_timeout_s is None:
+                result = self.shard_fn(spec)
+            else:
+                result = self._run_watched(spec)
+        except _ShardStalled:
+            self._report_failure(
+                claimed, SHARD_STALLED, _stall_detail(self.shard_timeout_s)
+            )
+        except BrokenProcessPool:
+            self._report_failure(
+                claimed, WORKER_DEATH, "worker process died running this shard"
+            )
+        except Exception as exc:  # noqa: BLE001 - every shard error is ledgered
+            self._report_failure(claimed, SHARD_ERROR, str(exc))
+        else:
+            self._report_result(claimed, result, time.monotonic() - started)
+
+    def _run_watched(self, spec):
+        """One shard in a killable single-worker pool under the watchdog."""
+        context = multiprocessing.get_context("fork")
+        with ProcessPoolExecutor(max_workers=1, mp_context=context) as pool:
+            future = pool.submit(self.shard_fn, spec)
+            return _await_or_kill(future, spec, pool, self.shard_timeout_s)
+
+    # -- reporting ----------------------------------------------------
+
+    def _report_result(self, claimed, result, elapsed_s):
+        ok = self._report(
+            lambda: self.client.report_result(
+                claimed.job_id,
+                claimed.spec.shard_id,
+                result,
+                self.name,
+                elapsed_s=elapsed_s,
+            )
+        )
+        if ok:
+            self.completed += 1
+            self._say(
+                f"{claimed.job_id} {claimed.spec.shard_id}: completed "
+                f"in {elapsed_s:.2f}s"
+            )
+
+    def _report_failure(self, claimed, kind, detail):
+        ok = self._report(
+            lambda: self.client.report_failure(
+                claimed.job_id, claimed.spec.shard_id, kind, detail, self.name
+            )
+        )
+        if ok:
+            self.failed += 1
+            self._say(f"{claimed.job_id} {claimed.spec.shard_id}: {kind} ({detail})")
+
+    def _report(self, send, attempts=3):
+        """Deliver one report, with retries; ``False`` when undeliverable.
+
+        A report the service never hears is not data loss: the claim
+        goes silent, the reaper releases it, and the re-run is
+        byte-identical (shard purity). The host just moves on.
+        """
+        for attempt in range(attempts):
+            try:
+                send()
+                return True
+            except ServiceError as exc:
+                status = getattr(exc, "status", None)
+                if status is not None and 400 <= status < 500:
+                    # A 4xx is the service *rejecting* the report (the
+                    # job is gone, the payload is malformed) — final,
+                    # not retryable.
+                    self._say(f"report rejected: {exc}")
+                    return False
+                if attempt + 1 < attempts:
+                    self._stop.wait(self.poll_interval_s)
+        self._say(f"report undeliverable after {attempts} attempts; moving on")
+        return False
+
+    def _say(self, message):
+        if self.verbose:
+            print(f"[{self.name}] {message}", flush=True)
+
+
+def run_worker_host(base_url, **kwargs):
+    """Run one :class:`WorkerHost` to completion; returns its counters."""
+    return WorkerHost(base_url, **kwargs).run()

@@ -148,6 +148,7 @@ class _JobState:
     skipped: set = field(default_factory=set)
     cancelled_shards: set = field(default_factory=set)
     funded: set = field(default_factory=set)  # shard ids charged to the budget
+    worker_shards: dict = field(default_factory=dict)  # worker -> shards completed
 
     def spec_for(self, shard_id):
         for spec in self.shard_specs:
@@ -188,6 +189,14 @@ class JobStore:
         # a brand-new tenant ages from parity, not from decision zero.
         self.last_claim_decision = {}
         self.charged = {}  # tenant -> fairness charge (total claims)
+        #: Liveness clock per worker, in ``time.monotonic()`` seconds.
+        #: Reaping ages claims against THIS map, never the wall clock:
+        #: an NTP step must not mass-release healthy claims (forward)
+        #: or keep a dead worker's claim forever (backward). The
+        #: ``workers/<name>.hb`` file mtime is kept purely for display.
+        self._worker_beats = {}
+        self._worker_counts = {}  # worker -> lifecycle counters
+        self.reap_calls = 0  # lock acquisitions by reap_stale_claims
         self._seq = 0
         self._lock = threading.RLock()
 
@@ -286,12 +295,19 @@ class JobStore:
                 # already came back from the manifest during _admit.
                 job.state = RUNNING
             self._account_claim(job.spec.tenant, job, shard_id)
+            self._count_worker(record["worker"], "claimed")
         elif kind == "progress":
             job = self.jobs.get(record["job_id"])
             if job is None:
                 return
             shard_id = record["shard_id"]
             job.claims.pop(shard_id, None)
+            worker = record.get("worker")
+            if worker:
+                key = "completed" if record.get("status") == "completed" else "failed"
+                self._count_worker(worker, key)
+                if key == "completed":
+                    job.worker_shards[worker] = job.worker_shards.get(worker, 0) + 1
             if record.get("status") == "completed":
                 # The result itself came back from the job's manifest in
                 # _admit; a progress record whose result was torn away
@@ -314,6 +330,8 @@ class JobStore:
                 return
             shard_id = record["shard_id"]
             job.claims.pop(shard_id, None)
+            if record.get("worker"):
+                self._count_worker(record["worker"], "released")
             if job.state in (CANCELLING, CANCELLED):
                 # Mirror _release_locked: a claim released after the
                 # cancel joins the cancellation instead of resurrecting
@@ -346,6 +364,12 @@ class JobStore:
             if job is not None:
                 job.state = COMPLETED
         # restart / unknown kinds: informational or future; ignored.
+
+    def _count_worker(self, worker, key):
+        counts = self._worker_counts.setdefault(
+            worker, {"claimed": 0, "completed": 0, "failed": 0, "released": 0}
+        )
+        counts[key] += 1
 
     def _account_claim(self, tenant, job, shard_id):
         self.decision += 1
@@ -560,6 +584,11 @@ class JobStore:
                 if job.state == QUEUED:
                     job.state = RUNNING
                 self._account_claim(tenant, job, shard_id)
+                self._count_worker(worker, "claimed")
+                # A claim is proof of life: seed the liveness clock so a
+                # reap racing the worker's first heartbeat cannot release
+                # (and double-run) a shard the worker just accepted.
+                self._worker_beats[worker] = time.monotonic()
                 self._emit_event(job, "shard-claimed", shard=shard_id, worker=worker)
                 return ClaimedShard(
                     job_id=job.spec.job_id,
@@ -568,12 +597,14 @@ class JobStore:
                     max_shard_retries=job.spec.max_shard_retries,
                 )
 
-    def complete_shard(self, job_id, shard_id, result, worker):
+    def complete_shard(self, job_id, shard_id, result, worker, elapsed_s=None):
         """A worker finished a shard. Result first, transition second.
 
         The manifest append is durable before the ``progress`` record,
         so a kill between the two can only lose the *transition* — and
         replay re-marks the shard completed from the manifest.
+        ``elapsed_s`` (a worker-host's self-reported shard wall-clock)
+        rides only the advisory event stream, never the journal.
         """
         with self._lock:
             job = self._job(job_id)
@@ -588,7 +619,12 @@ class JobStore:
             })
             job.claims.pop(shard_id, None)
             job.results[shard_id] = result
-            self._emit_event(job, "shard-finished", shard=shard_id, worker=worker)
+            job.worker_shards[worker] = job.worker_shards.get(worker, 0) + 1
+            self._count_worker(worker, "completed")
+            attrs = {"shard": shard_id, "worker": worker}
+            if elapsed_s is not None:
+                attrs["elapsed_s"] = round(float(elapsed_s), 6)
+            self._emit_event(job, "shard-finished", **attrs)
             self._maybe_finalize_locked(job)
 
     def fail_shard(self, job_id, shard_id, kind, detail, worker):
@@ -614,6 +650,7 @@ class JobStore:
             })
             job.claims.pop(shard_id, None)
             job.failures[shard_id] = n
+            self._count_worker(worker, "failed")
             if n > job.spec.max_shard_retries:
                 job.abandoned.add(shard_id)
             elif shard_id not in job.pending and not job.settled(shard_id):
@@ -638,6 +675,7 @@ class JobStore:
             "detail": detail,
         })
         job.claims.pop(shard_id, None)
+        self._count_worker(worker, "released")
         if job.state == CANCELLING:
             # The cancellation already claimed this job's future work; a
             # released claim joins it instead of returning to pending.
@@ -681,12 +719,23 @@ class JobStore:
         elif not job.pending:
             self._append({"kind": "complete", "job_id": job.spec.job_id})
             job.state = COMPLETED
-            self._emit_event(job, "job-completed", n_results=len(job.results))
+            self._emit_event(
+                job,
+                "job-completed",
+                n_results=len(job.results),
+                workers=dict(sorted(job.worker_shards.items())),
+            )
 
     # -- workers ------------------------------------------------------
 
     def worker_heartbeat(self, worker):
-        """Advisory liveness: touch ``workers/<name>.hb`` (never fails)."""
+        """Record worker liveness: monotonic clock + display file.
+
+        The reaper ages claims against the in-process monotonic beat;
+        the ``workers/<name>.hb`` touch is advisory wall-clock display
+        only (``worker_stats``), and its failure never fails the beat.
+        """
+        self._worker_beats[worker] = time.monotonic()
         path = self.root / "workers" / f"{journal_dirname(worker)}.hb"
         try:
             path.parent.mkdir(parents=True, exist_ok=True)
@@ -700,17 +749,24 @@ class JobStore:
         The released shards return to pending for adoption by any live
         worker — the in-process analogue of the restart-time orphan
         release. Returns the number of claims reaped.
+
+        Ages are measured on the process-local **monotonic** clock
+        (``now``, when given, is in the ``time.monotonic()`` domain): a
+        backwards NTP step must not make every claim look fresh forever,
+        and a forward step must not mass-release healthy claims into
+        double-runs. Claims whose worker this process has never heard
+        from are infinitely stale — such claims cannot outlive a restart
+        (``open`` releases them), so a missing beat means a worker that
+        died between journal replay and its first heartbeat.
         """
-        now = time.time() if now is None else now
+        now = time.monotonic() if now is None else now
         reaped = 0
         with self._lock:
+            self.reap_calls += 1
             for job in list(self.jobs.values()):
                 for shard_id, worker in sorted(job.claims.items()):
-                    hb = self.root / "workers" / f"{journal_dirname(worker)}.hb"
-                    try:
-                        age = now - hb.stat().st_mtime
-                    except OSError:
-                        age = float("inf")
+                    beat = self._worker_beats.get(worker)
+                    age = float("inf") if beat is None else now - beat
                     if age > max_age_s:
                         self._release_locked(
                             job,
@@ -722,6 +778,40 @@ class JobStore:
                         reaped += 1
                 self._maybe_finalize_locked(job)
         return reaped
+
+    def worker_stats(self):
+        """Per-worker lifecycle counters and liveness, JSON-safe.
+
+        Counters are rebuilt from the journal on replay (claims,
+        completions, failures, releases are all journaled with their
+        worker), so the view survives restarts. ``last_heartbeat_unix``
+        is wall-clock display from the advisory ``.hb`` file —
+        reaping never reads it (see :meth:`reap_stale_claims`).
+        """
+        with self._lock:
+            live = {}
+            for job in self.jobs.values():
+                for worker in job.claims.values():
+                    live[worker] = live.get(worker, 0) + 1
+            now = time.monotonic()
+            stats = {}
+            for worker in sorted(set(self._worker_counts) | set(self._worker_beats)):
+                counts = self._worker_counts.get(
+                    worker, {"claimed": 0, "completed": 0, "failed": 0, "released": 0}
+                )
+                hb = self.root / "workers" / f"{journal_dirname(worker)}.hb"
+                try:
+                    last_unix = hb.stat().st_mtime
+                except OSError:
+                    last_unix = None
+                beat = self._worker_beats.get(worker)
+                stats[worker] = {
+                    **counts,
+                    "live_claims": live.get(worker, 0),
+                    "last_heartbeat_unix": last_unix,
+                    "heartbeat_age_s": None if beat is None else round(now - beat, 3),
+                }
+            return stats
 
     # -- queries ------------------------------------------------------
 
@@ -738,6 +828,16 @@ class JobStore:
     def all_settled(self):
         with self._lock:
             return all(job.state in (COMPLETED, CANCELLED) for job in self.jobs.values())
+
+    def job_state(self, job_id):
+        """The job's lifecycle state alone — what an event tail polls."""
+        with self._lock:
+            return self._job(job_id).state
+
+    def shard_spec(self, job_id, shard_id):
+        """The planned spec for one shard; raises on unknown job/shard."""
+        with self._lock:
+            return self._job(job_id).spec_for(shard_id)
 
     def job_status(self, job_id):
         """Status + per-shard progress + merged metrics, all JSON-safe."""
@@ -769,6 +869,7 @@ class JobStore:
                 "n_completed": len(job.results),
                 "n_failures": sum(job.failures.values()),
                 "shards": shards,
+                "workers": dict(sorted(job.worker_shards.items())),
                 "metrics": merged.to_dict(),
             }
 

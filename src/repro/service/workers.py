@@ -43,8 +43,9 @@ class WorkerFleet:
 
     ``shard_fn`` replaces :func:`~repro.survey.shards.run_shard` in
     tests (module-level, picklable). ``reap_after_s`` arms the stale-
-    claim reaper: each worker opportunistically releases claims whose
-    owner has not heartbeated within that window.
+    claim reaper: the fleet releases claims whose owner has not
+    heartbeated within that window, sweeping at most once per
+    ``reap_after_s / 2`` across all workers.
     """
 
     def __init__(
@@ -68,6 +69,12 @@ class WorkerFleet:
         self.name_prefix = name_prefix
         self._threads = []
         self._stop = threading.Event()
+        # Stale-claim reaping is fleet-wide work, not per-worker work:
+        # one reap per reap_after_s/2 window, whichever worker gets
+        # there first, instead of every worker taking the store lock on
+        # every poll iteration (O(workers x poll rate) contention).
+        self._reap_lock = threading.Lock()
+        self._next_reap_at = 0.0
 
     # -- lifecycle ----------------------------------------------------
 
@@ -90,34 +97,60 @@ class WorkerFleet:
         self._threads = []
 
     def drain(self, timeout_s=60.0):
-        """Block until every job is terminal (or the deadline passes)."""
+        """Block until every job is terminal (or the deadline passes).
+
+        A store with no jobs at all is *already* drained: an idle but
+        healthy service answers ``True`` immediately — draining promises
+        "no unfinished work", not "work happened". (``all_settled`` is
+        vacuously true for an empty store, and that is the semantics a
+        shutdown path wants: nothing in flight, safe to stop.)
+        """
         deadline = time.monotonic() + timeout_s
-        while time.monotonic() < deadline:
-            if self.store.all_settled() and self.store.jobs:
+        while True:
+            if self.store.all_settled():
                 return True
+            if time.monotonic() >= deadline:
+                return self.store.all_settled()
             time.sleep(self.poll_interval_s)
-        return self.store.all_settled() and bool(self.store.jobs)
 
     # -- the worker loop ----------------------------------------------
+
+    def _maybe_reap(self):
+        """At most one fleet-wide reap per ``reap_after_s / 2`` window."""
+        if self.reap_after_s is None:
+            return
+        now = time.monotonic()
+        with self._reap_lock:
+            if now < self._next_reap_at:
+                return
+            self._next_reap_at = now + self.reap_after_s / 2.0
+        self.store.reap_stale_claims(self.reap_after_s)
 
     def _run(self, name):
         while not self._stop.is_set():
             self.store.worker_heartbeat(name)
-            if self.reap_after_s is not None:
-                self.store.reap_stale_claims(self.reap_after_s)
+            self._maybe_reap()
             claimed = self.store.claim(name)
             if claimed is None:
                 self._stop.wait(self.poll_interval_s)
                 continue
             self._run_claim(name, claimed)
 
+    def shard_heartbeat_path(self, claimed):
+        """The stall-watchdog heartbeat file for one claim.
+
+        Namespaced by **job id and shard id**: two jobs covering the
+        same (machine, pair, band) plan identical shard ids, and a
+        shared per-shard-id file would let one job's beats extend the
+        other job's hung shard past its stall deadline forever.
+        """
+        name = journal_dirname(f"{claimed.job_id}:{claimed.spec.shard_id}")
+        return self.store.root / "workers" / f"{name}.shard.hb"
+
     def _run_claim(self, name, claimed):
         spec = claimed.spec
         if self.shard_timeout_s is not None:
-            heartbeat = (
-                self.store.root / "workers" / f"{journal_dirname(spec.shard_id)}.shard.hb"
-            )
-            spec = replace(spec, heartbeat_path=str(heartbeat))
+            spec = replace(spec, heartbeat_path=str(self.shard_heartbeat_path(claimed)))
         try:
             if self.shard_timeout_s is None:
                 result = self.shard_fn(spec)

@@ -31,6 +31,7 @@ from ..core.pipeline import is_memory_pair, pair_label, run_fase
 from ..errors import SurveyError
 from .dataplane import pickle_campaign, publish_campaign
 from ..faults import FaultPlan
+from ..io import _config_from_dict, _config_to_dict
 from ..rng import child_rng, make_rng
 from ..runner import journal_dirname
 from ..system import ALL_PRESETS
@@ -95,6 +96,45 @@ class ShardResult:
 def shard_journal_dir(checkpoint_dir, shard_id):
     """The durable journal root for one shard under the survey's root."""
     return str(Path(checkpoint_dir) / journal_dirname(shard_id))
+
+
+def shard_spec_to_dict(spec):
+    """The JSON wire form of a :class:`ShardSpec` for remote workers.
+
+    Only the *portable* fields travel — the ones that make the shard a
+    pure function of ``(seed, shard_id)``. Host-local plumbing
+    (``checkpoint_dir``, ``telemetry_jsonl``, ``heartbeat_path``, the
+    shared-memory ``block``) is deliberately dropped: those are paths
+    and handles in the *sender's* filesystem/address space, and a
+    worker host re-derives its own.
+    """
+    return {
+        "shard_id": spec.shard_id,
+        "machine": spec.machine,
+        "pair": list(spec.pair),
+        "config": _config_to_dict(spec.config),
+        "band": spec.band,
+        "seed": int(spec.seed),
+        "fault_classes": (
+            None if spec.fault_classes is None else list(spec.fault_classes)
+        ),
+        "resume": bool(spec.resume),
+    }
+
+
+def shard_spec_from_dict(data):
+    """Revive a wire-form shard spec (see :func:`shard_spec_to_dict`)."""
+    fault_classes = data.get("fault_classes")
+    return ShardSpec(
+        shard_id=data["shard_id"],
+        machine=data["machine"],
+        pair=tuple(data["pair"]),
+        config=_config_from_dict(dict(data["config"])),
+        band=data["band"],
+        seed=int(data.get("seed", 0)),
+        fault_classes=None if fault_classes is None else tuple(fault_classes),
+        resume=bool(data.get("resume", True)),
+    )
 
 
 def beat_heartbeat(path):

@@ -16,6 +16,7 @@ because this tier is their newest — and strictest — consumer.
 from __future__ import annotations
 
 import json
+import time
 
 import pytest
 
@@ -379,13 +380,33 @@ class TestJobStore:
     def test_reap_stale_claims_releases_for_adoption(self, tmp_path):
         store = _open_store(tmp_path / "store")
         job_id = _submit(store, tmp_path)
-        claimed = store.claim("ghost")  # never heartbeats
+        claimed = store.claim("ghost")  # alive at claim time, then silent
         store.worker_heartbeat("live")
-        assert store.reap_stale_claims(max_age_s=3600.0) == 1
+        # Claiming seeds the liveness clock, so the ghost is fresh now...
+        assert store.reap_stale_claims(max_age_s=3600.0) == 0
+        # ...and stale once the monotonic clock has moved past the window.
+        assert store.reap_stale_claims(max_age_s=3600.0, now=time.monotonic() + 7200.0) == 1
         assert store.job_status(job_id)["shards"][claimed.spec.shard_id] == "pending"
         adopted = [shard_id for _, shard_id in _drain(store, worker="live")]
         assert claimed.spec.shard_id in adopted  # the orphan re-ran elsewhere
         assert store.job_status(job_id)["state"] == COMPLETED
+
+    def test_reap_survives_wall_clock_steps(self, tmp_path, monkeypatch):
+        # Reaping ages claims on the monotonic clock: NTP stepping the
+        # wall clock must neither mass-release healthy claims (forward
+        # step) nor make silent workers immortal (backward step).
+        store = _open_store(tmp_path / "store")
+        job_id = _submit(store, tmp_path)
+        claimed = store.claim("w0")
+        store.worker_heartbeat("w0")
+        real_time = time.time
+        monkeypatch.setattr(time, "time", lambda: real_time() + 3600.0)
+        assert store.reap_stale_claims(max_age_s=30.0) == 0  # fresh beat stays claimed
+        assert store.job_status(job_id)["shards"][claimed.spec.shard_id].startswith("claimed")
+        monkeypatch.setattr(time, "time", lambda: real_time() - 3600.0)
+        time.sleep(0.12)  # genuinely silent past the window now
+        assert store.reap_stale_claims(max_age_s=0.05) == 1
+        assert store.job_status(job_id)["shards"][claimed.spec.shard_id] == "pending"
 
     def test_unknown_job_raises(self, tmp_path):
         store = _open_store(tmp_path / "store")
@@ -505,6 +526,20 @@ class TestScheduling:
 
 
 # ----------------------------------------------------------------------
+# Stub shard body for the heartbeat-collision regression (module-level
+# so the watchdog's fork pool can pickle it by reference).
+
+from repro.survey.shards import beat_heartbeat  # noqa: E402
+
+
+def hang_after_one_beat(spec):
+    # One beat, then silence: the stall watchdog MUST kill this.
+    beat_heartbeat(spec.heartbeat_path)
+    time.sleep(30.0)
+    return stub_result(spec)
+
+
+# ----------------------------------------------------------------------
 # The worker fleet over stub shards.
 
 
@@ -555,6 +590,96 @@ class TestWorkerFleet:
         store = _open_store(tmp_path / "store")
         with pytest.raises(ServiceError, match="at least one worker"):
             WorkerFleet(store, workers=0)
+
+    def test_drain_is_immediate_on_an_empty_store(self, tmp_path):
+        # An idle-but-healthy service has no unfinished work: draining
+        # must answer True at once, not spin out the timeout on "no jobs
+        # ever happened".
+        store = _open_store(tmp_path / "store")
+        fleet = WorkerFleet(store, workers=2, shard_fn=well_behaved_shard)
+        started = time.monotonic()
+        assert fleet.drain(timeout_s=5.0) is True
+        assert time.monotonic() - started < 2.0
+
+    def test_shard_heartbeat_paths_are_job_namespaced(self, tmp_path):
+        # Two jobs over the same plan produce identical shard ids; their
+        # stall-watchdog heartbeat files must still be distinct.
+        store = _open_store(tmp_path / "store")
+        _submit(store, tmp_path, tenant="alice", machines=MACHINES[:1])
+        _submit(store, tmp_path, tenant="bob", machines=MACHINES[:1])
+        fleet = WorkerFleet(store, workers=1, shard_timeout_s=5.0)
+        first, second = store.claim("w0"), store.claim("w1")
+        assert first.spec.shard_id == second.spec.shard_id
+        assert first.job_id != second.job_id
+        assert fleet.shard_heartbeat_path(first) != fleet.shard_heartbeat_path(second)
+
+    def test_foreign_job_beats_cannot_mask_a_hung_shard(self, tmp_path):
+        # Regression: the heartbeat path used to be keyed by shard id
+        # alone, so a live shard of job B extended the stall deadline of
+        # job A's hung twin forever and the watchdog never fired. Here
+        # the fleet runs job A's hung shard while this thread plays job
+        # B's live twin, beating the exact path the fleet derives for it.
+        store = _open_store(tmp_path / "store")
+        jobs = {
+            tenant: _submit(
+                store, tmp_path, tenant=tenant, machines=MACHINES[:1], max_shard_retries=0
+            )
+            for tenant in ("alice", "bob")
+        }
+        fleet = WorkerFleet(
+            store,
+            workers=1,
+            shard_fn=hang_after_one_beat,
+            shard_timeout_s=0.75,
+            poll_interval_s=0.02,
+        )
+        # Claim one job's shard by hand before the fleet starts: that job
+        # plays the live twin, the other (the one fleet worker's claim)
+        # plays the victim.
+        twin = store.claim("by-hand")
+        (victim,) = (job_id for job_id in jobs.values() if job_id != twin.job_id)
+        twin_hb = fleet.shard_heartbeat_path(twin)
+        twin_hb.parent.mkdir(parents=True, exist_ok=True)
+        fleet.start()
+        try:
+            deadline = time.monotonic() + 15.0
+            while time.monotonic() < deadline:
+                beat_heartbeat(twin_hb)  # the live twin keeps beating...
+                shards = store.job_status(victim)["shards"]
+                if all(state == "abandoned" for state in shards.values()):
+                    break  # ...and the hung shard still got killed
+                time.sleep(0.05)
+            else:
+                pytest.fail(
+                    "hung shard never stalled while its twin kept beating: "
+                    f"victim={store.job_status(victim)['shards']}"
+                )
+        finally:
+            fleet.stop()
+        store.complete_shard(
+            twin.job_id, twin.spec.shard_id, stub_result(twin.spec), "by-hand"
+        )
+        assert store.job_status(twin.job_id)["state"] == COMPLETED
+        assert store.job_status(victim)["state"] == COMPLETED  # abandoned settles it
+
+    def test_reaping_runs_on_a_shared_interval(self, tmp_path):
+        # Pre-fix, every worker reaped on every poll (~4 workers x 50
+        # polls here); the fleet now sweeps at most once per
+        # reap_after_s/2 window regardless of fleet size.
+        store = _open_store(tmp_path / "store")
+        fleet = WorkerFleet(
+            store,
+            workers=4,
+            shard_fn=well_behaved_shard,
+            poll_interval_s=0.01,
+            reap_after_s=10.0,
+        )
+        fleet.start()
+        try:
+            time.sleep(0.5)
+        finally:
+            fleet.stop()
+        assert store.reap_calls <= 2
 
     def test_job_report_matches_survey_aggregation(self, tmp_path):
         store = _open_store(tmp_path / "store")

@@ -25,6 +25,7 @@ from pathlib import Path
 import pytest
 
 from repro import FaseConfig, MicroOp, run_survey
+from repro.journalutil import iter_journal
 from repro.service import COMPLETED, FairShareScheduler, JobStore, ServiceClient
 from repro.survey.chaos import stub_result, torn_manifest_tail, truncate_manifest
 
@@ -54,6 +55,23 @@ while True:
     time.sleep(0.2)
 """
 
+#: A hub-only service: no local fleet at all — every shard must come
+#: from a remote worker host, and the hub reaps silent claims itself.
+_HUB_SCRIPT = """
+import signal, sys, time
+from pathlib import Path
+
+from repro.service import FaseService
+
+root, port_file = sys.argv[1], sys.argv[2]
+service = FaseService(root, workers=0, reap_after_s=1.0)
+host, port = service.start()
+Path(port_file).write_text(f"{host} {port}")
+signal.signal(signal.SIGTERM, lambda *args: sys.exit(0))
+while True:
+    time.sleep(0.2)
+"""
+
 
 def carrier_map(report):
     return {
@@ -73,10 +91,10 @@ def source_map(report):
     }
 
 
-def _spawn_service(root, port_file, timeout_s=30.0):
+def _spawn_service(root, port_file, timeout_s=30.0, script=_SERVE_SCRIPT):
     """A service process on ``root``; returns (process, client)."""
     process = subprocess.Popen(
-        [sys.executable, "-c", _SERVE_SCRIPT, str(root), str(port_file)],
+        [sys.executable, "-c", script, str(root), str(port_file)],
         env={**os.environ, "PYTHONPATH": "src"},
     )
     deadline = time.monotonic() + timeout_s
@@ -128,6 +146,91 @@ class TestServiceSigkillMidCampaign:
         finally:
             process.send_signal(signal.SIGTERM)
             process.wait(timeout=30.0)
+
+
+def _spawn_host(url, name):
+    """One ``fase worker`` host process pointed at a running hub."""
+    return subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "worker",
+            "--connect", url, "--name", name,
+            "--poll-interval", "0.05", "--quiet",
+        ],
+        env={**os.environ, "PYTHONPATH": "src"},
+    )
+
+
+class TestWorkerHostSigkillMidShard:
+    def test_surviving_host_adopts_and_finishes_identically(self, tmp_path):
+        """SIGKILL a worker host mid-shard: the hub reaps its silent
+        claim, a second host adopts the orphan, and the finished job is
+        byte-identical to an uninterrupted survey — the tentpole's
+        crash-safety story at the process level."""
+        golden = run_survey(machines=MACHINES, pairs=ONE_PAIR, config=SMALL, seed=3)
+        assert any(carrier_map(golden).values())
+
+        root = tmp_path / "svc"
+        process, client = _spawn_service(root, tmp_path / "port", script=_HUB_SCRIPT)
+        victim = survivor = None
+        try:
+            job_id = client.submit(
+                "alice", machines=list(MACHINES), pairs=PAIR_NAMES, config=SMALL, seed=3
+            )
+            victim = _spawn_host(client.base_url, "victim-host")
+            deadline = time.monotonic() + 120.0
+            while True:  # catch the victim holding a claim...
+                shards = client.job(job_id)["shards"]
+                if "claimed:victim-host" in shards.values():
+                    break
+                assert time.monotonic() < deadline, f"victim never claimed: {shards}"
+                time.sleep(0.01)
+            victim.send_signal(signal.SIGKILL)  # ...and kill it mid-shard
+            victim.wait(timeout=30.0)
+
+            survivor = _spawn_host(client.base_url, "survivor-host")
+            status = client.wait(job_id, timeout_s=180.0)
+            assert status["state"] == "completed"
+            assert status["n_completed"] == len(MACHINES)
+            assert status["workers"].get("survivor-host", 0) >= 1
+
+            report = client.result(job_id)
+            assert carrier_map(report) == carrier_map(golden)
+            assert source_map(report) == source_map(golden)
+            fetched, expected = report.to_dict(), golden.to_dict()
+            fetched.pop("telemetry"), expected.pop("telemetry")
+            assert fetched == expected
+
+            # The event stream narrates the adoption: the reaper gave
+            # the orphan back, and both hosts appear as claimants.
+            events = client.events(job_id)
+            names = [event["name"] for event in events]
+            assert "shard-released" in names
+            claimants = {
+                event["attrs"]["worker"]
+                for event in events
+                if event["name"] == "shard-claimed"
+            }
+            assert {"victim-host", "survivor-host"} <= claimants
+        finally:
+            for host_process in (victim, survivor):
+                if host_process is not None and host_process.poll() is None:
+                    host_process.send_signal(signal.SIGTERM)
+                    host_process.wait(timeout=30.0)
+            process.send_signal(signal.SIGTERM)
+            process.wait(timeout=30.0)
+
+        # Zero lost, zero duplicated: the journal holds exactly one
+        # completed-progress record per shard of the job.
+        completed = {}
+        for record, _ in iter_journal(root / "store.jsonl"):
+            if (
+                record is not None
+                and record.get("kind") == "progress"
+                and record.get("job_id") == job_id
+                and record.get("status") == "completed"
+            ):
+                completed[record["shard_id"]] = completed.get(record["shard_id"], 0) + 1
+        assert sorted(completed.values()) == [1] * len(MACHINES)
 
 
 class TestStoreKillPointMatrix:
